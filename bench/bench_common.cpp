@@ -1,0 +1,93 @@
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <iostream>
+
+namespace vqmc::bench {
+
+void add_scale_options(OptionParser& opts) {
+  opts.add_flag("full", "run the paper-scale parameters (hours of CPU time)");
+  opts.add_option("dims", "", "override problem sizes, e.g. 20,50,100");
+  opts.add_option("iterations", "0", "override training iterations");
+  opts.add_option("batch", "0", "override training batch size");
+  opts.add_option("seeds", "0", "override number of random seeds");
+}
+
+Scale parse_scale(OptionParser& opts, int argc, const char* const* argv,
+                  bool& ok) {
+  ok = opts.parse(argc, argv);
+  Scale scale = opts.get_flag("full") ? paper_scale() : quick_scale();
+  if (!ok) return scale;
+  if (!opts.get_string("dims").empty()) scale.dims = opts.get_int_list("dims");
+  if (opts.get_int("iterations") > 0)
+    scale.iterations = opts.get_int("iterations");
+  if (opts.get_int("batch") > 0)
+    scale.batch_size = std::size_t(opts.get_int("batch"));
+  if (opts.get_int("seeds") > 0) scale.seeds = opts.get_int("seeds");
+  return scale;
+}
+
+void print_scale_banner(const std::string& artifact, const Scale& scale,
+                        bool full) {
+  std::cout << "== " << artifact << " ==\n";
+  std::cout << (full ? "scale: FULL (paper parameters)"
+                     : "scale: QUICK (single-core defaults; --full for paper "
+                       "parameters)")
+            << "\n";
+  std::cout << "dims:";
+  for (int n : scale.dims) std::cout << " " << n;
+  std::cout << " | iterations: " << scale.iterations
+            << " | batch: " << scale.batch_size << " | seeds: " << scale.seeds
+            << "\n\n";
+}
+
+ComboResult run_combo(const Hamiltonian& hamiltonian,
+                      const std::string& model_kind,
+                      const std::string& sampler_kind,
+                      const std::string& optimizer_kind, const Scale& scale,
+                      std::uint64_t seed, std::size_t hidden,
+                      MetropolisConfig mcmc) {
+  const std::size_t n = hamiltonian.num_spins();
+  auto model = make_model(model_kind, n, hidden, seed);
+  auto sampler = make_sampler(sampler_kind, *model, seed * 7919 + 13, mcmc);
+  auto optimizer = make_optimizer(optimizer_kind);
+
+  TrainerConfig cfg;
+  cfg.iterations = scale.iterations;
+  cfg.batch_size = scale.batch_size;
+  cfg.use_sr = optimizer_label_uses_sr(optimizer_kind);
+  VqmcTrainer trainer(hamiltonian, *model, *sampler, *optimizer, cfg);
+  trainer.run();
+
+  ComboResult result;
+  result.history = trainer.history();
+  result.train_seconds = trainer.training_seconds();
+
+  Matrix samples;
+  const EnergyEstimate est =
+      trainer.evaluate_with_samples(scale.eval_batch, samples);
+  result.eval_energy = est.mean;
+  result.eval_std = est.std_dev;
+
+  if (const auto* maxcut = dynamic_cast<const MaxCut*>(&hamiltonian)) {
+    result.mean_cut = maxcut->cut_from_energy(est.mean);
+    for (std::size_t k = 0; k < samples.rows(); ++k)
+      result.best_cut =
+          std::max(result.best_cut, maxcut->cut_value(samples.row(k)));
+  }
+  return result;
+}
+
+std::pair<Real, Real> mean_std(const std::vector<Real>& values) {
+  if (values.empty()) return {0, 0};
+  Real mean = 0;
+  for (Real v : values) mean += v;
+  mean /= Real(values.size());
+  if (values.size() == 1) return {mean, 0};
+  Real var = 0;
+  for (Real v : values) var += (v - mean) * (v - mean);
+  var /= Real(values.size() - 1);
+  return {mean, std::sqrt(var)};
+}
+
+}  // namespace vqmc::bench

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// \brief Shared experiment runner for the paper-reproduction benches.
+///
+/// Every bench binary regenerates one table or figure of Zhao et al.
+/// (SC'21).  Defaults are scaled down so the whole harness completes on a
+/// single CPU core (this substrate's "GPU" is a software device — see
+/// DESIGN.md); pass `--full` for the paper-scale parameters.  Each binary
+/// prints the scale factors it used so results are never mistaken for
+/// paper-scale numbers.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/factory.hpp"
+#include "core/trainer.hpp"
+#include "hamiltonian/maxcut.hpp"
+#include "hamiltonian/transverse_field_ising.hpp"
+
+namespace vqmc::bench {
+
+/// Scale profile for one bench run.
+struct Scale {
+  std::vector<int> dims;       ///< problem sizes to sweep
+  int iterations = 0;          ///< training iterations
+  std::size_t batch_size = 0;  ///< training batch
+  std::size_t eval_batch = 0;  ///< evaluation batch
+  int seeds = 0;               ///< independent repetitions
+};
+
+/// The paper's settings (Section 5.1).
+inline Scale paper_scale() {
+  return {{20, 50, 100, 200, 500}, 300, 1024, 1024, 5};
+}
+
+/// One-CPU-core defaults: same protocol, smaller sweep.
+inline Scale quick_scale() { return {{20, 50, 100}, 60, 128, 256, 2}; }
+
+/// Standard bench option set; returns the scale selected by the flags.
+Scale parse_scale(OptionParser& opts, int argc, const char* const* argv,
+                  bool& ok);
+
+/// Register the standard options on a parser (call before parse_scale).
+void add_scale_options(OptionParser& opts);
+
+/// Print the standard scale banner.
+void print_scale_banner(const std::string& artifact, const Scale& scale,
+                        bool full);
+
+/// Result of one (model, sampler, optimizer) training run.
+struct ComboResult {
+  Real eval_energy = 0;     ///< mean local energy over the eval batch
+  Real eval_std = 0;        ///< std of the stochastic objective
+  Real mean_cut = 0;        ///< Max-Cut only: cut implied by eval energy
+  Real best_cut = 0;        ///< Max-Cut only: best cut among eval samples
+  double train_seconds = 0; ///< wall time of the training loop
+  std::vector<IterationMetrics> history;
+};
+
+/// Build the (model, sampler, optimizer) combo from row labels and train it
+/// on `hamiltonian`. `hidden == 0` selects the family default.
+ComboResult run_combo(const Hamiltonian& hamiltonian,
+                      const std::string& model_kind,
+                      const std::string& sampler_kind,
+                      const std::string& optimizer_kind, const Scale& scale,
+                      std::uint64_t seed, std::size_t hidden = 0,
+                      MetropolisConfig mcmc = {});
+
+/// Mean / sample-std over per-seed values (std = 0 for a single seed).
+std::pair<Real, Real> mean_std(const std::vector<Real>& values);
+
+}  // namespace vqmc::bench

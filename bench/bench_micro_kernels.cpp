@@ -1,0 +1,173 @@
+/// \file bench_micro_kernels.cpp
+/// \brief google-benchmark microbenchmarks for the compute substrate: the
+/// gemm kernels behind every forward pass, MADE/RBM evaluation, AUTO and
+/// MCMC sampling, and the local-energy engine.
+///
+/// These are the building blocks whose costs the Section 4 complexity
+/// analysis (O(h n^2 mbs) sampling, O(hn) communication) is written in; the
+/// reported times let users calibrate the DeviceCostModel to their own
+/// hardware.
+
+#include <benchmark/benchmark.h>
+
+#include "core/local_energy.hpp"
+#include "hamiltonian/transverse_field_ising.hpp"
+#include "nn/made.hpp"
+#include "nn/rbm.hpp"
+#include "parallel/thread_communicator.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "sampler/autoregressive_sampler.hpp"
+#include "sampler/fast_made_sampler.hpp"
+#include "sampler/metropolis_sampler.hpp"
+#include "tensor/kernels.hpp"
+
+namespace {
+
+using namespace vqmc;
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = rng::uniform(gen, -1.0, 1.0);
+  return m;
+}
+
+void BM_GemmNt(benchmark::State& state) {
+  const std::size_t bs = std::size_t(state.range(0));
+  const std::size_t n = std::size_t(state.range(1));
+  const std::size_t h = std::size_t(state.range(2));
+  const Matrix x = random_matrix(bs, n, 1);
+  const Matrix w = random_matrix(h, n, 2);
+  Matrix out(bs, h);
+  for (auto _ : state) {
+    gemm_nt(x, w, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(2 * bs * n * h));
+}
+BENCHMARK(BM_GemmNt)
+    ->Args({64, 100, 106})
+    ->Args({128, 200, 140})
+    ->Args({256, 500, 193});
+
+void BM_MadeForward(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  const std::size_t bs = std::size_t(state.range(1));
+  Made made = Made::with_default_hidden(n);
+  made.initialize(1);
+  const Matrix batch = random_matrix(bs, n, 3);
+  Vector out(bs);
+  for (auto _ : state) {
+    made.log_psi(batch, out.span());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MadeForward)->Args({50, 128})->Args({100, 128})->Args({200, 64});
+
+void BM_RbmForward(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  const std::size_t bs = std::size_t(state.range(1));
+  Rbm rbm(n, n);
+  rbm.initialize(1);
+  const Matrix batch = random_matrix(bs, n, 4);
+  Vector out(bs);
+  for (auto _ : state) {
+    rbm.log_psi(batch, out.span());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RbmForward)->Args({50, 128})->Args({100, 128})->Args({200, 64});
+
+void BM_AutoSampling(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  const std::size_t bs = std::size_t(state.range(1));
+  Made made = Made::with_default_hidden(n);
+  made.initialize(1);
+  AutoregressiveSampler sampler(made, 2);
+  Matrix out(bs, n);
+  for (auto _ : state) {
+    sampler.sample(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(bs));
+}
+BENCHMARK(BM_AutoSampling)->Args({50, 64})->Args({100, 64})->Args({200, 32});
+
+void BM_FastAutoSampling(benchmark::State& state) {
+  // The incremental sampler: O(bs h n) per batch vs Algorithm 1's
+  // O(bs h n^2) — the ratio to BM_AutoSampling should grow ~linearly in n.
+  const std::size_t n = std::size_t(state.range(0));
+  const std::size_t bs = std::size_t(state.range(1));
+  Made made = Made::with_default_hidden(n);
+  made.initialize(1);
+  FastMadeSampler sampler(made, 2);
+  Matrix out(bs, n);
+  for (auto _ : state) {
+    sampler.sample(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(bs));
+}
+BENCHMARK(BM_FastAutoSampling)
+    ->Args({50, 64})
+    ->Args({100, 64})
+    ->Args({200, 32});
+
+void BM_McmcSampling(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  const std::size_t bs = std::size_t(state.range(1));
+  Rbm rbm(n, n);
+  rbm.initialize(1);
+  MetropolisConfig cfg;
+  cfg.burn_in = paper_burn_in(n);
+  MetropolisSampler sampler(rbm, cfg);
+  Matrix out(bs, n);
+  for (auto _ : state) {
+    sampler.sample(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(bs));
+}
+BENCHMARK(BM_McmcSampling)->Args({50, 64})->Args({100, 64})->Args({200, 32});
+
+void BM_LocalEnergyTim(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  const std::size_t bs = std::size_t(state.range(1));
+  const TransverseFieldIsing tim =
+      TransverseFieldIsing::random_dense(n, 1);
+  Made made = Made::with_default_hidden(n);
+  made.initialize(1);
+  LocalEnergyEngine engine(tim, made);
+  const Matrix batch = random_matrix(bs, n, 5);
+  // Round to bits (local energy expects configurations).
+  Matrix bits(bs, n);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    bits.data()[i] = batch.data()[i] > 0 ? 1 : 0;
+  Vector out(bs);
+  for (auto _ : state) {
+    engine.compute(bits, out.span());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_LocalEnergyTim)->Args({50, 64})->Args({100, 32});
+
+void BM_ThreadAllreduce(benchmark::State& state) {
+  const int ranks = int(state.range(0));
+  const std::size_t count = std::size_t(state.range(1));
+  for (auto _ : state) {
+    parallel::run_thread_group(ranks, [&](parallel::Communicator& comm) {
+      Vector v(count);
+      v.fill(Real(comm.rank()));
+      comm.allreduce_sum(v.span());
+      benchmark::DoNotOptimize(v.data());
+    });
+  }
+}
+BENCHMARK(BM_ThreadAllreduce)->Args({4, 10000})->Args({8, 10000});
+
+}  // namespace
+
+BENCHMARK_MAIN();

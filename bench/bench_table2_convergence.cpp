@@ -1,0 +1,130 @@
+/// \file bench_table2_convergence.cpp
+/// \brief Reproduces Table 2: converged objective values on Max-Cut (cut
+/// number, higher is better) and TIM (ground energy, lower is better) for
+/// the classical baselines and every (model, sampler, optimizer) combo.
+///
+/// Expected shape (paper): Burer-Monteiro >= Goemans-Williamson >> Random;
+/// MADE&AUTO with SGD+SR is competitive with the SDP solvers; RBM&MCMC
+/// degrades at the largest sizes.
+
+#include <iostream>
+
+#include "baselines/goemans_williamson.hpp"
+#include "baselines/local_search.hpp"
+#include "baselines/random_cut.hpp"
+#include "bench_common.hpp"
+
+using namespace vqmc;
+using namespace vqmc::bench;
+
+namespace {
+
+using CellFn = std::function<Real(std::size_t n, std::uint64_t seed)>;
+
+std::vector<std::string> sweep_row(std::vector<std::string> prefix,
+                                   const Scale& scale, const CellFn& cell) {
+  for (int n : scale.dims) {
+    std::vector<Real> values;
+    for (int s = 0; s < scale.seeds; ++s)
+      values.push_back(cell(std::size_t(n), std::uint64_t(s + 1)));
+    const auto [mean, std] = mean_std(values);
+    prefix.push_back(format_mean_std(mean, std, 1));
+  }
+  return prefix;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OptionParser opts("bench_table2_convergence",
+                    "Table 2: converged objectives on Max-Cut and TIM");
+  add_scale_options(opts);
+  opts.add_flag("skip-tim", "only run the Max-Cut section");
+  bool ok = false;
+  const Scale scale = parse_scale(opts, argc, argv, ok);
+  if (!ok) return 0;
+  print_scale_banner("Table 2: converged objective values", scale,
+                     opts.get_flag("full"));
+
+  std::vector<std::string> header = {"Problem", "Method"};
+  for (int n : scale.dims) header.push_back("n=" + std::to_string(n));
+
+  // Fixed problem instance per size (as in the paper); seeds vary only the
+  // solver randomness.
+  auto maxcut_for = [](std::size_t n) {
+    return MaxCut::paper_instance(n, 1000 + n);
+  };
+  auto tim_for = [](std::size_t n) {
+    return TransverseFieldIsing::random_dense(n, 2000 + n);
+  };
+
+  Table table("Table 2 (cut number for Max-Cut; ground energy for TIM)");
+  table.set_header(header);
+
+  // --- Classical baselines ------------------------------------------------
+  table.add_row(sweep_row({"Max-Cut", "Classical: Random"}, scale,
+                          [&](std::size_t n, std::uint64_t seed) {
+                            return baselines::random_cut(maxcut_for(n).graph(),
+                                                         seed)
+                                .cut;
+                          }));
+  table.add_row(sweep_row(
+      {"Max-Cut", "Classical: Goemans-Williamson"}, scale,
+      [&](std::size_t n, std::uint64_t seed) {
+        baselines::GoemansWilliamsonOptions gw;
+        gw.seed = seed;
+        return baselines::goemans_williamson(maxcut_for(n).graph(), gw)
+            .best.cut;
+      }));
+  table.add_row(sweep_row({"Max-Cut", "Classical: Burer-Monteiro"}, scale,
+                          [&](std::size_t n, std::uint64_t seed) {
+                            baselines::BurerMonteiroCutOptions bm;
+                            bm.seed = seed;
+                            return baselines::burer_monteiro_cut(
+                                       maxcut_for(n).graph(), bm)
+                                .cut;
+                          }));
+
+  // --- VQMC combos on Max-Cut ----------------------------------------------
+  const std::vector<std::pair<std::string, std::string>> families = {
+      {"RBM", "MCMC"}, {"MADE", "AUTO"}};
+  const std::vector<std::string> optimizers = {"SGD", "ADAM", "SGD+SR"};
+  for (const auto& [model, sampler] : families) {
+    for (const std::string& optimizer : optimizers) {
+      table.add_row(sweep_row(
+          {"Max-Cut", model + "+" + sampler + " " + optimizer}, scale,
+          [&, model = model, sampler = sampler,
+           optimizer](std::size_t n, std::uint64_t seed) {
+            const MaxCut h = maxcut_for(n);
+            return run_combo(h, model, sampler, optimizer, scale, seed)
+                .mean_cut;
+          }));
+      std::cout << "done: Max-Cut " << model << "+" << sampler << " "
+                << optimizer << "\n";
+    }
+  }
+
+  // --- VQMC combos on TIM ---------------------------------------------------
+  if (!opts.get_flag("skip-tim")) {
+    for (const auto& [model, sampler] : families) {
+      for (const std::string& optimizer : optimizers) {
+        table.add_row(sweep_row(
+            {"TIM", model + "+" + sampler + " " + optimizer}, scale,
+            [&, model = model, sampler = sampler,
+             optimizer](std::size_t n, std::uint64_t seed) {
+              const TransverseFieldIsing h = tim_for(n);
+              return run_combo(h, model, sampler, optimizer, scale, seed)
+                  .eval_energy;
+            }));
+        std::cout << "done: TIM " << model << "+" << sampler << " "
+                  << optimizer << "\n";
+      }
+    }
+  }
+
+  std::cout << "\n" << table.to_string() << "\n";
+  std::cout << "Paper shape check: BM >= GW >> Random; MADE+AUTO SGD+SR "
+               "within ~1% of BM on Max-Cut; RBM+MCMC trails at the largest "
+               "size.\n";
+  return 0;
+}

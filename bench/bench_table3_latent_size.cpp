@@ -1,0 +1,84 @@
+/// \file bench_table3_latent_size.cpp
+/// \brief Reproduces Table 3: ablation over the latent size h for MADE and
+/// RBM on Max-Cut (cut quality and training time).
+///
+/// Expected shape (paper): best cuts occur for h between 3(log n)^2 and n;
+/// very small and very large latents underperform; training time is nearly
+/// flat in h until the model saturates the device.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace vqmc;
+using namespace vqmc::bench;
+
+int main(int argc, char** argv) {
+  OptionParser opts("bench_table3_latent_size",
+                    "Table 3: latent-size ablation on Max-Cut");
+  add_scale_options(opts);
+  bool ok = false;
+  Scale scale = parse_scale(opts, argc, argv, ok);
+  if (!ok) return 0;
+  if (!opts.get_flag("full")) {
+    scale.dims = {50, 100};
+    scale.seeds = 1;
+  } else {
+    scale.dims = {50, 100, 200, 500};
+  }
+  print_scale_banner("Table 3: latent-size ablation (ADAM, Max-Cut)", scale,
+                     opts.get_flag("full"));
+
+  // Latent sizes from the paper's sweep (n^2 only in --full: it is the
+  // "push the device to its limits" column).
+  auto latents_for = [&](std::size_t n) {
+    const double log2n = std::log(double(n)) * std::log(double(n));
+    std::vector<std::pair<std::string, std::size_t>> out = {
+        {"(log n)^2", std::size_t(std::lround(log2n))},
+        {"3(log n)^2", std::size_t(std::lround(3 * log2n))},
+        {"5(log n)^2", std::size_t(std::lround(5 * log2n))},
+        {"n", n},
+        {"5n", 5 * n},
+    };
+    if (opts.get_flag("full")) out.push_back({"n^2", n * n});
+    return out;
+  };
+
+  for (const std::string& model : {std::string("MADE"), std::string("RBM")}) {
+    const std::string sampler = model == "MADE" ? "AUTO" : "MCMC";
+    Table cuts("Model " + model + " — cut (left) and training seconds "
+               "(right) per latent size");
+    std::vector<std::string> header = {"n"};
+    for (const auto& [label, _] : latents_for(100))
+      header.push_back("cut h=" + label);
+    for (const auto& [label, _] : latents_for(100))
+      header.push_back("time h=" + label);
+    cuts.set_header(header);
+
+    for (int n : scale.dims) {
+      const std::size_t un = std::size_t(n);
+      const MaxCut h = MaxCut::paper_instance(un, 1000 + un);
+      std::vector<std::string> row = {std::to_string(n)};
+      std::vector<std::string> times;
+      for (const auto& [label, latent] : latents_for(un)) {
+        std::vector<Real> per_seed_cut, per_seed_time;
+        for (int s = 0; s < scale.seeds; ++s) {
+          const ComboResult r = run_combo(h, model, sampler, "ADAM", scale,
+                                          std::uint64_t(s + 1), latent);
+          per_seed_cut.push_back(r.mean_cut);
+          per_seed_time.push_back(Real(r.train_seconds));
+        }
+        row.push_back(format_fixed(mean_std(per_seed_cut).first, 1));
+        times.push_back(format_fixed(mean_std(per_seed_time).first, 2));
+      }
+      row.insert(row.end(), times.begin(), times.end());
+      cuts.add_row(row);
+      std::cout << "done: " << model << " n=" << n << "\n";
+    }
+    std::cout << "\n" << cuts.to_string() << "\n";
+  }
+  std::cout << "Paper shape check: optimum between 3(log n)^2 and n; "
+               "time flat in h until compute saturates.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// \file distributed_scaling.cpp
+/// \brief Data-parallel VQMC across virtual devices (Section 4 of the
+/// paper): identical model replicas, per-device exact sampling, one gradient
+/// allreduce per iteration.  Demonstrates both of the paper's multi-GPU
+/// observations — replicas stay synchronized, and a larger effective batch
+/// (more devices x fixed mbs) converges to a better energy.
+///
+///   ./build/examples/distributed_scaling --n 30 --devices 1,2,4,8
+
+#include <iostream>
+
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "hamiltonian/transverse_field_ising.hpp"
+#include "nn/made.hpp"
+#include "parallel/cost_model.hpp"
+#include "parallel/distributed_trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vqmc;
+  using namespace vqmc::parallel;
+
+  OptionParser opts("distributed_scaling",
+                    "data-parallel VQMC on thread-backed virtual devices");
+  opts.add_option("n", "30", "number of spins");
+  opts.add_option("devices", "1,2,4,8", "device counts to sweep");
+  opts.add_option("mbs", "4", "mini-batch per device (paper: 4)");
+  opts.add_option("iterations", "80", "training iterations");
+  if (!opts.parse(argc, argv)) return 0;
+
+  const std::size_t n = std::size_t(opts.get_int("n"));
+  const TransverseFieldIsing hamiltonian =
+      TransverseFieldIsing::random_dense(n, 11);
+  Made prototype = Made::with_default_hidden(n);
+  prototype.initialize(12);
+
+  Table table("Effective batch vs converged energy (TIM, n=" +
+              std::to_string(n) + ")");
+  table.set_header({"devices", "effective batch", "converged energy",
+                    "replicas identical", "rank busy (s)",
+                    "modeled V100 (s)"});
+
+  for (int devices : opts.get_int_list("devices")) {
+    DistributedConfig config;
+    config.shape = {1, devices};
+    config.iterations = opts.get_int("iterations");
+    config.mini_batch_size = std::size_t(opts.get_int("mbs"));
+    config.eval_batch_per_rank = 128;
+    config.seed = 13;
+    const DistributedResult result =
+        train_distributed(hamiltonian, prototype, config);
+    table.add_row({std::to_string(devices),
+                   std::to_string(devices * opts.get_int("mbs")),
+                   format_fixed(result.converged_energy, 4),
+                   result.replicas_identical ? "yes" : "NO",
+                   format_fixed(result.max_rank_busy_seconds, 3),
+                   format_fixed(result.modeled_seconds, 4)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nWeak-scaling takeaway: rank busy time is ~flat in the "
+               "device count while the effective batch (and thus the final "
+               "energy) improves.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+/// \file heisenberg_chain.cpp
+/// \brief Ground state of an XXZ Heisenberg ring — a Hamiltonian with
+/// two-site-flip off-diagonals, beyond the paper's TIM/Max-Cut families —
+/// solved with three interchangeable autoregressive wavefunctions
+/// (MADE, DeepMADE, RNN) through the same trainer.
+///
+///   ./build/examples/heisenberg_chain --n 10 --jz 0.5 --jxy 1.0
+
+#include <iostream>
+
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "core/trainer.hpp"
+#include "hamiltonian/exact.hpp"
+#include "hamiltonian/heisenberg.hpp"
+#include "nn/deep_made.hpp"
+#include "nn/made.hpp"
+#include "nn/rnn.hpp"
+#include "optim/adam.hpp"
+#include "sampler/autoregressive_sampler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vqmc;
+
+  OptionParser opts("heisenberg_chain",
+                    "XXZ ring ground state with three AR wavefunctions");
+  opts.add_option("n", "10", "ring length");
+  opts.add_option("jz", "0.5", "longitudinal coupling");
+  opts.add_option("jxy", "1.0", "transverse coupling (>= 0)");
+  opts.add_option("iterations", "200", "training iterations");
+  opts.add_option("batch", "256", "training batch size");
+  if (!opts.parse(argc, argv)) return 0;
+
+  const std::size_t n = std::size_t(opts.get_int("n"));
+  const XxzHeisenberg hamiltonian = XxzHeisenberg::chain(
+      n, Real(opts.get_double("jz")), Real(opts.get_double("jxy")));
+
+  std::cout << "XXZ ring: n=" << n << ", Jz=" << opts.get_double("jz")
+            << ", Jxy=" << opts.get_double("jxy") << "\n";
+  Real exact_energy = 0;
+  const bool have_exact = n <= 16;
+  if (have_exact) {
+    exact_energy = exact_ground_state(hamiltonian).energy;
+    std::cout << "exact ground energy (Lanczos): " << exact_energy << "\n\n";
+  }
+
+  Table table("VQMC with interchangeable autoregressive models");
+  table.set_header({"model", "params", "energy", "std(l)", "rel. error",
+                    "train (s)"});
+
+  auto run_model = [&](AutoregressiveModel& model) {
+    model.initialize(7);
+    AutoregressiveSampler sampler(model, 11);
+    Adam optimizer(0.03);
+    TrainerConfig config;
+    config.iterations = opts.get_int("iterations");
+    config.batch_size = std::size_t(opts.get_int("batch"));
+    VqmcTrainer trainer(hamiltonian, model, sampler, optimizer, config);
+    trainer.run();
+    const EnergyEstimate est = trainer.evaluate(1024);
+    const std::string rel =
+        have_exact ? format_fixed((est.mean - exact_energy) /
+                                      std::abs(exact_energy),
+                                  4)
+                   : "n/a";
+    table.add_row({model.name(), std::to_string(model.num_parameters()),
+                   format_fixed(est.mean, 4), format_fixed(est.std_dev, 4),
+                   rel, format_fixed(trainer.training_seconds(), 2)});
+  };
+
+  Made made = Made::with_default_hidden(n);
+  run_model(made);
+  DeepMade deep(n, made_default_hidden(n), 2);
+  run_model(deep);
+  RnnWavefunction rnn(n, made_default_hidden(n) / 2);
+  run_model(rnn);
+
+  std::cout << table.to_string();
+  std::cout << "\nNote: the XXZ off-diagonals flip *pairs* of spins — this "
+               "example exercises the general row-sparse Hamiltonian "
+               "interface (Definition 2.1) beyond the paper's single-flip "
+               "TIM.\n";
+  return 0;
+}

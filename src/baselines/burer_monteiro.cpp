@@ -1,0 +1,76 @@
+#include "baselines/burer_monteiro.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace vqmc::baselines {
+
+namespace {
+
+Real sdp_objective(const Graph& graph, const Matrix& v) {
+  const std::size_t p = v.cols();
+  Real acc = 0;
+  for (const Graph::Edge& e : graph.edges()) {
+    Real inner = 0;
+    for (std::size_t c = 0; c < p; ++c) inner += v(e.u, c) * v(e.v, c);
+    acc += e.weight * (1 - inner) / 2;
+  }
+  return acc;
+}
+
+}  // namespace
+
+BurerMonteiroResult solve_maxcut_sdp(const Graph& graph,
+                                     const BurerMonteiroOptions& options) {
+  const std::size_t n = graph.num_vertices();
+  VQMC_REQUIRE(n >= 2, "BM: need at least 2 vertices");
+  std::size_t p = options.rank;
+  if (p == 0) p = std::size_t(std::ceil(std::sqrt(2.0 * double(n)))) + 1;
+  p = std::min(p, n);
+
+  rng::Xoshiro256 gen(options.seed ^ 0x424dULL);
+  BurerMonteiroResult result;
+  result.v = Matrix(n, p);
+  for (std::size_t i = 0; i < n; ++i) {
+    Real norm2 = 0;
+    for (std::size_t c = 0; c < p; ++c) {
+      result.v(i, c) = rng::normal(gen);
+      norm2 += result.v(i, c) * result.v(i, c);
+    }
+    const Real inv = 1 / std::sqrt(norm2);
+    for (std::size_t c = 0; c < p; ++c) result.v(i, c) *= inv;
+  }
+
+  std::vector<Real> g(p);
+  Real previous = sdp_objective(graph, result.v);
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    result.sweeps = sweep + 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      // g = sum_j w_ij v_j; the exact minimizer of the objective in v_i
+      // (holding the rest fixed) is v_i = -g / ||g||.
+      for (std::size_t c = 0; c < p; ++c) g[c] = 0;
+      for (const auto& [j, w] : graph.neighbors(i))
+        for (std::size_t c = 0; c < p; ++c) g[c] += w * result.v(j, c);
+      Real norm2 = 0;
+      for (std::size_t c = 0; c < p; ++c) norm2 += g[c] * g[c];
+      if (norm2 <= Real(1e-30)) continue;  // isolated vertex: leave as-is
+      const Real inv = -1 / std::sqrt(norm2);
+      for (std::size_t c = 0; c < p; ++c) result.v(i, c) = inv * g[c];
+    }
+    const Real current = sdp_objective(graph, result.v);
+    const Real denom = std::max<Real>(1, std::fabs(current));
+    if (std::fabs(current - previous) / denom <= options.tolerance) {
+      result.converged = true;
+      result.sdp_objective = current;
+      return result;
+    }
+    previous = current;
+  }
+  result.sdp_objective = previous;
+  return result;
+}
+
+}  // namespace vqmc::baselines

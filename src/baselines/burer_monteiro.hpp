@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file burer_monteiro.hpp
+/// \brief Low-rank Burer–Monteiro factorization of the Max-Cut SDP.
+///
+/// The Max-Cut SDP relaxation is
+///
+///   max sum_{(i,j) in E} w_ij (1 - X_ij) / 2   s.t.  X >= 0, X_ii = 1.
+///
+/// Burer–Monteiro substitutes X = V V^T with V in R^{n x p}, turning the
+/// constraint set into a product of unit spheres.  For p >= ceil(sqrt(2n))
+/// every second-order critical point is a global optimum (Boumal et al.),
+/// which is the correctness basis for using a local method here in place of
+/// the paper's CVXPY / Manopt solvers (see DESIGN.md substitutions).
+///
+/// The solver is the *mixing method* (Wang & Kolter 2017): cyclic block
+/// updates v_i <- -normalize(sum_j w_ij v_j), each of which exactly
+/// minimizes the objective in v_i.  It converges linearly to the SDP
+/// optimum in practice and needs no step-size tuning.
+
+#include <cstdint>
+
+#include "hamiltonian/graph.hpp"
+#include "tensor/matrix.hpp"
+
+namespace vqmc::baselines {
+
+struct BurerMonteiroOptions {
+  std::size_t rank = 0;       ///< 0 = ceil(sqrt(2n)) + 1
+  int max_sweeps = 300;       ///< cyclic passes over all vertices
+  Real tolerance = 1e-7;      ///< on the relative objective change per sweep
+  std::uint64_t seed = 0;
+};
+
+struct BurerMonteiroResult {
+  Matrix v;                ///< n x p factor, unit rows
+  Real sdp_objective = 0;  ///< sum w_ij (1 - <v_i, v_j>) / 2 (upper bounds max cut)
+  int sweeps = 0;
+  bool converged = false;
+};
+
+/// Solve the Max-Cut SDP by low-rank factorization.
+BurerMonteiroResult solve_maxcut_sdp(const Graph& graph,
+                                     const BurerMonteiroOptions& options = {});
+
+}  // namespace vqmc::baselines

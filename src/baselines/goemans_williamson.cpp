@@ -1,0 +1,52 @@
+#include "baselines/goemans_williamson.hpp"
+
+#include "common/error.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace vqmc::baselines {
+
+CutResult round_hyperplane(const Graph& graph, const Matrix& v,
+                           std::uint64_t seed) {
+  const std::size_t n = graph.num_vertices();
+  const std::size_t p = v.cols();
+  VQMC_REQUIRE(v.rows() == n, "GW rounding: factor has wrong row count");
+  rng::Xoshiro256 gen(seed ^ 0x4757ULL);
+  std::vector<Real> r(p);
+  for (std::size_t c = 0; c < p; ++c) r[c] = rng::normal(gen);
+
+  CutResult result;
+  result.partition = Vector(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Real inner = 0;
+    for (std::size_t c = 0; c < p; ++c) inner += v(i, c) * r[c];
+    result.partition[i] = inner >= 0 ? 1 : 0;
+  }
+  result.cut = graph.cut_value(result.partition.span());
+  return result;
+}
+
+CutResult best_hyperplane_rounding(const Graph& graph, const Matrix& v,
+                                   std::size_t trials, std::uint64_t seed) {
+  VQMC_REQUIRE(trials >= 1, "GW rounding: need at least one trial");
+  CutResult best;
+  for (std::size_t t = 0; t < trials; ++t) {
+    CutResult r = round_hyperplane(graph, v, seed + t * 0x9e3779b9ULL);
+    if (t == 0 || r.cut > best.cut) best = std::move(r);
+  }
+  return best;
+}
+
+GoemansWilliamsonResult goemans_williamson(
+    const Graph& graph, const GoemansWilliamsonOptions& options) {
+  BurerMonteiroOptions sdp = options.sdp;
+  sdp.seed = options.seed;
+  const BurerMonteiroResult factor = solve_maxcut_sdp(graph, sdp);
+  GoemansWilliamsonResult out;
+  out.sdp_objective = factor.sdp_objective;
+  out.best = best_hyperplane_rounding(graph, factor.v,
+                                      options.rounding_trials, options.seed);
+  return out;
+}
+
+}  // namespace vqmc::baselines

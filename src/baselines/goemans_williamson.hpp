@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file goemans_williamson.hpp
+/// \brief Goemans–Williamson hyperplane rounding and the full GW pipeline
+/// (0.878-approximation for Max-Cut).
+///
+/// Rounding: draw r ~ N(0, I_p) and set x_i = [<v_i, r> >= 0].  The GW
+/// pipeline solves the SDP (via the Burer–Monteiro factorization) and takes
+/// the best cut over `rounding_trials` hyperplanes — exactly what the
+/// paper's CVXPY-based row of Table 2 computes.
+
+#include <cstdint>
+
+#include "baselines/burer_monteiro.hpp"
+#include "baselines/random_cut.hpp"
+
+namespace vqmc::baselines {
+
+/// One hyperplane rounding of an SDP factor V (n x p).
+CutResult round_hyperplane(const Graph& graph, const Matrix& v,
+                           std::uint64_t seed);
+
+/// Best of `trials` hyperplane roundings.
+CutResult best_hyperplane_rounding(const Graph& graph, const Matrix& v,
+                                   std::size_t trials, std::uint64_t seed);
+
+struct GoemansWilliamsonOptions {
+  BurerMonteiroOptions sdp;
+  std::size_t rounding_trials = 100;
+  std::uint64_t seed = 0;
+};
+
+struct GoemansWilliamsonResult {
+  CutResult best;
+  Real sdp_objective = 0;  ///< SDP upper bound on the max cut
+};
+
+/// Full GW pipeline: SDP solve + repeated hyperplane rounding.
+GoemansWilliamsonResult goemans_williamson(
+    const Graph& graph, const GoemansWilliamsonOptions& options = {});
+
+}  // namespace vqmc::baselines

@@ -1,0 +1,62 @@
+#include "baselines/local_search.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "baselines/goemans_williamson.hpp"
+#include "common/error.hpp"
+
+namespace vqmc::baselines {
+
+Real local_search_1swap(const Graph& graph, Vector& partition,
+                        std::size_t max_moves) {
+  const std::size_t n = graph.num_vertices();
+  VQMC_REQUIRE(partition.size() == n, "local search: partition size mismatch");
+
+  // gain[i] = cut increase from flipping vertex i =
+  //   sum_{j ~ i} w_ij * (same side ? +1 : -1).
+  std::vector<Real> gain(n, 0);
+  auto side = [&](std::size_t v) { return partition[v] > Real(0.5); };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& [j, w] : graph.neighbors(i))
+      gain[i] += side(i) == side(j) ? w : -w;
+  }
+
+  Real cut = graph.cut_value(partition.span());
+  std::size_t moves = 0;
+  while (max_moves == 0 || moves < max_moves) {
+    std::size_t best = n;
+    Real best_gain = Real(1e-12);  // strictly-positive improvement only
+    for (std::size_t i = 0; i < n; ++i) {
+      if (gain[i] > best_gain) {
+        best_gain = gain[i];
+        best = i;
+      }
+    }
+    if (best == n) break;
+
+    // Flip `best` and update gains incrementally.
+    partition[best] = 1 - partition[best];
+    cut += best_gain;
+    gain[best] = -gain[best];
+    for (const auto& [j, w] : graph.neighbors(best))
+      gain[j] += side(best) == side(j) ? 2 * w : -2 * w;
+    ++moves;
+  }
+  return cut;
+}
+
+CutResult burer_monteiro_cut(const Graph& graph,
+                             const BurerMonteiroCutOptions& options) {
+  BurerMonteiroOptions sdp = options.sdp;
+  sdp.seed = options.seed;
+  const BurerMonteiroResult factor = solve_maxcut_sdp(graph, sdp);
+  CutResult best = best_hyperplane_rounding(
+      graph, factor.v, options.rounding_trials, options.seed);
+  if (options.polish) {
+    best.cut = local_search_1swap(graph, best.partition);
+  }
+  return best;
+}
+
+}  // namespace vqmc::baselines

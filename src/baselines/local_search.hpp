@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file local_search.hpp
+/// \brief Greedy 1-swap local search for Max-Cut.
+///
+/// Repeatedly moves the vertex with the largest cut gain to the other side
+/// until no single move improves.  Used to post-process rounded SDP
+/// solutions in the Burer–Monteiro baseline row (matching the quality of
+/// Manopt's trust-region pipeline in Table 2) and available to users as a
+/// cheap polish step for VQMC cuts.
+
+#include "baselines/burer_monteiro.hpp"
+#include "baselines/random_cut.hpp"
+#include "hamiltonian/graph.hpp"
+
+namespace vqmc::baselines {
+
+/// Improve `partition` in place; returns the final cut value.
+Real local_search_1swap(const Graph& graph, Vector& partition,
+                        std::size_t max_moves = 0 /* 0 = unlimited */);
+
+struct BurerMonteiroCutOptions {
+  BurerMonteiroOptions sdp;
+  std::size_t rounding_trials = 100;
+  bool polish = true;  ///< run 1-swap local search on the best rounding
+  std::uint64_t seed = 0;
+};
+
+/// The "Burer–Monteiro" baseline row of Table 2: SDP solve, many roundings,
+/// greedy polish.
+CutResult burer_monteiro_cut(const Graph& graph,
+                             const BurerMonteiroCutOptions& options = {});
+
+}  // namespace vqmc::baselines

@@ -1,0 +1,29 @@
+#include "baselines/random_cut.hpp"
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace vqmc::baselines {
+
+CutResult random_cut(const Graph& graph, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  const std::size_t n = graph.num_vertices();
+  CutResult result;
+  result.partition = Vector(n);
+  for (std::size_t i = 0; i < n; ++i)
+    result.partition[i] = rng::bernoulli(gen, 0.5) ? 1 : 0;
+  result.cut = graph.cut_value(result.partition.span());
+  return result;
+}
+
+CutResult best_random_cut(const Graph& graph, std::size_t trials,
+                          std::uint64_t seed) {
+  CutResult best;
+  for (std::size_t t = 0; t < trials; ++t) {
+    CutResult r = random_cut(graph, seed + t);
+    if (t == 0 || r.cut > best.cut) best = std::move(r);
+  }
+  return best;
+}
+
+}  // namespace vqmc::baselines

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file random_cut.hpp
+/// \brief The 0.5-approximation Random Cut baseline (Table 2, row 1): assign
+/// every vertex to a side with probability 1/2.
+
+#include <cstdint>
+
+#include "hamiltonian/graph.hpp"
+#include "tensor/vector.hpp"
+
+namespace vqmc::baselines {
+
+struct CutResult {
+  Real cut = 0;
+  Vector partition;  ///< {0,1}^n side assignment achieving `cut`
+};
+
+/// One uniformly random bipartition.
+CutResult random_cut(const Graph& graph, std::uint64_t seed);
+
+/// Best of `trials` random bipartitions.
+CutResult best_random_cut(const Graph& graph, std::size_t trials,
+                          std::uint64_t seed);
+
+}  // namespace vqmc::baselines

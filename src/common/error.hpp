@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file error.hpp
+/// \brief Error handling primitives for the vqmc library.
+///
+/// The library throws `vqmc::Error` (derived from std::runtime_error) for
+/// recoverable precondition violations and uses `VQMC_REQUIRE` for argument
+/// validation at public API boundaries.  Internal invariants that indicate
+/// programmer error use `VQMC_ASSERT`, which is compiled out in release
+/// builds unless `VQMC_ENABLE_ASSERTS` is defined.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vqmc {
+
+/// Exception type thrown by all vqmc components on precondition violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* file, int line,
+                                     const std::string& message) {
+  std::ostringstream oss;
+  oss << message << " (" << file << ":" << line << ")";
+  throw Error(oss.str());
+}
+
+}  // namespace detail
+
+}  // namespace vqmc
+
+/// Validate a public-API precondition; throws vqmc::Error on failure.
+#define VQMC_REQUIRE(cond, message)                                \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::vqmc::detail::throw_error(__FILE__, __LINE__,              \
+                                  std::string("precondition failed: ") + \
+                                      (message));                  \
+    }                                                              \
+  } while (false)
+
+/// Internal invariant check. Enabled in debug builds (or when
+/// VQMC_ENABLE_ASSERTS is defined); compiled to nothing otherwise.
+#if !defined(NDEBUG) || defined(VQMC_ENABLE_ASSERTS)
+#define VQMC_ASSERT(cond, message)                                        \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::vqmc::detail::throw_error(__FILE__, __LINE__,                     \
+                                  std::string("invariant violated: ") +   \
+                                      (message));                         \
+    }                                                                     \
+  } while (false)
+#else
+#define VQMC_ASSERT(cond, message) \
+  do {                             \
+  } while (false)
+#endif

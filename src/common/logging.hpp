@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file logging.hpp
+/// \brief Minimal leveled logger used by trainers and benches.
+///
+/// The logger writes to stderr with a `[level] ` prefix.  The global level
+/// defaults to Info and can be tightened by benches that want quiet output.
+/// Logging is intentionally synchronous and unbuffered; the library emits
+/// few messages (per-iteration metrics go through MetricsHistory instead).
+
+#include <sstream>
+#include <string>
+
+namespace vqmc {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Set the process-wide log level.
+void set_log_level(LogLevel level);
+
+/// Current process-wide log level.
+LogLevel log_level();
+
+/// Emit one message at `level` (no-op if below the global level).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  return oss.str();
+}
+
+}  // namespace detail
+
+/// Convenience variadic logging helpers: vqmc::log_info("n=", n).
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::Debug)
+    log_message(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::Info)
+    log_message(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::Warn)
+    log_message(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::Error)
+    log_message(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace vqmc

@@ -1,0 +1,126 @@
+#include "common/options.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace vqmc {
+
+OptionParser::OptionParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void OptionParser::add_flag(const std::string& name, const std::string& help) {
+  specs_[name] = Spec{true, "false", help};
+}
+
+void OptionParser::add_option(const std::string& name,
+                              const std::string& default_value,
+                              const std::string& help) {
+  specs_[name] = Spec{false, default_value, help};
+}
+
+bool OptionParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    VQMC_REQUIRE(arg.rfind("--", 0) == 0, "expected --option, got '" + arg + "'");
+    arg = arg.substr(2);
+    if (arg == "help") {
+      std::cout << usage();
+      return false;
+    }
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = specs_.find(arg);
+    VQMC_REQUIRE(it != specs_.end(), "unknown option --" + arg);
+    if (it->second.is_flag) {
+      VQMC_REQUIRE(!has_value, "flag --" + arg + " takes no value");
+      values_[arg] = "true";
+    } else {
+      if (!has_value) {
+        VQMC_REQUIRE(i + 1 < argc, "missing value for --" + arg);
+        value = argv[++i];
+      }
+      values_[arg] = value;
+    }
+  }
+  return true;
+}
+
+bool OptionParser::get_flag(const std::string& name) const {
+  auto spec = specs_.find(name);
+  VQMC_REQUIRE(spec != specs_.end() && spec->second.is_flag,
+               "unregistered flag --" + name);
+  auto it = values_.find(name);
+  return it != values_.end() && it->second == "true";
+}
+
+std::string OptionParser::get_string(const std::string& name) const {
+  auto spec = specs_.find(name);
+  VQMC_REQUIRE(spec != specs_.end(), "unregistered option --" + name);
+  auto it = values_.find(name);
+  return it != values_.end() ? it->second : spec->second.default_value;
+}
+
+int OptionParser::get_int(const std::string& name) const {
+  const std::string s = get_string(name);
+  try {
+    std::size_t pos = 0;
+    int v = std::stoi(s, &pos);
+    VQMC_REQUIRE(pos == s.size(), "trailing characters in --" + name);
+    return v;
+  } catch (const std::logic_error&) {
+    throw Error("option --" + name + " is not an integer: '" + s + "'");
+  }
+}
+
+double OptionParser::get_double(const std::string& name) const {
+  const std::string s = get_string(name);
+  try {
+    std::size_t pos = 0;
+    double v = std::stod(s, &pos);
+    VQMC_REQUIRE(pos == s.size(), "trailing characters in --" + name);
+    return v;
+  } catch (const std::logic_error&) {
+    throw Error("option --" + name + " is not a number: '" + s + "'");
+  }
+}
+
+std::vector<int> OptionParser::get_int_list(const std::string& name) const {
+  const std::string s = get_string(name);
+  std::vector<int> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    try {
+      out.push_back(std::stoi(item));
+    } catch (const std::logic_error&) {
+      throw Error("option --" + name + " has a non-integer element: '" + item +
+                  "'");
+    }
+  }
+  return out;
+}
+
+std::string OptionParser::usage() const {
+  std::ostringstream oss;
+  oss << "usage: " << program_ << " [options]\n";
+  if (!description_.empty()) oss << "  " << description_ << "\n";
+  oss << "options:\n";
+  for (const auto& [name, spec] : specs_) {
+    oss << "  --" << name;
+    if (!spec.is_flag) oss << " <value> (default: " << spec.default_value << ")";
+    oss << "\n      " << spec.help << "\n";
+  }
+  oss << "  --help\n      print this message\n";
+  return oss.str();
+}
+
+}  // namespace vqmc

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file options.hpp
+/// \brief Tiny command-line option parser shared by the bench binaries and
+/// example applications.
+///
+/// Supports `--name value`, `--name=value` and boolean flags (`--full`).
+/// Unknown options are an error so typos in experiment sweeps fail loudly.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vqmc {
+
+/// Declarative command-line parser.
+///
+/// \code
+///   OptionParser opts("bench_table1");
+///   opts.add_flag("full", "run paper-scale parameters");
+///   opts.add_option("seeds", "5", "number of random seeds");
+///   opts.parse(argc, argv);
+///   int seeds = opts.get_int("seeds");
+/// \endcode
+class OptionParser {
+ public:
+  explicit OptionParser(std::string program, std::string description = "");
+
+  /// Register a boolean flag (defaults to false).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Register a valued option with a default.
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parse argv; throws vqmc::Error on unknown options or missing values.
+  /// Recognizes `--help` and returns false (after printing usage) if seen.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] int get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+
+  /// Comma-separated list of integers ("20,50,100").
+  [[nodiscard]] std::vector<int> get_int_list(const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Spec {
+    bool is_flag = false;
+    std::string default_value;
+    std::string help;
+  };
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace vqmc

@@ -1,0 +1,100 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace vqmc {
+
+void Table::set_header(std::vector<std::string> header) {
+  VQMC_REQUIRE(rows_.empty() || header.size() == rows_.front().size(),
+               "header arity must match existing rows");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  VQMC_REQUIRE(header_.empty() || row.size() == header_.size(),
+               "row arity must match header");
+  VQMC_REQUIRE(rows_.empty() || row.size() == rows_.front().size(),
+               "row arity must match previous rows");
+  rows_.push_back(std::move(row));
+}
+
+std::size_t Table::columns() const {
+  if (!header_.empty()) return header_.size();
+  if (!rows_.empty()) return rows_.front().size();
+  return 0;
+}
+
+const std::vector<std::string>& Table::row(std::size_t i) const {
+  VQMC_REQUIRE(i < rows_.size(), "row index out of range");
+  return rows_[i];
+}
+
+std::string Table::to_string() const {
+  const std::size_t ncol = columns();
+  std::vector<std::size_t> width(ncol, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream oss;
+  if (!title_.empty()) oss << title_ << "\n";
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      oss << (c == 0 ? "| " : " | ") << std::left << std::setw(int(width[c]))
+          << r[c];
+    }
+    oss << " |\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    for (std::size_t c = 0; c < ncol; ++c) {
+      oss << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+    }
+    oss << "-|\n";
+  }
+  for (const auto& r : rows_) emit(r);
+  return oss.str();
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string out = "\"";
+    for (char ch : field) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) oss << ',';
+      oss << quote(r[c]);
+    }
+    oss << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return oss.str();
+}
+
+std::string format_fixed(double value, int digits) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(digits) << value;
+  return oss.str();
+}
+
+std::string format_mean_std(double mean, double std, int digits) {
+  return format_fixed(mean, digits) + " ± " + format_fixed(std, digits);
+}
+
+}  // namespace vqmc

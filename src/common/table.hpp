@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file table.hpp
+/// \brief ASCII / CSV table rendering used by the benchmark harness to print
+/// paper-style tables (Tables 1-7 of Zhao et al., SC'21).
+
+#include <string>
+#include <vector>
+
+namespace vqmc {
+
+/// Column-aligned text table with an optional title.
+///
+/// Usage:
+/// \code
+///   Table t("Table 1: Training time (seconds)");
+///   t.set_header({"Model", "Sampler", "n=20", "n=50"});
+///   t.add_row({"RBM", "MCMC", "135.64", "154.25"});
+///   std::cout << t.to_string();
+/// \endcode
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_header(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header (if set).
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows (excluding header).
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const;
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const;
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+
+  /// Render with aligned columns, `|` separators and a rule under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` significant decimal places (fixed).
+std::string format_fixed(double value, int digits);
+
+/// Format "mean ± std" the way the paper's tables do.
+std::string format_mean_std(double mean, double std, int digits);
+
+}  // namespace vqmc

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file timer.hpp
+/// \brief Wall-clock timing utilities used by trainers and benches.
+
+#include <chrono>
+#include <ctime>
+
+namespace vqmc {
+
+/// Simple monotonic wall-clock stopwatch.
+///
+/// The timer starts on construction; `seconds()` reports the elapsed time
+/// since construction or the most recent `reset()`.
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed wall-clock seconds since construction / last reset.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch (CLOCK_THREAD_CPUTIME_ID).
+///
+/// On an oversubscribed machine (e.g. 24 virtual-device threads on one
+/// core) wall time charges a thread for the periods it sat descheduled;
+/// CPU time counts only the cycles the thread actually executed, which is
+/// the honest per-device cost for the weak-scaling measurements.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() { reset(); }
+
+  void reset() { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &start_); }
+
+  /// Elapsed CPU seconds consumed by the calling thread.
+  [[nodiscard]] double seconds() const {
+    timespec now{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &now);
+    return double(now.tv_sec - start_.tv_sec) +
+           double(now.tv_nsec - start_.tv_nsec) * 1e-9;
+  }
+
+ private:
+  timespec start_{};
+};
+
+}  // namespace vqmc

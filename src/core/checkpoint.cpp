@@ -1,0 +1,89 @@
+#include "core/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vqmc {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x56514d43'43503031ULL;  // "VQMCCP01"
+
+struct Header {
+  std::uint64_t magic = kMagic;
+  std::uint64_t num_spins = 0;
+  std::uint64_t num_parameters = 0;
+  std::uint64_t name_length = 0;
+};
+
+}  // namespace
+
+std::uint64_t fnv1a64(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void save_checkpoint(const std::string& path, const WavefunctionModel& model) {
+  std::ofstream out(path, std::ios::binary);
+  VQMC_REQUIRE(out.good(), "checkpoint: cannot open '" + path + "'");
+
+  const std::string name = model.name();
+  Header header;
+  header.num_spins = model.num_spins();
+  header.num_parameters = model.num_parameters();
+  header.name_length = name.size();
+
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(name.data(), std::streamsize(name.size()));
+  const std::span<const Real> params = model.parameters();
+  out.write(reinterpret_cast<const char*>(params.data()),
+            std::streamsize(params.size() * sizeof(Real)));
+  const std::uint64_t checksum =
+      fnv1a64(params.data(), params.size() * sizeof(Real));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  VQMC_REQUIRE(out.good(), "checkpoint: write to '" + path + "' failed");
+}
+
+void load_checkpoint(const std::string& path, WavefunctionModel& model) {
+  std::ifstream in(path, std::ios::binary);
+  VQMC_REQUIRE(in.good(), "checkpoint: cannot open '" + path + "'");
+
+  Header header;
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  VQMC_REQUIRE(in.good() && header.magic == kMagic,
+               "checkpoint: '" + path + "' is not a vqmc checkpoint");
+  VQMC_REQUIRE(header.num_spins == model.num_spins(),
+               "checkpoint: spin count mismatch");
+  VQMC_REQUIRE(header.num_parameters == model.num_parameters(),
+               "checkpoint: parameter count mismatch");
+  VQMC_REQUIRE(header.name_length < 256, "checkpoint: corrupt name field");
+
+  std::string name(header.name_length, '\0');
+  in.read(name.data(), std::streamsize(name.size()));
+  VQMC_REQUIRE(in.good() && name == model.name(),
+               "checkpoint: model kind mismatch ('" + name + "' vs '" +
+                   model.name() + "')");
+
+  std::vector<Real> params(header.num_parameters);
+  in.read(reinterpret_cast<char*>(params.data()),
+          std::streamsize(params.size() * sizeof(Real)));
+  std::uint64_t checksum = 0;
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  VQMC_REQUIRE(in.good(), "checkpoint: truncated file");
+  VQMC_REQUIRE(
+      checksum == fnv1a64(params.data(), params.size() * sizeof(Real)),
+      "checkpoint: checksum mismatch (corrupt file)");
+
+  std::span<Real> target = model.parameters();
+  std::copy(params.begin(), params.end(), target.begin());
+}
+
+}  // namespace vqmc

@@ -1,0 +1,37 @@
+#include "core/estimators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/vector.hpp"
+
+namespace vqmc {
+
+EnergyEstimate estimate_energy(std::span<const Real> local_energies) {
+  VQMC_REQUIRE(!local_energies.empty(), "estimate_energy: empty batch");
+  EnergyEstimate est;
+  est.mean = mean(local_energies);
+  est.variance = variance(local_energies);
+  est.std_dev = std::sqrt(est.variance);
+  est.std_error = est.std_dev / std::sqrt(Real(local_energies.size()));
+  est.min = *std::min_element(local_energies.begin(), local_energies.end());
+  return est;
+}
+
+void accumulate_energy_gradient(const WavefunctionModel& model,
+                                const Matrix& batch,
+                                std::span<const Real> local_energies,
+                                std::span<Real> grad) {
+  const std::size_t bs = batch.rows();
+  VQMC_REQUIRE(local_energies.size() == bs,
+               "energy gradient: local energy size mismatch");
+  const Real l_bar = mean(local_energies);
+  Vector coeff(bs);
+  for (std::size_t k = 0; k < bs; ++k)
+    coeff[k] = 2 * (local_energies[k] - l_bar) / Real(bs);
+  model.accumulate_log_psi_gradient(batch, coeff.span(), grad);
+}
+
+}  // namespace vqmc

@@ -1,0 +1,27 @@
+#include "core/hitting_time.hpp"
+
+namespace vqmc {
+
+HittingTimeResult measure_hitting_time(VqmcTrainer& trainer, Real target,
+                                       const EvaluationScore& score,
+                                       std::size_t eval_batch_size) {
+  HittingTimeResult result;
+  Matrix samples;
+  for (int i = 0; i < trainer.config().iterations; ++i) {
+    trainer.step();
+    result.iterations = i + 1;
+    // Evaluation (excluded from the timing, per Table 5's protocol — the
+    // trainer only accumulates time inside step()).
+    const EnergyEstimate est =
+        trainer.evaluate_with_samples(eval_batch_size, samples);
+    result.final_score = score(samples, est);
+    result.train_seconds = trainer.training_seconds();
+    if (result.final_score >= target) {
+      result.reached = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace vqmc

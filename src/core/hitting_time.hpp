@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file hitting_time.hpp
+/// \brief Time-to-target measurement (Table 5 of the paper).
+///
+/// Trains a model and, after each iteration, draws an evaluation batch and
+/// scores it; stops when the score reaches the target.  Per the paper,
+/// evaluation time is excluded from the reported hitting time.
+
+#include <functional>
+#include <optional>
+
+#include "core/trainer.hpp"
+
+namespace vqmc {
+
+/// Scores an evaluation batch; higher is better (e.g. mean cut value).
+using EvaluationScore =
+    std::function<Real(const Matrix& samples, const EnergyEstimate& estimate)>;
+
+struct HittingTimeResult {
+  bool reached = false;
+  int iterations = 0;        ///< training iterations executed
+  double train_seconds = 0;  ///< training-only time (paper's metric)
+  Real final_score = 0;
+};
+
+/// Train until `score(...) >= target` or the trainer's iteration budget runs
+/// out.  `eval_batch_size` samples are drawn for each evaluation.
+HittingTimeResult measure_hitting_time(VqmcTrainer& trainer, Real target,
+                                       const EvaluationScore& score,
+                                       std::size_t eval_batch_size);
+
+}  // namespace vqmc

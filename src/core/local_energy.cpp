@@ -1,0 +1,82 @@
+#include "core/local_energy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vqmc {
+
+LocalEnergyEngine::LocalEnergyEngine(const Hamiltonian& hamiltonian,
+                                     const WavefunctionModel& model,
+                                     std::size_t chunk_size,
+                                     Real max_log_ratio)
+    : hamiltonian_(hamiltonian),
+      model_(model),
+      chunk_size_(std::max<std::size_t>(1, chunk_size)),
+      max_log_ratio_(max_log_ratio) {
+  VQMC_REQUIRE(hamiltonian_.num_spins() == model_.num_spins(),
+               "local energy: Hamiltonian and model disagree on spin count");
+  VQMC_REQUIRE(max_log_ratio_ > 0, "local energy: clamp must be positive");
+}
+
+void LocalEnergyEngine::flush_chunk(std::span<Real> out) {
+  if (chunk_fill_ == 0) return;
+  // Evaluate log psi at the buffered connected configurations. The buffer
+  // may be partially filled; evaluate a view of the filled prefix.
+  Matrix view(chunk_fill_, chunk_configs_.cols());
+  std::copy_n(chunk_configs_.data(), chunk_fill_ * chunk_configs_.cols(),
+              view.data());
+  if (chunk_log_psi_.size() != chunk_fill_) chunk_log_psi_ = Vector(chunk_fill_);
+  model_.log_psi(view, chunk_log_psi_.span());
+  ++forward_passes_;
+  for (std::size_t r = 0; r < chunk_fill_; ++r) {
+    const std::size_t k = chunk_sample_[r];
+    const Real log_ratio = std::clamp(chunk_log_psi_[r] - log_psi_x_[k],
+                                      -max_log_ratio_, max_log_ratio_);
+    out[k] += chunk_value_[r] * std::exp(log_ratio);
+  }
+  chunk_fill_ = 0;
+}
+
+void LocalEnergyEngine::compute(const Matrix& batch, std::span<Real> out) {
+  const std::size_t bs = batch.rows();
+  const std::size_t n = batch.cols();
+  VQMC_REQUIRE(out.size() == bs, "local energy: output size mismatch");
+  VQMC_REQUIRE(n == hamiltonian_.num_spins(),
+               "local energy: batch has wrong spin count");
+
+  // Diagonal part (always needed).
+  for (std::size_t k = 0; k < bs; ++k)
+    out[k] = hamiltonian_.diagonal(batch.row(k));
+
+  if (hamiltonian_.is_diagonal()) return;
+
+  // log psi at the sample configurations (denominator of the ratios).
+  if (log_psi_x_.size() != bs) log_psi_x_ = Vector(bs);
+  model_.log_psi(batch, log_psi_x_.span());
+  ++forward_passes_;
+
+  // Gather connected configurations into fixed-size chunks.
+  if (chunk_configs_.rows() != chunk_size_ || chunk_configs_.cols() != n) {
+    chunk_configs_ = Matrix(chunk_size_, n);
+    chunk_sample_.resize(chunk_size_);
+    chunk_value_.resize(chunk_size_);
+  }
+
+  for (std::size_t k = 0; k < bs; ++k) {
+    const auto x = batch.row(k);
+    hamiltonian_.for_each_off_diagonal(
+        x, [&](std::span<const std::size_t> flips, Real value) {
+          auto dst = chunk_configs_.row(chunk_fill_);
+          std::copy(x.begin(), x.end(), dst.begin());
+          for (std::size_t site : flips) dst[site] = 1 - dst[site];
+          chunk_sample_[chunk_fill_] = k;
+          chunk_value_[chunk_fill_] = value;
+          if (++chunk_fill_ == chunk_size_) flush_chunk(out);
+        });
+  }
+  flush_chunk(out);
+}
+
+}  // namespace vqmc

@@ -1,0 +1,65 @@
+#include "core/reporting.hpp"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace vqmc {
+
+namespace {
+
+void emit_number(std::ostringstream& oss, double value) {
+  oss.precision(std::numeric_limits<double>::max_digits10);
+  oss << value;
+}
+
+}  // namespace
+
+std::string metrics_to_csv(const std::vector<IterationMetrics>& history) {
+  std::ostringstream oss;
+  oss << "iteration,energy,std_dev,best_energy,seconds\n";
+  for (const IterationMetrics& m : history) {
+    oss << m.iteration << ',';
+    emit_number(oss, m.energy);
+    oss << ',';
+    emit_number(oss, m.std_dev);
+    oss << ',';
+    emit_number(oss, m.best_energy);
+    oss << ',';
+    emit_number(oss, m.seconds);
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+std::string metrics_to_json(const std::vector<IterationMetrics>& history) {
+  std::ostringstream oss;
+  oss << "[";
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const IterationMetrics& m = history[i];
+    if (i) oss << ",";
+    oss << "\n  {\"iteration\": " << m.iteration << ", \"energy\": ";
+    emit_number(oss, m.energy);
+    oss << ", \"std_dev\": ";
+    emit_number(oss, m.std_dev);
+    oss << ", \"best_energy\": ";
+    emit_number(oss, m.best_energy);
+    oss << ", \"seconds\": ";
+    emit_number(oss, m.seconds);
+    oss << "}";
+  }
+  oss << (history.empty() ? "]" : "\n]");
+  oss << "\n";
+  return oss.str();
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  VQMC_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  out << content;
+  VQMC_REQUIRE(out.good(), "write to '" + path + "' failed");
+}
+
+}  // namespace vqmc

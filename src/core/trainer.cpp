@@ -1,0 +1,114 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/kernels.hpp"
+
+namespace vqmc {
+
+VqmcTrainer::VqmcTrainer(const Hamiltonian& hamiltonian,
+                         WavefunctionModel& model, Sampler& sampler,
+                         Optimizer& optimizer, TrainerConfig config)
+    : hamiltonian_(hamiltonian),
+      model_(model),
+      sampler_(sampler),
+      optimizer_(optimizer),
+      config_(config),
+      engine_(hamiltonian, model, config.local_energy_chunk),
+      sr_(config.sr) {
+  VQMC_REQUIRE(config_.iterations >= 0, "trainer: iterations must be >= 0");
+  VQMC_REQUIRE(config_.batch_size >= 1, "trainer: batch size must be >= 1");
+  const std::size_t n = hamiltonian_.num_spins();
+  batch_ = Matrix(config_.batch_size, n);
+  local_energies_ = Vector(config_.batch_size);
+  gradient_ = Vector(model_.num_parameters());
+  if (config_.use_sr) {
+    natural_gradient_ = Vector(model_.num_parameters());
+    per_sample_o_ = Matrix(config_.batch_size, model_.num_parameters());
+  }
+  VQMC_REQUIRE(config_.max_grad_norm >= 0,
+               "trainer: max_grad_norm must be non-negative");
+  base_learning_rate_ = optimizer_.learning_rate();
+}
+
+IterationMetrics VqmcTrainer::step() {
+  Timer timer;
+
+  // 1. Sample a batch from the current model distribution.
+  sampler_.sample(batch_);
+
+  // 2. Local energies (Eq. 3).
+  engine_.compute(batch_, local_energies_.span());
+  const EnergyEstimate est = estimate_energy(local_energies_.span());
+
+  // 3. Energy gradient (Eq. 5).
+  gradient_.fill(0);
+  accumulate_energy_gradient(model_, batch_, local_energies_.span(),
+                             gradient_.span());
+
+  // 4. Optional SR preconditioning, clipping and schedule, then the update.
+  std::span<Real> update = gradient_.span();
+  if (config_.use_sr) {
+    model_.log_psi_gradient_per_sample(batch_, per_sample_o_);
+    sr_.precondition(per_sample_o_, gradient_.span(),
+                     natural_gradient_.span());
+    update = natural_gradient_.span();
+  }
+  if (config_.max_grad_norm > 0) {
+    Real norm2 = 0;
+    for (Real v : update) norm2 += v * v;
+    const Real norm = std::sqrt(norm2);
+    if (norm > config_.max_grad_norm)
+      scale(update, config_.max_grad_norm / norm);
+  }
+  if (config_.lr_schedule != nullptr) {
+    optimizer_.set_learning_rate(base_learning_rate_ *
+                                 config_.lr_schedule->multiplier(iteration_));
+  }
+  optimizer_.step(model_.parameters(), update);
+
+  if (!have_best_ || est.min < best_energy_) {
+    best_energy_ = est.min;
+    have_best_ = true;
+  }
+
+  training_seconds_ += timer.seconds();
+  IterationMetrics metrics;
+  metrics.iteration = iteration_++;
+  metrics.energy = est.mean;
+  metrics.std_dev = est.std_dev;
+  metrics.best_energy = best_energy_;
+  metrics.seconds = training_seconds_;
+  history_.push_back(metrics);
+  return metrics;
+}
+
+void VqmcTrainer::run() {
+  for (int i = 0; i < config_.iterations; ++i) step();
+}
+
+void VqmcTrainer::run_until(
+    const std::function<bool(const IterationMetrics&)>& stop) {
+  for (int i = 0; i < config_.iterations; ++i) {
+    if (stop(step())) return;
+  }
+}
+
+EnergyEstimate VqmcTrainer::evaluate(std::size_t eval_batch_size) {
+  Matrix samples;
+  return evaluate_with_samples(eval_batch_size, samples);
+}
+
+EnergyEstimate VqmcTrainer::evaluate_with_samples(std::size_t eval_batch_size,
+                                                  Matrix& samples) {
+  VQMC_REQUIRE(eval_batch_size >= 1, "trainer: eval batch must be >= 1");
+  samples = Matrix(eval_batch_size, hamiltonian_.num_spins());
+  sampler_.sample(samples);
+  Vector energies(eval_batch_size);
+  engine_.compute(samples, energies.span());
+  return estimate_energy(energies.span());
+}
+
+}  // namespace vqmc

@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file trainer.hpp
+/// \brief The VQMC training loop (right panel of Figure 1): sample ->
+/// measure local energies -> estimate gradient (optionally SR-preconditioned)
+/// -> update parameters.
+
+#include <functional>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/estimators.hpp"
+#include "core/local_energy.hpp"
+#include "hamiltonian/hamiltonian.hpp"
+#include "nn/wavefunction.hpp"
+#include "optim/lr_schedule.hpp"
+#include "optim/optimizer.hpp"
+#include "optim/stochastic_reconfiguration.hpp"
+#include "sampler/sampler.hpp"
+
+namespace vqmc {
+
+/// Training configuration; defaults follow Section 5.1.
+struct TrainerConfig {
+  int iterations = 300;
+  std::size_t batch_size = 1024;
+  bool use_sr = false;
+  SrConfig sr;
+  /// Rows per batched wavefunction evaluation in the local-energy engine.
+  std::size_t local_energy_chunk = 1024;
+  /// Optional learning-rate schedule (borrowed; must outlive the trainer).
+  /// nullptr reproduces the paper's protocol (no scheduler).
+  const LrSchedule* lr_schedule = nullptr;
+  /// Clip the (possibly SR-preconditioned) update to this Euclidean norm
+  /// before the optimizer step; 0 disables (the paper's setting).
+  Real max_grad_norm = 0;
+};
+
+/// Per-iteration metrics (the red/blue curves of Figure 2).
+struct IterationMetrics {
+  int iteration = 0;
+  Real energy = 0;       ///< batch mean local energy (training loss)
+  Real std_dev = 0;      ///< batch std of the stochastic objective
+  Real best_energy = 0;  ///< lowest local energy seen so far in training
+  double seconds = 0;    ///< cumulative training wall time
+};
+
+/// Single-device VQMC trainer.
+///
+/// The trainer borrows (does not own) the Hamiltonian, model, sampler and
+/// optimizer so callers can compose them freely; all four must outlive it.
+class VqmcTrainer {
+ public:
+  VqmcTrainer(const Hamiltonian& hamiltonian, WavefunctionModel& model,
+              Sampler& sampler, Optimizer& optimizer, TrainerConfig config);
+
+  /// Run one training iteration and return its metrics.
+  IterationMetrics step();
+
+  /// Run config.iterations iterations (appending to the history).
+  void run();
+
+  /// Run until `stop(metrics)` returns true or config.iterations is hit.
+  void run_until(const std::function<bool(const IterationMetrics&)>& stop);
+
+  /// Mean local energy of a fresh evaluation batch (not recorded in the
+  /// history; mirrors the paper's 1024-sample test evaluation).
+  [[nodiscard]] EnergyEstimate evaluate(std::size_t eval_batch_size);
+
+  /// Draw an evaluation batch and also return the configurations (for cut
+  /// extraction in Max-Cut experiments).
+  EnergyEstimate evaluate_with_samples(std::size_t eval_batch_size,
+                                       Matrix& samples);
+
+  [[nodiscard]] const std::vector<IterationMetrics>& history() const {
+    return history_;
+  }
+  [[nodiscard]] const TrainerConfig& config() const { return config_; }
+  [[nodiscard]] LocalEnergyEngine& local_energy_engine() { return engine_; }
+
+  /// Cumulative training wall-time in seconds (excludes evaluate() calls).
+  [[nodiscard]] double training_seconds() const { return training_seconds_; }
+
+ private:
+  const Hamiltonian& hamiltonian_;
+  WavefunctionModel& model_;
+  Sampler& sampler_;
+  Optimizer& optimizer_;
+  TrainerConfig config_;
+  LocalEnergyEngine engine_;
+  StochasticReconfiguration sr_;
+
+  Matrix batch_;
+  Vector local_energies_;
+  Vector gradient_;
+  Vector natural_gradient_;
+  Matrix per_sample_o_;
+
+  std::vector<IterationMetrics> history_;
+  Real base_learning_rate_ = 0;
+  int iteration_ = 0;
+  Real best_energy_ = 0;
+  bool have_best_ = false;
+  double training_seconds_ = 0;
+};
+
+}  // namespace vqmc

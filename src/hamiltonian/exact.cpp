@@ -1,0 +1,64 @@
+#include "hamiltonian/exact.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "hamiltonian/graph.hpp"
+#include "linalg/jacobi_eigen.hpp"
+
+namespace vqmc {
+
+ExactGroundState exact_ground_state(const Hamiltonian& h,
+                                    const linalg::LanczosOptions& options) {
+  const std::size_t n = h.num_spins();
+  VQMC_REQUIRE(n <= 20, "exact_ground_state limited to n <= 20 spins");
+  const std::size_t dim = std::size_t(1) << n;
+  auto apply = [&h](std::span<const Real> v, std::span<Real> y) {
+    h.apply_dense(v, y);
+  };
+  linalg::LanczosResult lanczos = linalg::lanczos_smallest(apply, dim, options);
+  ExactGroundState out;
+  out.energy = lanczos.eigenvalue;
+  out.amplitudes = std::move(lanczos.eigenvector);
+  return out;
+}
+
+linalg::EigenDecomposition exact_spectrum(const Hamiltonian& h) {
+  VQMC_REQUIRE(h.num_spins() <= 12, "exact_spectrum limited to n <= 12 spins");
+  return linalg::jacobi_eigen(h.to_dense());
+}
+
+std::pair<Real, Vector> exact_diagonal_minimum(const Hamiltonian& h) {
+  const std::size_t n = h.num_spins();
+  VQMC_REQUIRE(h.is_diagonal(), "exact_diagonal_minimum: H must be diagonal");
+  VQMC_REQUIRE(n <= 30, "exact_diagonal_minimum limited to n <= 30");
+  const std::uint64_t dim = std::uint64_t(1) << n;
+  Vector x(n), best(n);
+  Real best_energy = std::numeric_limits<Real>::max();
+  for (std::uint64_t idx = 0; idx < dim; ++idx) {
+    decode_basis_state(idx, x.span());
+    const Real e = h.diagonal(x.span());
+    if (e < best_energy) {
+      best_energy = e;
+      best = x;
+    }
+  }
+  return {best_energy, best};
+}
+
+Real exact_max_cut(const Graph& graph) {
+  const std::size_t n = graph.num_vertices();
+  VQMC_REQUIRE(n <= 30, "exact_max_cut limited to n <= 30 vertices");
+  // Fix vertex 0's side to halve the search (cut is symmetric).
+  const std::uint64_t half = std::uint64_t(1) << (n - 1);
+  Vector x(n);
+  Real best = 0;
+  for (std::uint64_t idx = 0; idx < half; ++idx) {
+    decode_basis_state(idx, x.span());
+    best = std::max(best, graph.cut_value(x.span()));
+  }
+  return best;
+}
+
+}  // namespace vqmc

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file exact.hpp
+/// \brief Exact ground-state solvers (exponential in n; validation only).
+///
+/// Two paths: dense Jacobi diagonalization (n <= 12, full spectrum) and
+/// matrix-free Lanczos (n <= 20, extremal pair).  For diagonal Hamiltonians
+/// an O(2^n) scan finds the exact optimum, used to validate Max-Cut
+/// baselines and VQMC cuts.
+
+#include "hamiltonian/graph.hpp"
+#include "hamiltonian/hamiltonian.hpp"
+#include "linalg/jacobi_eigen.hpp"
+#include "linalg/lanczos.hpp"
+
+namespace vqmc {
+
+struct ExactGroundState {
+  Real energy = 0;
+  Vector amplitudes;  ///< 2^n ground-state vector (unit norm)
+};
+
+/// Smallest eigenpair via matrix-free Lanczos. Requires n <= 20.
+ExactGroundState exact_ground_state(const Hamiltonian& h,
+                                    const linalg::LanczosOptions& options = {});
+
+/// Full spectrum via dense Jacobi. Requires n <= 12.
+linalg::EigenDecomposition exact_spectrum(const Hamiltonian& h);
+
+/// Exhaustive minimum of a diagonal Hamiltonian. Requires n <= 30.
+/// Returns (energy, argmin configuration).
+std::pair<Real, Vector> exact_diagonal_minimum(const Hamiltonian& h);
+
+/// Exhaustive maximum cut by brute force. Requires n <= 30.
+Real exact_max_cut(const Graph& graph);
+
+}  // namespace vqmc

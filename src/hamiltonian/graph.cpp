@@ -1,0 +1,116 @@
+#include "hamiltonian/graph.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace vqmc {
+
+Real Graph::total_weight() const {
+  Real acc = 0;
+  for (const Edge& e : edges_) acc += e.weight;
+  return acc;
+}
+
+void Graph::add_edge(std::size_t u, std::size_t v, Real weight) {
+  VQMC_REQUIRE(u != v, "graph: self-loops are not allowed");
+  VQMC_REQUIRE(u < num_vertices_ && v < num_vertices_,
+               "graph: vertex index out of range");
+  edges_.push_back(Edge{std::min(u, v), std::max(u, v), weight});
+  finalized_ = false;
+}
+
+void Graph::finalize() {
+  offsets_.assign(num_vertices_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i <= num_vertices_; ++i) offsets_[i] += offsets_[i - 1];
+  adjacency_.assign(offsets_.back(), {0, 0});
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    adjacency_[cursor[e.u]++] = {e.v, e.weight};
+    adjacency_[cursor[e.v]++] = {e.u, e.weight};
+  }
+  finalized_ = true;
+}
+
+std::span<const std::pair<std::size_t, Real>> Graph::neighbors(
+    std::size_t u) const {
+  VQMC_REQUIRE(finalized_, "graph: call finalize() before neighbors()");
+  VQMC_REQUIRE(u < num_vertices_, "graph: vertex index out of range");
+  return {adjacency_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+}
+
+Real Graph::cut_value(std::span<const Real> x) const {
+  VQMC_REQUIRE(x.size() == num_vertices_, "cut_value: partition size mismatch");
+  Real cut = 0;
+  for (const Edge& e : edges_) {
+    const bool su = x[e.u] > Real(0.5);
+    const bool sv = x[e.v] > Real(0.5);
+    if (su != sv) cut += e.weight;
+  }
+  return cut;
+}
+
+std::size_t Graph::max_degree() const {
+  VQMC_REQUIRE(finalized_, "graph: call finalize() before max_degree()");
+  std::size_t best = 0;
+  for (std::size_t u = 0; u < num_vertices_; ++u)
+    best = std::max(best, offsets_[u + 1] - offsets_[u]);
+  return best;
+}
+
+Graph Graph::bernoulli_symmetrized(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  // Sample the full asymmetric B matrix row-by-row so the construction
+  // mirrors the paper exactly (every B_ij, including the diagonal and both
+  // triangles, consumes one draw — this keeps instances stable if the
+  // acceptance rule ever changes).
+  std::vector<std::uint8_t> b(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      b[i * n + j] = rng::bernoulli(gen, 0.5) ? 1 : 0;
+
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      // round((B_ij + B_ji) / 2) with half-to-even: 1 iff both entries are 1.
+      if (b[i * n + j] && b[j * n + i]) g.add_edge(i, j);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Graph Graph::erdos_renyi(std::size_t n, double p, std::uint64_t seed) {
+  VQMC_REQUIRE(p >= 0 && p <= 1, "erdos_renyi: p must be in [0,1]");
+  rng::Xoshiro256 gen(seed);
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng::bernoulli(gen, p)) g.add_edge(i, j);
+  g.finalize();
+  return g;
+}
+
+Graph Graph::cycle(std::size_t n) {
+  VQMC_REQUIRE(n >= 3, "cycle: need at least 3 vertices");
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  g.finalize();
+  return g;
+}
+
+Graph Graph::complete(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) g.add_edge(i, j);
+  g.finalize();
+  return g;
+}
+
+}  // namespace vqmc

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file graph.hpp
+/// \brief Undirected weighted graphs and the paper's random-graph generator.
+///
+/// Table 2's Max-Cut instances are built by sampling B_ij ~ Bernoulli(0.5),
+/// symmetrizing to (B + B^T)/2 and rounding (half-to-even, as NumPy does),
+/// which keeps an edge exactly when both B_ij and B_ji are 1 — an
+/// Erdős–Rényi graph with edge probability 1/4.  `bernoulli_symmetrized`
+/// reproduces that construction bit-for-bit given a seed.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/real.hpp"
+
+namespace vqmc {
+
+/// Undirected weighted graph stored as an edge list plus CSR-style adjacency.
+class Graph {
+ public:
+  struct Edge {
+    std::size_t u;
+    std::size_t v;
+    Real weight;
+  };
+
+  Graph() = default;
+  explicit Graph(std::size_t num_vertices) : num_vertices_(num_vertices) {}
+
+  [[nodiscard]] std::size_t num_vertices() const { return num_vertices_; }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Total edge weight (== num_edges for unweighted graphs).
+  [[nodiscard]] Real total_weight() const;
+
+  /// Add edge {u, v} with weight w. Self-loops are rejected.
+  void add_edge(std::size_t u, std::size_t v, Real weight = 1);
+
+  /// Neighbors of u as (vertex, weight) pairs. Requires finalize() first.
+  [[nodiscard]] std::span<const std::pair<std::size_t, Real>> neighbors(
+      std::size_t u) const;
+
+  /// Build the adjacency index; call after the last add_edge.
+  void finalize();
+
+  /// Cut weight of the bipartition encoded by x in {0,1}^n.
+  [[nodiscard]] Real cut_value(std::span<const Real> x) const;
+
+  /// Maximum vertex degree (0 for empty graphs). Requires finalize().
+  [[nodiscard]] std::size_t max_degree() const;
+
+  // -- Generators -----------------------------------------------------------
+
+  /// The paper's Table 2 instance family: edge (i, j) present iff
+  /// B_ij = B_ji = 1 with B_ij ~ Bernoulli(0.5). Equivalent to G(n, 1/4).
+  static Graph bernoulli_symmetrized(std::size_t n, std::uint64_t seed);
+
+  /// Erdős–Rényi G(n, p).
+  static Graph erdos_renyi(std::size_t n, double p, std::uint64_t seed);
+
+  /// Ring graph C_n (known max cut: n for even n, n - 1 for odd n).
+  static Graph cycle(std::size_t n);
+
+  /// Complete graph K_n (known max cut: floor(n/2) * ceil(n/2)).
+  static Graph complete(std::size_t n);
+
+ private:
+  std::size_t num_vertices_ = 0;
+  std::vector<Edge> edges_;
+  // CSR adjacency (built by finalize()).
+  std::vector<std::size_t> offsets_;
+  std::vector<std::pair<std::size_t, Real>> adjacency_;
+  bool finalized_ = false;
+};
+
+}  // namespace vqmc

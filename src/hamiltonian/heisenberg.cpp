@@ -1,0 +1,36 @@
+#include "hamiltonian/heisenberg.hpp"
+
+#include "common/error.hpp"
+
+namespace vqmc {
+
+XxzHeisenberg::XxzHeisenberg(Graph graph, Real jz, Real jxy)
+    : graph_(std::move(graph)), jz_(jz), jxy_(jxy) {
+  VQMC_REQUIRE(graph_.num_vertices() >= 2, "XXZ: need at least 2 spins");
+  VQMC_REQUIRE(jxy_ >= 0,
+               "XXZ: Jxy must be non-negative (Perron-Frobenius sign rule)");
+}
+
+Real XxzHeisenberg::diagonal(std::span<const Real> x) const {
+  VQMC_ASSERT(x.size() == num_spins(), "XXZ: configuration size mismatch");
+  Real acc = 0;
+  for (const Graph::Edge& e : graph_.edges())
+    acc += jz_ * e.weight * ising_sign(x[e.u]) * ising_sign(x[e.v]);
+  return acc;
+}
+
+void XxzHeisenberg::for_each_off_diagonal(
+    std::span<const Real> x, const OffDiagonalVisitor& visit) const {
+  VQMC_ASSERT(x.size() == num_spins(), "XXZ: configuration size mismatch");
+  if (jxy_ == Real(0)) return;
+  std::size_t flips[2];
+  for (const Graph::Edge& e : graph_.edges()) {
+    // (XX + YY) only connects anti-aligned pairs.
+    if (x[e.u] == x[e.v]) continue;
+    flips[0] = e.u;
+    flips[1] = e.v;
+    visit(std::span<const std::size_t>(flips, 2), -2 * jxy_ * e.weight);
+  }
+}
+
+}  // namespace vqmc

@@ -1,0 +1,30 @@
+#include "hamiltonian/maxcut.hpp"
+
+#include "common/error.hpp"
+
+namespace vqmc {
+
+MaxCut::MaxCut(Graph graph) : graph_(std::move(graph)) {
+  VQMC_REQUIRE(graph_.num_vertices() >= 2, "MaxCut: need at least 2 vertices");
+}
+
+Real MaxCut::diagonal(std::span<const Real> x) const {
+  VQMC_ASSERT(x.size() == num_spins(), "MaxCut: configuration size mismatch");
+  // E(x) = (1/4) sum_{(i,j) in E} w_ij s_i s_j == (W - 2 cut) / 4.
+  Real acc = 0;
+  for (const Graph::Edge& e : graph_.edges())
+    acc += e.weight * ising_sign(x[e.u]) * ising_sign(x[e.v]);
+  return acc / 4;
+}
+
+Real MaxCut::diagonal_flip_delta(std::span<const Real> x,
+                                 std::size_t site) const {
+  VQMC_ASSERT(site < num_spins(), "MaxCut: site out of range");
+  const Real s = ising_sign(x[site]);
+  Real delta = 0;
+  for (const auto& [other, weight] : graph_.neighbors(site))
+    delta -= 2 * weight * s * ising_sign(x[other]) / 4;
+  return delta;
+}
+
+}  // namespace vqmc

@@ -1,0 +1,68 @@
+#include "hamiltonian/qubo.hpp"
+
+#include "common/error.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace vqmc {
+
+Qubo::Qubo(std::size_t n, std::vector<Term> terms)
+    : n_(n), terms_(std::move(terms)) {
+  VQMC_REQUIRE(n_ >= 1, "QUBO: need at least one variable");
+  for (const Term& t : terms_) {
+    VQMC_REQUIRE(t.i <= t.j, "QUBO: terms must satisfy i <= j");
+    VQMC_REQUIRE(t.j < n_, "QUBO: term index out of range");
+  }
+  offsets_.assign(n_ + 1, 0);
+  for (const Term& t : terms_) {
+    ++offsets_[t.i + 1];
+    if (t.i != t.j) ++offsets_[t.j + 1];
+  }
+  for (std::size_t i = 1; i <= n_; ++i) offsets_[i] += offsets_[i - 1];
+  adjacency_.assign(offsets_.back(), {0, 0});
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Term& t : terms_) {
+    adjacency_[cursor[t.i]++] = {t.j, t.q};
+    if (t.i != t.j) adjacency_[cursor[t.j]++] = {t.i, t.q};
+  }
+}
+
+Qubo Qubo::random_dense(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  std::vector<Term> terms;
+  terms.reserve(n * (n + 1) / 2);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j)
+      terms.push_back({i, j, rng::uniform(gen, -1.0, 1.0)});
+  return Qubo(n, std::move(terms));
+}
+
+Real Qubo::diagonal(std::span<const Real> x) const {
+  VQMC_ASSERT(x.size() == n_, "QUBO: configuration size mismatch");
+  Real acc = 0;
+  for (const Term& t : terms_) {
+    if (t.i == t.j) {
+      acc += t.q * x[t.i];
+    } else {
+      acc += t.q * x[t.i] * x[t.j];
+    }
+  }
+  return acc;
+}
+
+Real Qubo::diagonal_flip_delta(std::span<const Real> x,
+                               std::size_t site) const {
+  VQMC_ASSERT(site < n_, "QUBO: site out of range");
+  // x_site -> 1 - x_site. Linear term changes by q * (1 - 2 x_site);
+  // quadratic terms q x_site x_other change by q (1 - 2 x_site) x_other.
+  const Real d = 1 - 2 * x[site];
+  Real delta = 0;
+  const std::size_t begin = offsets_[site], end = offsets_[site + 1];
+  for (std::size_t k = begin; k < end; ++k) {
+    const auto& [other, q] = adjacency_[k];
+    delta += (other == site) ? q * d : q * d * x[other];
+  }
+  return delta;
+}
+
+}  // namespace vqmc

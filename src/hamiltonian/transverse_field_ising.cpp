@@ -1,0 +1,160 @@
+#include "hamiltonian/transverse_field_ising.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace vqmc {
+
+TransverseFieldIsing::TransverseFieldIsing(std::vector<Real> alpha,
+                                           std::vector<Real> beta,
+                                           std::vector<Coupling> couplings)
+    : alpha_(std::move(alpha)),
+      beta_(std::move(beta)),
+      couplings_(std::move(couplings)) {
+  VQMC_REQUIRE(alpha_.size() == beta_.size(),
+               "TIM: alpha and beta must have the same length");
+  for (Real a : alpha_)
+    VQMC_REQUIRE(a >= 0, "TIM: alpha_i must be non-negative (Perron-Frobenius)");
+  for (const Coupling& c : couplings_) {
+    VQMC_REQUIRE(c.i < c.j, "TIM: couplings must satisfy i < j");
+    VQMC_REQUIRE(c.j < alpha_.size(), "TIM: coupling index out of range");
+  }
+  build_adjacency();
+}
+
+TransverseFieldIsing TransverseFieldIsing::random_dense(std::size_t n,
+                                                        std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  std::vector<Real> alpha(n), beta(n);
+  for (std::size_t i = 0; i < n; ++i) alpha[i] = rng::uniform(gen, 0.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) beta[i] = rng::uniform(gen, -1.0, 1.0);
+  std::vector<Coupling> couplings;
+  couplings.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      couplings.push_back({i, j, rng::uniform(gen, -1.0, 1.0)});
+  return TransverseFieldIsing(std::move(alpha), std::move(beta),
+                              std::move(couplings));
+}
+
+TransverseFieldIsing TransverseFieldIsing::random_sparse(std::size_t n,
+                                                         std::size_t degree,
+                                                         std::uint64_t seed) {
+  VQMC_REQUIRE(n >= 2, "TIM: need at least 2 spins");
+  rng::Xoshiro256 gen(seed);
+  std::vector<Real> alpha(n), beta(n);
+  for (std::size_t i = 0; i < n; ++i) alpha[i] = rng::uniform(gen, 0.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) beta[i] = rng::uniform(gen, -1.0, 1.0);
+  std::vector<Coupling> couplings;
+  // Draw `degree` random partners per site (deduplicated by keeping i < j and
+  // skipping repeats probabilistically — collisions are rare for degree << n).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < degree; ++k) {
+      std::size_t j = std::size_t(rng::uniform_index(gen, n - 1));
+      if (j >= i) ++j;
+      const std::size_t lo = std::min(i, j), hi = std::max(i, j);
+      couplings.push_back({lo, hi, rng::uniform(gen, -1.0, 1.0)});
+    }
+  }
+  // Remove duplicate pairs, keeping the first draw.
+  std::sort(couplings.begin(), couplings.end(),
+            [](const Coupling& a, const Coupling& b) {
+              return std::tie(a.i, a.j) < std::tie(b.i, b.j);
+            });
+  couplings.erase(std::unique(couplings.begin(), couplings.end(),
+                              [](const Coupling& a, const Coupling& b) {
+                                return a.i == b.i && a.j == b.j;
+                              }),
+                  couplings.end());
+  return TransverseFieldIsing(std::move(alpha), std::move(beta),
+                              std::move(couplings));
+}
+
+TransverseFieldIsing TransverseFieldIsing::uniform_chain(std::size_t n,
+                                                         Real coupling,
+                                                         Real field,
+                                                         bool periodic) {
+  VQMC_REQUIRE(n >= 2, "TIM chain: need at least 2 spins");
+  VQMC_REQUIRE(field >= 0, "TIM chain: field must be non-negative");
+  std::vector<Real> alpha(n, field), beta(n, Real(0));
+  std::vector<Coupling> couplings;
+  for (std::size_t i = 0; i + 1 < n; ++i) couplings.push_back({i, i + 1, coupling});
+  if (periodic && n > 2) couplings.push_back({0, n - 1, coupling});
+  return TransverseFieldIsing(std::move(alpha), std::move(beta),
+                              std::move(couplings));
+}
+
+Real tfim_chain_ground_energy(std::size_t n, Real coupling, Real field) {
+  VQMC_REQUIRE(n >= 2, "tfim_chain_ground_energy: need at least 2 spins");
+  VQMC_REQUIRE(coupling >= 0 && field >= 0,
+               "tfim_chain_ground_energy: J, h must be non-negative");
+  // Even-parity momenta k = (2m + 1) pi / n, single-particle energies
+  // eps(k) = sqrt(J^2 + h^2 - 2 J h cos k); E0 = -sum eps.
+  Real energy = 0;
+  const Real pi = Real(3.14159265358979323846);
+  for (std::size_t m = 0; m < n; ++m) {
+    const Real k = (2 * Real(m) + 1) * pi / Real(n);
+    energy -= std::sqrt(coupling * coupling + field * field -
+                        2 * coupling * field * std::cos(k));
+  }
+  return energy;
+}
+
+void TransverseFieldIsing::build_adjacency() {
+  const std::size_t n = alpha_.size();
+  adj_offsets_.assign(n + 1, 0);
+  for (const Coupling& c : couplings_) {
+    ++adj_offsets_[c.i + 1];
+    ++adj_offsets_[c.j + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) adj_offsets_[i] += adj_offsets_[i - 1];
+  adjacency_.assign(adj_offsets_.back(), {0, 0});
+  std::vector<std::size_t> cursor(adj_offsets_.begin(), adj_offsets_.end() - 1);
+  for (const Coupling& c : couplings_) {
+    adjacency_[cursor[c.i]++] = {c.j, c.beta};
+    adjacency_[cursor[c.j]++] = {c.i, c.beta};
+  }
+}
+
+Real TransverseFieldIsing::diagonal(std::span<const Real> x) const {
+  VQMC_ASSERT(x.size() == num_spins(), "TIM: configuration size mismatch");
+  Real acc = 0;
+  for (std::size_t i = 0; i < beta_.size(); ++i)
+    acc -= beta_[i] * ising_sign(x[i]);
+  for (const Coupling& c : couplings_)
+    acc -= c.beta * ising_sign(x[c.i]) * ising_sign(x[c.j]);
+  return acc;
+}
+
+void TransverseFieldIsing::for_each_off_diagonal(
+    [[maybe_unused]] std::span<const Real> x,
+    const OffDiagonalVisitor& visit) const {
+  VQMC_ASSERT(x.size() == num_spins(), "TIM: configuration size mismatch");
+  std::size_t flip[1];
+  for (std::size_t i = 0; i < alpha_.size(); ++i) {
+    if (alpha_[i] == Real(0)) continue;
+    flip[0] = i;
+    visit(std::span<const std::size_t>(flip, 1), -alpha_[i]);
+  }
+}
+
+Real TransverseFieldIsing::diagonal_flip_delta(std::span<const Real> x,
+                                               std::size_t site) const {
+  VQMC_ASSERT(site < num_spins(), "TIM: site out of range");
+  // Flipping site changes s_site -> -s_site; the diagonal terms containing
+  // that spin flip sign, so the delta is twice their current value.
+  const Real s = ising_sign(x[site]);
+  Real delta = 2 * beta_[site] * s;  // -beta s -> +beta s
+  const std::size_t begin = adj_offsets_[site], end = adj_offsets_[site + 1];
+  for (std::size_t k = begin; k < end; ++k) {
+    const auto& [other, beta] = adjacency_[k];
+    delta += 2 * beta * s * ising_sign(x[other]);
+  }
+  return delta;
+}
+
+}  // namespace vqmc

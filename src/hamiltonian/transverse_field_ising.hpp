@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file transverse_field_ising.hpp
+/// \brief The disordered transverse-field Ising model (TIM) of Eq. 11:
+///
+///   H = -sum_i (alpha_i X_i + beta_i Z_i) - sum_{i<j} beta_ij Z_i Z_j
+///
+/// with alpha_i ~ U(0,1) (non-negative so Perron–Frobenius applies) and
+/// beta_i, beta_ij ~ U(-1,1), sampled once per instance and fixed.
+///
+/// In the computational basis the row at configuration x has a diagonal
+/// entry -sum beta_i s_i - sum beta_ij s_i s_j (s_i = 1 - 2 x_i) and one
+/// off-diagonal entry -alpha_i for each single-site flip, giving sparsity
+/// s = n + 1 (Definition 2.1).
+///
+/// Coupling storage: the paper draws a dense beta_ij over all pairs, which is
+/// O(n^2) memory — 400 MB of doubles at n = 10^4.  For the large-n scaling
+/// experiments we therefore also support a sparse disorder variant with a
+/// fixed expected degree (see DESIGN.md substitution table); the dense
+/// variant is bit-faithful to the paper and is the default for n <= 2048.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hamiltonian/hamiltonian.hpp"
+
+namespace vqmc {
+
+/// Transverse-field Ising Hamiltonian with arbitrary (dense or sparse)
+/// pairwise disorder.
+class TransverseFieldIsing final : public Hamiltonian {
+ public:
+  /// A single Z_i Z_j coupling term.
+  struct Coupling {
+    std::size_t i;
+    std::size_t j;
+    Real beta;
+  };
+
+  /// Construct from explicit fields and couplings (i < j required).
+  TransverseFieldIsing(std::vector<Real> alpha, std::vector<Real> beta,
+                       std::vector<Coupling> couplings);
+
+  /// Paper instance: alpha_i ~ U(0,1), beta_i ~ U(-1,1) and a dense
+  /// beta_ij ~ U(-1,1) over all pairs i < j.
+  static TransverseFieldIsing random_dense(std::size_t n, std::uint64_t seed);
+
+  /// Memory-bounded variant for n >> 10^3: same marginals but each pair is
+  /// included independently with probability `degree / (n - 1)`, giving an
+  /// expected per-site degree `degree`. Documented substitution for the
+  /// 5K/10K-dimension scaling runs.
+  static TransverseFieldIsing random_sparse(std::size_t n, std::size_t degree,
+                                            std::uint64_t seed);
+
+  /// Uniform ferromagnetic chain H = -h sum X_i - J sum Z_i Z_{i+1}
+  /// (optionally periodic). Exactly solvable by Jordan-Wigner — see
+  /// tfim_chain_ground_energy — which gives ground-truth energies far
+  /// beyond exact-diagonalization reach.
+  static TransverseFieldIsing uniform_chain(std::size_t n, Real coupling,
+                                            Real field, bool periodic = true);
+
+  // Hamiltonian interface.
+  [[nodiscard]] std::size_t num_spins() const override { return alpha_.size(); }
+  [[nodiscard]] std::size_t row_sparsity() const override {
+    return alpha_.size() + 1;
+  }
+  [[nodiscard]] Real diagonal(std::span<const Real> x) const override;
+  void for_each_off_diagonal(std::span<const Real> x,
+                             const OffDiagonalVisitor& visit) const override;
+  [[nodiscard]] std::string name() const override { return "TIM"; }
+
+  [[nodiscard]] const std::vector<Real>& alpha() const { return alpha_; }
+  [[nodiscard]] const std::vector<Real>& beta() const { return beta_; }
+  [[nodiscard]] const std::vector<Coupling>& couplings() const {
+    return couplings_;
+  }
+
+ private:
+  std::vector<Real> alpha_;  ///< transverse fields (non-negative)
+  std::vector<Real> beta_;   ///< longitudinal fields
+  std::vector<Coupling> couplings_;
+  // Per-site coupling adjacency for O(degree) single-flip diagonal updates
+  // used by the Metropolis sampler.
+  std::vector<std::size_t> adj_offsets_;
+  std::vector<std::pair<std::size_t, Real>> adjacency_;
+
+  void build_adjacency();
+
+ public:
+  /// Change in diagonal energy when flipping `site` of configuration x.
+  /// O(degree(site)) — used by the MCMC sampler's incremental updates.
+  [[nodiscard]] Real diagonal_flip_delta(std::span<const Real> x,
+                                         std::size_t site) const;
+};
+
+/// Exact ground energy of the *periodic* uniform TFIM chain
+/// H = -h sum X_i - J sum Z_i Z_{i+1} via the Jordan-Wigner free-fermion
+/// solution (even-parity sector):
+///
+///   E_0 = - sum_{m=0}^{n-1} sqrt(J^2 + h^2 - 2 J h cos k_m),
+///   k_m = (2m + 1) pi / n.
+///
+/// Valid for J, h >= 0 and any chain length n >= 2; O(n) evaluation, so it
+/// provides ground truth at sizes where 2^n diagonalization is impossible.
+Real tfim_chain_ground_energy(std::size_t n, Real coupling, Real field);
+
+}  // namespace vqmc

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file cholesky.hpp
+/// \brief Dense Cholesky factorization and SPD solves.
+///
+/// Used by the small dense variant of stochastic reconfiguration (when the
+/// parameter count is modest it is cheaper to form `S + λI` once and solve
+/// directly) and by tests as an independent check on the CG solver.
+
+#include "tensor/matrix.hpp"
+#include "tensor/vector.hpp"
+
+namespace vqmc::linalg {
+
+/// In-place lower Cholesky factorization A = L L^T.
+/// Only the lower triangle of `a` is referenced; on return the lower triangle
+/// holds L (the strict upper triangle is zeroed).
+/// \returns false if the matrix is not positive definite.
+bool cholesky_factor(Matrix& a);
+
+/// Solve L L^T x = b given the factor from cholesky_factor. `x` may alias b.
+void cholesky_solve(const Matrix& l, std::span<const Real> b,
+                    std::span<Real> x);
+
+/// Convenience: solve A x = b for SPD A (copies A, factors, solves).
+/// \returns false if A is not positive definite (x untouched).
+bool solve_spd(const Matrix& a, std::span<const Real> b, std::span<Real> x);
+
+}  // namespace vqmc::linalg

@@ -1,0 +1,57 @@
+#include "linalg/conjugate_gradient.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/kernels.hpp"
+
+namespace vqmc::linalg {
+
+CgResult conjugate_gradient(const LinearOperator& apply,
+                            std::span<const Real> b, std::span<Real> x,
+                            const CgOptions& options) {
+  VQMC_REQUIRE(b.size() == x.size(), "cg: size mismatch");
+  const std::size_t n = b.size();
+  Vector r(n), p(n), ap(n);
+
+  // r = b - A x.
+  apply(x, r.span());
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  for (std::size_t i = 0; i < n; ++i) p[i] = r[i];
+
+  const Real b_norm = std::sqrt(dot(b, b));
+  if (b_norm == Real(0)) {
+    for (std::size_t i = 0; i < n; ++i) x[i] = 0;
+    return {0, 0, true};
+  }
+
+  Real rr = dot(r.span(), r.span());
+  CgResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.relative_residual = std::sqrt(rr) / b_norm;
+    if (result.relative_residual <= options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+    apply(p.span(), ap.span());
+    const Real p_ap = dot(p.span(), ap.span());
+    if (p_ap <= Real(0)) {
+      // Operator is not positive-definite along p (can happen with a noisy
+      // Fisher estimate); return the current best iterate.
+      return result;
+    }
+    const Real alpha = rr / p_ap;
+    axpy(alpha, p.span(), x);
+    axpy(-alpha, ap.span(), r.span());
+    const Real rr_next = dot(r.span(), r.span());
+    const Real beta = rr_next / rr;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rr = rr_next;
+    result.iterations = iter + 1;
+  }
+  result.relative_residual = std::sqrt(rr) / b_norm;
+  result.converged = result.relative_residual <= options.tolerance;
+  return result;
+}
+
+}  // namespace vqmc::linalg

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file conjugate_gradient.hpp
+/// \brief Matrix-free conjugate gradient for symmetric positive-definite
+/// systems.
+///
+/// Used by stochastic reconfiguration to solve `(S + λI) δ = g` where `S` is
+/// the centered Fisher/quantum-geometric matrix.  The operator is supplied as
+/// a callback so `S v` can be applied through the per-sample log-derivative
+/// matrix in O(bs · d) without ever forming the d × d matrix.
+
+#include <functional>
+#include <span>
+
+#include "tensor/vector.hpp"
+
+namespace vqmc::linalg {
+
+/// y = A x for the (implicitly represented) SPD operator A.
+using LinearOperator =
+    std::function<void(std::span<const Real> x, std::span<Real> y)>;
+
+struct CgOptions {
+  int max_iterations = 200;
+  Real tolerance = 1e-10;  ///< on the relative residual ||r|| / ||b||
+};
+
+struct CgResult {
+  int iterations = 0;
+  Real relative_residual = 0;
+  bool converged = false;
+};
+
+/// Solve A x = b with unpreconditioned CG; `x` holds the initial guess on
+/// entry (commonly zero) and the solution on exit.
+CgResult conjugate_gradient(const LinearOperator& apply,
+                            std::span<const Real> b, std::span<Real> x,
+                            const CgOptions& options = {});
+
+}  // namespace vqmc::linalg

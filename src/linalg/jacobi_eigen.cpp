@@ -1,0 +1,106 @@
+#include "linalg/jacobi_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vqmc::linalg {
+
+namespace {
+
+Real off_diagonal_norm(const Matrix& a) {
+  Real acc = 0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = i + 1; j < a.cols(); ++j) acc += a(i, j) * a(i, j);
+  return std::sqrt(2 * acc);
+}
+
+Real frobenius_norm(const Matrix& a) {
+  Real acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a.data()[i] * a.data()[i];
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+EigenDecomposition jacobi_eigen(const Matrix& a, int max_sweeps,
+                                Real tolerance) {
+  VQMC_REQUIRE(a.rows() == a.cols(), "jacobi_eigen: matrix must be square");
+  const std::size_t n = a.rows();
+
+  Matrix work(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      work(i, j) = (a(i, j) + a(j, i)) / 2;
+
+  Matrix vecs(n, n);
+  for (std::size_t i = 0; i < n; ++i) vecs(i, i) = 1;
+
+  EigenDecomposition out;
+  const Real norm = frobenius_norm(work);
+  const Real threshold = tolerance * (norm > 0 ? norm : Real(1));
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm(work) <= threshold) {
+      out.converged = true;
+      break;
+    }
+    out.sweeps = sweep + 1;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const Real apq = work(p, q);
+        if (std::fabs(apq) <= threshold / Real(n * n + 1)) continue;
+        const Real app = work(p, p);
+        const Real aqq = work(q, q);
+        // Rotation angle from the standard Jacobi formulas.
+        const Real tau = (aqq - app) / (2 * apq);
+        const Real t = (tau >= 0 ? Real(1) : Real(-1)) /
+                       (std::fabs(tau) + std::sqrt(1 + tau * tau));
+        const Real c = 1 / std::sqrt(1 + t * t);
+        const Real s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const Real akp = work(k, p);
+          const Real akq = work(k, q);
+          work(k, p) = c * akp - s * akq;
+          work(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const Real apk = work(p, k);
+          const Real aqk = work(q, k);
+          work(p, k) = c * apk - s * aqk;
+          work(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const Real vkp = vecs(k, p);
+          const Real vkq = vecs(k, q);
+          vecs(k, p) = c * vkp - s * vkq;
+          vecs(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (!out.converged && off_diagonal_norm(work) <= threshold)
+    out.converged = true;
+
+  // Sort eigenpairs ascending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return work(x, x) < work(y, y);
+  });
+
+  out.eigenvalues = Vector(n);
+  out.eigenvectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = work(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i)
+      out.eigenvectors(i, j) = vecs(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace vqmc::linalg

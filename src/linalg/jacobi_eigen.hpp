@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file jacobi_eigen.hpp
+/// \brief Cyclic Jacobi eigensolver for dense real-symmetric matrices.
+///
+/// Robust, dependency-free full diagonalization.  Used for exact ground
+/// states of small Hamiltonians (validation), the Goemans–Williamson Gram
+/// factorization, and tests of the Lanczos solver.  O(n^3) per sweep — fine
+/// for the n ≤ 4096 matrices we feed it.
+
+#include "tensor/matrix.hpp"
+#include "tensor/vector.hpp"
+
+namespace vqmc::linalg {
+
+struct EigenDecomposition {
+  Vector eigenvalues;  ///< ascending order
+  Matrix eigenvectors; ///< column j is the eigenvector of eigenvalues[j]
+  int sweeps = 0;
+  bool converged = false;
+};
+
+/// Diagonalize symmetric `a` (symmetry is enforced by averaging off-diagonal
+/// pairs). `max_sweeps` cyclic Jacobi sweeps with threshold `tolerance` on
+/// the off-diagonal Frobenius norm relative to the matrix norm.
+EigenDecomposition jacobi_eigen(const Matrix& a, int max_sweeps = 64,
+                                Real tolerance = 1e-12);
+
+}  // namespace vqmc::linalg

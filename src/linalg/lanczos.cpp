@@ -1,0 +1,94 @@
+#include "linalg/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/jacobi_eigen.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "tensor/kernels.hpp"
+
+namespace vqmc::linalg {
+
+LanczosResult lanczos_smallest(
+    const std::function<void(std::span<const Real>, std::span<Real>)>& apply,
+    std::size_t dim, const LanczosOptions& options) {
+  VQMC_REQUIRE(dim > 0, "lanczos: dimension must be positive");
+  const int m = std::min<int>(options.max_iterations, int(dim));
+
+  // Krylov basis (kept for reorthogonalization and Ritz-vector assembly).
+  std::vector<Vector> basis;
+  basis.reserve(std::size_t(m));
+  std::vector<Real> alpha, beta;  // tridiagonal coefficients
+
+  rng::Xoshiro256 gen(options.seed);
+  Vector v(dim);
+  for (std::size_t i = 0; i < dim; ++i) v[i] = rng::normal(gen);
+  scale(v.span(), 1 / v.norm());
+  basis.push_back(v);
+
+  Vector w(dim);
+  LanczosResult result;
+  Real previous_ritz = std::numeric_limits<Real>::max();
+
+  for (int j = 0; j < m; ++j) {
+    apply(basis[std::size_t(j)].span(), w.span());
+    const Real a = dot(w.span(), basis[std::size_t(j)].span());
+    alpha.push_back(a);
+    axpy(-a, basis[std::size_t(j)].span(), w.span());
+    if (j > 0) axpy(-beta[std::size_t(j - 1)], basis[std::size_t(j - 1)].span(), w.span());
+
+    if (options.full_reorthogonalize) {
+      // Classical Gram-Schmidt against all previous vectors (twice for
+      // numerical safety). Costly but robust; dims here are <= 2^20.
+      for (int pass = 0; pass < 2; ++pass) {
+        for (const Vector& q : basis) {
+          const Real proj = dot(w.span(), q.span());
+          axpy(-proj, q.span(), w.span());
+        }
+      }
+    }
+
+    // Ritz value from the tridiagonal matrix built so far.
+    const std::size_t k = alpha.size();
+    Matrix tri(k, k);
+    for (std::size_t i = 0; i < k; ++i) {
+      tri(i, i) = alpha[i];
+      if (i + 1 < k) {
+        tri(i, i + 1) = beta[i];
+        tri(i + 1, i) = beta[i];
+      }
+    }
+    const EigenDecomposition eig = jacobi_eigen(tri);
+    const Real ritz = eig.eigenvalues[0];
+    result.iterations = j + 1;
+
+    const Real b = w.norm();
+    const bool breakdown = b <= Real(1e-14);
+    if (std::fabs(ritz - previous_ritz) <= options.tolerance || breakdown ||
+        j + 1 == m) {
+      // Assemble the Ritz vector sum_i y_i q_i.
+      result.eigenvalue = ritz;
+      result.eigenvector = Vector(dim);
+      for (std::size_t i = 0; i < k; ++i)
+        axpy(eig.eigenvectors(i, 0), basis[i].span(),
+             result.eigenvector.span());
+      const Real norm = result.eigenvector.norm();
+      if (norm > 0) scale(result.eigenvector.span(), 1 / norm);
+      result.converged =
+          std::fabs(ritz - previous_ritz) <= options.tolerance || breakdown;
+      return result;
+    }
+    previous_ritz = ritz;
+
+    beta.push_back(b);
+    scale(w.span(), 1 / b);
+    basis.push_back(w);
+  }
+  return result;  // unreachable: the loop always returns on j + 1 == m
+}
+
+}  // namespace vqmc::linalg

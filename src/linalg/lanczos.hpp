@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file lanczos.hpp
+/// \brief Lanczos iteration for the extremal eigenpair of a large symmetric
+/// operator given only a matvec.
+///
+/// This is the exact-diagonalization workhorse: the 2^n x 2^n Hamiltonian is
+/// never materialized — `SparseHamiltonian::apply` provides the matvec — so
+/// ground-state energies up to n ≈ 20 spins are available as ground truth
+/// for the VQMC convergence tests.
+
+#include <cstdint>
+#include <functional>
+
+#include "tensor/vector.hpp"
+
+namespace vqmc::linalg {
+
+struct LanczosOptions {
+  int max_iterations = 300;  ///< Krylov dimension cap
+  Real tolerance = 1e-10;    ///< on the change in the Ritz value
+  std::uint64_t seed = 7;    ///< for the random start vector
+  bool full_reorthogonalize = true;
+};
+
+struct LanczosResult {
+  Real eigenvalue = 0;
+  Vector eigenvector;  ///< unit-norm Ritz vector
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Compute the *smallest* eigenpair of the symmetric operator `apply` acting
+/// on R^dim.
+LanczosResult lanczos_smallest(
+    const std::function<void(std::span<const Real>, std::span<Real>)>& apply,
+    std::size_t dim, const LanczosOptions& options = {});
+
+}  // namespace vqmc::linalg

@@ -1,0 +1,228 @@
+#include "nn/deep_made.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "tensor/kernels.hpp"
+
+namespace vqmc {
+
+namespace {
+constexpr Real kProbEps = 1e-12;
+Real clamped_log(Real p) { return std::log(std::max(p, kProbEps)); }
+}  // namespace
+
+DeepMade::DeepMade(std::size_t n, std::size_t hidden, std::size_t depth)
+    : n_(n),
+      h_(hidden),
+      depth_(depth),
+      params_(hidden * n + hidden +                       // first layer
+              (depth - 1) * (hidden * hidden + hidden) +  // deeper layers
+              n * hidden + n),                            // output layer
+      degrees_(hidden),
+      input_mask_(hidden, n),
+      hidden_mask_(hidden, hidden),
+      output_mask_(n, hidden) {
+  VQMC_REQUIRE(n_ >= 2, "DeepMADE: need at least 2 spins");
+  VQMC_REQUIRE(h_ >= 1, "DeepMADE: hidden size must be positive");
+  VQMC_REQUIRE(depth_ >= 1, "DeepMADE: depth must be >= 1");
+
+  for (std::size_t k = 0; k < h_; ++k) degrees_[k] = 1 + (k % (n_ - 1));
+  for (std::size_t k = 0; k < h_; ++k) {
+    for (std::size_t j = 0; j < n_; ++j)
+      input_mask_(k, j) = (j + 1 <= degrees_[k]) ? 1 : 0;
+    for (std::size_t j = 0; j < h_; ++j)
+      hidden_mask_(k, j) = (degrees_[k] >= degrees_[j]) ? 1 : 0;
+    for (std::size_t i = 0; i < n_; ++i)
+      output_mask_(i, k) = (i + 1 > degrees_[k]) ? 1 : 0;
+  }
+  initialize(0);
+}
+
+std::size_t DeepMade::w_offset(std::size_t layer) const {
+  VQMC_ASSERT(layer < depth_, "DeepMADE: layer out of range");
+  if (layer == 0) return 0;
+  return h_ * n_ + h_ + (layer - 1) * (h_ * h_ + h_);
+}
+
+std::size_t DeepMade::b_offset(std::size_t layer) const {
+  return w_offset(layer) + (layer == 0 ? h_ * n_ : h_ * h_);
+}
+
+std::size_t DeepMade::w_out_offset() const {
+  return h_ * n_ + h_ + (depth_ - 1) * (h_ * h_ + h_);
+}
+
+std::size_t DeepMade::b_out_offset() const { return w_out_offset() + n_ * h_; }
+
+void DeepMade::initialize(std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed ^ 0x444d414445ULL);  // "DMADE"
+  Real* p = params_.data();
+  const Real s_in = 1 / std::sqrt(Real(n_));
+  const Real s_hid = 1 / std::sqrt(Real(h_));
+  for (std::size_t i = 0; i < h_ * n_; ++i) p[i] = rng::uniform(gen, -s_in, s_in);
+  for (std::size_t i = 0; i < h_; ++i) p[h_ * n_ + i] = 0;
+  for (std::size_t layer = 1; layer < depth_; ++layer) {
+    Real* w = params_.data() + w_offset(layer);
+    for (std::size_t i = 0; i < h_ * h_; ++i)
+      w[i] = rng::uniform(gen, -s_hid, s_hid);
+    Real* b = params_.data() + b_offset(layer);
+    for (std::size_t i = 0; i < h_; ++i) b[i] = 0;
+  }
+  Real* w = params_.data() + w_out_offset();
+  for (std::size_t i = 0; i < n_ * h_; ++i)
+    w[i] = rng::uniform(gen, -s_hid, s_hid);
+  Real* b = params_.data() + b_out_offset();
+  for (std::size_t i = 0; i < n_; ++i) b[i] = 0;
+}
+
+void DeepMade::masked_weight(std::size_t layer, Matrix& out) const {
+  const Real* w = params_.data() + w_offset(layer);
+  if (layer == 0) {
+    out = Matrix(h_, n_);
+    for (std::size_t i = 0; i < h_ * n_; ++i)
+      out.data()[i] = input_mask_.data()[i] * w[i];
+  } else {
+    out = Matrix(h_, h_);
+    for (std::size_t i = 0; i < h_ * h_; ++i)
+      out.data()[i] = hidden_mask_.data()[i] * w[i];
+  }
+}
+
+void DeepMade::masked_output_weight(Matrix& out) const {
+  const Real* w = params_.data() + w_out_offset();
+  out = Matrix(n_, h_);
+  for (std::size_t i = 0; i < n_ * h_; ++i)
+    out.data()[i] = output_mask_.data()[i] * w[i];
+}
+
+void DeepMade::forward(const Matrix& batch, Forward& f) const {
+  VQMC_REQUIRE(batch.cols() == n_, "DeepMADE: batch has wrong spin count");
+  const std::size_t bs = batch.rows();
+  f.pre.assign(depth_, Matrix());
+  f.post.assign(depth_, Matrix());
+
+  Matrix w;
+  for (std::size_t layer = 0; layer < depth_; ++layer) {
+    masked_weight(layer, w);
+    f.pre[layer] = Matrix(bs, h_);
+    gemm_nt(layer == 0 ? batch : f.post[layer - 1], w, f.pre[layer]);
+    add_row_broadcast(f.pre[layer],
+                      std::span<const Real>(params_.data() + b_offset(layer), h_));
+    f.post[layer] = f.pre[layer];
+    relu_inplace(f.post[layer]);
+  }
+  masked_output_weight(w);
+  f.p = Matrix(bs, n_);
+  gemm_nt(f.post[depth_ - 1], w, f.p);
+  add_row_broadcast(f.p,
+                    std::span<const Real>(params_.data() + b_out_offset(), n_));
+  sigmoid_inplace(f.p);
+}
+
+void DeepMade::conditionals(const Matrix& batch, Matrix& out) const {
+  Forward f;
+  forward(batch, f);
+  out = std::move(f.p);
+}
+
+void DeepMade::log_psi(const Matrix& batch, std::span<Real> out) const {
+  VQMC_REQUIRE(out.size() == batch.rows(), "DeepMADE: output size mismatch");
+  Forward f;
+  forward(batch, f);
+  const std::size_t bs = batch.rows();
+#pragma omp parallel for schedule(static)
+  for (std::size_t k = 0; k < bs; ++k) {
+    Real log_pi = 0;
+    const Real* x = batch.row(k).data();
+    const Real* p = f.p.row(k).data();
+    for (std::size_t i = 0; i < n_; ++i)
+      log_pi += x[i] * clamped_log(p[i]) + (1 - x[i]) * clamped_log(1 - p[i]);
+    out[k] = log_pi / 2;
+  }
+}
+
+void DeepMade::accumulate_log_psi_gradient(const Matrix& batch,
+                                           std::span<const Real> coeff,
+                                           std::span<Real> grad) const {
+  const std::size_t bs = batch.rows();
+  VQMC_REQUIRE(coeff.size() == bs, "DeepMADE: coefficient size mismatch");
+  VQMC_REQUIRE(grad.size() == num_parameters(),
+               "DeepMADE: gradient size mismatch");
+
+  Forward f;
+  forward(batch, f);
+
+  // Output-layer gradient signal.
+  Matrix g_out(bs, n_);
+#pragma omp parallel for schedule(static)
+  for (std::size_t k = 0; k < bs; ++k) {
+    const Real* x = batch.row(k).data();
+    const Real* p = f.p.row(k).data();
+    Real* g = g_out.row(k).data();
+    const Real c = coeff[k] / 2;
+    for (std::size_t i = 0; i < n_; ++i) g[i] = c * (x[i] - p[i]);
+  }
+
+  // Output layer: dW_out = mask .* (g_out^T H_last), db_out = col sums.
+  {
+    Matrix dw(n_, h_);
+    gemm_tn_accumulate(g_out, f.post[depth_ - 1], dw);
+    Real* gw = grad.data() + w_out_offset();
+    for (std::size_t i = 0; i < n_ * h_; ++i)
+      gw[i] += output_mask_.data()[i] * dw.data()[i];
+    column_sum_accumulate(g_out, grad.subspan(b_out_offset(), n_));
+  }
+
+  // Back through hidden layers.
+  Matrix w_out_m;
+  masked_output_weight(w_out_m);
+  Matrix g(bs, h_);
+  gemm_nn(g_out, w_out_m, g);
+  for (std::size_t layer = depth_; layer-- > 0;) {
+    relu_backward_inplace(f.pre[layer], g);
+    const Matrix& input = layer == 0 ? batch : f.post[layer - 1];
+    const std::size_t in_dim = layer == 0 ? n_ : h_;
+    Matrix dw(h_, in_dim);
+    gemm_tn_accumulate(g, input, dw);
+    const Matrix& mask = layer == 0 ? input_mask_ : hidden_mask_;
+    Real* gw = grad.data() + w_offset(layer);
+    for (std::size_t i = 0; i < h_ * in_dim; ++i)
+      gw[i] += mask.data()[i] * dw.data()[i];
+    column_sum_accumulate(g, grad.subspan(b_offset(layer), h_));
+
+    if (layer > 0) {
+      Matrix w_m;
+      masked_weight(layer, w_m);
+      Matrix g_prev(bs, h_);
+      gemm_nn(g, w_m, g_prev);
+      g = std::move(g_prev);
+    }
+  }
+}
+
+void DeepMade::log_psi_gradient_per_sample(const Matrix& batch,
+                                           Matrix& out) const {
+  // Depth-general per-sample gradients reuse the batch machinery one sample
+  // at a time. O(bs) small forward passes — fine for the SR experiments
+  // this model participates in (SR is quadratic in d anyway).
+  const std::size_t bs = batch.rows();
+  const std::size_t d = num_parameters();
+  VQMC_REQUIRE(out.rows() == bs && out.cols() == d,
+               "DeepMADE: per-sample gradient shape mismatch");
+  Matrix single(1, n_);
+  Vector coeff(1);
+  coeff[0] = 1;
+  for (std::size_t k = 0; k < bs; ++k) {
+    auto src = batch.row(k);
+    std::copy(src.begin(), src.end(), single.row(0).begin());
+    auto dst = out.row(k);
+    std::fill(dst.begin(), dst.end(), Real(0));
+    accumulate_log_psi_gradient(single, coeff.span(), dst);
+  }
+}
+
+}  // namespace vqmc

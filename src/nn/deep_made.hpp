@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file deep_made.hpp
+/// \brief Depth-generalized MADE: an arbitrary stack of masked hidden
+/// layers.
+///
+/// The paper's production architecture uses a single masked hidden layer
+/// (see made.hpp); deeper stacks are the natural capacity extension the
+/// original MADE paper (Germain et al. 2015) describes.  Masks between
+/// hidden layers connect unit k (degree m_k) to unit j of the previous
+/// layer (degree m'_j) iff m_k >= m'_j, which preserves the autoregressive
+/// property through any depth; the same normalization / exact-sampling
+/// guarantees as the shallow model follow.
+///
+/// Parameter layout:
+///   [ W_1 (h x n) | b_1 (h) | W_2..W_D (h x h) | b_2..b_D (h) each
+///     | W_out (n x h) | b_out (n) ]
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/wavefunction.hpp"
+
+namespace vqmc {
+
+/// MADE with `depth` masked hidden layers of width `hidden`.
+class DeepMade final : public AutoregressiveModel {
+ public:
+  /// \param n number of spins (>= 2)
+  /// \param hidden hidden width (>= 1)
+  /// \param depth number of hidden layers (>= 1; depth 1 == Made)
+  DeepMade(std::size_t n, std::size_t hidden, std::size_t depth);
+
+  // WavefunctionModel interface.
+  [[nodiscard]] std::size_t num_spins() const override { return n_; }
+  [[nodiscard]] std::size_t num_parameters() const override {
+    return params_.size();
+  }
+  [[nodiscard]] std::span<Real> parameters() override { return params_.span(); }
+  [[nodiscard]] std::span<const Real> parameters() const override {
+    return params_.span();
+  }
+  void initialize(std::uint64_t seed) override;
+  void log_psi(const Matrix& batch, std::span<Real> out) const override;
+  void accumulate_log_psi_gradient(const Matrix& batch,
+                                   std::span<const Real> coeff,
+                                   std::span<Real> grad) const override;
+  void log_psi_gradient_per_sample(const Matrix& batch,
+                                   Matrix& out) const override;
+  [[nodiscard]] std::string name() const override { return "DeepMADE"; }
+  [[nodiscard]] std::unique_ptr<WavefunctionModel> clone() const override {
+    return std::make_unique<DeepMade>(*this);
+  }
+
+  // AutoregressiveModel interface.
+  void conditionals(const Matrix& batch, Matrix& out) const override;
+
+  [[nodiscard]] std::size_t hidden_size() const { return h_; }
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+
+ private:
+  struct Forward {
+    std::vector<Matrix> pre;   ///< pre-ReLU activations per hidden layer
+    std::vector<Matrix> post;  ///< post-ReLU activations per hidden layer
+    Matrix p;                  ///< conditionals
+  };
+
+  // Offsets into the flat parameter vector.
+  [[nodiscard]] std::size_t w_offset(std::size_t layer) const;
+  [[nodiscard]] std::size_t b_offset(std::size_t layer) const;
+  [[nodiscard]] std::size_t w_out_offset() const;
+  [[nodiscard]] std::size_t b_out_offset() const;
+
+  /// Masked weight of hidden layer `layer` (0-based) and of the output.
+  void masked_weight(std::size_t layer, Matrix& out) const;
+  void masked_output_weight(Matrix& out) const;
+
+  void forward(const Matrix& batch, Forward& f) const;
+
+  std::size_t n_;
+  std::size_t h_;
+  std::size_t depth_;
+  Vector params_;
+  std::vector<std::size_t> degrees_;  ///< hidden-unit degrees (shared by layers)
+  Matrix input_mask_;                 ///< h x n
+  Matrix hidden_mask_;                ///< h x h (between hidden layers)
+  Matrix output_mask_;                ///< n x h
+};
+
+}  // namespace vqmc

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file gradient_check.hpp
+/// \brief Central-finite-difference validation of analytic model gradients.
+///
+/// Both MADE and RBM implement hand-written backprop; these helpers are the
+/// library's defense against sign/transpose bugs and back every gradient
+/// test in the suite.
+
+#include "nn/wavefunction.hpp"
+
+namespace vqmc {
+
+struct GradientCheckResult {
+  Real max_abs_error = 0;   ///< max |analytic - numeric|
+  Real max_rel_error = 0;   ///< relative to max(1, |numeric|)
+  std::size_t worst_index = 0;
+};
+
+/// Compare `model.accumulate_log_psi_gradient` on `batch` with coefficients
+/// `coeff` against central differences with step `eps`. The model's
+/// parameters are perturbed and restored in place.
+GradientCheckResult check_log_psi_gradient(WavefunctionModel& model,
+                                           const Matrix& batch,
+                                           std::span<const Real> coeff,
+                                           Real eps = 1e-5);
+
+/// Compare the per-sample gradient matrix against per-sample finite
+/// differences (slower; use small models).
+GradientCheckResult check_per_sample_gradient(WavefunctionModel& model,
+                                              const Matrix& batch,
+                                              Real eps = 1e-5);
+
+}  // namespace vqmc

@@ -1,0 +1,214 @@
+#include "nn/made.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "tensor/kernels.hpp"
+
+namespace vqmc {
+
+namespace {
+
+/// Conditionals are clamped away from {0,1} before logs; the gradient uses
+/// the (x - p) form which needs no clamping.
+constexpr Real kProbEps = 1e-12;
+
+Real clamped_log(Real p) { return std::log(std::max(p, kProbEps)); }
+
+}  // namespace
+
+std::size_t made_default_hidden(std::size_t n) {
+  const double logn = std::log(double(n));
+  return std::max<std::size_t>(4, std::size_t(std::lround(5.0 * logn * logn)));
+}
+
+Made::Made(std::size_t n, std::size_t hidden)
+    : n_(n),
+      h_(hidden),
+      params_(2 * hidden * n + hidden + n),
+      mask1_(hidden, n),
+      mask2_(n, hidden) {
+  VQMC_REQUIRE(n_ >= 2, "MADE: need at least 2 spins");
+  VQMC_REQUIRE(h_ >= 1, "MADE: hidden size must be positive");
+  // Hidden degrees m_k cycle through 1..n-1; unit k may read inputs with
+  // (1-based) index <= m_k and feeds outputs with index > m_k.
+  for (std::size_t k = 0; k < h_; ++k) {
+    const std::size_t mk = 1 + (k % (n_ - 1));
+    for (std::size_t j = 0; j < n_; ++j) mask1_(k, j) = (j + 1 <= mk) ? 1 : 0;
+    for (std::size_t i = 0; i < n_; ++i) mask2_(i, k) = (i + 1 > mk) ? 1 : 0;
+  }
+  initialize(0);
+}
+
+void Made::initialize(std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed ^ 0x4d414445ULL);  // "MADE"
+  Real* p = params_.data();
+  const Real s1 = 1 / std::sqrt(Real(n_));
+  for (std::size_t i = 0; i < h_ * n_; ++i) p[i] = rng::uniform(gen, -s1, s1);
+  p += h_ * n_;
+  for (std::size_t i = 0; i < h_; ++i) p[i] = 0;  // b1
+  p += h_;
+  const Real s2 = 1 / std::sqrt(Real(h_));
+  for (std::size_t i = 0; i < n_ * h_; ++i) p[i] = rng::uniform(gen, -s2, s2);
+  p += n_ * h_;
+  for (std::size_t i = 0; i < n_; ++i) p[i] = 0;  // b2
+}
+
+void Made::masked_weights(Matrix& w1m, Matrix& w2m) const {
+  w1m = Matrix(h_, n_);
+  w2m = Matrix(n_, h_);
+  const Real* pw1 = w1();
+  const Real* pw2 = w2();
+  for (std::size_t i = 0; i < h_ * n_; ++i)
+    w1m.data()[i] = mask1_.data()[i] * pw1[i];
+  for (std::size_t i = 0; i < n_ * h_; ++i)
+    w2m.data()[i] = mask2_.data()[i] * pw2[i];
+}
+
+void Made::forward(const Matrix& batch, Forward& f) const {
+  VQMC_REQUIRE(batch.cols() == n_, "MADE: batch has wrong spin count");
+  const std::size_t bs = batch.rows();
+  Matrix w1m, w2m;
+  masked_weights(w1m, w2m);
+
+  f.a1 = Matrix(bs, h_);
+  gemm_nt(batch, w1m, f.a1);
+  add_row_broadcast(f.a1, std::span<const Real>(b1(), h_));
+  f.h1 = f.a1;
+  relu_inplace(f.h1);
+
+  f.p = Matrix(bs, n_);
+  gemm_nt(f.h1, w2m, f.p);
+  add_row_broadcast(f.p, std::span<const Real>(b2(), n_));
+  sigmoid_inplace(f.p);
+}
+
+void Made::conditionals(const Matrix& batch, Matrix& out) const {
+  Forward f;
+  forward(batch, f);
+  out = std::move(f.p);
+}
+
+void Made::log_psi(const Matrix& batch, std::span<Real> out) const {
+  VQMC_REQUIRE(out.size() == batch.rows(), "MADE: output size mismatch");
+  Forward f;
+  forward(batch, f);
+  const std::size_t bs = batch.rows();
+#pragma omp parallel for schedule(static)
+  for (std::size_t k = 0; k < bs; ++k) {
+    Real log_pi = 0;
+    const Real* x = batch.row(k).data();
+    const Real* p = f.p.row(k).data();
+    for (std::size_t i = 0; i < n_; ++i) {
+      log_pi += x[i] * clamped_log(p[i]) + (1 - x[i]) * clamped_log(1 - p[i]);
+    }
+    out[k] = log_pi / 2;  // psi = sqrt(pi)
+  }
+}
+
+void Made::accumulate_log_psi_gradient(const Matrix& batch,
+                                       std::span<const Real> coeff,
+                                       std::span<Real> grad) const {
+  const std::size_t bs = batch.rows();
+  VQMC_REQUIRE(coeff.size() == bs, "MADE: coefficient size mismatch");
+  VQMC_REQUIRE(grad.size() == num_parameters(), "MADE: gradient size mismatch");
+
+  Forward f;
+  forward(batch, f);
+  Matrix w1m, w2m;
+  masked_weights(w1m, w2m);
+
+  // d(log psi)/d(a2)_{k,i} = coeff_k * (x_{k,i} - p_{k,i}) / 2.
+  Matrix g2(bs, n_);
+#pragma omp parallel for schedule(static)
+  for (std::size_t k = 0; k < bs; ++k) {
+    const Real* x = batch.row(k).data();
+    const Real* p = f.p.row(k).data();
+    Real* g = g2.row(k).data();
+    const Real c = coeff[k] / 2;
+    for (std::size_t i = 0; i < n_; ++i) g[i] = c * (x[i] - p[i]);
+  }
+
+  // Layer 2 gradients.
+  Matrix dw2(n_, h_);
+  gemm_tn_accumulate(g2, f.h1, dw2);
+  {
+    Real* gw2 = grad.data() + h_ * n_ + h_;
+    for (std::size_t i = 0; i < n_ * h_; ++i)
+      gw2[i] += mask2_.data()[i] * dw2.data()[i];
+    column_sum_accumulate(g2, grad.subspan(h_ * n_ + h_ + n_ * h_, n_));
+  }
+
+  // Backprop to the hidden layer: g1 = (g2 W2m) .* relu'(a1).
+  Matrix g1(bs, h_);
+  gemm_nn(g2, w2m, g1);
+  relu_backward_inplace(f.a1, g1);
+
+  // Layer 1 gradients.
+  Matrix dw1(h_, n_);
+  gemm_tn_accumulate(g1, batch, dw1);
+  {
+    Real* gw1 = grad.data();
+    for (std::size_t i = 0; i < h_ * n_; ++i)
+      gw1[i] += mask1_.data()[i] * dw1.data()[i];
+    column_sum_accumulate(g1, grad.subspan(h_ * n_, h_));
+  }
+}
+
+void Made::log_psi_gradient_per_sample(const Matrix& batch,
+                                       Matrix& out) const {
+  const std::size_t bs = batch.rows();
+  const std::size_t d = num_parameters();
+  VQMC_REQUIRE(out.rows() == bs && out.cols() == d,
+               "MADE: per-sample gradient shape mismatch");
+
+  Forward f;
+  forward(batch, f);
+  Matrix w1m, w2m;
+  masked_weights(w1m, w2m);
+
+  const std::size_t off_b1 = h_ * n_;
+  const std::size_t off_w2 = off_b1 + h_;
+  const std::size_t off_b2 = off_w2 + n_ * h_;
+
+#pragma omp parallel for schedule(static)
+  for (std::size_t k = 0; k < bs; ++k) {
+    const Real* x = batch.row(k).data();
+    const Real* p = f.p.row(k).data();
+    const Real* h1 = f.h1.row(k).data();
+    const Real* a1 = f.a1.row(k).data();
+    Real* o = out.row(k).data();
+    for (std::size_t i = 0; i < d; ++i) o[i] = 0;
+
+    // g2_i = (x_i - p_i)/2; fill b2 block and W2 block, and push back to g1.
+    Real* ob2 = o + off_b2;
+    Real* ow2 = o + off_w2;
+    std::vector<Real> g1(h_, Real(0));
+    for (std::size_t i = 0; i < n_; ++i) {
+      const Real g2 = (x[i] - p[i]) / 2;
+      ob2[i] = g2;
+      const Real* m2row = mask2_.row(i).data();
+      const Real* w2row = w2m.row(i).data();
+      Real* ow2row = ow2 + i * h_;
+      for (std::size_t l = 0; l < h_; ++l) {
+        ow2row[l] = g2 * m2row[l] * h1[l];
+        g1[l] += g2 * w2row[l];
+      }
+    }
+    // ReLU backward + layer 1 blocks.
+    Real* ob1 = o + off_b1;
+    for (std::size_t l = 0; l < h_; ++l) {
+      const Real g = (a1[l] > 0) ? g1[l] : 0;
+      ob1[l] = g;
+      const Real* m1row = mask1_.row(l).data();
+      Real* ow1row = o + l * n_;
+      for (std::size_t j = 0; j < n_; ++j) ow1row[j] = g * m1row[j] * x[j];
+    }
+  }
+}
+
+}  // namespace vqmc

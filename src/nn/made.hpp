@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file made.hpp
+/// \brief MADE — masked autoencoder for distribution estimation
+/// (Germain et al., ICML 2015), instantiated exactly as in the paper:
+///
+///   Input --[bs,n]--> MaskedFC1 --[bs,h]--> ReLU
+///         --[bs,h]--> MaskedFC2 --[bs,n]--> Sigmoid --> conditionals
+///
+/// Output i is the conditional p(x_i = 1 | x_1..x_{i-1}); binary masks on
+/// the two weight matrices remove every computational path from inputs
+/// j >= i to output i, so all n conditionals come out of a single forward
+/// pass and the joint factorizes as Eq. 7.  The wavefunction is
+/// psi(x) = sqrt(pi(x)) with log pi(x) = sum_i [x_i log p_i +
+/// (1 - x_i) log(1 - p_i)] — normalized by construction, enabling exact
+/// autoregressive sampling (Algorithm 1).
+///
+/// Parameter vector layout (d = 2hn + h + n, as in Section 4):
+///   [ W1 (h x n) | b1 (h) | W2 (n x h) | b2 (n) ]
+///
+/// Masks use the natural ordering with hidden degrees m_k = 1 + (k mod
+/// (n-1)) assigned cyclically: M1[k][j] = 1 iff j + 1 <= m_k and
+/// M2[i][k] = 1 iff i + 1 > m_k.  Output 0 has no incoming connections, so
+/// p(x_1 = 1) = sigmoid(b2[0]) is a learned scalar, as it must be.
+
+#include <cstdint>
+
+#include "nn/wavefunction.hpp"
+
+namespace vqmc {
+
+/// The paper's default hidden width h = 5 (log n)^2 (natural log), >= 4.
+std::size_t made_default_hidden(std::size_t n);
+
+/// MADE autoregressive wavefunction.
+class Made final : public AutoregressiveModel {
+ public:
+  /// \param n number of spins (>= 2)
+  /// \param hidden hidden layer width h (>= 1)
+  Made(std::size_t n, std::size_t hidden);
+
+  /// Convenience: paper's h = 5 (log n)^2.
+  static Made with_default_hidden(std::size_t n) {
+    return Made(n, made_default_hidden(n));
+  }
+
+  // WavefunctionModel interface.
+  [[nodiscard]] std::size_t num_spins() const override { return n_; }
+  [[nodiscard]] std::size_t num_parameters() const override {
+    return params_.size();
+  }
+  [[nodiscard]] std::span<Real> parameters() override { return params_.span(); }
+  [[nodiscard]] std::span<const Real> parameters() const override {
+    return params_.span();
+  }
+  void initialize(std::uint64_t seed) override;
+  void log_psi(const Matrix& batch, std::span<Real> out) const override;
+  void accumulate_log_psi_gradient(const Matrix& batch,
+                                   std::span<const Real> coeff,
+                                   std::span<Real> grad) const override;
+  void log_psi_gradient_per_sample(const Matrix& batch,
+                                   Matrix& out) const override;
+  [[nodiscard]] std::string name() const override { return "MADE"; }
+  [[nodiscard]] std::unique_ptr<WavefunctionModel> clone() const override {
+    return std::make_unique<Made>(*this);
+  }
+
+  // AutoregressiveModel interface.
+  void conditionals(const Matrix& batch, Matrix& out) const override;
+
+  [[nodiscard]] std::size_t hidden_size() const { return h_; }
+
+  /// The binary masks (for tests of the autoregressive property).
+  [[nodiscard]] const Matrix& mask1() const { return mask1_; }
+  [[nodiscard]] const Matrix& mask2() const { return mask2_; }
+
+  // -- Incremental-evaluation API (used by FastMadeSampler) ------------------
+  // Ancestral sampling only ever *appends* one spin at a time, so the
+  // hidden pre-activations can be updated in O(h) per flipped input instead
+  // of recomputed in O(h n). These accessors expose the pieces the fast
+  // sampler needs; they are part of the public API because writing custom
+  // high-throughput samplers is a legitimate downstream use.
+
+  /// Masked weights (M .* W); rebuilt from the current parameters.
+  void masked_weights_public(Matrix& w1m, Matrix& w2m) const {
+    masked_weights(w1m, w2m);
+  }
+  [[nodiscard]] std::span<const Real> bias1() const {
+    return {b1(), h_};
+  }
+  [[nodiscard]] std::span<const Real> bias2() const {
+    return {b2(), n_};
+  }
+
+ private:
+  // Views into the flat parameter vector.
+  [[nodiscard]] const Real* w1() const { return params_.data(); }
+  [[nodiscard]] const Real* b1() const { return params_.data() + h_ * n_; }
+  [[nodiscard]] const Real* w2() const {
+    return params_.data() + h_ * n_ + h_;
+  }
+  [[nodiscard]] const Real* b2() const {
+    return params_.data() + h_ * n_ + h_ + n_ * h_;
+  }
+
+  /// Masked weight matrices M (.) W, rebuilt from the flat parameters.
+  void masked_weights(Matrix& w1m, Matrix& w2m) const;
+
+  /// Forward pass; fills pre-activations and conditionals.
+  struct Forward {
+    Matrix a1;  ///< bs x h, pre-ReLU
+    Matrix h1;  ///< bs x h, post-ReLU
+    Matrix p;   ///< bs x n, conditionals
+  };
+  void forward(const Matrix& batch, Forward& f) const;
+
+  std::size_t n_;
+  std::size_t h_;
+  Vector params_;
+  Matrix mask1_;  ///< h x n
+  Matrix mask2_;  ///< n x h
+};
+
+}  // namespace vqmc

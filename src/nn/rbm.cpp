@@ -1,0 +1,129 @@
+#include "nn/rbm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "tensor/kernels.hpp"
+
+namespace vqmc {
+
+Rbm::Rbm(std::size_t n, std::size_t hidden)
+    : n_(n), h_(hidden), params_(hidden * n + hidden + n + 1) {
+  VQMC_REQUIRE(n_ >= 1, "RBM: need at least 1 spin");
+  VQMC_REQUIRE(h_ >= 1, "RBM: hidden size must be positive");
+  initialize(0);
+}
+
+void Rbm::initialize(std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed ^ 0x52424dULL);  // "RBM"
+  Real* p = params_.data();
+  // Small random weights keep log cosh in its quadratic regime initially,
+  // which approximates a near-uniform distribution (good starting point).
+  const Real s = Real(0.05) / std::sqrt(Real(n_));
+  for (std::size_t i = 0; i < h_ * n_; ++i) p[i] = rng::uniform(gen, -s, s);
+  p += h_ * n_;
+  for (std::size_t i = 0; i < h_; ++i) p[i] = rng::uniform(gen, -0.01, 0.01);
+  p += h_;
+  for (std::size_t i = 0; i < n_; ++i) p[i] = rng::uniform(gen, -0.01, 0.01);
+  p += n_;
+  p[0] = 0;  // a0
+}
+
+void Rbm::hidden_preactivations(const Matrix& batch, Matrix& theta) const {
+  VQMC_REQUIRE(batch.cols() == n_, "RBM: batch has wrong spin count");
+  const std::size_t bs = batch.rows();
+  // View the flat W block as an h x n matrix (copy; gemm needs Matrix).
+  Matrix wm(h_, n_);
+  std::copy_n(w(), h_ * n_, wm.data());
+  theta = Matrix(bs, h_);
+  gemm_nt(batch, wm, theta);
+  add_row_broadcast(theta, std::span<const Real>(c(), h_));
+}
+
+void Rbm::log_psi(const Matrix& batch, std::span<Real> out) const {
+  VQMC_REQUIRE(out.size() == batch.rows(), "RBM: output size mismatch");
+  Matrix theta;
+  hidden_preactivations(batch, theta);
+  const std::size_t bs = batch.rows();
+  const Real* pa = a();
+  const Real bias0 = a0();
+#pragma omp parallel for schedule(static)
+  for (std::size_t k = 0; k < bs; ++k) {
+    const Real* th = theta.row(k).data();
+    Real acc = bias0;
+    for (std::size_t l = 0; l < h_; ++l) acc += log_cosh(th[l]);
+    const Real* x = batch.row(k).data();
+    for (std::size_t j = 0; j < n_; ++j) acc += pa[j] * x[j];
+    out[k] = acc;
+  }
+}
+
+void Rbm::accumulate_log_psi_gradient(const Matrix& batch,
+                                      std::span<const Real> coeff,
+                                      std::span<Real> grad) const {
+  const std::size_t bs = batch.rows();
+  VQMC_REQUIRE(coeff.size() == bs, "RBM: coefficient size mismatch");
+  VQMC_REQUIRE(grad.size() == num_parameters(), "RBM: gradient size mismatch");
+
+  Matrix theta;
+  hidden_preactivations(batch, theta);
+
+  // t(k, l) = coeff_k * tanh(theta_{k,l}) — the per-hidden-unit gradients.
+  Matrix t(bs, h_);
+#pragma omp parallel for schedule(static)
+  for (std::size_t k = 0; k < bs; ++k) {
+    const Real* th = theta.row(k).data();
+    Real* tr = t.row(k).data();
+    for (std::size_t l = 0; l < h_; ++l) tr[l] = coeff[k] * std::tanh(th[l]);
+  }
+
+  // dW = t^T X, dc = column sums of t.
+  Matrix dw(h_, n_);
+  gemm_tn_accumulate(t, batch, dw);
+  for (std::size_t i = 0; i < h_ * n_; ++i) grad[i] += dw.data()[i];
+  column_sum_accumulate(t, grad.subspan(h_ * n_, h_));
+
+  // da_j = sum_k coeff_k x_{k,j}; da0 = sum_k coeff_k.
+  Real* ga = grad.data() + h_ * n_ + h_;
+  Real c_sum = 0;
+  for (std::size_t k = 0; k < bs; ++k) {
+    const Real* x = batch.row(k).data();
+    const Real ck = coeff[k];
+    c_sum += ck;
+    for (std::size_t j = 0; j < n_; ++j) ga[j] += ck * x[j];
+  }
+  grad[h_ * n_ + h_ + n_] += c_sum;
+}
+
+void Rbm::log_psi_gradient_per_sample(const Matrix& batch, Matrix& out) const {
+  const std::size_t bs = batch.rows();
+  const std::size_t d = num_parameters();
+  VQMC_REQUIRE(out.rows() == bs && out.cols() == d,
+               "RBM: per-sample gradient shape mismatch");
+  Matrix theta;
+  hidden_preactivations(batch, theta);
+
+  const std::size_t off_c = h_ * n_;
+  const std::size_t off_a = off_c + h_;
+  const std::size_t off_a0 = off_a + n_;
+
+#pragma omp parallel for schedule(static)
+  for (std::size_t k = 0; k < bs; ++k) {
+    const Real* x = batch.row(k).data();
+    const Real* th = theta.row(k).data();
+    Real* o = out.row(k).data();
+    for (std::size_t l = 0; l < h_; ++l) {
+      const Real tl = std::tanh(th[l]);
+      o[off_c + l] = tl;
+      Real* row = o + l * n_;
+      for (std::size_t j = 0; j < n_; ++j) row[j] = tl * x[j];
+    }
+    for (std::size_t j = 0; j < n_; ++j) o[off_a + j] = x[j];
+    o[off_a0] = 1;
+  }
+}
+
+}  // namespace vqmc

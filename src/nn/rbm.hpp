@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file rbm.hpp
+/// \brief Restricted Boltzmann machine wavefunction (Carleo & Troyer 2017),
+/// in the exact architecture of Section 5.1:
+///
+///   Input --[bs,n]--> FC_{n,h} --> Lncoshsum --[bs]--> Output1
+///   Input --[bs,n]--> FC_{n,1} --> Add Output1 --[bs]--> Output
+///
+/// i.e. log psi(x) = sum_k log cosh(w_k . x + c_k) + (a . x + a0).
+///
+/// The RBM is *unnormalized* — the Born distribution pi(x) is proportional
+/// to exp(2 log psi(x)) with an intractable normalizer — so sampling must go
+/// through MCMC (Section 2.2).  Parameter layout:
+///
+///   [ W (h x n) | c (h) | a (n) | a0 (1) ]
+
+#include <cstdint>
+
+#include "nn/wavefunction.hpp"
+
+namespace vqmc {
+
+/// RBM log-amplitude wavefunction.
+class Rbm final : public WavefunctionModel {
+ public:
+  /// \param n number of visible spins
+  /// \param hidden number of hidden units (the paper uses h = n)
+  Rbm(std::size_t n, std::size_t hidden);
+
+  // WavefunctionModel interface.
+  [[nodiscard]] std::size_t num_spins() const override { return n_; }
+  [[nodiscard]] std::size_t num_parameters() const override {
+    return params_.size();
+  }
+  [[nodiscard]] std::span<Real> parameters() override { return params_.span(); }
+  [[nodiscard]] std::span<const Real> parameters() const override {
+    return params_.span();
+  }
+  void initialize(std::uint64_t seed) override;
+  void log_psi(const Matrix& batch, std::span<Real> out) const override;
+  void accumulate_log_psi_gradient(const Matrix& batch,
+                                   std::span<const Real> coeff,
+                                   std::span<Real> grad) const override;
+  void log_psi_gradient_per_sample(const Matrix& batch,
+                                   Matrix& out) const override;
+  [[nodiscard]] bool is_normalized() const override { return false; }
+  [[nodiscard]] std::string name() const override { return "RBM"; }
+  [[nodiscard]] std::unique_ptr<WavefunctionModel> clone() const override {
+    return std::make_unique<Rbm>(*this);
+  }
+
+  [[nodiscard]] std::size_t hidden_size() const { return h_; }
+
+ private:
+  [[nodiscard]] const Real* w() const { return params_.data(); }
+  [[nodiscard]] const Real* c() const { return params_.data() + h_ * n_; }
+  [[nodiscard]] const Real* a() const {
+    return params_.data() + h_ * n_ + h_;
+  }
+  [[nodiscard]] Real a0() const { return params_[h_ * n_ + h_ + n_]; }
+
+  /// theta = X W^T + c (bs x h): hidden pre-activations.
+  void hidden_preactivations(const Matrix& batch, Matrix& theta) const;
+
+  std::size_t n_;
+  std::size_t h_;
+  Vector params_;
+};
+
+}  // namespace vqmc

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file wavefunction.hpp
+/// \brief Trial-wavefunction model interfaces.
+///
+/// A wavefunction model is a differentiable map theta -> psi_theta from
+/// parameters to amplitudes psi_theta(x) over n-bit configurations.  The
+/// library targets non-negative ground states (Perron–Frobenius, Section 2.1
+/// of the paper), so models expose log |psi| directly.
+///
+/// Two families:
+///  * `WavefunctionModel` — anything with log psi and gradients (RBM).
+///    Generally unnormalized; sampling requires MCMC.
+///  * `AutoregressiveModel` — additionally factorizes pi(x) = psi(x)^2 as a
+///    product of conditionals computable in one forward pass (MADE), which
+///    enables exact AUTO sampling and makes the model normalized.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "tensor/matrix.hpp"
+#include "tensor/vector.hpp"
+
+namespace vqmc {
+
+/// Differentiable trial wavefunction over n spins.
+///
+/// Parameters are exposed as one flat vector so optimizers and communicators
+/// can treat every model uniformly (the paper's allreduce averages this flat
+/// gradient of length d = 2hn + h + n for MADE).
+class WavefunctionModel {
+ public:
+  virtual ~WavefunctionModel() = default;
+
+  [[nodiscard]] virtual std::size_t num_spins() const = 0;
+  [[nodiscard]] virtual std::size_t num_parameters() const = 0;
+
+  [[nodiscard]] virtual std::span<Real> parameters() = 0;
+  [[nodiscard]] virtual std::span<const Real> parameters() const = 0;
+
+  /// Random parameter initialization (uniform +- 1/sqrt(fan_in) per layer).
+  virtual void initialize(std::uint64_t seed) = 0;
+
+  /// log |psi_theta(x_k)| for each row x_k of the batch (bs x n) into
+  /// `out` (length bs).
+  virtual void log_psi(const Matrix& batch, std::span<Real> out) const = 0;
+
+  /// grad += sum_k coeff[k] * d(log psi(x_k))/d(theta).
+  /// This single primitive implements the energy gradient of Eq. 5: pass
+  /// coeff[k] = 2 (l_k - L) / bs.
+  virtual void accumulate_log_psi_gradient(const Matrix& batch,
+                                           std::span<const Real> coeff,
+                                           std::span<Real> grad) const = 0;
+
+  /// Per-sample log-derivatives O(k, :) = d(log psi(x_k))/d(theta), the
+  /// ingredients of the Fisher/SR matrix (Eq. 5).  `out` must be bs x d.
+  virtual void log_psi_gradient_per_sample(const Matrix& batch,
+                                           Matrix& out) const = 0;
+
+  /// True if sum_x psi(x)^2 == 1 by construction.
+  [[nodiscard]] virtual bool is_normalized() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Deep copy (used to replicate the model across virtual devices).
+  [[nodiscard]] virtual std::unique_ptr<WavefunctionModel> clone() const = 0;
+};
+
+/// Wavefunction whose Born distribution factorizes autoregressively
+/// (Eq. 7): pi(x) = prod_i p_i(x_i | x_{<i}).
+class AutoregressiveModel : public WavefunctionModel {
+ public:
+  /// All conditionals in one forward pass (the MADE trick): out(k, i) =
+  /// p(x_i = 1 | x_{k,1}, ..., x_{k,i-1}).  Only entries j < i of row k
+  /// influence out(k, i) — the autoregressive property, which tests verify.
+  virtual void conditionals(const Matrix& batch, Matrix& out) const = 0;
+
+  [[nodiscard]] bool is_normalized() const final { return true; }
+};
+
+}  // namespace vqmc

@@ -1,0 +1,47 @@
+#include "optim/adam.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vqmc {
+
+Adam::Adam(Real learning_rate, Real beta1, Real beta2, Real epsilon)
+    : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {
+  VQMC_REQUIRE(learning_rate > 0, "Adam: learning rate must be positive");
+  VQMC_REQUIRE(beta1 >= 0 && beta1 < 1, "Adam: beta1 must be in [0,1)");
+  VQMC_REQUIRE(beta2 >= 0 && beta2 < 1, "Adam: beta2 must be in [0,1)");
+  VQMC_REQUIRE(epsilon > 0, "Adam: epsilon must be positive");
+}
+
+void Adam::step(std::span<Real> params, std::span<const Real> grad) {
+  VQMC_REQUIRE(params.size() == grad.size(), "Adam: size mismatch");
+  if (m_.size() != params.size()) {
+    m_ = Vector(params.size());
+    v_ = Vector(params.size());
+    step_count_ = 0;
+  }
+  ++step_count_;
+  const Real bc1 = 1 - std::pow(beta1_, Real(step_count_));
+  const Real bc2 = 1 - std::pow(beta2_, Real(step_count_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1 - beta1_) * grad[i];
+    v_[i] = beta2_ * v_[i] + (1 - beta2_) * grad[i] * grad[i];
+    const Real m_hat = m_[i] / bc1;
+    const Real v_hat = v_[i] / bc2;
+    params[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+  }
+}
+
+void Adam::reset() {
+  m_ = Vector();
+  v_ = Vector();
+  step_count_ = 0;
+}
+
+std::unique_ptr<Optimizer> make_adam(Real learning_rate, Real beta1, Real beta2,
+                                     Real epsilon) {
+  return std::make_unique<Adam>(learning_rate, beta1, beta2, epsilon);
+}
+
+}  // namespace vqmc

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file adam.hpp
+/// \brief Adam optimizer (Kingma & Ba 2015) — the paper's default
+/// (learning rate 0.01).
+
+#include "optim/optimizer.hpp"
+#include "tensor/vector.hpp"
+
+namespace vqmc {
+
+/// Adam with bias-corrected first/second moments.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(Real learning_rate = 0.01, Real beta1 = 0.9,
+                Real beta2 = 0.999, Real epsilon = 1e-8);
+
+  void step(std::span<Real> params, std::span<const Real> grad) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "ADAM"; }
+
+  [[nodiscard]] Real learning_rate() const override { return lr_; }
+  void set_learning_rate(Real lr) override { lr_ = lr; }
+
+ private:
+  Real lr_, beta1_, beta2_, eps_;
+  Vector m_, v_;  ///< first/second moment estimates
+  long step_count_ = 0;
+};
+
+}  // namespace vqmc

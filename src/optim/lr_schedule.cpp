@@ -1,0 +1,34 @@
+#include "optim/lr_schedule.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace vqmc {
+
+StepDecaySchedule::StepDecaySchedule(int period, Real gamma)
+    : period_(period), gamma_(gamma) {
+  VQMC_REQUIRE(period > 0, "step decay: period must be positive");
+  VQMC_REQUIRE(gamma > 0 && gamma <= 1, "step decay: gamma must be in (0,1]");
+}
+
+Real StepDecaySchedule::multiplier(int iteration) const {
+  VQMC_REQUIRE(iteration >= 0, "step decay: iteration must be >= 0");
+  return std::pow(gamma_, Real(iteration / period_));
+}
+
+CosineSchedule::CosineSchedule(int horizon, Real floor)
+    : horizon_(horizon), floor_(floor) {
+  VQMC_REQUIRE(horizon > 0, "cosine schedule: horizon must be positive");
+  VQMC_REQUIRE(floor >= 0 && floor < 1, "cosine schedule: floor in [0,1)");
+}
+
+Real CosineSchedule::multiplier(int iteration) const {
+  VQMC_REQUIRE(iteration >= 0, "cosine schedule: iteration must be >= 0");
+  if (iteration >= horizon_) return floor_;
+  const Real phase = std::numbers::pi * Real(iteration) / Real(horizon_);
+  return floor_ + (1 - floor_) * (1 + std::cos(phase)) / 2;
+}
+
+}  // namespace vqmc

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file lr_schedule.hpp
+/// \brief Learning-rate schedules.
+///
+/// The paper applies no scheduler ("No learning rate scheduler is
+/// applied"), so ConstantSchedule reproduces its protocol; Step and Cosine
+/// schedules are provided for downstream users (they noticeably help SGD on
+/// the larger Max-Cut instances).
+
+#include <memory>
+
+#include "tensor/real.hpp"
+
+namespace vqmc {
+
+/// Maps an iteration index to a learning-rate multiplier (1 = base rate).
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Multiplier applied to the optimizer's base learning rate at
+  /// iteration `iteration` (0-based).
+  [[nodiscard]] virtual Real multiplier(int iteration) const = 0;
+};
+
+/// The paper's setting: no schedule.
+class ConstantSchedule final : public LrSchedule {
+ public:
+  [[nodiscard]] Real multiplier(int /*iteration*/) const override { return 1; }
+};
+
+/// Multiply by `gamma` every `period` iterations.
+class StepDecaySchedule final : public LrSchedule {
+ public:
+  StepDecaySchedule(int period, Real gamma);
+  [[nodiscard]] Real multiplier(int iteration) const override;
+
+ private:
+  int period_;
+  Real gamma_;
+};
+
+/// Cosine annealing from 1 to `floor` over `horizon` iterations; clamps at
+/// `floor` afterwards.
+class CosineSchedule final : public LrSchedule {
+ public:
+  CosineSchedule(int horizon, Real floor = 0);
+  [[nodiscard]] Real multiplier(int iteration) const override;
+
+ private:
+  int horizon_;
+  Real floor_;
+};
+
+}  // namespace vqmc

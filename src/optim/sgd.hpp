@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file sgd.hpp
+/// \brief Stochastic gradient descent with optional heavy-ball momentum.
+
+#include "optim/optimizer.hpp"
+#include "tensor/vector.hpp"
+
+namespace vqmc {
+
+/// params -= lr * v, with v = momentum * v + grad (plain SGD at momentum 0).
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(Real learning_rate = 0.1, Real momentum = 0.0);
+
+  void step(std::span<Real> params, std::span<const Real> grad) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "SGD"; }
+
+  [[nodiscard]] Real learning_rate() const override { return lr_; }
+  void set_learning_rate(Real lr) override { lr_ = lr; }
+
+ private:
+  Real lr_;
+  Real momentum_;
+  Vector velocity_;  ///< lazily sized on first step
+};
+
+}  // namespace vqmc

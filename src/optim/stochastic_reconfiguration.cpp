@@ -1,0 +1,62 @@
+#include "optim/stochastic_reconfiguration.hpp"
+
+#include "common/error.hpp"
+#include "linalg/cholesky.hpp"
+#include "tensor/kernels.hpp"
+
+namespace vqmc {
+
+StochasticReconfiguration::StochasticReconfiguration(SrConfig config)
+    : config_(config) {
+  VQMC_REQUIRE(config_.regularization > 0,
+               "SR: regularization must be positive");
+}
+
+int StochasticReconfiguration::precondition(const Matrix& per_sample_o,
+                                            std::span<const Real> grad,
+                                            std::span<Real> delta) const {
+  const std::size_t bs = per_sample_o.rows();
+  const std::size_t d = per_sample_o.cols();
+  VQMC_REQUIRE(grad.size() == d && delta.size() == d,
+               "SR: gradient size mismatch");
+  VQMC_REQUIRE(bs >= 2, "SR: need at least 2 samples");
+
+  // Column means o_bar.
+  Vector o_bar(d);
+  column_sum_accumulate(per_sample_o, o_bar.span());
+  scale(o_bar.span(), Real(1) / Real(bs));
+
+  const Real lambda = config_.regularization;
+
+  if (d <= config_.dense_threshold) {
+    // Dense path: S = O^T O / bs - o_bar o_bar^T + lambda I.
+    Matrix s(d, d);
+    gemm_tn_accumulate(per_sample_o, per_sample_o, s);
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = 0; j < d; ++j) {
+        s(i, j) = s(i, j) / Real(bs) - o_bar[i] * o_bar[j];
+      }
+      s(i, i) += lambda;
+    }
+    const bool ok = linalg::solve_spd(s, grad, delta);
+    VQMC_REQUIRE(ok, "SR: regularized S is not positive definite");
+    return 0;
+  }
+
+  // Matrix-free path: S v = O^T (O v) / bs - o_bar (o_bar . v) + lambda v.
+  Vector ov(bs);
+  const auto apply = [&](std::span<const Real> v, std::span<Real> out) {
+    gemv(per_sample_o, v, ov.span());
+    gemv_t(per_sample_o, ov.span(), out);
+    const Real inv_bs = Real(1) / Real(bs);
+    const Real ob_v = dot(o_bar.span(), v);
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] = out[i] * inv_bs - o_bar[i] * ob_v + lambda * v[i];
+  };
+  for (std::size_t i = 0; i < d; ++i) delta[i] = 0;
+  const linalg::CgResult cg =
+      linalg::conjugate_gradient(apply, grad, delta, config_.cg);
+  return cg.iterations;
+}
+
+}  // namespace vqmc

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file stochastic_reconfiguration.hpp
+/// \brief Stochastic reconfiguration (SR) — stochastic natural gradient
+/// descent (Sorella 1998; Amari 1998), Eq. 5 of the paper.
+///
+/// Given per-sample log-derivatives O(k, :) = d log psi(x_k)/d theta, SR
+/// preconditions the energy gradient g by the regularized quantum geometric
+/// tensor
+///
+///   S = cov(O) = (1/bs) O_c^T O_c,   O_c = O - mean(O),
+///   delta = (S + lambda I)^{-1} g,
+///
+/// and the base optimizer then steps along delta instead of g.  Note the
+/// Fisher matrix of pi = psi^2 is 4 S; the factor is absorbed into the
+/// learning rate, matching standard VMC practice and the paper's settings
+/// (lambda = 1e-3, lr = 0.1).
+///
+/// Two solve paths:
+///  * dense (d <= dense_threshold): form S once, Cholesky-solve — O(d^3)
+///    but cache-friendly and exact;
+///  * matrix-free CG: each S v costs two passes over the bs x d sample
+///    matrix, never forming S — the scalable path for large models.
+
+#include <memory>
+
+#include "linalg/conjugate_gradient.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/vector.hpp"
+
+namespace vqmc {
+
+struct SrConfig {
+  Real regularization = 1e-3;  ///< lambda (the paper's value)
+  std::size_t dense_threshold = 512;
+  linalg::CgOptions cg;
+};
+
+/// Natural-gradient preconditioner.
+class StochasticReconfiguration {
+ public:
+  explicit StochasticReconfiguration(SrConfig config = {});
+
+  /// Solve (S + lambda I) delta = grad with S built from `per_sample_o`
+  /// (bs x d).  `delta` has length d and is overwritten.
+  /// Returns the number of CG iterations (0 for the dense path).
+  int precondition(const Matrix& per_sample_o, std::span<const Real> grad,
+                   std::span<Real> delta) const;
+
+  [[nodiscard]] const SrConfig& config() const { return config_; }
+
+ private:
+  SrConfig config_;
+};
+
+}  // namespace vqmc

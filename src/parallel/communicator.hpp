@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file communicator.hpp
+/// \brief MPI-style collective-communication interface.
+///
+/// The distributed trainer is written against this interface so the same
+/// code runs on a single process (SelfCommunicator), on thread-backed
+/// virtual devices (ThreadCommunicator), or — by dropping in a thin adapter
+/// — on real MPI ranks.  Only the collectives the paper's data-parallel
+/// scheme needs are included: the gradient averaging is one allreduce per
+/// iteration (Section 4), parameters are broadcast once at startup.
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/real.hpp"
+
+namespace vqmc::parallel {
+
+/// Collective-communication endpoint for one rank.
+///
+/// All collectives are synchronizing and must be called by every rank of
+/// the group in the same order (the usual MPI contract).
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  [[nodiscard]] virtual int rank() const = 0;
+  [[nodiscard]] virtual int size() const = 0;
+
+  /// Elementwise sum across ranks; every rank receives the result in place.
+  virtual void allreduce_sum(std::span<Real> data) = 0;
+
+  /// Scalar convenience overload.
+  Real allreduce_sum(Real value) {
+    allreduce_sum(std::span<Real>(&value, 1));
+    return value;
+  }
+
+  /// Elementwise max across ranks, in place.
+  virtual void allreduce_max(std::span<Real> data) = 0;
+
+  /// Copy `data` from `root` to every rank, in place.
+  virtual void broadcast(std::span<Real> data, int root) = 0;
+
+  /// Block until every rank has arrived.
+  virtual void barrier() = 0;
+};
+
+/// Single-rank communicator (the degenerate L = 1 "cluster").
+class SelfCommunicator final : public Communicator {
+ public:
+  using Communicator::allreduce_sum;  // keep the scalar overload visible
+
+  [[nodiscard]] int rank() const override { return 0; }
+  [[nodiscard]] int size() const override { return 1; }
+  void allreduce_sum(std::span<Real> /*data*/) override {}
+  void allreduce_max(std::span<Real> /*data*/) override {}
+  void broadcast(std::span<Real> /*data*/, int /*root*/) override {}
+  void barrier() override {}
+};
+
+}  // namespace vqmc::parallel

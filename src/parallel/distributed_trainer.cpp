@@ -1,0 +1,150 @@
+#include "parallel/distributed_trainer.hpp"
+
+#include <cmath>
+#include <memory>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/estimators.hpp"
+#include "core/local_energy.hpp"
+#include "nn/made.hpp"
+#include "optim/optimizer.hpp"
+#include "parallel/thread_communicator.hpp"
+#include "rng/splitmix.hpp"
+#include "sampler/autoregressive_sampler.hpp"
+#include "tensor/kernels.hpp"
+
+namespace vqmc::parallel {
+
+DistributedResult train_distributed(const Hamiltonian& hamiltonian,
+                                    const AutoregressiveModel& prototype,
+                                    const DistributedConfig& config,
+                                    const DeviceCostModel& device) {
+  VQMC_REQUIRE(config.shape.total() >= 1, "distributed: empty cluster");
+  VQMC_REQUIRE(config.mini_batch_size >= 1, "distributed: mbs must be >= 1");
+  VQMC_REQUIRE(config.iterations >= 0, "distributed: iterations must be >= 0");
+
+  const int num_ranks = config.shape.total();
+  const std::size_t n = hamiltonian.num_spins();
+  const std::size_t mbs = config.mini_batch_size;
+  const Real global_batch = Real(mbs) * Real(num_ranks);
+
+  DistributedResult result;
+  result.energy_history.assign(std::size_t(config.iterations), Real(0));
+  std::mutex result_mutex;
+  std::vector<double> busy_seconds(std::size_t(num_ranks), 0.0);
+
+  run_thread_group(num_ranks, [&](Communicator& comm) {
+    const int rank = comm.rank();
+
+    // Per-rank replica and private RNG stream. Replicas start identical
+    // (same prototype); the sampler streams differ per rank.
+    std::unique_ptr<WavefunctionModel> replica_base = prototype.clone();
+    auto* replica = dynamic_cast<AutoregressiveModel*>(replica_base.get());
+    VQMC_REQUIRE(replica != nullptr, "distributed: clone lost its type");
+    const std::uint64_t rank_seed =
+        config.seed ^ rng::splitmix64_once(std::uint64_t(rank) + 1);
+    AutoregressiveSampler sampler(*replica, rank_seed);
+    LocalEnergyEngine engine(hamiltonian, *replica,
+                             config.local_energy_chunk);
+    std::unique_ptr<Optimizer> optimizer =
+        config.optimizer == "SGD" ? make_sgd(0.1) : make_adam(0.01);
+
+    Matrix batch(mbs, n);
+    Vector local_energies(mbs);
+    Vector gradient(replica->num_parameters());
+    Vector coeff(mbs);
+    // Per-thread CPU time: wall time would charge a virtual device for the
+    // periods it sat descheduled when the host core is oversubscribed.
+    ThreadCpuTimer busy;
+    double my_busy = 0;
+
+    for (int iter = 0; iter < config.iterations; ++iter) {
+      busy.reset();
+      sampler.sample(batch);
+      engine.compute(batch, local_energies.span());
+      Real stats[2] = {sum(local_energies.span()), Real(mbs)};
+      my_busy += busy.seconds();
+
+      comm.allreduce_sum(std::span<Real>(stats, 2));
+      const Real global_mean = stats[0] / stats[1];
+
+      busy.reset();
+      // Local gradient contribution with *global* centering, so the
+      // allreduced sum is exactly the serial gradient over the full batch.
+      for (std::size_t k = 0; k < mbs; ++k)
+        coeff[k] = 2 * (local_energies[k] - global_mean) / global_batch;
+      gradient.fill(0);
+      replica->accumulate_log_psi_gradient(batch, coeff.span(),
+                                           gradient.span());
+      my_busy += busy.seconds();
+
+      comm.allreduce_sum(gradient.span());
+
+      busy.reset();
+      optimizer->step(replica->parameters(), gradient.span());
+      my_busy += busy.seconds();
+
+      if (rank == 0)
+        result.energy_history[std::size_t(iter)] = global_mean;
+    }
+
+    // Final evaluation: fresh samples on every rank, global mean/std.
+    const std::size_t eb = std::max<std::size_t>(1, config.eval_batch_per_rank);
+    Matrix eval_batch(eb, n);
+    Vector eval_energies(eb);
+    sampler.sample(eval_batch);
+    engine.compute(eval_batch, eval_energies.span());
+    Real moments[3] = {sum(eval_energies.span()),
+                       dot(eval_energies.span(), eval_energies.span()),
+                       Real(eb)};
+    comm.allreduce_sum(std::span<Real>(moments, 3));
+
+    // Replica-consistency check: max minus min of each parameter across
+    // ranks must be zero.
+    Vector p_max(replica->num_parameters());
+    Vector p_neg_min(replica->num_parameters());
+    for (std::size_t i = 0; i < p_max.size(); ++i) {
+      p_max[i] = replica->parameters()[i];
+      p_neg_min[i] = -replica->parameters()[i];
+    }
+    comm.allreduce_max(p_max.span());
+    comm.allreduce_max(p_neg_min.span());
+    Real spread = 0;
+    for (std::size_t i = 0; i < p_max.size(); ++i)
+      spread = std::max(spread, p_max[i] + p_neg_min[i]);
+
+    {
+      const std::lock_guard<std::mutex> lock(result_mutex);
+      busy_seconds[std::size_t(rank)] = my_busy;
+      if (rank == 0) {
+        const Real mean = moments[0] / moments[2];
+        const Real var =
+            std::max<Real>(0, moments[1] / moments[2] - mean * mean);
+        result.converged_energy = mean;
+        result.converged_std = std::sqrt(var);
+        result.replicas_identical = spread == Real(0);
+        result.final_parameters.assign(replica->parameters().begin(),
+                                       replica->parameters().end());
+      }
+    }
+  });
+
+  for (double s : busy_seconds)
+    result.max_rank_busy_seconds = std::max(result.max_rank_busy_seconds, s);
+
+  // Modeled time: use the prototype's hidden width when available.
+  std::size_t hidden = 0;
+  if (const auto* made = dynamic_cast<const Made*>(&prototype))
+    hidden = made->hidden_size();
+  if (hidden > 0) {
+    result.modeled_seconds =
+        double(config.iterations) *
+        model_iteration_seconds(device, config.shape, n, hidden, mbs,
+                                config.local_energy_chunk);
+  }
+  return result;
+}
+
+}  // namespace vqmc::parallel

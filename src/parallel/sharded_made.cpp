@@ -1,0 +1,159 @@
+#include "parallel/sharded_made.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/kernels.hpp"
+
+namespace vqmc::parallel {
+
+namespace {
+constexpr Real kProbEps = 1e-12;
+Real clamped_log(Real p) { return std::log(std::max(p, kProbEps)); }
+}  // namespace
+
+ShardedMade::ShardedMade(const Made& prototype, Communicator& comm)
+    : comm_(comm),
+      n_(prototype.num_spins()),
+      h_total_(prototype.hidden_size()) {
+  const std::size_t ranks = std::size_t(comm_.size());
+  VQMC_REQUIRE(h_total_ >= ranks,
+               "ShardedMade: need at least one hidden unit per rank");
+  // Contiguous block partition of the hidden units.
+  const std::size_t base = h_total_ / ranks;
+  const std::size_t extra = h_total_ % ranks;
+  const std::size_t rank = std::size_t(comm_.rank());
+  h_local_ = base + (rank < extra ? 1 : 0);
+  h_begin_ = rank * base + std::min(rank, extra);
+
+  params_ = Vector(h_local_ * n_ + h_local_ + n_ * h_local_ + n_);
+  mask1_ = Matrix(h_local_, n_);
+  mask2_ = Matrix(n_, h_local_);
+
+  // Slice the prototype. Its layout: W1 (h x n) | b1 (h) | W2 (n x h) |
+  // b2 (n).
+  const std::span<const Real> proto = prototype.parameters();
+  const Real* proto_w1 = proto.data();
+  const Real* proto_b1 = proto.data() + h_total_ * n_;
+  const Real* proto_w2 = proto.data() + h_total_ * n_ + h_total_;
+  const Real* proto_b2 = proto.data() + h_total_ * n_ + h_total_ + n_ * h_total_;
+
+  Real* w1_loc = params_.data();
+  Real* b1_loc = params_.data() + h_local_ * n_;
+  Real* w2_loc = params_.data() + h_local_ * n_ + h_local_;
+  Real* b2_loc = params_.data() + h_local_ * n_ + h_local_ + n_ * h_local_;
+
+  std::copy_n(proto_w1 + h_begin_ * n_, h_local_ * n_, w1_loc);
+  std::copy_n(proto_b1 + h_begin_, h_local_, b1_loc);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t k = 0; k < h_local_; ++k)
+      w2_loc[i * h_local_ + k] = proto_w2[i * h_total_ + (h_begin_ + k)];
+  std::copy_n(proto_b2, n_, b2_loc);
+
+  for (std::size_t k = 0; k < h_local_; ++k)
+    for (std::size_t j = 0; j < n_; ++j)
+      mask1_(k, j) = prototype.mask1()(h_begin_ + k, j);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t k = 0; k < h_local_; ++k)
+      mask2_(i, k) = prototype.mask2()(i, h_begin_ + k);
+}
+
+void ShardedMade::masked_weights(Matrix& w1m, Matrix& w2m) const {
+  w1m = Matrix(h_local_, n_);
+  w2m = Matrix(n_, h_local_);
+  for (std::size_t i = 0; i < h_local_ * n_; ++i)
+    w1m.data()[i] = mask1_.data()[i] * w1()[i];
+  for (std::size_t i = 0; i < n_ * h_local_; ++i)
+    w2m.data()[i] = mask2_.data()[i] * w2()[i];
+}
+
+void ShardedMade::forward(const Matrix& batch, Forward& f) {
+  VQMC_REQUIRE(batch.cols() == n_, "ShardedMade: batch has wrong spin count");
+  const std::size_t bs = batch.rows();
+  Matrix w1m, w2m;
+  masked_weights(w1m, w2m);
+
+  f.a1 = Matrix(bs, h_local_);
+  gemm_nt(batch, w1m, f.a1);
+  add_row_broadcast(f.a1, std::span<const Real>(b1(), h_local_));
+  f.h1 = f.a1;
+  relu_inplace(f.h1);
+
+  // Partial pre-sigmoid output from this shard; the allreduce completes the
+  // hidden-unit sum across ranks. This is THE model-parallel communication.
+  f.p = Matrix(bs, n_);
+  gemm_nt(f.h1, w2m, f.p);
+  comm_.allreduce_sum(std::span<Real>(f.p.data(), f.p.size()));
+  ++allreduce_count_;
+  add_row_broadcast(f.p, std::span<const Real>(b2(), n_));
+  sigmoid_inplace(f.p);
+}
+
+void ShardedMade::conditionals(const Matrix& batch, Matrix& out) {
+  Forward f;
+  forward(batch, f);
+  out = std::move(f.p);
+}
+
+void ShardedMade::log_psi(const Matrix& batch, std::span<Real> out) {
+  VQMC_REQUIRE(out.size() == batch.rows(), "ShardedMade: output size mismatch");
+  Forward f;
+  forward(batch, f);
+  const std::size_t bs = batch.rows();
+  for (std::size_t k = 0; k < bs; ++k) {
+    Real log_pi = 0;
+    const Real* x = batch.row(k).data();
+    const Real* p = f.p.row(k).data();
+    for (std::size_t i = 0; i < n_; ++i)
+      log_pi += x[i] * clamped_log(p[i]) + (1 - x[i]) * clamped_log(1 - p[i]);
+    out[k] = log_pi / 2;
+  }
+}
+
+void ShardedMade::accumulate_log_psi_gradient(const Matrix& batch,
+                                              std::span<const Real> coeff,
+                                              std::span<Real> grad) {
+  const std::size_t bs = batch.rows();
+  VQMC_REQUIRE(coeff.size() == bs, "ShardedMade: coefficient size mismatch");
+  VQMC_REQUIRE(grad.size() == num_local_parameters(),
+               "ShardedMade: gradient size mismatch");
+
+  Forward f;
+  forward(batch, f);
+  Matrix w1m, w2m;
+  masked_weights(w1m, w2m);
+
+  // g2 is identical on every rank (p is fully reduced) — so the output
+  // bias gradient is replicated and the shard gradients need no comm.
+  Matrix g2(bs, n_);
+  for (std::size_t k = 0; k < bs; ++k) {
+    const Real* x = batch.row(k).data();
+    const Real* p = f.p.row(k).data();
+    Real* g = g2.row(k).data();
+    const Real c = coeff[k] / 2;
+    for (std::size_t i = 0; i < n_; ++i) g[i] = c * (x[i] - p[i]);
+  }
+
+  const std::size_t off_b1 = h_local_ * n_;
+  const std::size_t off_w2 = off_b1 + h_local_;
+  const std::size_t off_b2 = off_w2 + n_ * h_local_;
+
+  Matrix dw2(n_, h_local_);
+  gemm_tn_accumulate(g2, f.h1, dw2);
+  for (std::size_t i = 0; i < n_ * h_local_; ++i)
+    grad[off_w2 + i] += mask2_.data()[i] * dw2.data()[i];
+  column_sum_accumulate(g2, grad.subspan(off_b2, n_));
+
+  Matrix g1(bs, h_local_);
+  gemm_nn(g2, w2m, g1);
+  relu_backward_inplace(f.a1, g1);
+
+  Matrix dw1(h_local_, n_);
+  gemm_tn_accumulate(g1, batch, dw1);
+  for (std::size_t i = 0; i < h_local_ * n_; ++i)
+    grad[i] += mask1_.data()[i] * dw1.data()[i];
+  column_sum_accumulate(g1, grad.subspan(off_b1, h_local_));
+}
+
+}  // namespace vqmc::parallel

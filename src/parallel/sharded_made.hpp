@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file sharded_made.hpp
+/// \brief Model parallelism for MADE — the paper's "avenue (1)".
+///
+/// Section 4 lists two independent ways past the single-device memory wall
+/// and implements only the second (sampling parallelism).  This class
+/// implements the first: the hidden layer is *sharded* across ranks.  Rank
+/// r stores only its slice of the first-layer weights (h_r x n), biases
+/// (h_r) and the matching column slice of the output weights (n x h_r); the
+/// output bias is replicated.  Per-rank memory is O(h n / L) instead of
+/// O(h n).
+///
+/// Forward pass: each rank computes its hidden slice locally, forms the
+/// partial pre-sigmoid output H1_r W2_r^T, and one allreduce of the
+/// bs x n activation matrix completes the sum over shards — after which
+/// every rank holds the full conditionals.  The backward pass needs NO
+/// communication at all: the output-layer signal g2 is replicated, and each
+/// rank's weight gradients depend only on its own hidden slice.  Total
+/// communication per evaluation is O(bs n) — compare O(h n) per iteration
+/// for the gradient allreduce of sampling parallelism; the two compose.
+///
+/// All methods are collectives: every rank of the communicator must call
+/// them in the same order with identical `batch` contents.
+
+#include <cstdint>
+
+#include "nn/made.hpp"
+#include "parallel/communicator.hpp"
+
+namespace vqmc::parallel {
+
+/// Hidden-layer-sharded MADE replica bound to one rank of a communicator.
+class ShardedMade {
+ public:
+  /// Shard `prototype`'s parameters across the ranks of `comm`.  Every rank
+  /// must construct from a bit-identical prototype.  The communicator is
+  /// borrowed and must outlive the shard.
+  ShardedMade(const Made& prototype, Communicator& comm);
+
+  [[nodiscard]] std::size_t num_spins() const { return n_; }
+  [[nodiscard]] std::size_t hidden_total() const { return h_total_; }
+  [[nodiscard]] std::size_t hidden_local() const { return h_local_; }
+  /// First global hidden index owned by this rank.
+  [[nodiscard]] std::size_t hidden_begin() const { return h_begin_; }
+
+  /// Local parameter count: h_r n + h_r + n h_r + n (output bias
+  /// replicated).
+  [[nodiscard]] std::size_t num_local_parameters() const {
+    return params_.size();
+  }
+  [[nodiscard]] std::span<Real> local_parameters() { return params_.span(); }
+  [[nodiscard]] std::span<const Real> local_parameters() const {
+    return params_.span();
+  }
+
+  /// All conditionals (collective: one bs x n activation allreduce).
+  void conditionals(const Matrix& batch, Matrix& out);
+
+  /// log |psi| per row (collective).
+  void log_psi(const Matrix& batch, std::span<Real> out);
+
+  /// grad += sum_k coeff[k] d log psi / d(local params). Collective in the
+  /// forward recomputation only; the backward itself is communication-free.
+  void accumulate_log_psi_gradient(const Matrix& batch,
+                                   std::span<const Real> coeff,
+                                   std::span<Real> grad);
+
+  /// Activation allreduces performed so far (the model-parallel comm cost).
+  [[nodiscard]] std::uint64_t allreduce_count() const {
+    return allreduce_count_;
+  }
+
+ private:
+  // Local parameter views.
+  [[nodiscard]] const Real* w1() const { return params_.data(); }
+  [[nodiscard]] const Real* b1() const {
+    return params_.data() + h_local_ * n_;
+  }
+  [[nodiscard]] const Real* w2() const {
+    return params_.data() + h_local_ * n_ + h_local_;
+  }
+  [[nodiscard]] const Real* b2() const {
+    return params_.data() + h_local_ * n_ + h_local_ + n_ * h_local_;
+  }
+
+  struct Forward {
+    Matrix a1;  ///< bs x h_local, pre-ReLU
+    Matrix h1;  ///< bs x h_local
+    Matrix p;   ///< bs x n, full conditionals (post-allreduce)
+  };
+  void forward(const Matrix& batch, Forward& f);
+  void masked_weights(Matrix& w1m, Matrix& w2m) const;
+
+  Communicator& comm_;
+  std::size_t n_;
+  std::size_t h_total_;
+  std::size_t h_local_;
+  std::size_t h_begin_;
+  Vector params_;
+  Matrix mask1_;  ///< h_local x n
+  Matrix mask2_;  ///< n x h_local
+  std::uint64_t allreduce_count_ = 0;
+};
+
+}  // namespace vqmc::parallel

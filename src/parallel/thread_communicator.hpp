@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file thread_communicator.hpp
+/// \brief Thread-backed communicator group: L ranks as L threads sharing a
+/// reduction context.
+///
+/// This is the machinery that virtualizes the paper's GPU cluster on a CPU
+/// box (see DESIGN.md): every rank runs the *real* data-parallel training
+/// code and the collectives perform *real* reductions — only the hardware
+/// underneath is threads instead of GPUs.  Reductions are computed in a
+/// fixed rank order on every rank, so results are bit-identical across
+/// ranks and across runs regardless of thread scheduling.
+
+#include <functional>
+#include <span>
+
+#include "parallel/communicator.hpp"
+
+namespace vqmc::parallel {
+
+/// Launch `num_ranks` threads, each receiving its own Communicator endpoint,
+/// and join them.  Exceptions thrown by any rank are captured and the first
+/// one is rethrown after all threads have joined.
+void run_thread_group(int num_ranks,
+                      const std::function<void(Communicator&)>& body);
+
+}  // namespace vqmc::parallel

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file distributions.hpp
+/// \brief Distribution helpers on top of any UniformRandomBitGenerator.
+///
+/// We deliberately avoid `std::uniform_real_distribution` & friends: their
+/// output is implementation-defined, which would make tests and experiment
+/// tables differ across standard libraries.  These helpers are exact and
+/// portable.
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace vqmc::rng {
+
+/// Uniform double in [0, 1) with 53 random bits.
+template <typename Generator>
+double uniform01(Generator& gen) {
+  // Use the top 53 bits of a 64-bit draw.
+  const std::uint64_t bits = static_cast<std::uint64_t>(gen()) |
+                             (static_cast<std::uint64_t>(gen()) << 32);
+  return double(bits >> 11) * 0x1.0p-53;
+}
+
+// 64-bit generators produce the full word in a single call.
+template <typename Generator>
+  requires(sizeof(typename Generator::result_type) == 8)
+double uniform01(Generator& gen) {
+  return double(gen() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform double in [lo, hi).
+template <typename Generator>
+double uniform(Generator& gen, double lo, double hi) {
+  return lo + (hi - lo) * uniform01(gen);
+}
+
+/// Uniform integer in [0, n) (Lemire-style rejection; unbiased).
+template <typename Generator>
+std::uint64_t uniform_index(Generator& gen, std::uint64_t n) {
+  if (n == 0) return 0;
+  std::uint64_t draw, limit = (~std::uint64_t{0}) - (~std::uint64_t{0}) % n;
+  do {
+    if constexpr (sizeof(typename Generator::result_type) == 8) {
+      draw = gen();
+    } else {
+      draw = static_cast<std::uint64_t>(gen()) |
+             (static_cast<std::uint64_t>(gen()) << 32);
+    }
+  } while (draw >= limit);
+  return draw % n;
+}
+
+/// Bernoulli(p) draw.
+template <typename Generator>
+bool bernoulli(Generator& gen, double p) {
+  return uniform01(gen) < p;
+}
+
+/// Standard normal via Box–Muller (one value; the pair is not cached so the
+/// draw count per sample is deterministic — important for reproducibility).
+template <typename Generator>
+double normal(Generator& gen) {
+  double u1 = uniform01(gen);
+  // Guard against log(0); the smallest representable u1 is fine.
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform01(gen);
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+/// Normal with mean/stddev.
+template <typename Generator>
+double normal(Generator& gen, double mean, double stddev) {
+  return mean + stddev * normal(gen);
+}
+
+}  // namespace vqmc::rng

@@ -1,0 +1,64 @@
+#include "rng/philox.hpp"
+
+namespace vqmc::rng {
+
+namespace {
+
+constexpr std::uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline void mulhilo(std::uint32_t a, std::uint32_t b, std::uint32_t& hi,
+                    std::uint32_t& lo) {
+  const std::uint64_t product = static_cast<std::uint64_t>(a) * b;
+  hi = static_cast<std::uint32_t>(product >> 32);
+  lo = static_cast<std::uint32_t>(product);
+}
+
+inline std::array<std::uint32_t, 4> round_once(std::array<std::uint32_t, 4> x,
+                                               std::array<std::uint32_t, 2> k) {
+  std::uint32_t hi0, lo0, hi1, lo1;
+  mulhilo(kPhiloxM0, x[0], hi0, lo0);
+  mulhilo(kPhiloxM1, x[2], hi1, lo1);
+  return {hi1 ^ x[1] ^ k[0], lo1, hi0 ^ x[3] ^ k[1], lo0};
+}
+
+inline std::array<std::uint32_t, 4> philox10(std::array<std::uint32_t, 4> ctr,
+                                             std::array<std::uint32_t, 2> key) {
+  for (int round = 0; round < 10; ++round) {
+    ctr = round_once(ctr, key);
+    key[0] += kWeyl0;
+    key[1] += kWeyl1;
+  }
+  return ctr;
+}
+
+}  // namespace
+
+std::array<std::uint32_t, 4> Philox4x32::at(std::uint64_t key, std::uint64_t hi,
+                                            std::uint64_t lo) {
+  const std::array<std::uint32_t, 4> ctr = {
+      static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(lo >> 32),
+      static_cast<std::uint32_t>(hi), static_cast<std::uint32_t>(hi >> 32)};
+  const std::array<std::uint32_t, 2> k = {static_cast<std::uint32_t>(key),
+                                          static_cast<std::uint32_t>(key >> 32)};
+  return philox10(ctr, k);
+}
+
+std::uint32_t Philox4x32::operator()() {
+  if (buffered_ >= 4) {
+    block_ = philox10(counter_, key_);
+    increment_counter();
+    buffered_ = 0;
+  }
+  return block_[buffered_++];
+}
+
+void Philox4x32::increment_counter() {
+  for (auto& word : counter_) {
+    if (++word != 0) break;  // carry into the next word on wrap
+  }
+}
+
+}  // namespace vqmc::rng

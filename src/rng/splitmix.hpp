@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file splitmix.hpp
+/// \brief SplitMix64: a tiny, high-quality 64-bit mixing generator.
+///
+/// Used to expand a single user-provided seed into the larger state of
+/// xoshiro256++ / Philox, and as a cheap standalone generator in tests.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014); constants from Vigna's public-domain code.
+
+#include <cstdint>
+
+namespace vqmc::rng {
+
+/// SplitMix64 generator. Satisfies UniformRandomBitGenerator.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  constexpr std::uint64_t operator()() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One-shot stateless mix; handy for hashing (seed, stream) pairs.
+constexpr std::uint64_t splitmix64_once(std::uint64_t x) {
+  SplitMix64 g(x);
+  return g();
+}
+
+}  // namespace vqmc::rng

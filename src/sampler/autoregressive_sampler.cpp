@@ -1,0 +1,32 @@
+#include "sampler/autoregressive_sampler.hpp"
+
+#include "common/error.hpp"
+#include "rng/distributions.hpp"
+
+namespace vqmc {
+
+AutoregressiveSampler::AutoregressiveSampler(const AutoregressiveModel& model,
+                                             std::uint64_t seed)
+    : model_(model), gen_(seed) {}
+
+void AutoregressiveSampler::sample(Matrix& out) {
+  const std::size_t n = model_.num_spins();
+  VQMC_REQUIRE(out.cols() == n, "AUTO: output batch has wrong spin count");
+  const std::size_t bs = out.rows();
+  VQMC_REQUIRE(bs > 0, "AUTO: batch must be non-empty");
+
+  out.fill(0);
+  // Ancestral sampling: after pass i the first i+1 sites of every row are
+  // final. Conditionals for site i only read sites < i (masked), so the
+  // not-yet-sampled zero entries are never consumed.
+  for (std::size_t i = 0; i < n; ++i) {
+    model_.conditionals(out, conditionals_);
+    ++stats_.forward_passes;
+    for (std::size_t k = 0; k < bs; ++k) {
+      const Real p1 = conditionals_(k, i);
+      out(k, i) = rng::bernoulli(gen_, p1) ? Real(1) : Real(0);
+    }
+  }
+}
+
+}  // namespace vqmc

@@ -1,0 +1,118 @@
+#include "sampler/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "hamiltonian/hamiltonian.hpp"
+#include "tensor/kernels.hpp"
+
+namespace vqmc {
+
+std::vector<Real> autocorrelation(std::span<const Real> series,
+                                  std::size_t max_lag) {
+  const std::size_t n = series.size();
+  if (n < 2) return {};
+  const Real m = mean(series);
+  Real var = 0;
+  for (Real v : series) var += (v - m) * (v - m);
+  if (var == 0) return std::vector<Real>(std::min(max_lag, n - 1) + 1, Real(0));
+
+  const std::size_t lags = std::min(max_lag, n - 1);
+  std::vector<Real> rho(lags + 1);
+  for (std::size_t lag = 0; lag <= lags; ++lag) {
+    Real acc = 0;
+    for (std::size_t t = 0; t + lag < n; ++t)
+      acc += (series[t] - m) * (series[t + lag] - m);
+    rho[lag] = acc / var;
+  }
+  return rho;
+}
+
+Real integrated_autocorrelation_time(std::span<const Real> series,
+                                     std::size_t max_lag) {
+  const std::vector<Real> rho = autocorrelation(series, max_lag);
+  if (rho.empty()) return 1;
+  Real tau = 1;
+  for (std::size_t lag = 1; lag < rho.size(); ++lag) {
+    if (rho[lag] <= 0) break;
+    tau += 2 * rho[lag];
+  }
+  return tau;
+}
+
+Real effective_sample_size(std::span<const Real> series) {
+  if (series.empty()) return 0;
+  return Real(series.size()) / integrated_autocorrelation_time(series);
+}
+
+std::vector<Real> empirical_distribution(const Matrix& samples) {
+  const std::size_t n = samples.cols();
+  VQMC_REQUIRE(n <= 20, "empirical_distribution limited to n <= 20");
+  const std::size_t dim = std::size_t(1) << n;
+  std::vector<Real> p(dim, Real(0));
+  for (std::size_t k = 0; k < samples.rows(); ++k)
+    p[encode_basis_state(samples.row(k))] += 1;
+  const Real total = Real(samples.rows());
+  for (Real& v : p) v /= total;
+  return p;
+}
+
+Real total_variation_distance(std::span<const Real> p,
+                              std::span<const Real> q) {
+  VQMC_REQUIRE(p.size() == q.size(), "TV distance: support mismatch");
+  Real acc = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) acc += std::fabs(p[i] - q[i]);
+  return acc / 2;
+}
+
+Real gelman_rubin(const std::vector<std::vector<Real>>& chains) {
+  VQMC_REQUIRE(chains.size() >= 2, "gelman_rubin: need at least 2 chains");
+  const std::size_t n = chains.front().size();
+  VQMC_REQUIRE(n >= 2, "gelman_rubin: chains must have length >= 2");
+  for (const auto& chain : chains)
+    VQMC_REQUIRE(chain.size() == n, "gelman_rubin: unequal chain lengths");
+
+  const Real m = Real(chains.size());
+  std::vector<Real> chain_mean(chains.size());
+  Real grand_mean = 0;
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    chain_mean[c] = mean(chains[c]);
+    grand_mean += chain_mean[c];
+  }
+  grand_mean /= m;
+
+  // Between-chain variance (of chain means, times N).
+  Real b = 0;
+  for (Real mu : chain_mean) b += (mu - grand_mean) * (mu - grand_mean);
+  b *= Real(n) / (m - 1);
+
+  // Mean within-chain (sample) variance.
+  Real w = 0;
+  for (const auto& chain : chains) {
+    Real var = 0;
+    const Real mu = mean(chain);
+    for (Real v : chain) var += (v - mu) * (v - mu);
+    w += var / Real(n - 1);
+  }
+  w /= m;
+  if (w == 0) return 1;  // degenerate constant chains: call them mixed
+
+  const Real var_plus = (Real(n - 1) / Real(n)) * w + b / Real(n);
+  return std::sqrt(var_plus / w);
+}
+
+Real mcmc_parallel_speedup(std::size_t k, std::size_t j, std::size_t n,
+                           std::size_t num_units) {
+  VQMC_REQUIRE(n >= 1 && j >= 1 && num_units >= 1,
+               "mcmc_parallel_speedup: invalid arguments");
+  const Real serial = Real(k) + Real(n * num_units - 1) * Real(j) + 1;
+  const Real parallel = Real(k) + Real(n - 1) * Real(j) + 1;
+  return serial / parallel;
+}
+
+Real auto_parallel_speedup(std::size_t num_units) {
+  return Real(num_units);
+}
+
+}  // namespace vqmc

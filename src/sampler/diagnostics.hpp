@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file diagnostics.hpp
+/// \brief Sampling-quality diagnostics and the Eq. 14 efficiency model.
+///
+/// Used by tests (chain correctness vs exact distributions) and by the
+/// `bench_eq14_mcmc_efficiency` harness that reproduces the paper's
+/// analytical MCMC parallel-efficiency argument.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "tensor/real.hpp"
+
+namespace vqmc {
+
+/// Lag-k autocorrelations of a scalar chain, for k = 0..max_lag.
+/// Returns an empty vector for chains shorter than 2 elements.
+std::vector<Real> autocorrelation(std::span<const Real> series,
+                                  std::size_t max_lag);
+
+/// Integrated autocorrelation time tau = 1 + 2 sum_k rho_k, truncated at the
+/// first non-positive autocorrelation (Geyer's initial positive sequence,
+/// simplified).
+Real integrated_autocorrelation_time(std::span<const Real> series,
+                                     std::size_t max_lag = 1000);
+
+/// Effective sample size N / tau.
+Real effective_sample_size(std::span<const Real> series);
+
+/// Empirical distribution of a batch of n-bit configurations over the 2^n
+/// basis states (n <= 20).
+std::vector<Real> empirical_distribution(const Matrix& samples);
+
+/// Total-variation distance between two distributions on the same support.
+Real total_variation_distance(std::span<const Real> p, std::span<const Real> q);
+
+/// Gelman-Rubin potential scale reduction factor (R-hat) over M scalar
+/// chains of equal length: sqrt(((N-1)/N * W + B/N) / W) with W the mean
+/// within-chain variance and B/N the between-chain variance of the chain
+/// means. Values near 1 indicate the chains have mixed; >> 1 flags the
+/// burn-in failures the paper attributes to MCMC at large n.
+Real gelman_rubin(const std::vector<std::vector<Real>>& chains);
+
+/// The paper's Eq. 14: speedup of L computing units for MCMC sampling with
+/// burn-in k, thinning j and n kept samples per unit —
+/// (k + (nL - 1) j + 1) / (k + (n - 1) j + 1).  Slope w.r.t. L decays toward
+/// 0 as k grows: burn-in is inherently sequential.
+Real mcmc_parallel_speedup(std::size_t k, std::size_t j, std::size_t n,
+                           std::size_t num_units);
+
+/// AUTO sampling speedup under the same accounting: sampling is n forward
+/// passes per unit regardless of batch, so the speedup is exactly L.
+Real auto_parallel_speedup(std::size_t num_units);
+
+}  // namespace vqmc

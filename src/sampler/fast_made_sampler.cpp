@@ -1,0 +1,61 @@
+#include "sampler/fast_made_sampler.hpp"
+
+#include "common/error.hpp"
+#include "rng/distributions.hpp"
+#include "tensor/kernels.hpp"
+
+namespace vqmc {
+
+FastMadeSampler::FastMadeSampler(const Made& model, std::uint64_t seed)
+    : model_(model), gen_(seed) {}
+
+void FastMadeSampler::sample(Matrix& out) {
+  const std::size_t n = model_.num_spins();
+  const std::size_t h = model_.hidden_size();
+  VQMC_REQUIRE(out.cols() == n, "AUTO-fast: output batch has wrong spin count");
+  const std::size_t bs = out.rows();
+  VQMC_REQUIRE(bs > 0, "AUTO-fast: batch must be non-empty");
+
+  // Materialize the masked weights once per batch (the parameters may have
+  // moved since the previous call).
+  model_.masked_weights_public(w1m_, w2m_);
+  const std::span<const Real> b1 = model_.bias1();
+  const std::span<const Real> b2 = model_.bias2();
+
+  // A1 starts at the bias: the initial configuration is all-zeros, which
+  // contributes nothing through W1m.
+  if (a1_.rows() != bs || a1_.cols() != h) a1_ = Matrix(bs, h);
+  for (std::size_t k = 0; k < bs; ++k) {
+    Real* row = a1_.row(k).data();
+    for (std::size_t l = 0; l < h; ++l) row[l] = b1[l];
+  }
+  out.fill(0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ++stats_.forward_passes;  // comparable accounting with Algorithm 1
+    const Real* w2_row = w2m_.row(i).data();
+    const Real bias = b2[i];
+    // Sequential over the batch: each row consumes exactly one Bernoulli
+    // draw per site, in the same (site-major, row-minor) order as the
+    // baseline AutoregressiveSampler — which makes the two samplers
+    // bit-identical under the same seed.
+    for (std::size_t k = 0; k < bs; ++k) {
+      const Real* a_row = a1_.row(k).data();
+      Real logit = bias;
+      for (std::size_t l = 0; l < h; ++l) {
+        const Real hl = a_row[l] > 0 ? a_row[l] : 0;  // ReLU on the fly
+        logit += w2_row[l] * hl;
+      }
+      const Real p1 = sigmoid(logit);
+      if (rng::bernoulli(gen_, p1)) {
+        out(k, i) = 1;
+        // Rank-1 update: input i flipped 0 -> 1 adds column i of W1m.
+        Real* a_mut = a1_.row(k).data();
+        const Real* w1_base = w1m_.data();
+        for (std::size_t l = 0; l < h; ++l) a_mut[l] += w1_base[l * n + i];
+      }
+    }
+  }
+}
+
+}  // namespace vqmc

@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file metropolis_sampler.hpp
+/// \brief Random-walk Metropolis–Hastings sampler over the Born distribution
+/// pi_theta(x) ∝ exp(2 log psi_theta(x)).
+///
+/// The sampler reproduces the paper's MCMC configuration (Section 5.1):
+/// single-site-flip proposals, c parallel chains (default 2), burn-in of
+/// k steps per chain per sampling call (default k = 3n + 100) and optional
+/// thinning.  Chains restart from random configurations on every `sample()`
+/// call — as in the paper, where each of the 300 training iterations pays
+/// the full burn-in — unless `persistent_chains` is set.
+///
+/// Table 4's ablations map to `burn_in` (Scheme 1: discard the first
+/// {n, 10n}) and `thinning` (Scheme 2: keep every {2, 5, 10}-th sample).
+///
+/// Forward-pass accounting: one batched model evaluation per MH step across
+/// all chains, so a call costs k + j * ceil(bs/c) forward passes (Figure 1).
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/wavefunction.hpp"
+#include "rng/xoshiro.hpp"
+#include "sampler/sampler.hpp"
+
+namespace vqmc {
+
+/// Acceptance rule for single-site-flip chains.
+enum class AcceptanceRule {
+  /// Metropolis-Hastings: accept with min(1, pi'/pi). The paper's sampler.
+  MetropolisHastings,
+  /// Heat-bath / Gibbs / Barker: accept with pi'/(pi + pi'). Same
+  /// stationary distribution, different mixing profile; included because
+  /// Section 2.2 lists Gibbs sampling among the MCMC variants.
+  HeatBath,
+};
+
+/// Proposal move set for the chains.
+enum class ProposalKind {
+  /// Flip one uniformly random site (the paper's random-walk move).
+  SingleFlip,
+  /// Swap the values of one random up-spin and one random down-spin.
+  /// Conserves total magnetization, so the chain explores a fixed
+  /// particle-number sector — the right move set for U(1)-symmetric models
+  /// like the XXZ chain. Falls back to a single flip when the current
+  /// configuration is fully polarized (the swap move would be stuck).
+  PairExchange,
+};
+
+/// Configuration of the MH sampler; defaults follow Section 5.1.
+struct MetropolisConfig {
+  std::size_t num_chains = 2;
+  /// Burn-in steps per chain per sample() call; the paper's heuristic is
+  /// k = 3n + 100 (use `paper_burn_in`).
+  std::size_t burn_in = 0;
+  /// Keep every `thinning`-th post-burn-in state (1 = keep all).
+  std::size_t thinning = 1;
+  /// Keep chain state across sample() calls instead of re-burning.
+  bool persistent_chains = false;
+  AcceptanceRule rule = AcceptanceRule::MetropolisHastings;
+  ProposalKind proposal = ProposalKind::SingleFlip;
+  std::uint64_t seed = 0;
+};
+
+/// The paper's burn-in heuristic k = 3n + 100.
+constexpr std::size_t paper_burn_in(std::size_t n) { return 3 * n + 100; }
+
+/// Random-walk MH sampler (works with any WavefunctionModel, normalized or
+/// not — only log-psi differences enter the acceptance ratio).
+class MetropolisSampler final : public Sampler {
+ public:
+  MetropolisSampler(const WavefunctionModel& model, MetropolisConfig config);
+
+  void sample(Matrix& out) override;
+
+  [[nodiscard]] const SamplerStatistics& statistics() const override {
+    return stats_;
+  }
+  void reset_statistics() override { stats_ = {}; }
+  [[nodiscard]] bool is_exact() const override { return false; }
+  [[nodiscard]] std::string name() const override {
+    return config_.rule == AcceptanceRule::HeatBath ? "GIBBS" : "MCMC";
+  }
+
+  [[nodiscard]] const MetropolisConfig& config() const { return config_; }
+
+ private:
+  /// (Re-)initialize chains uniformly at random.
+  void restart_chains();
+
+  /// One MH step across all chains (one batched forward pass).
+  void step();
+
+  const WavefunctionModel& model_;
+  MetropolisConfig config_;
+  rng::Xoshiro256 gen_;
+  SamplerStatistics stats_;
+
+  Matrix states_;             ///< c x n current chain states
+  Vector state_log_psi_;      ///< log psi of each chain state
+  Matrix proposals_;          ///< scratch c x n
+  Vector proposal_log_psi_;   ///< scratch
+  std::vector<std::size_t> flip_sites_;  ///< scratch
+  bool chains_initialized_ = false;
+};
+
+}  // namespace vqmc

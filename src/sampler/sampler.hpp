@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file sampler.hpp
+/// \brief Sampler interface: draw configurations from a model's Born
+/// distribution pi_theta(x) = psi_theta(x)^2 / <psi, psi>.
+///
+/// The two implementations mirror Figure 1 of the paper:
+///  * AutoregressiveSampler (AUTO) — exact sampling in n forward passes.
+///  * MetropolisSampler (MCMC) — random-walk Metropolis–Hastings with
+///    burn-in and thinning, k + j*bs/c forward passes.
+///
+/// Samplers count their forward passes so benches can report the
+/// parallel-efficiency accounting of Eq. 14 directly.
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/matrix.hpp"
+
+namespace vqmc {
+
+/// Cumulative work/quality counters exposed by every sampler.
+struct SamplerStatistics {
+  std::uint64_t forward_passes = 0;  ///< batched model evaluations
+  std::uint64_t proposals = 0;       ///< MH proposals (0 for AUTO)
+  std::uint64_t accepted = 0;        ///< accepted proposals (0 for AUTO)
+
+  [[nodiscard]] double acceptance_rate() const {
+    return proposals == 0 ? 0.0 : double(accepted) / double(proposals);
+  }
+};
+
+/// Draws batches of spin configurations for the VQMC estimators.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// Fill `out` (batch x n, entries in {0,1}) with (approximate or exact)
+  /// samples from the current model distribution.
+  virtual void sample(Matrix& out) = 0;
+
+  [[nodiscard]] virtual const SamplerStatistics& statistics() const = 0;
+  virtual void reset_statistics() = 0;
+
+  /// True if samples are exact draws from pi_theta (AUTO); false when they
+  /// are asymptotic (MCMC).
+  [[nodiscard]] virtual bool is_exact() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace vqmc

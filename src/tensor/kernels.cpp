@@ -1,0 +1,211 @@
+#include "tensor/kernels.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vqmc {
+
+Real dot(std::span<const Real> x, std::span<const Real> y) {
+  VQMC_REQUIRE(x.size() == y.size(), "dot: size mismatch");
+  Real acc = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void axpy(Real alpha, std::span<const Real> x, std::span<Real> y) {
+  VQMC_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<Real> x, Real alpha) {
+  for (Real& v : x) v *= alpha;
+}
+
+Real sum(std::span<const Real> x) {
+  Real acc = 0;
+  for (Real v : x) acc += v;
+  return acc;
+}
+
+Real mean(std::span<const Real> x) {
+  if (x.empty()) return 0;
+  return sum(x) / Real(x.size());
+}
+
+Real variance(std::span<const Real> x) {
+  if (x.empty()) return 0;
+  const Real m = mean(x);
+  Real acc = 0;
+  for (Real v : x) acc += (v - m) * (v - m);
+  return acc / Real(x.size());
+}
+
+void gemv(const Matrix& a, std::span<const Real> x, std::span<Real> y) {
+  VQMC_REQUIRE(a.cols() == x.size() && a.rows() == y.size(),
+               "gemv: shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols();
+  const Real* pa = a.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t r = 0; r < m; ++r) {
+    const Real* row = pa + r * k;
+    Real acc = 0;
+    for (std::size_t c = 0; c < k; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void gemv_t(const Matrix& a, std::span<const Real> x, std::span<Real> y) {
+  VQMC_REQUIRE(a.rows() == x.size() && a.cols() == y.size(),
+               "gemv_t: shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols();
+  const Real* pa = a.data();
+  for (std::size_t c = 0; c < k; ++c) y[c] = 0;
+  // Row-major traversal keeps A accesses contiguous.
+  for (std::size_t r = 0; r < m; ++r) {
+    const Real* row = pa + r * k;
+    const Real xr = x[r];
+    for (std::size_t c = 0; c < k; ++c) y[c] += xr * row[c];
+  }
+}
+
+void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c) {
+  VQMC_REQUIRE(a.cols() == b.rows() && c.rows() == a.rows() &&
+                   c.cols() == b.cols(),
+               "gemm_nn: shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const Real* pa = a.data();
+  const Real* pb = b.data();
+  Real* pc = c.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t r = 0; r < m; ++r) {
+    Real* crow = pc + r * n;
+    for (std::size_t j = 0; j < n; ++j) crow[j] = 0;
+    const Real* arow = pa + r * k;
+    for (std::size_t l = 0; l < k; ++l) {
+      const Real av = arow[l];
+      const Real* brow = pb + l * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c) {
+  VQMC_REQUIRE(a.cols() == b.cols() && c.rows() == a.rows() &&
+                   c.cols() == b.rows(),
+               "gemm_nt: shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  const Real* pa = a.data();
+  const Real* pb = b.data();
+  Real* pc = c.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t r = 0; r < m; ++r) {
+    const Real* arow = pa + r * k;
+    Real* crow = pc + r * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const Real* brow = pb + j * k;
+      Real acc = 0;
+      for (std::size_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
+      crow[j] = acc;
+    }
+  }
+}
+
+void gemm_tn_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
+  VQMC_REQUIRE(a.rows() == b.rows() && c.rows() == a.cols() &&
+                   c.cols() == b.cols(),
+               "gemm_tn_accumulate: shape mismatch");
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  const Real* pa = a.data();
+  const Real* pb = b.data();
+  Real* pc = c.data();
+  // Parallelize over output rows; each output row c(r, :) is a weighted sum
+  // of rows of B with weights from column r of A.
+#pragma omp parallel for schedule(static)
+  for (std::size_t r = 0; r < m; ++r) {
+    Real* crow = pc + r * n;
+    for (std::size_t l = 0; l < k; ++l) {
+      const Real av = pa[l * m + r];
+      if (av == Real(0)) continue;
+      const Real* brow = pb + l * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void add_row_broadcast(Matrix& a, std::span<const Real> b) {
+  VQMC_REQUIRE(a.cols() == b.size(), "add_row_broadcast: shape mismatch");
+  const std::size_t m = a.rows(), n = a.cols();
+  Real* pa = a.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t r = 0; r < m; ++r) {
+    Real* row = pa + r * n;
+    for (std::size_t c = 0; c < n; ++c) row[c] += b[c];
+  }
+}
+
+void relu_inplace(Matrix& a) {
+  Real* p = a.data();
+  const std::size_t total = a.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < total; ++i) p[i] = p[i] > 0 ? p[i] : 0;
+}
+
+void relu_backward_inplace(const Matrix& pre, Matrix& grad) {
+  VQMC_REQUIRE(pre.rows() == grad.rows() && pre.cols() == grad.cols(),
+               "relu_backward: shape mismatch");
+  const Real* pp = pre.data();
+  Real* pg = grad.data();
+  const std::size_t total = grad.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < total; ++i) {
+    if (pp[i] <= 0) pg[i] = 0;
+  }
+}
+
+void sigmoid_inplace(Matrix& a) {
+  Real* p = a.data();
+  const std::size_t total = a.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < total; ++i) p[i] = sigmoid(p[i]);
+}
+
+void hadamard(const Matrix& a, const Matrix& b, Matrix& c) {
+  VQMC_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols() &&
+                   a.rows() == c.rows() && a.cols() == c.cols(),
+               "hadamard: shape mismatch");
+  const Real* pa = a.data();
+  const Real* pb = b.data();
+  Real* pc = c.data();
+  const std::size_t total = a.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < total; ++i) pc[i] = pa[i] * pb[i];
+}
+
+void column_sum_accumulate(const Matrix& a, std::span<Real> out) {
+  VQMC_REQUIRE(a.cols() == out.size(), "column_sum: shape mismatch");
+  const std::size_t m = a.rows(), n = a.cols();
+  const Real* pa = a.data();
+  for (std::size_t r = 0; r < m; ++r) {
+    const Real* row = pa + r * n;
+    for (std::size_t c = 0; c < n; ++c) out[c] += row[c];
+  }
+}
+
+Real sigmoid(Real x) {
+  // Branch to avoid overflow in exp for large negative arguments.
+  if (x >= 0) {
+    const Real z = std::exp(-x);
+    return 1 / (1 + z);
+  }
+  const Real z = std::exp(x);
+  return z / (1 + z);
+}
+
+Real log_cosh(Real x) {
+  const Real ax = std::fabs(x);
+  // log cosh x = |x| + log(1 + exp(-2|x|)) - log 2.
+  return ax + std::log1p(std::exp(-2 * ax)) - Real(0.6931471805599453);
+}
+
+}  // namespace vqmc

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file kernels.hpp
+/// \brief BLAS-like dense kernels on Matrix / Vector.
+///
+/// Naming follows BLAS transpose conventions: `gemm_nt` computes
+/// C = A * B^T, `gemm_tn` computes C = A^T * B, etc.  All kernels are
+/// OpenMP-parallel over the independent output dimension; they form the
+/// compute substrate that stands in for the paper's GPU matmuls (the MADE /
+/// RBM forward and backward passes are nothing but these calls).
+///
+/// Kernels either overwrite (`gemm*`, `gemv*`) or accumulate
+/// (`*_accumulate`); the accumulate forms are used to sum gradients over a
+/// batch without temporaries.
+
+#include <span>
+
+#include "tensor/matrix.hpp"
+#include "tensor/vector.hpp"
+
+namespace vqmc {
+
+// ---------------------------------------------------------------------------
+// Level-1: vector-vector.
+// ---------------------------------------------------------------------------
+
+/// Dot product <x, y>.
+Real dot(std::span<const Real> x, std::span<const Real> y);
+
+/// y += alpha * x.
+void axpy(Real alpha, std::span<const Real> x, std::span<Real> y);
+
+/// x *= alpha.
+void scale(std::span<Real> x, Real alpha);
+
+/// Sum of elements.
+Real sum(std::span<const Real> x);
+
+/// Arithmetic mean (0 for empty spans).
+Real mean(std::span<const Real> x);
+
+/// Population variance (division by N; 0 for empty spans).
+Real variance(std::span<const Real> x);
+
+// ---------------------------------------------------------------------------
+// Level-2: matrix-vector.
+// ---------------------------------------------------------------------------
+
+/// y = A x (A: m x k, x: k, y: m).
+void gemv(const Matrix& a, std::span<const Real> x, std::span<Real> y);
+
+/// y = A^T x (A: m x k, x: m, y: k).
+void gemv_t(const Matrix& a, std::span<const Real> x, std::span<Real> y);
+
+// ---------------------------------------------------------------------------
+// Level-3: matrix-matrix.
+// ---------------------------------------------------------------------------
+
+/// C = A B      (A: m x k, B: k x n, C: m x n).
+void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A B^T    (A: m x k, B: n x k, C: m x n).
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C += A^T B   (A: k x m, B: k x n, C: m x n). Accumulating form used for
+/// weight gradients summed over the batch (k = batch) dimension.
+void gemm_tn_accumulate(const Matrix& a, const Matrix& b, Matrix& c);
+
+// ---------------------------------------------------------------------------
+// Elementwise / broadcast operations used by the NN layers.
+// ---------------------------------------------------------------------------
+
+/// Add bias vector b (length n) to every row of A (rows x n).
+void add_row_broadcast(Matrix& a, std::span<const Real> b);
+
+/// A := max(A, 0) elementwise; also usable as in-place ReLU.
+void relu_inplace(Matrix& a);
+
+/// grad := grad * 1[pre > 0] elementwise (ReLU backward through `pre`).
+void relu_backward_inplace(const Matrix& pre, Matrix& grad);
+
+/// A := sigmoid(A) elementwise, numerically stable for large |x|.
+void sigmoid_inplace(Matrix& a);
+
+/// Elementwise Hadamard product: C = A .* B (same shapes).
+void hadamard(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Column sums of A into out (length cols), accumulated: out += sum_r A(r,:).
+void column_sum_accumulate(const Matrix& a, std::span<Real> out);
+
+/// Stable elementwise sigmoid of a scalar.
+Real sigmoid(Real x);
+
+/// log(cosh(x)) computed stably for large |x| (|x| + log((1+e^-2|x|)/2)).
+Real log_cosh(Real x);
+
+}  // namespace vqmc

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file matrix.hpp
+/// \brief Dense row-major real matrix (value type).
+///
+/// Rows are the batch dimension throughout the library: a batch of `bs`
+/// n-spin configurations is a `bs x n` Matrix, weight matrices are
+/// `out x in`, and `row(i)` gives a contiguous span.
+
+#include <span>
+
+#include "common/error.hpp"
+#include "tensor/buffer.hpp"
+#include "tensor/real.hpp"
+
+namespace vqmc {
+
+/// Dense, aligned, row-major matrix of Real. Elements are zero-initialized.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), storage_(rows * cols) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return rows_ * cols_; }
+
+  Real& operator()(std::size_t r, std::size_t c) {
+    VQMC_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return storage_[r * cols_ + c];
+  }
+  Real operator()(std::size_t r, std::size_t c) const {
+    VQMC_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return storage_[r * cols_ + c];
+  }
+
+  [[nodiscard]] Real* data() { return storage_.data(); }
+  [[nodiscard]] const Real* data() const { return storage_.data(); }
+
+  /// Contiguous view of row r.
+  [[nodiscard]] std::span<Real> row(std::size_t r) {
+    VQMC_ASSERT(r < rows_, "row index out of range");
+    return {storage_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const Real> row(std::size_t r) const {
+    VQMC_ASSERT(r < rows_, "row index out of range");
+    return {storage_.data() + r * cols_, cols_};
+  }
+
+  void fill(Real value) {
+    for (std::size_t i = 0; i < size(); ++i) storage_[i] = value;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  AlignedBuffer<Real> storage_;
+};
+
+}  // namespace vqmc

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file vector.hpp
+/// \brief Dense real vector (value type) used for parameters, gradients and
+/// per-sample quantities.
+
+#include <cmath>
+#include <initializer_list>
+#include <span>
+
+#include "common/error.hpp"
+#include "tensor/buffer.hpp"
+#include "tensor/real.hpp"
+
+namespace vqmc {
+
+/// Dense, aligned, fixed-size vector of Real. Elements are zero-initialized.
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t size) : storage_(size) {}
+  Vector(std::initializer_list<Real> values) : storage_(values.size()) {
+    std::size_t i = 0;
+    for (Real v : values) storage_[i++] = v;
+  }
+
+  [[nodiscard]] std::size_t size() const { return storage_.size(); }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  Real& operator[](std::size_t i) {
+    VQMC_ASSERT(i < size(), "vector index out of range");
+    return storage_[i];
+  }
+  Real operator[](std::size_t i) const {
+    VQMC_ASSERT(i < size(), "vector index out of range");
+    return storage_[i];
+  }
+
+  [[nodiscard]] Real* data() { return storage_.data(); }
+  [[nodiscard]] const Real* data() const { return storage_.data(); }
+
+  [[nodiscard]] std::span<Real> span() { return {data(), size()}; }
+  [[nodiscard]] std::span<const Real> span() const { return {data(), size()}; }
+
+  [[nodiscard]] Real* begin() { return data(); }
+  [[nodiscard]] Real* end() { return data() + size(); }
+  [[nodiscard]] const Real* begin() const { return data(); }
+  [[nodiscard]] const Real* end() const { return data() + size(); }
+
+  /// Set every element to `value`.
+  void fill(Real value) {
+    for (std::size_t i = 0; i < size(); ++i) storage_[i] = value;
+  }
+
+  /// Euclidean norm.
+  [[nodiscard]] Real norm() const {
+    Real acc = 0;
+    for (std::size_t i = 0; i < size(); ++i) acc += storage_[i] * storage_[i];
+    return std::sqrt(acc);
+  }
+
+ private:
+  AlignedBuffer<Real> storage_;
+};
+
+}  // namespace vqmc

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "baselines/burer_monteiro.hpp"
+#include "baselines/goemans_williamson.hpp"
+#include "baselines/local_search.hpp"
+#include "baselines/random_cut.hpp"
+#include "hamiltonian/exact.hpp"
+
+namespace vqmc::baselines {
+namespace {
+
+TEST(RandomCut, PartitionIsValidAndCutMatches) {
+  const Graph g = Graph::bernoulli_symmetrized(20, 1);
+  const CutResult r = random_cut(g, 2);
+  ASSERT_EQ(r.partition.size(), 20u);
+  for (Real v : r.partition) EXPECT_TRUE(v == 0.0 || v == 1.0);
+  EXPECT_DOUBLE_EQ(r.cut, g.cut_value(r.partition.span()));
+}
+
+TEST(RandomCut, AveragesToHalfTheEdges) {
+  const Graph g = Graph::bernoulli_symmetrized(60, 3);
+  Real total = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) total += random_cut(g, 100 + t).cut;
+  EXPECT_NEAR(total / trials, Real(g.num_edges()) / 2,
+              0.05 * Real(g.num_edges()));
+}
+
+TEST(RandomCut, BestOfManyBeatsSingle) {
+  const Graph g = Graph::bernoulli_symmetrized(30, 4);
+  const CutResult single = random_cut(g, 5);
+  const CutResult best = best_random_cut(g, 64, 5);
+  EXPECT_GE(best.cut, single.cut);
+}
+
+TEST(BurerMonteiro, FactorRowsAreUnitNorm) {
+  const Graph g = Graph::bernoulli_symmetrized(15, 6);
+  const BurerMonteiroResult r = solve_maxcut_sdp(g);
+  for (std::size_t i = 0; i < r.v.rows(); ++i) {
+    Real norm2 = 0;
+    for (std::size_t c = 0; c < r.v.cols(); ++c)
+      norm2 += r.v(i, c) * r.v(i, c);
+    EXPECT_NEAR(norm2, 1.0, 1e-10);
+  }
+}
+
+TEST(BurerMonteiro, SdpObjectiveUpperBoundsMaxCut) {
+  const Graph g = Graph::bernoulli_symmetrized(14, 7);
+  const Real optimum = exact_max_cut(g);
+  const BurerMonteiroResult r = solve_maxcut_sdp(g);
+  EXPECT_GE(r.sdp_objective, optimum - 1e-6);
+  // And is within the GW integrality regime (not wildly loose).
+  EXPECT_LE(r.sdp_objective, optimum / 0.87 + 1.0);
+}
+
+TEST(BurerMonteiro, BipartiteSdpIsTight) {
+  // On the even cycle the SDP optimum equals the max cut (graph is
+  // bipartite), so the solver should reach it.
+  const Graph g = Graph::cycle(8);
+  const BurerMonteiroResult r = solve_maxcut_sdp(g);
+  EXPECT_NEAR(r.sdp_objective, 8.0, 1e-3);
+}
+
+TEST(GoemansWilliamson, AchievesApproximationGuaranteeOnSmallGraphs) {
+  for (std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+    const Graph g = Graph::bernoulli_symmetrized(14, seed);
+    const Real optimum = exact_max_cut(g);
+    GoemansWilliamsonOptions opts;
+    opts.seed = seed;
+    const GoemansWilliamsonResult r = goemans_williamson(g, opts);
+    EXPECT_GE(r.best.cut, 0.878 * optimum - 1e-9) << "seed " << seed;
+    EXPECT_LE(r.best.cut, optimum + 1e-9);
+    EXPECT_DOUBLE_EQ(r.best.cut, g.cut_value(r.best.partition.span()));
+  }
+}
+
+TEST(LocalSearch, NeverDecreasesTheCut) {
+  const Graph g = Graph::bernoulli_symmetrized(25, 14);
+  CutResult r = random_cut(g, 15);
+  const Real before = r.cut;
+  const Real after = local_search_1swap(g, r.partition);
+  EXPECT_GE(after, before);
+  EXPECT_DOUBLE_EQ(after, g.cut_value(r.partition.span()));
+}
+
+TEST(LocalSearch, FixedPointHasNoImprovingMove) {
+  const Graph g = Graph::bernoulli_symmetrized(18, 16);
+  CutResult r = random_cut(g, 17);
+  const Real final_cut = local_search_1swap(g, r.partition);
+  // Verify 1-optimality by brute force.
+  for (std::size_t i = 0; i < 18; ++i) {
+    Vector flipped = r.partition;
+    flipped[i] = 1 - flipped[i];
+    EXPECT_LE(g.cut_value(flipped.span()), final_cut + 1e-9);
+  }
+}
+
+TEST(LocalSearch, MaxMovesRespected) {
+  const Graph g = Graph::complete(12);
+  Vector partition(12);  // all on one side: every move improves
+  local_search_1swap(g, partition, 3);
+  // Exactly 3 vertices should have moved.
+  Real moved = 0;
+  for (Real v : partition) moved += v;
+  EXPECT_EQ(moved, 3.0);
+}
+
+TEST(BurerMonteiroCut, FindsOptimumOnSmallInstances) {
+  for (std::uint64_t seed : {21ULL, 22ULL}) {
+    const Graph g = Graph::bernoulli_symmetrized(12, seed);
+    const Real optimum = exact_max_cut(g);
+    BurerMonteiroCutOptions opts;
+    opts.seed = seed;
+    const CutResult r = burer_monteiro_cut(g, opts);
+    EXPECT_NEAR(r.cut, optimum, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(BurerMonteiroCut, BeatsOrMatchesPlainGw) {
+  const Graph g = Graph::bernoulli_symmetrized(20, 23);
+  GoemansWilliamsonOptions gw_opts;
+  gw_opts.seed = 23;
+  const GoemansWilliamsonResult gw = goemans_williamson(g, gw_opts);
+  BurerMonteiroCutOptions bm_opts;
+  bm_opts.seed = 23;
+  const CutResult bm = burer_monteiro_cut(g, bm_opts);
+  EXPECT_GE(bm.cut, gw.best.cut);
+}
+
+}  // namespace
+}  // namespace vqmc::baselines

@@ -1,0 +1,80 @@
+#include "common/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace vqmc {
+namespace {
+
+OptionParser make_parser() {
+  OptionParser opts("prog", "test parser");
+  opts.add_flag("full", "run full scale");
+  opts.add_option("seeds", "5", "seed count");
+  opts.add_option("lr", "0.1", "learning rate");
+  opts.add_option("dims", "20,50", "dimension list");
+  return opts;
+}
+
+TEST(OptionParser, DefaultsApply) {
+  OptionParser opts = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(opts.parse(1, argv));
+  EXPECT_FALSE(opts.get_flag("full"));
+  EXPECT_EQ(opts.get_int("seeds"), 5);
+  EXPECT_DOUBLE_EQ(opts.get_double("lr"), 0.1);
+  EXPECT_EQ(opts.get_int_list("dims"), (std::vector<int>{20, 50}));
+}
+
+TEST(OptionParser, ParsesSpaceAndEqualsForms) {
+  OptionParser opts = make_parser();
+  const char* argv[] = {"prog", "--seeds", "7", "--lr=0.25", "--full"};
+  ASSERT_TRUE(opts.parse(5, argv));
+  EXPECT_TRUE(opts.get_flag("full"));
+  EXPECT_EQ(opts.get_int("seeds"), 7);
+  EXPECT_DOUBLE_EQ(opts.get_double("lr"), 0.25);
+}
+
+TEST(OptionParser, UnknownOptionThrows) {
+  OptionParser opts = make_parser();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_THROW(opts.parse(3, argv), Error);
+}
+
+TEST(OptionParser, MissingValueThrows) {
+  OptionParser opts = make_parser();
+  const char* argv[] = {"prog", "--seeds"};
+  EXPECT_THROW(opts.parse(2, argv), Error);
+}
+
+TEST(OptionParser, FlagWithValueThrows) {
+  OptionParser opts = make_parser();
+  const char* argv[] = {"prog", "--full=yes"};
+  EXPECT_THROW(opts.parse(2, argv), Error);
+}
+
+TEST(OptionParser, NonIntegerThrows) {
+  OptionParser opts = make_parser();
+  const char* argv[] = {"prog", "--seeds", "abc"};
+  ASSERT_TRUE(opts.parse(3, argv));
+  EXPECT_THROW(opts.get_int("seeds"), Error);
+}
+
+TEST(OptionParser, HelpReturnsFalse) {
+  OptionParser opts = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  ::testing::internal::CaptureStdout();
+  EXPECT_FALSE(opts.parse(2, argv));
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("usage: prog"), std::string::npos);
+}
+
+TEST(OptionParser, IntListRejectsGarbage) {
+  OptionParser opts = make_parser();
+  const char* argv[] = {"prog", "--dims", "20,x,50"};
+  ASSERT_TRUE(opts.parse(3, argv));
+  EXPECT_THROW(opts.get_int_list("dims"), Error);
+}
+
+}  // namespace
+}  // namespace vqmc

@@ -1,0 +1,72 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace vqmc {
+namespace {
+
+TEST(Table, EmptyTableRendersNothing) {
+  Table t;
+  EXPECT_EQ(t.to_string(), "");
+  EXPECT_EQ(t.to_csv(), "");
+  EXPECT_EQ(t.rows(), 0u);
+  EXPECT_EQ(t.columns(), 0u);
+}
+
+TEST(Table, HeaderAndRowsAligned) {
+  Table t("Demo");
+  t.set_header({"Model", "n"});
+  t.add_row({"RBM", "20"});
+  t.add_row({"MADE", "500"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("| Model"), std::string::npos);
+  EXPECT_NE(s.find("| MADE"), std::string::npos);
+  // The header rule exists.
+  EXPECT_NE(s.find("|-"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, HeaderArityMustMatchExistingRows) {
+  Table t;
+  t.add_row({"x", "y", "z"});
+  EXPECT_THROW(t.set_header({"a"}), Error);
+  EXPECT_NO_THROW(t.set_header({"a", "b", "c"}));
+}
+
+TEST(Table, RowAccess) {
+  Table t;
+  t.add_row({"u", "v"});
+  EXPECT_EQ(t.row(0)[1], "v");
+  EXPECT_THROW(t.row(1), Error);
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table t;
+  t.set_header({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TableFormat, FixedDigits) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 1), "-1.0");
+}
+
+TEST(TableFormat, MeanStd) {
+  EXPECT_EQ(format_mean_std(41.4, 2.0, 1), "41.4 ± 2.0");
+}
+
+}  // namespace
+}  // namespace vqmc

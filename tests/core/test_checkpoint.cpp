@@ -1,0 +1,107 @@
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "nn/made.hpp"
+#include "nn/rbm.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace vqmc {
+namespace {
+
+constexpr const char* kPath = "/tmp/vqmc_checkpoint_test.bin";
+
+struct CheckpointCleanup {
+  ~CheckpointCleanup() { std::remove(kPath); }
+};
+
+void randomize(WavefunctionModel& model, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  for (Real& p : model.parameters()) p = rng::uniform(gen, -1.0, 1.0);
+}
+
+TEST(Checkpoint, RoundTripsParametersExactly) {
+  CheckpointCleanup cleanup;
+  Made saved(6, 8);
+  randomize(saved, 1);
+  save_checkpoint(kPath, saved);
+
+  Made loaded(6, 8);  // different initialization
+  loaded.initialize(99);
+  load_checkpoint(kPath, loaded);
+  for (std::size_t i = 0; i < saved.num_parameters(); ++i)
+    EXPECT_EQ(loaded.parameters()[i], saved.parameters()[i]);
+}
+
+TEST(Checkpoint, RejectsWrongArchitecture) {
+  CheckpointCleanup cleanup;
+  Made made(6, 8);
+  save_checkpoint(kPath, made);
+
+  Made wrong_shape(6, 9);
+  EXPECT_THROW(load_checkpoint(kPath, wrong_shape), Error);
+  Made wrong_spins(7, 8);
+  EXPECT_THROW(load_checkpoint(kPath, wrong_spins), Error);
+  Rbm wrong_kind(6, 8);  // same n; parameter count differs too
+  EXPECT_THROW(load_checkpoint(kPath, wrong_kind), Error);
+}
+
+TEST(Checkpoint, RejectsWrongModelKindEvenWithSameParameterCount) {
+  CheckpointCleanup cleanup;
+  // Craft two models with identical (n, d): Made(n, h) has d = 2hn + h + n;
+  // Rbm(n, h') has d = h'n + h' + n + 1. For n = 5, Made h = 2 -> d = 27;
+  // Rbm h' = ceil((27 - 6) / 6)... simply verify name mismatch dominates by
+  // checking a corrupted-name path: save Made, flip its recorded name.
+  Made made(5, 2);
+  save_checkpoint(kPath, made);
+  // Corrupt the stored name ("MADE" -> "MBDE").
+  std::fstream f(kPath, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(32 + 1);  // header is 4 x uint64; name starts right after
+  f.put('B');
+  f.close();
+  Made target(5, 2);
+  EXPECT_THROW(load_checkpoint(kPath, target), Error);
+}
+
+TEST(Checkpoint, DetectsPayloadCorruption) {
+  CheckpointCleanup cleanup;
+  Made made(5, 4);
+  randomize(made, 2);
+  save_checkpoint(kPath, made);
+  // Flip one byte in the middle of the parameter payload.
+  std::fstream f(kPath, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(32 + 4 + 40);  // header + name + some parameters
+  f.put('\x7f');
+  f.close();
+  Made target(5, 4);
+  EXPECT_THROW(load_checkpoint(kPath, target), Error);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  Made made(4, 4);
+  EXPECT_THROW(load_checkpoint("/tmp/vqmc_no_such_checkpoint.bin", made),
+               Error);
+}
+
+TEST(Checkpoint, GarbageFileRejected) {
+  CheckpointCleanup cleanup;
+  std::ofstream out(kPath, std::ios::binary);
+  out << "this is not a checkpoint";
+  out.close();
+  Made made(4, 4);
+  EXPECT_THROW(load_checkpoint(kPath, made), Error);
+}
+
+TEST(Checkpoint, Fnv1aKnownVector) {
+  // FNV-1a("a") = 0xaf63dc4c8601ec8c.
+  EXPECT_EQ(fnv1a64("a", 1), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("", 0), 0xcbf29ce484222325ULL);
+}
+
+}  // namespace
+}  // namespace vqmc

@@ -1,0 +1,67 @@
+#include "core/reporting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace vqmc {
+namespace {
+
+std::vector<IterationMetrics> sample_history() {
+  std::vector<IterationMetrics> h(2);
+  h[0] = {0, -1.5, 0.25, -2.0, 0.01};
+  h[1] = {1, -1.75, 0.125, -2.25, 0.02};
+  return h;
+}
+
+TEST(Reporting, CsvHasHeaderAndOneLinePerIteration) {
+  const std::string csv = metrics_to_csv(sample_history());
+  EXPECT_NE(csv.find("iteration,energy,std_dev,best_energy,seconds\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("0,-1.5,0.25,-2,0.01"), std::string::npos);
+  EXPECT_NE(csv.find("1,-1.75,0.125,-2.25,0.02"), std::string::npos);
+  // header + 2 rows = 3 newlines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(Reporting, CsvOfEmptyHistoryIsJustTheHeader) {
+  const std::string csv = metrics_to_csv({});
+  EXPECT_EQ(csv, "iteration,energy,std_dev,best_energy,seconds\n");
+}
+
+TEST(Reporting, JsonIsWellFormedArray) {
+  const std::string json = metrics_to_json(sample_history());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"iteration\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"energy\": -1.75"), std::string::npos);
+  EXPECT_NE(json.find("\"best_energy\": -2.25"), std::string::npos);
+  // Balanced braces: 2 objects.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 2);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 2);
+}
+
+TEST(Reporting, JsonOfEmptyHistoryIsEmptyArray) {
+  EXPECT_EQ(metrics_to_json({}), "[]\n");
+}
+
+TEST(Reporting, WriteTextFileRoundTrips) {
+  const std::string path = "/tmp/vqmc_reporting_test.csv";
+  const std::string content = metrics_to_csv(sample_history());
+  write_text_file(path, content);
+  std::ifstream in(path, std::ios::binary);
+  std::string read((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(read, content);
+  std::remove(path.c_str());
+}
+
+TEST(Reporting, WriteToUnwritablePathThrows) {
+  EXPECT_THROW(write_text_file("/nonexistent-dir/x.csv", "data"), Error);
+}
+
+}  // namespace
+}  // namespace vqmc

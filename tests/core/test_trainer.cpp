@@ -1,0 +1,272 @@
+#include "core/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "core/hitting_time.hpp"
+#include "hamiltonian/exact.hpp"
+#include "hamiltonian/heisenberg.hpp"
+#include "hamiltonian/maxcut.hpp"
+#include "hamiltonian/transverse_field_ising.hpp"
+#include "nn/deep_made.hpp"
+#include "nn/made.hpp"
+#include "nn/rnn.hpp"
+#include "optim/adam.hpp"
+#include "optim/sgd.hpp"
+#include "sampler/autoregressive_sampler.hpp"
+
+namespace vqmc {
+namespace {
+
+TEST(Trainer, EnergyDecreasesOnSmallTim) {
+  const std::size_t n = 6;
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(n, 1);
+  Made made(n, 8);
+  made.initialize(2);
+  AutoregressiveSampler sampler(made, 3);
+  Adam adam(0.02);
+  TrainerConfig cfg;
+  cfg.iterations = 120;
+  cfg.batch_size = 128;
+  VqmcTrainer trainer(tim, made, sampler, adam, cfg);
+  trainer.run();
+
+  ASSERT_EQ(trainer.history().size(), 120u);
+  const Real first = trainer.history().front().energy;
+  const Real last = trainer.history().back().energy;
+  EXPECT_LT(last, first);
+  EXPECT_GT(trainer.training_seconds(), 0.0);
+}
+
+TEST(Trainer, MetricsAreWellFormed) {
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(4, 4);
+  Made made(4, 5);
+  AutoregressiveSampler sampler(made, 5);
+  Adam adam;
+  TrainerConfig cfg;
+  cfg.iterations = 5;
+  cfg.batch_size = 32;
+  VqmcTrainer trainer(tim, made, sampler, adam, cfg);
+  trainer.run();
+  double previous_time = 0;
+  Real best = std::numeric_limits<Real>::max();
+  for (const IterationMetrics& m : trainer.history()) {
+    EXPECT_GE(m.std_dev, 0.0);
+    EXPECT_GE(m.seconds, previous_time);
+    previous_time = m.seconds;
+    best = std::min(best, m.best_energy);
+    EXPECT_EQ(m.best_energy, best);  // best is monotone non-increasing
+  }
+  EXPECT_EQ(trainer.history().back().iteration, 4);
+}
+
+TEST(Trainer, StepByStepMatchesRun) {
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(4, 6);
+  auto run_with = [&](bool stepwise) {
+    Made made(4, 5);
+    made.initialize(7);
+    AutoregressiveSampler sampler(made, 8);
+    Adam adam;
+    TrainerConfig cfg;
+    cfg.iterations = 10;
+    cfg.batch_size = 16;
+    VqmcTrainer trainer(tim, made, sampler, adam, cfg);
+    if (stepwise) {
+      for (int i = 0; i < 10; ++i) trainer.step();
+    } else {
+      trainer.run();
+    }
+    return std::vector<Real>(made.parameters().begin(),
+                             made.parameters().end());
+  };
+  const std::vector<Real> a = run_with(true);
+  const std::vector<Real> b = run_with(false);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Trainer, SrPathRunsAndConverges) {
+  const std::size_t n = 5;
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(n, 9);
+  Made made(n, 4);
+  made.initialize(10);
+  AutoregressiveSampler sampler(made, 11);
+  Sgd sgd(0.1);
+  TrainerConfig cfg;
+  cfg.iterations = 80;
+  cfg.batch_size = 96;
+  cfg.use_sr = true;
+  cfg.sr.regularization = 1e-3;
+  VqmcTrainer trainer(tim, made, sampler, sgd, cfg);
+  trainer.run();
+  EXPECT_LT(trainer.history().back().energy, trainer.history().front().energy);
+}
+
+TEST(Trainer, RunUntilStopsEarly) {
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(4, 12);
+  Made made(4, 4);
+  AutoregressiveSampler sampler(made, 13);
+  Adam adam;
+  TrainerConfig cfg;
+  cfg.iterations = 100;
+  cfg.batch_size = 16;
+  VqmcTrainer trainer(tim, made, sampler, adam, cfg);
+  trainer.run_until(
+      [](const IterationMetrics& m) { return m.iteration >= 4; });
+  EXPECT_EQ(trainer.history().size(), 5u);
+}
+
+TEST(Trainer, EvaluateReturnsFreshEstimate) {
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(4, 14);
+  Made made(4, 4);
+  AutoregressiveSampler sampler(made, 15);
+  Adam adam;
+  TrainerConfig cfg;
+  cfg.iterations = 3;
+  cfg.batch_size = 16;
+  VqmcTrainer trainer(tim, made, sampler, adam, cfg);
+  trainer.run();
+  Matrix samples;
+  const EnergyEstimate est = trainer.evaluate_with_samples(64, samples);
+  EXPECT_EQ(samples.rows(), 64u);
+  EXPECT_GE(est.std_dev, 0.0);
+  // Evaluation must not pollute the training history or timing.
+  EXPECT_EQ(trainer.history().size(), 3u);
+}
+
+TEST(Trainer, LrScheduleIsAppliedEachIteration) {
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(4, 20);
+  Made made(4, 4);
+  AutoregressiveSampler sampler(made, 21);
+  Sgd sgd(0.1);
+  const StepDecaySchedule schedule(2, 0.5);
+  TrainerConfig cfg;
+  cfg.iterations = 5;
+  cfg.batch_size = 8;
+  cfg.lr_schedule = &schedule;
+  VqmcTrainer trainer(tim, made, sampler, sgd, cfg);
+  trainer.run();
+  // After 5 steps the last applied multiplier was for iteration 4 -> 0.25.
+  EXPECT_DOUBLE_EQ(sgd.learning_rate(), 0.1 * 0.25);
+}
+
+TEST(Trainer, GradientClippingBoundsTheUpdate) {
+  // With a tiny max_grad_norm the per-step parameter change under plain SGD
+  // is bounded by lr * max_grad_norm.
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(5, 22);
+  Made made(5, 6);
+  made.initialize(23);
+  const std::vector<Real> before(made.parameters().begin(),
+                                 made.parameters().end());
+  AutoregressiveSampler sampler(made, 24);
+  Sgd sgd(0.1);
+  TrainerConfig cfg;
+  cfg.iterations = 1;
+  cfg.batch_size = 32;
+  cfg.max_grad_norm = 1e-3;
+  VqmcTrainer trainer(tim, made, sampler, sgd, cfg);
+  trainer.step();
+  Real delta_norm2 = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const Real d = made.parameters()[i] - before[i];
+    delta_norm2 += d * d;
+  }
+  EXPECT_LE(std::sqrt(delta_norm2), 0.1 * 1e-3 + 1e-12);
+}
+
+TEST(Trainer, NegativeClipRejected) {
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(4, 25);
+  Made made(4, 4);
+  AutoregressiveSampler sampler(made, 26);
+  Adam adam;
+  TrainerConfig cfg;
+  cfg.max_grad_norm = -1;
+  EXPECT_THROW(VqmcTrainer(tim, made, sampler, adam, cfg), Error);
+}
+
+TEST(Trainer, WorksWithDeepMadeAndRnnModels) {
+  // The trainer is model-agnostic: any AutoregressiveModel slots in.
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(5, 27);
+  for (int kind = 0; kind < 2; ++kind) {
+    std::unique_ptr<AutoregressiveModel> model;
+    if (kind == 0) {
+      model = std::make_unique<DeepMade>(5, 6, 2);
+    } else {
+      model = std::make_unique<RnnWavefunction>(5, 6);
+    }
+    model->initialize(30 + std::uint64_t(kind));
+    AutoregressiveSampler sampler(*model, 31);
+    Adam adam(0.05);
+    TrainerConfig cfg;
+    cfg.iterations = 40;
+    cfg.batch_size = 64;
+    VqmcTrainer trainer(tim, *model, sampler, adam, cfg);
+    trainer.run();
+    EXPECT_LT(trainer.history().back().energy,
+              trainer.history().front().energy)
+        << "model kind " << kind;
+  }
+}
+
+TEST(Trainer, OptimizesHeisenbergWithTwoSiteFlips) {
+  // End-to-end through the multi-flip off-diagonal path.
+  const XxzHeisenberg h = XxzHeisenberg::chain(6, 0.5, 0.5);
+  Made made(6, 8);
+  made.initialize(33);
+  AutoregressiveSampler sampler(made, 34);
+  Adam adam(0.03);
+  TrainerConfig cfg;
+  cfg.iterations = 120;
+  cfg.batch_size = 128;
+  VqmcTrainer trainer(h, made, sampler, adam, cfg);
+  trainer.run();
+  const ExactGroundState exact = exact_ground_state(h);
+  const EnergyEstimate est = trainer.evaluate(512);
+  EXPECT_GT(est.mean, exact.energy - 0.2);           // variational bound
+  EXPECT_LT(est.mean, exact.energy + 0.25 * std::abs(exact.energy));
+}
+
+TEST(HittingTime, ReachesTrivialTargetImmediately) {
+  const MaxCut h{Graph::bernoulli_symmetrized(10, 16)};
+  Made made(10, 6);
+  AutoregressiveSampler sampler(made, 17);
+  Adam adam;
+  TrainerConfig cfg;
+  cfg.iterations = 50;
+  cfg.batch_size = 32;
+  VqmcTrainer trainer(h, made, sampler, adam, cfg);
+  const HittingTimeResult r = measure_hitting_time(
+      trainer, /*target=*/-1e9,
+      [&h](const Matrix&, const EnergyEstimate& est) {
+        return h.cut_from_energy(est.mean);
+      },
+      32);
+  EXPECT_TRUE(r.reached);
+  EXPECT_EQ(r.iterations, 1);
+}
+
+TEST(HittingTime, UnreachableTargetExhaustsBudget) {
+  const MaxCut h{Graph::bernoulli_symmetrized(8, 18)};
+  Made made(8, 5);
+  AutoregressiveSampler sampler(made, 19);
+  Adam adam;
+  TrainerConfig cfg;
+  cfg.iterations = 5;
+  cfg.batch_size = 16;
+  VqmcTrainer trainer(h, made, sampler, adam, cfg);
+  const HittingTimeResult r = measure_hitting_time(
+      trainer, /*target=*/1e9,
+      [&h](const Matrix&, const EnergyEstimate& est) {
+        return h.cut_from_energy(est.mean);
+      },
+      16);
+  EXPECT_FALSE(r.reached);
+  EXPECT_EQ(r.iterations, 5);
+}
+
+}  // namespace
+}  // namespace vqmc

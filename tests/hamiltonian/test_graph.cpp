@@ -1,0 +1,107 @@
+#include "hamiltonian/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "tensor/vector.hpp"
+
+namespace vqmc {
+namespace {
+
+TEST(Graph, AddEdgeAndAdjacency) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2, 2.5);
+  g.add_edge(3, 0);
+  g.finalize();
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 4.5);
+  EXPECT_EQ(g.neighbors(1).size(), 2u);
+  EXPECT_EQ(g.neighbors(2).size(), 1u);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), Error);
+}
+
+TEST(Graph, OutOfRangeVertexRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 3), Error);
+}
+
+TEST(Graph, NeighborsBeforeFinalizeThrows) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.neighbors(0), Error);
+}
+
+TEST(Graph, CutValueOfTriangle) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.finalize();
+  Vector all_same{0, 0, 0};
+  EXPECT_DOUBLE_EQ(g.cut_value(all_same.span()), 0.0);
+  Vector split{1, 0, 0};  // vertex 0 alone: cuts 2 of 3 edges
+  EXPECT_DOUBLE_EQ(g.cut_value(split.span()), 2.0);
+}
+
+TEST(Graph, CutValueWeighted) {
+  Graph g(2);
+  g.add_edge(0, 1, 3.5);
+  g.finalize();
+  Vector x{1, 0};
+  EXPECT_DOUBLE_EQ(g.cut_value(x.span()), 3.5);
+}
+
+TEST(Graph, CycleGeneratorKnownMaxCut) {
+  const Graph even = Graph::cycle(6);
+  EXPECT_EQ(even.num_edges(), 6u);
+  Vector alternating{0, 1, 0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(even.cut_value(alternating.span()), 6.0);
+}
+
+TEST(Graph, CompleteGraphEdgeCount) {
+  const Graph k5 = Graph::complete(5);
+  EXPECT_EQ(k5.num_edges(), 10u);
+  EXPECT_EQ(k5.max_degree(), 4u);
+}
+
+TEST(Graph, BernoulliSymmetrizedIsDeterministicPerSeed) {
+  const Graph a = Graph::bernoulli_symmetrized(30, 7);
+  const Graph b = Graph::bernoulli_symmetrized(30, 7);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t i = 0; i < a.num_edges(); ++i) {
+    EXPECT_EQ(a.edges()[i].u, b.edges()[i].u);
+    EXPECT_EQ(a.edges()[i].v, b.edges()[i].v);
+  }
+  const Graph c = Graph::bernoulli_symmetrized(30, 8);
+  EXPECT_NE(a.num_edges(), c.num_edges());  // overwhelmingly likely
+}
+
+TEST(Graph, BernoulliSymmetrizedDensityNearOneQuarter) {
+  // Edge kept iff both directed Bernoulli(1/2) draws are 1 -> p = 1/4.
+  const std::size_t n = 200;
+  const Graph g = Graph::bernoulli_symmetrized(n, 99);
+  const double pairs = double(n) * double(n - 1) / 2;
+  const double density = double(g.num_edges()) / pairs;
+  EXPECT_NEAR(density, 0.25, 0.02);
+}
+
+TEST(Graph, ErdosRenyiDensityMatchesP) {
+  const std::size_t n = 150;
+  const Graph g = Graph::erdos_renyi(n, 0.1, 5);
+  const double pairs = double(n) * double(n - 1) / 2;
+  EXPECT_NEAR(double(g.num_edges()) / pairs, 0.1, 0.02);
+}
+
+TEST(Graph, ErdosRenyiExtremes) {
+  EXPECT_EQ(Graph::erdos_renyi(20, 0.0, 1).num_edges(), 0u);
+  EXPECT_EQ(Graph::erdos_renyi(20, 1.0, 1).num_edges(), 190u);
+}
+
+}  // namespace
+}  // namespace vqmc

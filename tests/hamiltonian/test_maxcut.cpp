@@ -1,0 +1,82 @@
+#include "hamiltonian/maxcut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hamiltonian/exact.hpp"
+
+namespace vqmc {
+namespace {
+
+TEST(MaxCut, EnergyCutRelationHoldsOnEveryConfiguration) {
+  const Graph g = Graph::bernoulli_symmetrized(8, 3);
+  const MaxCut h{g};
+  Vector x(8);
+  for (std::uint64_t idx = 0; idx < 256; ++idx) {
+    decode_basis_state(idx, x.span());
+    const Real cut = h.cut_value(x.span());
+    const Real energy = h.diagonal(x.span());
+    EXPECT_NEAR(h.cut_from_energy(energy), cut, 1e-10);
+    EXPECT_NEAR(h.energy_from_cut(cut), energy, 1e-10);
+  }
+}
+
+TEST(MaxCut, GroundStateIsMaximumCut) {
+  const Graph g = Graph::bernoulli_symmetrized(10, 11);
+  const MaxCut h{g};
+  const auto [energy, argmin] = exact_diagonal_minimum(h);
+  const Real best_cut = exact_max_cut(g);
+  EXPECT_NEAR(h.cut_value(argmin.span()), best_cut, 1e-10);
+  EXPECT_NEAR(h.cut_from_energy(energy), best_cut, 1e-10);
+}
+
+TEST(MaxCut, IsDiagonalAndSparsityOne) {
+  const MaxCut h{Graph::cycle(5)};
+  EXPECT_TRUE(h.is_diagonal());
+  EXPECT_EQ(h.row_sparsity(), 1u);
+  Vector x(5);
+  std::size_t visits = 0;
+  h.for_each_off_diagonal(x.span(),
+                          [&](std::span<const std::size_t>, Real) { ++visits; });
+  EXPECT_EQ(visits, 0u);
+}
+
+TEST(MaxCut, DiagonalFlipDeltaMatchesRecomputation) {
+  const Graph g = Graph::bernoulli_symmetrized(12, 5);
+  const MaxCut h{g};
+  Vector x(12);
+  decode_basis_state(0b101101011010, x.span());
+  for (std::size_t site = 0; site < 12; ++site) {
+    const Real before = h.diagonal(x.span());
+    Vector flipped = x;
+    flipped[site] = 1 - flipped[site];
+    EXPECT_NEAR(h.diagonal_flip_delta(x.span(), site),
+                h.diagonal(flipped.span()) - before, 1e-12);
+  }
+}
+
+TEST(MaxCut, CycleGroundStateCutsEverythingForEvenN) {
+  const MaxCut h{Graph::cycle(6)};
+  const auto [energy, argmin] = exact_diagonal_minimum(h);
+  EXPECT_NEAR(h.cut_value(argmin.span()), 6.0, 1e-12);
+  (void)energy;
+}
+
+TEST(MaxCut, PaperInstanceMatchesGraphGenerator) {
+  const MaxCut h = MaxCut::paper_instance(20, 9);
+  const Graph g = Graph::bernoulli_symmetrized(20, 9);
+  EXPECT_EQ(h.graph().num_edges(), g.num_edges());
+}
+
+TEST(MaxCut, EnergySymmetricUnderGlobalFlip) {
+  // The cut (and therefore the energy) is invariant under complementing the
+  // partition.
+  const Graph g = Graph::bernoulli_symmetrized(9, 13);
+  const MaxCut h{g};
+  Vector x(9), xc(9);
+  decode_basis_state(0b101010011, x.span());
+  for (std::size_t i = 0; i < 9; ++i) xc[i] = 1 - x[i];
+  EXPECT_NEAR(h.diagonal(x.span()), h.diagonal(xc.span()), 1e-12);
+}
+
+}  // namespace
+}  // namespace vqmc

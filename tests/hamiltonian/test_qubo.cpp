@@ -1,0 +1,58 @@
+#include "hamiltonian/qubo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hamiltonian/exact.hpp"
+
+namespace vqmc {
+namespace {
+
+TEST(Qubo, HandComputedEnergy) {
+  // E(x) = 2 x0 - 3 x1 + 4 x0 x1.
+  Qubo q(2, {{0, 0, 2.0}, {1, 1, -3.0}, {0, 1, 4.0}});
+  Vector x(2);
+  x[0] = 0;
+  x[1] = 0;
+  EXPECT_DOUBLE_EQ(q.diagonal(x.span()), 0.0);
+  x[1] = 1;
+  EXPECT_DOUBLE_EQ(q.diagonal(x.span()), -3.0);
+  x[0] = 1;
+  EXPECT_DOUBLE_EQ(q.diagonal(x.span()), 3.0);
+  x[1] = 0;
+  EXPECT_DOUBLE_EQ(q.diagonal(x.span()), 2.0);
+}
+
+TEST(Qubo, ExactMinimumByScan) {
+  Qubo q(2, {{0, 0, 2.0}, {1, 1, -3.0}, {0, 1, 4.0}});
+  const auto [energy, argmin] = exact_diagonal_minimum(q);
+  EXPECT_DOUBLE_EQ(energy, -3.0);
+  EXPECT_EQ(argmin[0], 0.0);
+  EXPECT_EQ(argmin[1], 1.0);
+}
+
+TEST(Qubo, FlipDeltaMatchesRecomputation) {
+  const Qubo q = Qubo::random_dense(10, 17);
+  Vector x(10);
+  decode_basis_state(0b1011010110, x.span());
+  for (std::size_t site = 0; site < 10; ++site) {
+    Vector flipped = x;
+    flipped[site] = 1 - flipped[site];
+    EXPECT_NEAR(q.diagonal_flip_delta(x.span(), site),
+                q.diagonal(flipped.span()) - q.diagonal(x.span()), 1e-12);
+  }
+}
+
+TEST(Qubo, InvalidTermsRejected) {
+  EXPECT_THROW(Qubo(3, {{2, 1, 1.0}}), Error);  // i > j
+  EXPECT_THROW(Qubo(3, {{0, 3, 1.0}}), Error);  // out of range
+}
+
+TEST(Qubo, RandomDenseTermCount) {
+  const Qubo q = Qubo::random_dense(6, 1);
+  EXPECT_EQ(q.terms().size(), 21u);  // n (n + 1) / 2
+  EXPECT_TRUE(q.is_diagonal());
+}
+
+}  // namespace
+}  // namespace vqmc

@@ -1,0 +1,203 @@
+/// End-to-end validation: the full VQMC stack must recover exact ground
+/// states on small instances — the strongest correctness statement the
+/// library can make about itself.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/local_search.hpp"
+#include "core/factory.hpp"
+#include "core/trainer.hpp"
+#include "hamiltonian/exact.hpp"
+#include "hamiltonian/maxcut.hpp"
+#include "hamiltonian/transverse_field_ising.hpp"
+#include "nn/made.hpp"
+#include "nn/rbm.hpp"
+#include "optim/adam.hpp"
+#include "optim/sgd.hpp"
+#include "parallel/distributed_trainer.hpp"
+#include "sampler/autoregressive_sampler.hpp"
+#include "sampler/metropolis_sampler.hpp"
+
+namespace vqmc {
+namespace {
+
+TEST(EndToEnd, MadeAutoAdamConvergesToExactTimGroundState) {
+  const std::size_t n = 6;
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(n, 100);
+  const ExactGroundState exact = exact_ground_state(tim);
+
+  Made made(n, 12);
+  made.initialize(101);
+  AutoregressiveSampler sampler(made, 102);
+  Adam adam(0.02);
+  TrainerConfig cfg;
+  cfg.iterations = 400;
+  cfg.batch_size = 256;
+  VqmcTrainer trainer(tim, made, sampler, adam, cfg);
+  trainer.run();
+
+  const EnergyEstimate final = trainer.evaluate(1024);
+  // Variational: estimate must stay above lambda_min (up to sampling noise)
+  // and land close to it after training.
+  EXPECT_GT(final.mean, exact.energy - 0.15);
+  EXPECT_LT(final.mean, exact.energy + 0.5);
+  // Eq. 4: the std of the stochastic objective shrinks near the eigenstate.
+  EXPECT_LT(final.std_dev, 1.0);
+}
+
+TEST(EndToEnd, MadeAutoSgdSrConvergesFasterThanPlainSgdOnTim) {
+  const std::size_t n = 5;
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(n, 103);
+
+  auto final_energy = [&](bool use_sr) {
+    Made made(n, 8);
+    made.initialize(104);
+    AutoregressiveSampler sampler(made, 105);
+    Sgd sgd(0.1);
+    TrainerConfig cfg;
+    cfg.iterations = 60;
+    cfg.batch_size = 128;
+    cfg.use_sr = use_sr;
+    VqmcTrainer trainer(tim, made, sampler, sgd, cfg);
+    trainer.run();
+    return trainer.evaluate(512).mean;
+  };
+
+  const Real with_sr = final_energy(true);
+  const Real without_sr = final_energy(false);
+  // SR (natural gradient) should be at least as good after few iterations
+  // (the paper's consistent observation); allow a small noise margin.
+  EXPECT_LT(with_sr, without_sr + 0.3);
+}
+
+TEST(EndToEnd, MadeAutoFindsMaxCutOptimumOnSmallGraph) {
+  const std::size_t n = 10;
+  const MaxCut h = MaxCut::paper_instance(n, 106);
+  const Real optimum = exact_max_cut(h.graph());
+
+  Made made(n, 10);
+  made.initialize(107);
+  AutoregressiveSampler sampler(made, 108);
+  Adam adam(0.05);
+  TrainerConfig cfg;
+  cfg.iterations = 150;
+  cfg.batch_size = 128;
+  VqmcTrainer trainer(h, made, sampler, adam, cfg);
+  trainer.run();
+
+  Matrix samples;
+  trainer.evaluate_with_samples(512, samples);
+  Real best_cut = 0;
+  for (std::size_t k = 0; k < samples.rows(); ++k)
+    best_cut = std::max(best_cut, h.cut_value(samples.row(k)));
+  EXPECT_GE(best_cut, optimum - 1e-9);  // should find the exact optimum
+}
+
+TEST(EndToEnd, RbmMcmcAdamAlsoOptimizesSmallMaxCut) {
+  const std::size_t n = 8;
+  const MaxCut h = MaxCut::paper_instance(n, 109);
+  const Real optimum = exact_max_cut(h.graph());
+
+  Rbm rbm(n, n);
+  rbm.initialize(110);
+  MetropolisConfig mc;
+  mc.burn_in = paper_burn_in(n);
+  mc.seed = 111;
+  MetropolisSampler sampler(rbm, mc);
+  Adam adam(0.05);
+  TrainerConfig cfg;
+  cfg.iterations = 120;
+  cfg.batch_size = 64;
+  VqmcTrainer trainer(h, rbm, sampler, adam, cfg);
+  trainer.run();
+
+  Matrix samples;
+  trainer.evaluate_with_samples(256, samples);
+  Real best_cut = 0;
+  for (std::size_t k = 0; k < samples.rows(); ++k)
+    best_cut = std::max(best_cut, h.cut_value(samples.row(k)));
+  EXPECT_GE(best_cut, 0.85 * optimum);
+}
+
+TEST(EndToEnd, VarianceShrinksAlongTraining) {
+  // Figure 2's blue curve: the std of the stochastic objective decreases
+  // as the wavefunction approaches the ground state.
+  const std::size_t n = 5;
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(n, 112);
+  Made made(n, 8);
+  made.initialize(113);
+  AutoregressiveSampler sampler(made, 114);
+  Adam adam(0.02);
+  TrainerConfig cfg;
+  cfg.iterations = 250;
+  cfg.batch_size = 128;
+  VqmcTrainer trainer(tim, made, sampler, adam, cfg);
+  trainer.run();
+
+  Real early = 0, late = 0;
+  for (int i = 0; i < 10; ++i) {
+    early += trainer.history()[std::size_t(i)].std_dev;
+    late += trainer.history()[trainer.history().size() - 1 - std::size_t(i)]
+                .std_dev;
+  }
+  EXPECT_LT(late, early);
+}
+
+TEST(EndToEnd, DistributedTrainingFindsMaxCutOptimum) {
+  // The full multi-device stack on a combinatorial problem: 4 virtual
+  // devices, effective batch 4 x 32, must find the exact optimum of a small
+  // Max-Cut instance.
+  const std::size_t n = 10;
+  const MaxCut h = MaxCut::paper_instance(n, 200);
+  const Real optimum = exact_max_cut(h.graph());
+
+  Made proto = Made::with_default_hidden(n);
+  proto.initialize(201);
+  parallel::DistributedConfig cfg;
+  cfg.shape = {2, 2};
+  cfg.iterations = 120;
+  cfg.mini_batch_size = 32;
+  cfg.eval_batch_per_rank = 128;
+  cfg.seed = 202;
+  const parallel::DistributedResult r =
+      parallel::train_distributed(h, proto, cfg);
+  EXPECT_TRUE(r.replicas_identical);
+  // Converged mean energy implies a mean cut close to the optimum.
+  EXPECT_GE(h.cut_from_energy(r.converged_energy), 0.9 * optimum);
+}
+
+TEST(EndToEnd, VqmcCutPolishedByLocalSearchMatchesBaselinePipeline) {
+  // Library composition: VQMC proposal + classical polish.
+  const std::size_t n = 12;
+  const MaxCut h = MaxCut::paper_instance(n, 115);
+  Made made(n, 8);
+  made.initialize(116);
+  AutoregressiveSampler sampler(made, 117);
+  Adam adam(0.05);
+  TrainerConfig cfg;
+  cfg.iterations = 60;
+  cfg.batch_size = 64;
+  VqmcTrainer trainer(h, made, sampler, adam, cfg);
+  trainer.run();
+
+  Matrix samples;
+  trainer.evaluate_with_samples(64, samples);
+  Vector best(n);
+  Real best_cut = -1;
+  for (std::size_t k = 0; k < samples.rows(); ++k) {
+    const Real c = h.cut_value(samples.row(k));
+    if (c > best_cut) {
+      best_cut = c;
+      std::copy(samples.row(k).begin(), samples.row(k).end(), best.begin());
+    }
+  }
+  const Real polished = baselines::local_search_1swap(h.graph(), best);
+  EXPECT_GE(polished, best_cut);
+  EXPECT_NEAR(polished, exact_max_cut(h.graph()), 1.0);
+}
+
+}  // namespace
+}  // namespace vqmc

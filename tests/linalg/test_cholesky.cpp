@@ -1,0 +1,80 @@
+#include "linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace vqmc::linalg {
+namespace {
+
+/// Build a random SPD matrix A = B B^T + n I.
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b.data()[i] = rng::uniform(gen, -1.0, 1.0);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      Real acc = (i == j) ? Real(n) : Real(0);
+      for (std::size_t k = 0; k < n; ++k) acc += b(i, k) * b(j, k);
+      a(i, j) = acc;
+    }
+  return a;
+}
+
+TEST(Cholesky, FactorReconstructsMatrix) {
+  const Matrix a = random_spd(6, 1);
+  Matrix l = a;
+  ASSERT_TRUE(cholesky_factor(l));
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j) {
+      Real acc = 0;
+      for (std::size_t k = 0; k < 6; ++k) acc += l(i, k) * l(j, k);
+      EXPECT_NEAR(acc, a(i, j), 1e-10);
+    }
+}
+
+TEST(Cholesky, UpperTriangleZeroedAfterFactor) {
+  Matrix l = random_spd(4, 2);
+  ASSERT_TRUE(cholesky_factor(l));
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = i + 1; j < 4; ++j) EXPECT_EQ(l(i, j), 0.0);
+}
+
+TEST(Cholesky, SolveRecoversKnownSolution) {
+  const std::size_t n = 8;
+  const Matrix a = random_spd(n, 3);
+  rng::Xoshiro256 gen(4);
+  Vector x_true(n), b(n), x(n);
+  for (std::size_t i = 0; i < n; ++i) x_true[i] = rng::uniform(gen, -2.0, 2.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    Real acc = 0;
+    for (std::size_t j = 0; j < n; ++j) acc += a(i, j) * x_true[j];
+    b[i] = acc;
+  }
+  ASSERT_TRUE(solve_spd(a, b.span(), x.span()));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Cholesky, IndefiniteMatrixRejected) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(1, 1) = -1;  // indefinite
+  Matrix l = a;
+  EXPECT_FALSE(cholesky_factor(l));
+  Vector b(2), x(2);
+  EXPECT_FALSE(solve_spd(a, b.span(), x.span()));
+}
+
+TEST(Cholesky, IdentitySolveIsIdentityMap) {
+  Matrix eye(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) eye(i, i) = 1;
+  Vector b{1, 2, 3}, x(3);
+  ASSERT_TRUE(solve_spd(eye, b.span(), x.span()));
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], b[i], 1e-14);
+}
+
+}  // namespace
+}  // namespace vqmc::linalg

@@ -1,0 +1,111 @@
+#include "linalg/conjugate_gradient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "linalg/cholesky.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "tensor/kernels.hpp"
+
+namespace vqmc::linalg {
+namespace {
+
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b.data()[i] = rng::uniform(gen, -1.0, 1.0);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      Real acc = (i == j) ? Real(2) : Real(0);
+      for (std::size_t k = 0; k < n; ++k) acc += b(i, k) * b(j, k);
+      a(i, j) = acc;
+    }
+  return a;
+}
+
+LinearOperator dense_operator(const Matrix& a) {
+  return [&a](std::span<const Real> x, std::span<Real> y) { gemv(a, x, y); };
+}
+
+TEST(ConjugateGradient, SolvesIdentityInOneIteration) {
+  const std::size_t n = 10;
+  Vector b(n), x(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = Real(i + 1);
+  const auto identity = [](std::span<const Real> in, std::span<Real> out) {
+    std::copy(in.begin(), in.end(), out.begin());
+  };
+  const CgResult r = conjugate_gradient(identity, b.span(), x.span());
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 2);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], b[i], 1e-10);
+}
+
+TEST(ConjugateGradient, MatchesCholeskyOnRandomSpd) {
+  const std::size_t n = 20;
+  const Matrix a = random_spd(n, 11);
+  rng::Xoshiro256 gen(12);
+  Vector b(n), x_cg(n), x_chol(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = rng::uniform(gen, -1.0, 1.0);
+  CgOptions opts;
+  opts.tolerance = 1e-12;
+  opts.max_iterations = 500;
+  const CgResult r =
+      conjugate_gradient(dense_operator(a), b.span(), x_cg.span(), opts);
+  EXPECT_TRUE(r.converged);
+  ASSERT_TRUE(solve_spd(a, b.span(), x_chol.span()));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x_cg[i], x_chol[i], 1e-8);
+}
+
+TEST(ConjugateGradient, ZeroRhsGivesZeroSolution) {
+  const Matrix a = random_spd(5, 13);
+  Vector b(5), x(5);
+  x.fill(3.0);  // non-zero initial guess must be cleared
+  const CgResult r = conjugate_gradient(dense_operator(a), b.span(), x.span());
+  EXPECT_TRUE(r.converged);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(x[i], 0.0);
+}
+
+TEST(ConjugateGradient, ConvergesInAtMostNIterationsExactArithmetic) {
+  const std::size_t n = 12;
+  const Matrix a = random_spd(n, 14);
+  rng::Xoshiro256 gen(15);
+  Vector b(n), x(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = rng::uniform(gen, -1.0, 1.0);
+  CgOptions opts;
+  opts.tolerance = 1e-9;
+  const CgResult r =
+      conjugate_gradient(dense_operator(a), b.span(), x.span(), opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, int(n) + 2);
+}
+
+TEST(ConjugateGradient, RespectsIterationCap) {
+  const std::size_t n = 30;
+  const Matrix a = random_spd(n, 16);
+  rng::Xoshiro256 gen(17);
+  Vector b(n), x(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = rng::uniform(gen, -1.0, 1.0);
+  CgOptions opts;
+  opts.max_iterations = 2;
+  opts.tolerance = 1e-16;
+  const CgResult r =
+      conjugate_gradient(dense_operator(a), b.span(), x.span(), opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_LE(r.iterations, 2);
+}
+
+TEST(ConjugateGradient, SizeMismatchThrows) {
+  Vector b(3), x(4);
+  EXPECT_THROW(conjugate_gradient(
+                   [](std::span<const Real>, std::span<Real>) {}, b.span(),
+                   x.span()),
+               Error);
+}
+
+}  // namespace
+}  // namespace vqmc::linalg

@@ -1,0 +1,105 @@
+#include "linalg/jacobi_eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace vqmc::linalg {
+namespace {
+
+Matrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      const Real v = rng::uniform(gen, -1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  return a;
+}
+
+TEST(JacobiEigen, DiagonalMatrixTrivial) {
+  Matrix a(3, 3);
+  a(0, 0) = 3;
+  a(1, 1) = -1;
+  a(2, 2) = 2;
+  const EigenDecomposition eig = jacobi_eigen(a);
+  EXPECT_TRUE(eig.converged);
+  EXPECT_NEAR(eig.eigenvalues[0], -1, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 2, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[2], 3, 1e-12);
+}
+
+TEST(JacobiEigen, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;
+  const EigenDecomposition eig = jacobi_eigen(a);
+  EXPECT_NEAR(eig.eigenvalues[0], 1, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 3, 1e-12);
+}
+
+TEST(JacobiEigen, EigenpairsSatisfyDefinition) {
+  const std::size_t n = 8;
+  const Matrix a = random_symmetric(n, 21);
+  const EigenDecomposition eig = jacobi_eigen(a);
+  EXPECT_TRUE(eig.converged);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Real av = 0;
+      for (std::size_t k = 0; k < n; ++k) av += a(i, k) * eig.eigenvectors(k, j);
+      EXPECT_NEAR(av, eig.eigenvalues[j] * eig.eigenvectors(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(JacobiEigen, EigenvectorsOrthonormal) {
+  const std::size_t n = 7;
+  const Matrix a = random_symmetric(n, 22);
+  const EigenDecomposition eig = jacobi_eigen(a);
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q < n; ++q) {
+      Real inner = 0;
+      for (std::size_t k = 0; k < n; ++k)
+        inner += eig.eigenvectors(k, p) * eig.eigenvectors(k, q);
+      EXPECT_NEAR(inner, p == q ? 1.0 : 0.0, 1e-10);
+    }
+}
+
+TEST(JacobiEigen, TraceAndEigenvalueSumAgree) {
+  const std::size_t n = 10;
+  const Matrix a = random_symmetric(n, 23);
+  const EigenDecomposition eig = jacobi_eigen(a);
+  Real trace = 0, sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace += a(i, i);
+    sum += eig.eigenvalues[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-10);
+}
+
+TEST(JacobiEigen, EigenvaluesSortedAscending) {
+  const Matrix a = random_symmetric(9, 24);
+  const EigenDecomposition eig = jacobi_eigen(a);
+  for (std::size_t i = 1; i < 9; ++i)
+    EXPECT_LE(eig.eigenvalues[i - 1], eig.eigenvalues[i]);
+}
+
+TEST(JacobiEigen, AsymmetricInputIsSymmetrized) {
+  Matrix a(2, 2);
+  a(0, 1) = 2;
+  a(1, 0) = 0;  // averaged to 1
+  const EigenDecomposition eig = jacobi_eigen(a);
+  EXPECT_NEAR(eig.eigenvalues[0], -1, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 1, 1e-12);
+}
+
+}  // namespace
+}  // namespace vqmc::linalg

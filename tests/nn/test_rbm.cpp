@@ -1,0 +1,138 @@
+#include "nn/rbm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gradient_check.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "tensor/kernels.hpp"
+
+namespace vqmc {
+namespace {
+
+Matrix random_bits(std::size_t bs, std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  Matrix batch(bs, n);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    batch.data()[i] = rng::bernoulli(gen, 0.5) ? 1 : 0;
+  return batch;
+}
+
+void randomize_parameters(WavefunctionModel& model, std::uint64_t seed,
+                          Real scale = 0.7) {
+  rng::Xoshiro256 gen(seed);
+  for (Real& p : model.parameters()) p = rng::uniform(gen, -scale, scale);
+}
+
+TEST(Rbm, ParameterCount) {
+  // [W (h x n) | c (h) | a (n) | a0] -> hn + h + n + 1.
+  const Rbm rbm(6, 4);
+  EXPECT_EQ(rbm.num_parameters(), 6u * 4u + 4u + 6u + 1u);
+}
+
+TEST(Rbm, LogPsiMatchesHandComputedFormula) {
+  const std::size_t n = 3, h = 2;
+  Rbm rbm(n, h);
+  randomize_parameters(rbm, 41);
+  const std::span<const Real> p = rbm.parameters();
+  // Layout: W row-major (h x n), then c (h), then a (n), then a0.
+  const Matrix batch = random_bits(4, n, 42);
+  Vector lp(4);
+  rbm.log_psi(batch, lp.span());
+  for (std::size_t k = 0; k < 4; ++k) {
+    Real expected = p[h * n + h + n];  // a0
+    for (std::size_t l = 0; l < h; ++l) {
+      Real theta = p[h * n + l];  // c_l
+      for (std::size_t j = 0; j < n; ++j) theta += p[l * n + j] * batch(k, j);
+      expected += std::log(std::cosh(theta));
+    }
+    for (std::size_t j = 0; j < n; ++j)
+      expected += p[h * n + h + j] * batch(k, j);
+    EXPECT_NEAR(lp[k], expected, 1e-12);
+  }
+}
+
+TEST(Rbm, IsNotNormalized) {
+  const Rbm rbm(4, 4);
+  EXPECT_FALSE(rbm.is_normalized());
+}
+
+TEST(Rbm, GradientMatchesFiniteDifferences) {
+  Rbm rbm(5, 4);
+  randomize_parameters(rbm, 43);
+  const Matrix batch = random_bits(6, 5, 44);
+  Vector coeff(6);
+  rng::Xoshiro256 gen(45);
+  for (std::size_t k = 0; k < 6; ++k) coeff[k] = rng::uniform(gen, -1.0, 1.0);
+  const GradientCheckResult r =
+      check_log_psi_gradient(rbm, batch, coeff.span());
+  EXPECT_LT(r.max_abs_error, 1e-7) << "worst parameter " << r.worst_index;
+}
+
+TEST(Rbm, PerSampleGradientMatchesFiniteDifferences) {
+  Rbm rbm(4, 3);
+  randomize_parameters(rbm, 46);
+  const Matrix batch = random_bits(5, 4, 47);
+  const GradientCheckResult r = check_per_sample_gradient(rbm, batch);
+  EXPECT_LT(r.max_abs_error, 1e-7);
+}
+
+TEST(Rbm, PerSampleGradientsSumToBatchGradient) {
+  Rbm rbm(5, 6);
+  randomize_parameters(rbm, 48);
+  const std::size_t bs = 8;
+  const Matrix batch = random_bits(bs, 5, 49);
+  const std::size_t d = rbm.num_parameters();
+
+  Matrix per_sample(bs, d);
+  rbm.log_psi_gradient_per_sample(batch, per_sample);
+  Vector coeff(bs);
+  coeff.fill(1.0);
+  Vector batch_grad(d);
+  rbm.accumulate_log_psi_gradient(batch, coeff.span(), batch_grad.span());
+
+  for (std::size_t i = 0; i < d; ++i) {
+    Real acc = 0;
+    for (std::size_t k = 0; k < bs; ++k) acc += per_sample(k, i);
+    EXPECT_NEAR(acc, batch_grad[i], 1e-9);
+  }
+}
+
+TEST(Rbm, CloneIsIndependentDeepCopy) {
+  Rbm rbm(4, 4);
+  randomize_parameters(rbm, 50);
+  auto copy = rbm.clone();
+  EXPECT_EQ(copy->name(), "RBM");
+  copy->parameters()[0] += 1.0;
+  EXPECT_NE(copy->parameters()[0], rbm.parameters()[0]);
+}
+
+TEST(Rbm, LogPsiStableForLargeActivations) {
+  // Huge weights would overflow cosh; log_cosh must keep things finite.
+  Rbm rbm(4, 3);
+  for (Real& p : rbm.parameters()) p = 500.0;
+  const Matrix batch = random_bits(2, 4, 51);
+  Vector lp(2);
+  rbm.log_psi(batch, lp.span());
+  for (std::size_t k = 0; k < 2; ++k) EXPECT_TRUE(std::isfinite(lp[k]));
+}
+
+TEST(Rbm, GradientOfConstantCoefficientMatchesScaledSum) {
+  // Linearity check: gradient with coeff = 2*ones equals twice coeff = ones.
+  Rbm rbm(4, 3);
+  randomize_parameters(rbm, 52);
+  const Matrix batch = random_bits(5, 4, 53);
+  Vector ones(5), twos(5);
+  ones.fill(1.0);
+  twos.fill(2.0);
+  Vector g1(rbm.num_parameters()), g2(rbm.num_parameters());
+  rbm.accumulate_log_psi_gradient(batch, ones.span(), g1.span());
+  rbm.accumulate_log_psi_gradient(batch, twos.span(), g2.span());
+  for (std::size_t i = 0; i < g1.size(); ++i)
+    EXPECT_NEAR(g2[i], 2 * g1[i], 1e-10);
+}
+
+}  // namespace
+}  // namespace vqmc

@@ -1,0 +1,151 @@
+#include "nn/rnn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hamiltonian/hamiltonian.hpp"
+#include "nn/gradient_check.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "sampler/autoregressive_sampler.hpp"
+#include "sampler/diagnostics.hpp"
+
+namespace vqmc {
+namespace {
+
+Matrix all_configurations(std::size_t n) {
+  const std::size_t dim = std::size_t(1) << n;
+  Matrix batch(dim, n);
+  for (std::uint64_t idx = 0; idx < dim; ++idx)
+    decode_basis_state(idx, batch.row(idx));
+  return batch;
+}
+
+Matrix random_bits(std::size_t bs, std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  Matrix batch(bs, n);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    batch.data()[i] = rng::bernoulli(gen, 0.5) ? 1 : 0;
+  return batch;
+}
+
+void randomize_parameters(WavefunctionModel& model, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  for (Real& p : model.parameters()) p = rng::uniform(gen, -0.6, 0.6);
+}
+
+TEST(Rnn, ParameterCountFormula) {
+  const std::size_t n = 7, h = 5;
+  const RnnWavefunction rnn(n, h);
+  EXPECT_EQ(rnn.num_parameters(), 2 * h + h * h + h + h + 1);
+}
+
+TEST(Rnn, DistributionIsNormalized) {
+  for (std::uint64_t seed : {1ULL, 2ULL}) {
+    RnnWavefunction rnn(5, 6);
+    randomize_parameters(rnn, 60 + seed);
+    const Matrix batch = all_configurations(5);
+    Vector lp(batch.rows());
+    rnn.log_psi(batch, lp.span());
+    Real total = 0;
+    for (std::size_t k = 0; k < batch.rows(); ++k)
+      total += std::exp(2 * lp[k]);
+    EXPECT_NEAR(total, 1.0, 1e-10) << "seed " << seed;
+  }
+}
+
+TEST(Rnn, ConditionalsAreCausal) {
+  // Conditional t may depend only on x_0..x_{t-1}.
+  const std::size_t n = 6;
+  RnnWavefunction rnn(n, 7);
+  randomize_parameters(rnn, 63);
+  Matrix base = random_bits(1, n, 64);
+  Matrix cond_base;
+  rnn.conditionals(base, cond_base);
+  for (std::size_t j = 0; j < n; ++j) {
+    Matrix perturbed = base;
+    perturbed(0, j) = 1 - perturbed(0, j);
+    Matrix cond;
+    rnn.conditionals(perturbed, cond);
+    for (std::size_t i = 0; i <= j; ++i)
+      EXPECT_EQ(cond(0, i), cond_base(0, i))
+          << "conditional " << i << " depends on input " << j;
+  }
+}
+
+TEST(Rnn, FirstConditionalIsInputIndependent) {
+  RnnWavefunction rnn(5, 4);
+  randomize_parameters(rnn, 65);
+  Matrix a = random_bits(1, 5, 66), b = random_bits(1, 5, 67);
+  Matrix ca, cb;
+  rnn.conditionals(a, ca);
+  rnn.conditionals(b, cb);
+  EXPECT_EQ(ca(0, 0), cb(0, 0));
+}
+
+TEST(Rnn, GradientMatchesFiniteDifferences) {
+  RnnWavefunction rnn(5, 4);
+  randomize_parameters(rnn, 68);
+  const Matrix batch = random_bits(6, 5, 69);
+  Vector coeff(6);
+  rng::Xoshiro256 gen(70);
+  for (std::size_t k = 0; k < 6; ++k) coeff[k] = rng::uniform(gen, -1.0, 1.0);
+  const GradientCheckResult r =
+      check_log_psi_gradient(rnn, batch, coeff.span());
+  EXPECT_LT(r.max_abs_error, 1e-6) << "worst parameter " << r.worst_index;
+}
+
+TEST(Rnn, PerSampleGradientsSumToBatchGradient) {
+  RnnWavefunction rnn(4, 5);
+  randomize_parameters(rnn, 71);
+  const std::size_t bs = 5;
+  const Matrix batch = random_bits(bs, 4, 72);
+  const std::size_t d = rnn.num_parameters();
+  Matrix per_sample(bs, d);
+  rnn.log_psi_gradient_per_sample(batch, per_sample);
+  Vector coeff(bs);
+  coeff.fill(1.0);
+  Vector batch_grad(d);
+  rnn.accumulate_log_psi_gradient(batch, coeff.span(), batch_grad.span());
+  for (std::size_t i = 0; i < d; ++i) {
+    Real acc = 0;
+    for (std::size_t k = 0; k < bs; ++k) acc += per_sample(k, i);
+    EXPECT_NEAR(acc, batch_grad[i], 1e-9);
+  }
+}
+
+TEST(Rnn, ExactSamplingMatchesEnumeratedDistribution) {
+  RnnWavefunction rnn(4, 5);
+  randomize_parameters(rnn, 73);
+  AutoregressiveSampler sampler(rnn, 74);
+  const std::size_t draws = 20000;
+  Matrix out(draws, 4);
+  sampler.sample(out);
+
+  const Matrix configs = all_configurations(4);
+  Vector lp(configs.rows());
+  rnn.log_psi(configs, lp.span());
+  std::vector<Real> exact(configs.rows());
+  for (std::size_t i = 0; i < configs.rows(); ++i)
+    exact[i] = std::exp(2 * lp[i]);
+  const std::vector<Real> empirical = empirical_distribution(out);
+  EXPECT_LT(total_variation_distance(empirical, exact), 0.03);
+}
+
+TEST(Rnn, CloneIsDeepCopy) {
+  RnnWavefunction rnn(4, 3);
+  randomize_parameters(rnn, 75);
+  auto copy = rnn.clone();
+  EXPECT_EQ(copy->name(), "RNN");
+  copy->parameters()[0] += 1;
+  EXPECT_NE(copy->parameters()[0], rnn.parameters()[0]);
+}
+
+TEST(Rnn, RejectsDegenerateShapes) {
+  EXPECT_THROW(RnnWavefunction(1, 4), Error);
+  EXPECT_THROW(RnnWavefunction(4, 0), Error);
+}
+
+}  // namespace
+}  // namespace vqmc

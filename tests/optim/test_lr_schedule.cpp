@@ -1,0 +1,45 @@
+#include "optim/lr_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace vqmc {
+namespace {
+
+TEST(LrSchedule, ConstantIsAlwaysOne) {
+  const ConstantSchedule s;
+  EXPECT_EQ(s.multiplier(0), 1.0);
+  EXPECT_EQ(s.multiplier(1000), 1.0);
+}
+
+TEST(LrSchedule, StepDecayHalvesEveryPeriod) {
+  const StepDecaySchedule s(10, 0.5);
+  EXPECT_DOUBLE_EQ(s.multiplier(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.multiplier(9), 1.0);
+  EXPECT_DOUBLE_EQ(s.multiplier(10), 0.5);
+  EXPECT_DOUBLE_EQ(s.multiplier(25), 0.25);
+}
+
+TEST(LrSchedule, CosineEndpointsAndMonotonicity) {
+  const CosineSchedule s(100, 0.1);
+  EXPECT_DOUBLE_EQ(s.multiplier(0), 1.0);
+  EXPECT_NEAR(s.multiplier(50), 0.55, 1e-12);  // midpoint: (1 + 0.1)/2
+  EXPECT_DOUBLE_EQ(s.multiplier(100), 0.1);
+  EXPECT_DOUBLE_EQ(s.multiplier(500), 0.1);  // clamped after the horizon
+  for (int i = 1; i <= 100; ++i)
+    EXPECT_LE(s.multiplier(i), s.multiplier(i - 1));
+}
+
+TEST(LrSchedule, InvalidConfigurationsRejected) {
+  EXPECT_THROW(StepDecaySchedule(0, 0.5), Error);
+  EXPECT_THROW(StepDecaySchedule(5, 0.0), Error);
+  EXPECT_THROW(StepDecaySchedule(5, 1.5), Error);
+  EXPECT_THROW(CosineSchedule(0), Error);
+  EXPECT_THROW(CosineSchedule(10, 1.0), Error);
+  const StepDecaySchedule s(5, 0.5);
+  EXPECT_THROW(s.multiplier(-1), Error);
+}
+
+}  // namespace
+}  // namespace vqmc

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "optim/adam.hpp"
+#include "optim/sgd.hpp"
+#include "tensor/vector.hpp"
+
+namespace vqmc {
+namespace {
+
+/// Minimize f(x) = 0.5 * ||x - target||^2 with gradient x - target.
+template <typename Opt>
+Real optimize_quadratic(Opt& opt, int steps, Real start = 5.0,
+                        Real target = 1.0) {
+  Vector x{start, -start};
+  Vector grad(2);
+  for (int i = 0; i < steps; ++i) {
+    grad[0] = x[0] - target;
+    grad[1] = x[1] - target;
+    opt.step(x.span(), grad.span());
+  }
+  return std::max(std::fabs(x[0] - target), std::fabs(x[1] - target));
+}
+
+TEST(Sgd, SingleStepIsExactlyLrTimesGrad) {
+  Sgd sgd(0.1);
+  Vector x{1.0};
+  Vector g{2.0};
+  sgd.step(x.span(), g.span());
+  EXPECT_DOUBLE_EQ(x[0], 0.8);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Sgd sgd(0.1);
+  EXPECT_LT(optimize_quadratic(sgd, 200), 1e-6);
+}
+
+TEST(Sgd, MomentumAcceleratesButStillConverges) {
+  Sgd plain(0.05), momentum(0.05, 0.9);
+  const Real err_plain = optimize_quadratic(plain, 50);
+  const Real err_momentum = optimize_quadratic(momentum, 50);
+  EXPECT_LT(err_momentum, err_plain);
+  EXPECT_LT(optimize_quadratic(momentum, 300), 1e-6);
+}
+
+TEST(Sgd, InvalidHyperparametersRejected) {
+  EXPECT_THROW(Sgd(0.0), Error);
+  EXPECT_THROW(Sgd(0.1, 1.0), Error);
+  EXPECT_THROW(Sgd(0.1, -0.1), Error);
+}
+
+TEST(Sgd, SizeMismatchRejected) {
+  Sgd sgd(0.1);
+  Vector x(2), g(3);
+  EXPECT_THROW(sgd.step(x.span(), g.span()), Error);
+}
+
+TEST(Sgd, ResetClearsMomentum) {
+  Sgd sgd(0.1, 0.9);
+  Vector x{1.0}, g{1.0};
+  sgd.step(x.span(), g.span());
+  sgd.reset();
+  Vector y{1.0};
+  sgd.step(y.span(), g.span());
+  // After reset, the first step must look like a fresh optimizer's.
+  EXPECT_DOUBLE_EQ(y[0], 0.9);
+}
+
+TEST(Adam, FirstStepHasMagnitudeLr) {
+  // With bias correction, the very first Adam step is lr * sign(grad).
+  Adam adam(0.01);
+  Vector x{0.0}, g{123.0};
+  adam.step(x.span(), g.span());
+  EXPECT_NEAR(x[0], -0.01, 1e-6);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Adam adam(0.05);
+  EXPECT_LT(optimize_quadratic(adam, 1000), 1e-4);
+}
+
+TEST(Adam, StepsAreInvariantToGradientScale) {
+  // Adam normalizes by the second moment, so scaling the gradient leaves
+  // the first step unchanged.
+  Adam a(0.01), b(0.01);
+  Vector xa{0.0}, xb{0.0}, ga{1.0}, gb{1000.0};
+  a.step(xa.span(), ga.span());
+  b.step(xb.span(), gb.span());
+  EXPECT_NEAR(xa[0], xb[0], 1e-6);
+}
+
+TEST(Adam, InvalidHyperparametersRejected) {
+  EXPECT_THROW(Adam(-0.01), Error);
+  EXPECT_THROW(Adam(0.01, 1.0), Error);
+  EXPECT_THROW(Adam(0.01, 0.9, 1.0), Error);
+  EXPECT_THROW(Adam(0.01, 0.9, 0.999, 0.0), Error);
+}
+
+TEST(Adam, ResetRestartsBiasCorrection) {
+  Adam adam(0.01);
+  Vector x{0.0}, g{1.0};
+  adam.step(x.span(), g.span());
+  adam.step(x.span(), g.span());
+  adam.reset();
+  Vector y{0.0};
+  adam.step(y.span(), g.span());
+  EXPECT_NEAR(y[0], -0.01, 1e-6);
+}
+
+TEST(Factories, ProduceTheDocumentedDefaults) {
+  const auto sgd = make_sgd();
+  const auto adam = make_adam();
+  EXPECT_EQ(sgd->name(), "SGD");
+  EXPECT_EQ(adam->name(), "ADAM");
+}
+
+}  // namespace
+}  // namespace vqmc

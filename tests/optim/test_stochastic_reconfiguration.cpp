@@ -1,0 +1,127 @@
+#include "optim/stochastic_reconfiguration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "linalg/cholesky.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "tensor/kernels.hpp"
+
+namespace vqmc {
+namespace {
+
+Matrix random_samples(std::size_t bs, std::size_t d, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  Matrix o(bs, d);
+  for (std::size_t i = 0; i < o.size(); ++i)
+    o.data()[i] = rng::uniform(gen, -1.0, 1.0);
+  return o;
+}
+
+/// Reference: form S = cov(O) + lambda I densely and Cholesky-solve.
+void reference_solution(const Matrix& o, Real lambda,
+                        std::span<const Real> grad, std::span<Real> delta) {
+  const std::size_t bs = o.rows(), d = o.cols();
+  Vector o_bar(d);
+  column_sum_accumulate(o, o_bar.span());
+  scale(o_bar.span(), Real(1) / Real(bs));
+  Matrix s(d, d);
+  gemm_tn_accumulate(o, o, s);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j)
+      s(i, j) = s(i, j) / Real(bs) - o_bar[i] * o_bar[j];
+    s(i, i) += lambda;
+  }
+  ASSERT_TRUE(linalg::solve_spd(s, grad, delta));
+}
+
+TEST(StochasticReconfiguration, DensePathMatchesReference) {
+  const std::size_t bs = 20, d = 8;
+  const Matrix o = random_samples(bs, d, 1);
+  rng::Xoshiro256 gen(2);
+  Vector grad(d), delta(d), expected(d);
+  for (std::size_t i = 0; i < d; ++i) grad[i] = rng::uniform(gen, -1.0, 1.0);
+
+  SrConfig cfg;
+  cfg.regularization = 1e-3;
+  cfg.dense_threshold = 100;  // force the dense path
+  StochasticReconfiguration sr(cfg);
+  sr.precondition(o, grad.span(), delta.span());
+  reference_solution(o, cfg.regularization, grad.span(), expected.span());
+  for (std::size_t i = 0; i < d; ++i) EXPECT_NEAR(delta[i], expected[i], 1e-9);
+}
+
+TEST(StochasticReconfiguration, CgPathMatchesDensePath) {
+  const std::size_t bs = 30, d = 12;
+  const Matrix o = random_samples(bs, d, 3);
+  rng::Xoshiro256 gen(4);
+  Vector grad(d), dense(d), iterative(d);
+  for (std::size_t i = 0; i < d; ++i) grad[i] = rng::uniform(gen, -1.0, 1.0);
+
+  SrConfig dense_cfg;
+  dense_cfg.dense_threshold = 100;
+  StochasticReconfiguration sr_dense(dense_cfg);
+  sr_dense.precondition(o, grad.span(), dense.span());
+
+  SrConfig cg_cfg;
+  cg_cfg.dense_threshold = 1;  // force CG
+  cg_cfg.cg.tolerance = 1e-12;
+  cg_cfg.cg.max_iterations = 500;
+  StochasticReconfiguration sr_cg(cg_cfg);
+  const int iters = sr_cg.precondition(o, grad.span(), iterative.span());
+  EXPECT_GT(iters, 0);
+  for (std::size_t i = 0; i < d; ++i) EXPECT_NEAR(iterative[i], dense[i], 1e-7);
+}
+
+TEST(StochasticReconfiguration, IdentityLimitForLargeRegularization) {
+  // For lambda >> ||S||, delta ~= grad / lambda.
+  const std::size_t bs = 10, d = 5;
+  const Matrix o = random_samples(bs, d, 5);
+  Vector grad(d), delta(d);
+  grad.fill(2.0);
+  SrConfig cfg;
+  cfg.regularization = 1e6;
+  StochasticReconfiguration sr(cfg);
+  sr.precondition(o, grad.span(), delta.span());
+  for (std::size_t i = 0; i < d; ++i) EXPECT_NEAR(delta[i], 2e-6, 1e-8);
+}
+
+TEST(StochasticReconfiguration, SolutionSatisfiesTheLinearSystem) {
+  const std::size_t bs = 25, d = 6;
+  const Matrix o = random_samples(bs, d, 6);
+  rng::Xoshiro256 gen(7);
+  Vector grad(d), delta(d);
+  for (std::size_t i = 0; i < d; ++i) grad[i] = rng::uniform(gen, -1.0, 1.0);
+  SrConfig cfg;
+  StochasticReconfiguration sr(cfg);
+  sr.precondition(o, grad.span(), delta.span());
+
+  // Verify (S + lambda I) delta == grad by applying S through O.
+  Vector o_bar(d);
+  column_sum_accumulate(o, o_bar.span());
+  scale(o_bar.span(), Real(1) / Real(bs));
+  Vector ov(bs), s_delta(d);
+  gemv(o, delta.span(), ov.span());
+  gemv_t(o, ov.span(), s_delta.span());
+  const Real ob_v = dot(o_bar.span(), delta.span());
+  for (std::size_t i = 0; i < d; ++i) {
+    const Real lhs = s_delta[i] / Real(bs) - o_bar[i] * ob_v +
+                     cfg.regularization * delta[i];
+    EXPECT_NEAR(lhs, grad[i], 1e-8);
+  }
+}
+
+TEST(StochasticReconfiguration, RejectsInvalidInput) {
+  EXPECT_THROW(StochasticReconfiguration({.regularization = 0.0}), Error);
+  StochasticReconfiguration sr;
+  Matrix o(1, 4);  // bs < 2
+  Vector grad(4), delta(4);
+  EXPECT_THROW(sr.precondition(o, grad.span(), delta.span()), Error);
+  Matrix ok(5, 4);
+  Vector wrong(3);
+  EXPECT_THROW(sr.precondition(ok, wrong.span(), delta.span()), Error);
+}
+
+}  // namespace
+}  // namespace vqmc

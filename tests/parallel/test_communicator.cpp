@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/error.hpp"
+#include "parallel/communicator.hpp"
+#include "parallel/thread_communicator.hpp"
+#include "tensor/vector.hpp"
+
+namespace vqmc::parallel {
+namespace {
+
+TEST(SelfCommunicator, IsTrivialGroupOfOne) {
+  SelfCommunicator comm;
+  EXPECT_EQ(comm.rank(), 0);
+  EXPECT_EQ(comm.size(), 1);
+  Vector v{1.0, 2.0};
+  comm.allreduce_sum(v.span());
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(comm.allreduce_sum(Real(5)), 5.0);
+}
+
+TEST(ThreadGroup, RanksAreDistinctAndComplete) {
+  const int L = 6;
+  std::vector<std::atomic<int>> seen(L);
+  run_thread_group(L, [&](Communicator& comm) {
+    EXPECT_EQ(comm.size(), L);
+    seen[std::size_t(comm.rank())].fetch_add(1);
+  });
+  for (int r = 0; r < L; ++r) EXPECT_EQ(seen[std::size_t(r)].load(), 1);
+}
+
+TEST(ThreadGroup, AllreduceSumIsCorrectAndIdenticalOnAllRanks) {
+  const int L = 5;
+  std::vector<std::vector<Real>> results{std::size_t(L)};
+  run_thread_group(L, [&](Communicator& comm) {
+    Vector v(3);
+    v[0] = Real(comm.rank());
+    v[1] = 1;
+    v[2] = Real(comm.rank() * comm.rank());
+    comm.allreduce_sum(v.span());
+    results[std::size_t(comm.rank())] = {v[0], v[1], v[2]};
+  });
+  // sum ranks = 10, count = 5, sum squares = 30.
+  for (const auto& r : results) {
+    EXPECT_DOUBLE_EQ(r[0], 10.0);
+    EXPECT_DOUBLE_EQ(r[1], 5.0);
+    EXPECT_DOUBLE_EQ(r[2], 30.0);
+  }
+}
+
+TEST(ThreadGroup, AllreduceSumIsBitIdenticalAcrossRanks) {
+  // Irrational-ish summands make order sensitivity observable; the fixed
+  // fold order must give bit-identical results everywhere.
+  const int L = 7;
+  std::vector<Real> results(std::size_t(L), Real(0));
+  run_thread_group(L, [&](Communicator& comm) {
+    Vector v(1);
+    v[0] = Real(1) / Real(3 + comm.rank());
+    comm.allreduce_sum(v.span());
+    results[std::size_t(comm.rank())] = v[0];
+  });
+  for (int r = 1; r < L; ++r) EXPECT_EQ(results[0], results[std::size_t(r)]);
+}
+
+TEST(ThreadGroup, AllreduceMax) {
+  const int L = 4;
+  std::vector<Real> results(std::size_t(L), Real(0));
+  run_thread_group(L, [&](Communicator& comm) {
+    Vector v(1);
+    v[0] = Real((comm.rank() * 7) % 5);  // 0, 2, 4, 1
+    comm.allreduce_max(v.span());
+    results[std::size_t(comm.rank())] = v[0];
+  });
+  for (Real r : results) EXPECT_DOUBLE_EQ(r, 4.0);
+}
+
+TEST(ThreadGroup, BroadcastFromEveryRoot) {
+  const int L = 3;
+  for (int root = 0; root < L; ++root) {
+    std::vector<Real> results(std::size_t(L), Real(0));
+    run_thread_group(L, [&](Communicator& comm) {
+      Vector v(1);
+      v[0] = comm.rank() == root ? Real(42 + root) : Real(-1);
+      comm.broadcast(v.span(), root);
+      results[std::size_t(comm.rank())] = v[0];
+    });
+    for (Real r : results) EXPECT_DOUBLE_EQ(r, Real(42 + root));
+  }
+}
+
+TEST(ThreadGroup, ConsecutiveCollectivesDoNotInterfere) {
+  const int L = 4;
+  run_thread_group(L, [&](Communicator& comm) {
+    for (int round = 0; round < 20; ++round) {
+      Vector v(2);
+      v[0] = Real(comm.rank() + round);
+      v[1] = Real(round);
+      comm.allreduce_sum(v.span());
+      EXPECT_DOUBLE_EQ(v[0], Real(6 + 4 * round));
+      EXPECT_DOUBLE_EQ(v[1], Real(4 * round));
+      comm.barrier();
+    }
+  });
+}
+
+TEST(ThreadGroup, SingleRankGroupWorks) {
+  run_thread_group(1, [&](Communicator& comm) {
+    EXPECT_EQ(comm.size(), 1);
+    Vector v{3.0};
+    comm.allreduce_sum(v.span());
+    EXPECT_DOUBLE_EQ(v[0], 3.0);
+  });
+}
+
+TEST(ThreadGroup, ExceptionBeforeCollectivesPropagates) {
+  EXPECT_THROW(run_thread_group(
+                   2, [&](Communicator& comm) {
+                     if (comm.rank() >= 0) throw Error("rank failure");
+                   }),
+               Error);
+}
+
+TEST(ThreadGroup, ZeroRanksRejected) {
+  EXPECT_THROW(run_thread_group(0, [](Communicator&) {}), Error);
+}
+
+}  // namespace
+}  // namespace vqmc::parallel

@@ -1,0 +1,100 @@
+#include "parallel/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vqmc::parallel {
+namespace {
+
+TEST(CostModel, ParameterCountMatchesPaperFormula) {
+  EXPECT_EQ(made_parameter_count(100, 50), 2u * 50u * 100u + 50u + 100u);
+}
+
+TEST(CostModel, ForwardFlopsScaleLinearlyInEachFactor) {
+  const double base = made_forward_flops(100, 50, 8);
+  EXPECT_NEAR(made_forward_flops(200, 50, 8) / base, 2.0, 0.05);
+  EXPECT_NEAR(made_forward_flops(100, 100, 8) / base, 2.0, 0.05);
+  EXPECT_NEAR(made_forward_flops(100, 50, 16) / base, 2.0, 0.05);
+}
+
+TEST(CostModel, SamplingTimeScalesQuadraticallyInN) {
+  // n forward passes, each O(h n): total O(h n^2) (Section 4).
+  DeviceCostModel device;
+  device.kernel_latency_seconds = 0;  // isolate the flop term
+  const double t1 = model_sampling_seconds(device, 100, 50, 64);
+  const double t2 = model_sampling_seconds(device, 200, 50, 64);
+  EXPECT_NEAR(t2 / t1, 4.0, 0.1);
+}
+
+TEST(CostModel, SamplingTimeIndependentOfClusterSize) {
+  // Weak scaling: per-device time depends only on the per-device batch.
+  DeviceCostModel device;
+  const double alone = model_sampling_seconds(device, 1000, 120, 4);
+  EXPECT_GT(alone, 0);
+  // (The cluster does not appear in the signature — the assertion is the
+  // API shape itself; this test documents the invariant.)
+}
+
+TEST(CostModel, AllreduceIsZeroForSingleDevice) {
+  DeviceCostModel device;
+  EXPECT_EQ(model_allreduce_seconds(device, {1, 1}, 1000000), 0.0);
+}
+
+TEST(CostModel, InterNodeAllreduceIsSlower) {
+  DeviceCostModel device;
+  const ClusterShape one_node{1, 4};
+  const ClusterShape four_nodes{4, 1};
+  const std::size_t count = 10'000'000;
+  EXPECT_GT(model_allreduce_seconds(device, four_nodes, count),
+            model_allreduce_seconds(device, one_node, count));
+}
+
+TEST(CostModel, AllreduceIsTinyRelativeToComputeAtPaperScale) {
+  // Section 4's efficiency argument: the O(hn) allreduce is negligible
+  // against O(h n^2 mbs) compute. Check at the 10K-dim configuration.
+  DeviceCostModel device;
+  const ClusterShape shape{6, 4};
+  const std::size_t n = 10000, h = 424 /* 5 (log n)^2 */, mbs = 4;
+  const double comms =
+      model_allreduce_seconds(device, shape, made_parameter_count(n, h));
+  const double compute = model_sampling_seconds(device, n, h, mbs) +
+                         model_local_energy_seconds(device, n, h, mbs, 1024);
+  EXPECT_LT(comms, 0.05 * compute);
+}
+
+TEST(CostModel, IterationTimeIncludesAllComponents) {
+  DeviceCostModel device;
+  const ClusterShape shape{2, 2};
+  const double total = model_iteration_seconds(device, shape, 500, 193, 16, 1024);
+  const double sampling = model_sampling_seconds(device, 500, 193, 16);
+  EXPECT_GT(total, sampling);
+}
+
+TEST(CostModel, SaturatingMiniBatchMatchesPaperTable7) {
+  DeviceCostModel device;
+  EXPECT_EQ(saturating_mini_batch(device, 20), 1u << 19);
+  EXPECT_EQ(saturating_mini_batch(device, 50), 1u << 17);
+  EXPECT_EQ(saturating_mini_batch(device, 100), 1u << 15);
+  EXPECT_EQ(saturating_mini_batch(device, 200), 1u << 13);
+  EXPECT_EQ(saturating_mini_batch(device, 500), 1u << 11);
+  EXPECT_EQ(saturating_mini_batch(device, 1000), 1u << 9);
+  EXPECT_EQ(saturating_mini_batch(device, 2000), 1u << 7);
+  EXPECT_EQ(saturating_mini_batch(device, 5000), 1u << 4);
+  EXPECT_EQ(saturating_mini_batch(device, 10000), 1u << 2);
+}
+
+TEST(CostModel, SaturatingMiniBatchFallbackIsMonotoneInN) {
+  DeviceCostModel device;
+  EXPECT_GE(saturating_mini_batch(device, 300),
+            saturating_mini_batch(device, 700));
+  EXPECT_GE(saturating_mini_batch(device, 700),
+            saturating_mini_batch(device, 3000));
+  EXPECT_GE(saturating_mini_batch(device, 100000), 4u);
+}
+
+TEST(CostModel, ClusterShapeTotal) {
+  EXPECT_EQ((ClusterShape{6, 4}).total(), 24);
+  EXPECT_EQ((ClusterShape{1, 1}).total(), 1);
+}
+
+}  // namespace
+}  // namespace vqmc::parallel

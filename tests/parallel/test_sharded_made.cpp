@@ -1,0 +1,140 @@
+#include "parallel/sharded_made.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nn/made.hpp"
+#include "parallel/thread_communicator.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace vqmc::parallel {
+namespace {
+
+Matrix random_bits(std::size_t bs, std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  Matrix batch(bs, n);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    batch.data()[i] = rng::bernoulli(gen, 0.5) ? 1 : 0;
+  return batch;
+}
+
+Made make_prototype(std::size_t n, std::size_t h, std::uint64_t seed) {
+  Made made(n, h);
+  rng::Xoshiro256 gen(seed);
+  for (Real& p : made.parameters()) p = rng::uniform(gen, -0.8, 0.8);
+  return made;
+}
+
+TEST(ShardedMade, ShardSizesPartitionTheHiddenLayer) {
+  const Made proto = make_prototype(6, 10, 1);
+  run_thread_group(3, [&](Communicator& comm) {
+    ShardedMade shard(proto, comm);
+    EXPECT_EQ(shard.hidden_total(), 10u);
+    // 10 units over 3 ranks: 4, 3, 3.
+    const std::size_t expected = comm.rank() == 0 ? 4u : 3u;
+    EXPECT_EQ(shard.hidden_local(), expected);
+  });
+}
+
+TEST(ShardedMade, LogPsiMatchesDenseModelOnEveryRank) {
+  const std::size_t n = 7, h = 9, bs = 5;
+  const Made proto = make_prototype(n, h, 2);
+  const Matrix batch = random_bits(bs, n, 3);
+  Vector dense_lp(bs);
+  proto.log_psi(batch, dense_lp.span());
+
+  for (int ranks : {1, 2, 4}) {
+    run_thread_group(ranks, [&](Communicator& comm) {
+      ShardedMade shard(proto, comm);
+      Vector lp(bs);
+      shard.log_psi(batch, lp.span());
+      for (std::size_t k = 0; k < bs; ++k)
+        ASSERT_NEAR(lp[k], dense_lp[k], 1e-12)
+            << "ranks=" << ranks << " rank=" << comm.rank() << " sample " << k;
+      EXPECT_EQ(shard.allreduce_count(), 1u);
+    });
+  }
+}
+
+TEST(ShardedMade, ConditionalsMatchDenseModel) {
+  const std::size_t n = 6, h = 8, bs = 4;
+  const Made proto = make_prototype(n, h, 4);
+  const Matrix batch = random_bits(bs, n, 5);
+  Matrix dense_cond;
+  proto.conditionals(batch, dense_cond);
+
+  run_thread_group(3, [&](Communicator& comm) {
+    ShardedMade shard(proto, comm);
+    Matrix cond;
+    shard.conditionals(batch, cond);
+    for (std::size_t i = 0; i < cond.size(); ++i)
+      ASSERT_NEAR(cond.data()[i], dense_cond.data()[i], 1e-12);
+  });
+}
+
+TEST(ShardedMade, GatheredShardGradientsMatchDenseGradient) {
+  const std::size_t n = 5, h = 7, bs = 6;
+  const Made proto = make_prototype(n, h, 6);
+  const Matrix batch = random_bits(bs, n, 7);
+  Vector coeff(bs);
+  rng::Xoshiro256 gen(8);
+  for (std::size_t k = 0; k < bs; ++k) coeff[k] = rng::uniform(gen, -1.0, 1.0);
+
+  // Dense reference gradient.
+  Vector dense_grad(proto.num_parameters());
+  proto.accumulate_log_psi_gradient(batch, coeff.span(), dense_grad.span());
+  const Real* dg_w1 = dense_grad.data();
+  const Real* dg_b1 = dense_grad.data() + h * n;
+  const Real* dg_w2 = dense_grad.data() + h * n + h;
+  const Real* dg_b2 = dense_grad.data() + h * n + h + n * h;
+
+  const int ranks = 3;
+  std::vector<int> checked(ranks, 0);
+  run_thread_group(ranks, [&](Communicator& comm) {
+    ShardedMade shard(proto, comm);
+    Vector grad(shard.num_local_parameters());
+    shard.accumulate_log_psi_gradient(batch, coeff.span(), grad.span());
+
+    const std::size_t hl = shard.hidden_local();
+    const std::size_t hb = shard.hidden_begin();
+    const Real* g_w1 = grad.data();
+    const Real* g_b1 = grad.data() + hl * n;
+    const Real* g_w2 = grad.data() + hl * n + hl;
+    const Real* g_b2 = grad.data() + hl * n + hl + n * hl;
+
+    for (std::size_t k = 0; k < hl; ++k) {
+      for (std::size_t j = 0; j < n; ++j)
+        ASSERT_NEAR(g_w1[k * n + j], dg_w1[(hb + k) * n + j], 1e-12);
+      ASSERT_NEAR(g_b1[k], dg_b1[hb + k], 1e-12);
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t k = 0; k < hl; ++k)
+        ASSERT_NEAR(g_w2[i * hl + k], dg_w2[i * h + (hb + k)], 1e-12);
+    // Output bias gradient is replicated on every rank.
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_NEAR(g_b2[i], dg_b2[i], 1e-12);
+    checked[std::size_t(comm.rank())] = 1;
+  });
+  for (int c : checked) EXPECT_EQ(c, 1);
+}
+
+TEST(ShardedMade, LocalParameterCountIsShardSized) {
+  const Made proto = make_prototype(6, 8, 9);
+  run_thread_group(2, [&](Communicator& comm) {
+    ShardedMade shard(proto, comm);
+    const std::size_t hl = shard.hidden_local();
+    EXPECT_EQ(shard.num_local_parameters(), hl * 6 + hl + 6 * hl + 6);
+  });
+}
+
+TEST(ShardedMade, MoreRanksThanHiddenUnitsRejected) {
+  const Made proto = make_prototype(4, 2, 10);
+  EXPECT_THROW(run_thread_group(
+                   3, [&](Communicator& comm) { ShardedMade shard(proto, comm); }),
+               Error);
+}
+
+}  // namespace
+}  // namespace vqmc::parallel

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/philox.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace vqmc::rng {
+namespace {
+
+TEST(Distributions, Uniform01InRange) {
+  Xoshiro256 g(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = uniform01(g);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Distributions, Uniform01WorksWith32BitGenerators) {
+  Philox4x32 g(3);
+  double mean = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const double u = uniform01(g);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mean += u;
+  }
+  mean /= draws;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(Distributions, UniformRangeRespected) {
+  Xoshiro256 g(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = uniform(g, -1.0, 1.0);
+    ASSERT_GE(u, -1.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Distributions, UniformMeanAndVariance) {
+  Xoshiro256 g(5);
+  const int draws = 100000;
+  double mean = 0, m2 = 0;
+  for (int i = 0; i < draws; ++i) {
+    const double u = uniform(g, 0.0, 1.0);
+    mean += u;
+    m2 += u * u;
+  }
+  mean /= draws;
+  m2 /= draws;
+  EXPECT_NEAR(mean, 0.5, 5e-3);
+  EXPECT_NEAR(m2 - mean * mean, 1.0 / 12.0, 5e-3);
+}
+
+TEST(Distributions, UniformIndexUnbiasedOverSmallRange) {
+  Xoshiro256 g(6);
+  std::vector<int> counts(5, 0);
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) ++counts[uniform_index(g, 5)];
+  for (int c : counts) {
+    EXPECT_GT(c, draws / 5 - 600);
+    EXPECT_LT(c, draws / 5 + 600);
+  }
+}
+
+TEST(Distributions, UniformIndexZeroRange) {
+  Xoshiro256 g(6);
+  EXPECT_EQ(uniform_index(g, 0), 0u);
+  EXPECT_EQ(uniform_index(g, 1), 0u);
+}
+
+TEST(Distributions, BernoulliFrequency) {
+  Xoshiro256 g(7);
+  int hits = 0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) hits += bernoulli(g, 0.25) ? 1 : 0;
+  EXPECT_NEAR(double(hits) / draws, 0.25, 0.01);
+}
+
+TEST(Distributions, NormalMomentsMatch) {
+  Xoshiro256 g(8);
+  const int draws = 100000;
+  double mean = 0, m2 = 0;
+  for (int i = 0; i < draws; ++i) {
+    const double z = normal(g);
+    mean += z;
+    m2 += z * z;
+  }
+  mean /= draws;
+  m2 /= draws;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(m2, 1.0, 0.03);
+}
+
+TEST(Distributions, NormalShiftScale) {
+  Xoshiro256 g(9);
+  const int draws = 50000;
+  double mean = 0;
+  for (int i = 0; i < draws; ++i) mean += normal(g, 3.0, 0.5);
+  mean /= draws;
+  EXPECT_NEAR(mean, 3.0, 0.02);
+}
+
+TEST(Distributions, PhiloxUniformPassesChiSquare) {
+  // 16-bin chi-square goodness-of-fit for Philox-driven uniform01.
+  // 99.9th percentile of chi2 with 15 dof is ~37.7; use 45 for slack.
+  Philox4x32 gen(2024);
+  constexpr int kBins = 16;
+  constexpr int kDraws = 64000;
+  int counts[kBins] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = uniform01(gen);
+    ++counts[std::min(kBins - 1, int(u * kBins))];
+  }
+  const double expected = double(kDraws) / kBins;
+  double chi2 = 0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 45.0);
+}
+
+TEST(Distributions, XoshiroPairsAreDecorrelated) {
+  // Serial correlation of consecutive uniforms should vanish.
+  Xoshiro256 gen(31337);
+  const int draws = 100000;
+  double prev = uniform01(gen);
+  double sum_xy = 0, sum_x = 0, sum_x2 = 0;
+  for (int i = 0; i < draws; ++i) {
+    const double u = uniform01(gen);
+    sum_xy += prev * u;
+    sum_x += prev;
+    sum_x2 += prev * prev;
+    prev = u;
+  }
+  const double mean_x = sum_x / draws;
+  const double cov = sum_xy / draws - mean_x * mean_x;
+  const double var = sum_x2 / draws - mean_x * mean_x;
+  EXPECT_LT(std::fabs(cov / var), 0.02);
+}
+
+}  // namespace
+}  // namespace vqmc::rng

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "rng/philox.hpp"
+#include "rng/splitmix.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace vqmc::rng {
+namespace {
+
+TEST(SplitMix64, KnownVector) {
+  // Reference values for seed 0 from the public-domain implementation.
+  SplitMix64 g(0);
+  EXPECT_EQ(g(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(g(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(g(), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, DeterministicPerSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, JumpProducesDisjointPrefix) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  b.jump();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(a());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(seen.count(b()));
+}
+
+TEST(Xoshiro256, StreamFactoryMatchesManualJumps) {
+  Xoshiro256 manual(9);
+  manual.jump();
+  manual.jump();
+  Xoshiro256 stream = Xoshiro256::stream(9, 2);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(manual(), stream());
+}
+
+TEST(Xoshiro256, BitsLookUniform) {
+  Xoshiro256 g(77);
+  // Every bit position should be set roughly half the time.
+  std::vector<int> ones(64, 0);
+  const int draws = 4096;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t v = g();
+    for (int b = 0; b < 64; ++b) ones[b] += int((v >> b) & 1u);
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_GT(ones[b], draws / 2 - 300) << "bit " << b;
+    EXPECT_LT(ones[b], draws / 2 + 300) << "bit " << b;
+  }
+}
+
+TEST(Philox, StatelessEvaluationIsAFunctionOfKeyAndCounter) {
+  const auto a = Philox4x32::at(42, 0, 7);
+  const auto b = Philox4x32::at(42, 0, 7);
+  EXPECT_EQ(a, b);
+  const auto c = Philox4x32::at(42, 0, 8);
+  EXPECT_NE(a, c);
+  const auto d = Philox4x32::at(43, 0, 7);
+  EXPECT_NE(a, d);
+}
+
+TEST(Philox, SequentialMatchesStateless) {
+  Philox4x32 g(99);
+  g.set_counter(0, 0);
+  const auto block0 = Philox4x32::at(99, 0, 0);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(g(), block0[std::size_t(i)]);
+  const auto block1 = Philox4x32::at(99, 0, 1);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(g(), block1[std::size_t(i)]);
+}
+
+TEST(Philox, CounterCarryPropagates) {
+  Philox4x32 g(5);
+  g.set_counter(0, ~std::uint64_t{0});  // lo at max: next block wraps into hi
+  for (int i = 0; i < 4; ++i) (void)g();  // consume block at lo = max
+  const auto next = Philox4x32::at(5, 1, 0);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(g(), next[std::size_t(i)]);
+}
+
+TEST(Philox, NextU64CombinesTwoWords) {
+  Philox4x32 g(11);
+  g.set_counter(0, 0);
+  const auto block = Philox4x32::at(11, 0, 0);
+  const std::uint64_t expected =
+      (std::uint64_t(block[1]) << 32) | std::uint64_t(block[0]);
+  EXPECT_EQ(g.next_u64(), expected);
+}
+
+}  // namespace
+}  // namespace vqmc::rng

@@ -1,0 +1,144 @@
+#include "sampler/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "tensor/vector.hpp"
+
+namespace vqmc {
+namespace {
+
+TEST(Diagnostics, AutocorrelationOfIidIsNearZero) {
+  rng::Xoshiro256 gen(1);
+  std::vector<Real> series(5000);
+  for (Real& v : series) v = rng::normal(gen);
+  const std::vector<Real> rho = autocorrelation(series, 10);
+  ASSERT_EQ(rho.size(), 11u);
+  EXPECT_NEAR(rho[0], 1.0, 1e-12);
+  for (std::size_t lag = 1; lag <= 10; ++lag)
+    EXPECT_LT(std::fabs(rho[lag]), 0.05) << "lag " << lag;
+}
+
+TEST(Diagnostics, AutocorrelationOfAr1MatchesTheory) {
+  // AR(1) with coefficient phi has rho_k = phi^k.
+  const Real phi = 0.8;
+  rng::Xoshiro256 gen(2);
+  std::vector<Real> series(50000);
+  Real x = 0;
+  for (Real& v : series) {
+    x = phi * x + rng::normal(gen);
+    v = x;
+  }
+  const std::vector<Real> rho = autocorrelation(series, 5);
+  for (std::size_t lag = 1; lag <= 5; ++lag)
+    EXPECT_NEAR(rho[lag], std::pow(phi, Real(lag)), 0.05);
+}
+
+TEST(Diagnostics, IntegratedTimeOfIidIsAboutOne) {
+  rng::Xoshiro256 gen(3);
+  std::vector<Real> series(20000);
+  for (Real& v : series) v = rng::normal(gen);
+  EXPECT_NEAR(integrated_autocorrelation_time(series, 100), 1.0, 0.2);
+}
+
+TEST(Diagnostics, EssShrinksForCorrelatedChains) {
+  rng::Xoshiro256 gen(4);
+  std::vector<Real> iid(10000), corr(10000);
+  Real x = 0;
+  for (std::size_t i = 0; i < iid.size(); ++i) {
+    iid[i] = rng::normal(gen);
+    x = 0.9 * x + rng::normal(gen);
+    corr[i] = x;
+  }
+  EXPECT_GT(effective_sample_size(iid), 3 * effective_sample_size(corr));
+}
+
+TEST(Diagnostics, ConstantSeriesHasZeroAutocorrelationByConvention) {
+  std::vector<Real> series(100, 3.0);
+  const std::vector<Real> rho = autocorrelation(series, 5);
+  for (std::size_t lag = 0; lag < rho.size(); ++lag) EXPECT_EQ(rho[lag], 0.0);
+}
+
+TEST(Diagnostics, EmpiricalDistributionCounts) {
+  Matrix samples(4, 2);
+  // Rows: 00, 01, 01, 11 -> indices 0, 1, 1, 3.
+  samples(1, 1) = 1;
+  samples(2, 1) = 1;
+  samples(3, 0) = 1;
+  samples(3, 1) = 1;
+  const std::vector<Real> p = empirical_distribution(samples);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_DOUBLE_EQ(p[0], 0.25);
+  EXPECT_DOUBLE_EQ(p[1], 0.50);
+  EXPECT_DOUBLE_EQ(p[2], 0.0);
+  EXPECT_DOUBLE_EQ(p[3], 0.25);
+}
+
+TEST(Diagnostics, TotalVariationBasics) {
+  const std::vector<Real> p{0.5, 0.5}, q{0.5, 0.5}, r{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(total_variation_distance(p, q), 0.0);
+  EXPECT_DOUBLE_EQ(total_variation_distance(p, r), 0.5);
+  const std::vector<Real> bad{1.0};
+  EXPECT_THROW(total_variation_distance(p, bad), Error);
+}
+
+TEST(Diagnostics, GelmanRubinNearOneForWellMixedChains) {
+  rng::Xoshiro256 gen(11);
+  std::vector<std::vector<Real>> chains(4, std::vector<Real>(2000));
+  for (auto& chain : chains)
+    for (Real& v : chain) v = rng::normal(gen);
+  const Real rhat = gelman_rubin(chains);
+  EXPECT_GT(rhat, 0.95);
+  EXPECT_LT(rhat, 1.05);
+}
+
+TEST(Diagnostics, GelmanRubinFlagsUnmixedChains) {
+  // Chains stuck in different modes: between-chain variance dominates.
+  rng::Xoshiro256 gen(12);
+  std::vector<std::vector<Real>> chains(3, std::vector<Real>(500));
+  for (std::size_t c = 0; c < 3; ++c)
+    for (Real& v : chains[c]) v = Real(10 * c) + 0.1 * rng::normal(gen);
+  EXPECT_GT(gelman_rubin(chains), 3.0);
+}
+
+TEST(Diagnostics, GelmanRubinInputValidation) {
+  std::vector<std::vector<Real>> one_chain(1, std::vector<Real>(10, 0.0));
+  EXPECT_THROW(gelman_rubin(one_chain), Error);
+  std::vector<std::vector<Real>> ragged = {{1.0, 2.0}, {1.0}};
+  EXPECT_THROW(gelman_rubin(ragged), Error);
+  std::vector<std::vector<Real>> constant(2, std::vector<Real>(10, 3.0));
+  EXPECT_EQ(gelman_rubin(constant), 1.0);  // degenerate convention
+}
+
+TEST(Diagnostics, Eq14SpeedupIsOneForOneUnit) {
+  EXPECT_DOUBLE_EQ(mcmc_parallel_speedup(100, 1, 10, 1), 1.0);
+}
+
+TEST(Diagnostics, Eq14SpeedupDegradesWithBurnIn) {
+  // With no burn-in the speedup is ~L; with huge burn-in it collapses to ~1.
+  const Real no_burn = mcmc_parallel_speedup(0, 1, 100, 8);
+  const Real heavy_burn = mcmc_parallel_speedup(100000, 1, 100, 8);
+  EXPECT_GT(no_burn, 7.0);
+  EXPECT_LT(heavy_burn, 1.1);
+}
+
+TEST(Diagnostics, Eq14IsAffineInL) {
+  // Eq. 14 states speedup = a + b L; check three collinear points.
+  const std::size_t k = 300, j = 2, n = 50;
+  const Real s1 = mcmc_parallel_speedup(k, j, n, 1);
+  const Real s2 = mcmc_parallel_speedup(k, j, n, 2);
+  const Real s3 = mcmc_parallel_speedup(k, j, n, 3);
+  EXPECT_NEAR(s3 - s2, s2 - s1, 1e-12);
+}
+
+TEST(Diagnostics, AutoSpeedupIsExactlyLinear) {
+  EXPECT_DOUBLE_EQ(auto_parallel_speedup(1), 1.0);
+  EXPECT_DOUBLE_EQ(auto_parallel_speedup(24), 24.0);
+}
+
+}  // namespace
+}  // namespace vqmc

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hamiltonian/hamiltonian.hpp"
+#include "nn/rbm.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "sampler/diagnostics.hpp"
+#include "sampler/metropolis_sampler.hpp"
+
+namespace vqmc {
+namespace {
+
+void randomize_parameters(WavefunctionModel& model, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  for (Real& p : model.parameters()) p = rng::uniform(gen, -0.4, 0.4);
+}
+
+std::vector<Real> born_distribution(const WavefunctionModel& model) {
+  const std::size_t n = model.num_spins();
+  const std::size_t dim = std::size_t(1) << n;
+  Matrix batch(dim, n);
+  for (std::uint64_t idx = 0; idx < dim; ++idx)
+    decode_basis_state(idx, batch.row(idx));
+  Vector lp(dim);
+  model.log_psi(batch, lp.span());
+  std::vector<Real> pi(dim);
+  Real z = 0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    pi[i] = std::exp(2 * lp[i]);
+    z += pi[i];
+  }
+  for (Real& p : pi) p /= z;
+  return pi;
+}
+
+TEST(GibbsSampler, NameReflectsAcceptanceRule) {
+  Rbm rbm(4, 4);
+  MetropolisConfig cfg;
+  cfg.rule = AcceptanceRule::HeatBath;
+  MetropolisSampler gibbs(rbm, cfg);
+  EXPECT_EQ(gibbs.name(), "GIBBS");
+  MetropolisSampler mh(rbm, {});
+  EXPECT_EQ(mh.name(), "MCMC");
+}
+
+TEST(GibbsSampler, ConvergesToBornDistribution) {
+  // Heat-bath acceptance leaves the same stationary distribution invariant
+  // as Metropolis-Hastings.
+  Rbm rbm(4, 4);
+  randomize_parameters(rbm, 1);
+  MetropolisConfig cfg;
+  cfg.rule = AcceptanceRule::HeatBath;
+  cfg.burn_in = 500;
+  cfg.thinning = 2;
+  cfg.seed = 2;
+  MetropolisSampler sampler(rbm, cfg);
+  const std::size_t draws = 20000;
+  Matrix out(draws, 4);
+  sampler.sample(out);
+  const std::vector<Real> empirical = empirical_distribution(out);
+  const std::vector<Real> exact = born_distribution(rbm);
+  EXPECT_LT(total_variation_distance(empirical, exact), 0.05);
+}
+
+TEST(GibbsSampler, AcceptanceRateLowerThanMetropolis) {
+  // Barker/heat-bath acceptance pi'/(pi + pi') is pointwise <= the MH rule
+  // min(1, pi'/pi), so its average acceptance can only be lower.
+  Rbm rbm(6, 6);
+  randomize_parameters(rbm, 3);
+
+  auto rate_for = [&](AcceptanceRule rule) {
+    MetropolisConfig cfg;
+    cfg.rule = rule;
+    cfg.burn_in = 400;
+    cfg.seed = 4;
+    MetropolisSampler sampler(rbm, cfg);
+    Matrix out(400, 6);
+    sampler.sample(out);
+    return sampler.statistics().acceptance_rate();
+  };
+  EXPECT_LE(rate_for(AcceptanceRule::HeatBath) - 0.02,
+            rate_for(AcceptanceRule::MetropolisHastings));
+}
+
+TEST(GibbsSampler, DeterministicPerSeed) {
+  Rbm rbm(5, 5);
+  randomize_parameters(rbm, 5);
+  MetropolisConfig cfg;
+  cfg.rule = AcceptanceRule::HeatBath;
+  cfg.burn_in = 40;
+  cfg.seed = 6;
+  MetropolisSampler a(rbm, cfg), b(rbm, cfg);
+  Matrix xa(8, 5), xb(8, 5);
+  a.sample(xa);
+  b.sample(xb);
+  for (std::size_t i = 0; i < xa.size(); ++i)
+    EXPECT_EQ(xa.data()[i], xb.data()[i]);
+}
+
+}  // namespace
+}  // namespace vqmc

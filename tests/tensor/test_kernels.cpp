@@ -1,0 +1,244 @@
+#include "tensor/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace vqmc {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = rng::uniform(gen, -1.0, 1.0);
+  return m;
+}
+
+/// Naive reference O(mnk) matmul with explicit transpose flags.
+Matrix reference_gemm(const Matrix& a, bool ta, const Matrix& b, bool tb) {
+  const std::size_t m = ta ? a.cols() : a.rows();
+  const std::size_t k = ta ? a.rows() : a.cols();
+  const std::size_t n = tb ? b.rows() : b.cols();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      Real acc = 0;
+      for (std::size_t l = 0; l < k; ++l) {
+        const Real av = ta ? a(l, i) : a(i, l);
+        const Real bv = tb ? b(j, l) : b(l, j);
+        acc += av * bv;
+      }
+      c(i, j) = acc;
+    }
+  return c;
+}
+
+void expect_matrix_near(const Matrix& x, const Matrix& y, Real tol = 1e-12) {
+  ASSERT_EQ(x.rows(), y.rows());
+  ASSERT_EQ(x.cols(), y.cols());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    ASSERT_NEAR(x.data()[i], y.data()[i], tol) << "flat index " << i;
+}
+
+TEST(Kernels, DotAndAxpy) {
+  Vector x{1, 2, 3}, y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(x.span(), y.span()), 32.0);
+  axpy(2.0, x.span(), y.span());
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+}
+
+TEST(Kernels, DotSizeMismatchThrows) {
+  Vector x(2), y(3);
+  EXPECT_THROW(dot(x.span(), y.span()), Error);
+}
+
+TEST(Kernels, SumMeanVariance) {
+  Vector v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(sum(v.span()), 10.0);
+  EXPECT_DOUBLE_EQ(mean(v.span()), 2.5);
+  EXPECT_DOUBLE_EQ(variance(v.span()), 1.25);
+  Vector empty;
+  EXPECT_DOUBLE_EQ(mean(empty.span()), 0.0);
+  EXPECT_DOUBLE_EQ(variance(empty.span()), 0.0);
+}
+
+TEST(Kernels, ScaleInPlace) {
+  Vector v{2, -4};
+  scale(v.span(), 0.5);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], -2.0);
+}
+
+TEST(Kernels, GemvMatchesReference) {
+  const Matrix a = random_matrix(5, 7, 1);
+  Vector x(7), y(5);
+  rng::Xoshiro256 gen(2);
+  for (std::size_t i = 0; i < 7; ++i) x[i] = rng::uniform(gen, -1.0, 1.0);
+  gemv(a, x.span(), y.span());
+  for (std::size_t r = 0; r < 5; ++r) {
+    Real acc = 0;
+    for (std::size_t c = 0; c < 7; ++c) acc += a(r, c) * x[c];
+    EXPECT_NEAR(y[r], acc, 1e-12);
+  }
+}
+
+TEST(Kernels, GemvTransposedMatchesReference) {
+  const Matrix a = random_matrix(5, 7, 3);
+  Vector x(5), y(7);
+  rng::Xoshiro256 gen(4);
+  for (std::size_t i = 0; i < 5; ++i) x[i] = rng::uniform(gen, -1.0, 1.0);
+  gemv_t(a, x.span(), y.span());
+  for (std::size_t c = 0; c < 7; ++c) {
+    Real acc = 0;
+    for (std::size_t r = 0; r < 5; ++r) acc += a(r, c) * x[r];
+    EXPECT_NEAR(y[c], acc, 1e-12);
+  }
+}
+
+TEST(Kernels, GemmNnMatchesReference) {
+  const Matrix a = random_matrix(4, 6, 5);
+  const Matrix b = random_matrix(6, 3, 6);
+  Matrix c(4, 3);
+  gemm_nn(a, b, c);
+  expect_matrix_near(c, reference_gemm(a, false, b, false));
+}
+
+TEST(Kernels, GemmNtMatchesReference) {
+  const Matrix a = random_matrix(4, 6, 7);
+  const Matrix b = random_matrix(3, 6, 8);
+  Matrix c(4, 3);
+  gemm_nt(a, b, c);
+  expect_matrix_near(c, reference_gemm(a, false, b, true));
+}
+
+TEST(Kernels, GemmTnAccumulates) {
+  const Matrix a = random_matrix(5, 4, 9);
+  const Matrix b = random_matrix(5, 3, 10);
+  Matrix c(4, 3);
+  c.fill(1.0);
+  gemm_tn_accumulate(a, b, c);
+  Matrix expected = reference_gemm(a, true, b, false);
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    expected.data()[i] += 1.0;
+  expect_matrix_near(c, expected);
+}
+
+TEST(Kernels, GemmShapeMismatchThrows) {
+  Matrix a(2, 3), b(4, 5), c(2, 5);
+  EXPECT_THROW(gemm_nn(a, b, c), Error);
+}
+
+TEST(Kernels, AddRowBroadcast) {
+  Matrix a(2, 3);
+  Vector b{1, 2, 3};
+  add_row_broadcast(a, b.span());
+  EXPECT_DOUBLE_EQ(a(0, 0), 1);
+  EXPECT_DOUBLE_EQ(a(1, 2), 3);
+}
+
+TEST(Kernels, ReluAndBackward) {
+  Matrix a(1, 4);
+  a(0, 0) = -1;
+  a(0, 1) = 0;
+  a(0, 2) = 2;
+  a(0, 3) = -0.5;
+  Matrix pre = a;
+  relu_inplace(a);
+  EXPECT_DOUBLE_EQ(a(0, 0), 0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 0);
+  EXPECT_DOUBLE_EQ(a(0, 2), 2);
+
+  Matrix grad(1, 4);
+  grad.fill(1.0);
+  relu_backward_inplace(pre, grad);
+  EXPECT_DOUBLE_EQ(grad(0, 0), 0);  // pre <= 0 kills the gradient
+  EXPECT_DOUBLE_EQ(grad(0, 1), 0);
+  EXPECT_DOUBLE_EQ(grad(0, 2), 1);
+}
+
+TEST(Kernels, SigmoidStableAtExtremes) {
+  EXPECT_NEAR(sigmoid(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(sigmoid(800.0), 1.0, 1e-15);
+  EXPECT_NEAR(sigmoid(-800.0), 0.0, 1e-15);
+  EXPECT_TRUE(std::isfinite(sigmoid(-1e6)));
+  Matrix a(1, 2);
+  a(0, 0) = 100;
+  a(0, 1) = -100;
+  sigmoid_inplace(a);
+  EXPECT_NEAR(a(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(a(0, 1), 0.0, 1e-12);
+}
+
+TEST(Kernels, LogCoshMatchesDirectFormSmallAndIsStableLarge) {
+  for (Real x : {-2.0, -0.3, 0.0, 0.7, 3.0})
+    EXPECT_NEAR(log_cosh(x), std::log(std::cosh(x)), 1e-12);
+  // Large arguments: log cosh x ~ |x| - log 2.
+  EXPECT_NEAR(log_cosh(1000.0), 1000.0 - std::log(2.0), 1e-9);
+  EXPECT_TRUE(std::isfinite(log_cosh(1e8)));
+}
+
+TEST(Kernels, HadamardProduct) {
+  Matrix a(1, 3), b(1, 3), c(1, 3);
+  a(0, 0) = 2;
+  a(0, 1) = 3;
+  a(0, 2) = -1;
+  b(0, 0) = 5;
+  b(0, 1) = 0;
+  b(0, 2) = 4;
+  hadamard(a, b, c);
+  EXPECT_DOUBLE_EQ(c(0, 0), 10);
+  EXPECT_DOUBLE_EQ(c(0, 1), 0);
+  EXPECT_DOUBLE_EQ(c(0, 2), -4);
+}
+
+TEST(Kernels, ColumnSumAccumulate) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  Vector out(2);
+  out[0] = 10;
+  column_sum_accumulate(a, out.span());
+  EXPECT_DOUBLE_EQ(out[0], 14);
+  EXPECT_DOUBLE_EQ(out[1], 6);
+}
+
+/// Property sweep: the three gemm variants agree with the naive reference
+/// across a grid of shapes, including degenerate 1-sized extents.
+class GemmShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeSweep, AllVariantsMatchReference) {
+  const auto [m, k, n] = GetParam();
+  const std::uint64_t seed = std::uint64_t(m * 10007 + k * 101 + n);
+  const Matrix a = random_matrix(std::size_t(m), std::size_t(k), seed);
+  const Matrix b_nn = random_matrix(std::size_t(k), std::size_t(n), seed + 1);
+  const Matrix b_nt = random_matrix(std::size_t(n), std::size_t(k), seed + 2);
+  const Matrix a_tn = random_matrix(std::size_t(k), std::size_t(m), seed + 3);
+
+  Matrix c{std::size_t(m), std::size_t(n)};
+  gemm_nn(a, b_nn, c);
+  expect_matrix_near(c, reference_gemm(a, false, b_nn, false));
+
+  gemm_nt(a, b_nt, c);
+  expect_matrix_near(c, reference_gemm(a, false, b_nt, true));
+
+  Matrix acc{std::size_t(m), std::size_t(n)};
+  gemm_tn_accumulate(a_tn, b_nn, acc);
+  expect_matrix_near(acc, reference_gemm(a_tn, true, b_nn, false));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeSweep,
+    ::testing::Combine(::testing::Values(1, 3, 17), ::testing::Values(1, 5, 32),
+                       ::testing::Values(1, 4, 23)));
+
+}  // namespace
+}  // namespace vqmc
