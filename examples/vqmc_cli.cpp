@@ -69,6 +69,12 @@ int main(int argc, char** argv) {
   opts.add_option("eval-batch", "1024", "evaluation batch size");
   opts.add_option("seed", "0", "master seed");
   opts.add_option("clip", "0", "max gradient norm (0 = off)");
+  opts.add_option("guard-policy", "throw",
+                  "health-guard recovery on non-finite values/divergence: "
+                  "throw | skip | rollback");
+  opts.add_option("divergence-window", "0",
+                  "trip the guard after this many consecutive exploded "
+                  "iterations (0 = off)");
   opts.add_option("metrics-csv", "", "write per-iteration metrics CSV here");
   opts.add_option("metrics-json", "", "write per-iteration metrics JSON here");
   opts.add_option("save-checkpoint", "", "write final parameters here");
@@ -97,6 +103,9 @@ int main(int argc, char** argv) {
     config.batch_size = std::size_t(opts.get_int("batch"));
     config.use_sr = optimizer_label_uses_sr(optimizer_kind);
     config.max_grad_norm = Real(opts.get_double("clip"));
+    config.guard.policy =
+        health::parse_guard_policy(opts.get_string("guard-policy"));
+    config.guard.divergence_window = opts.get_int("divergence-window");
     VqmcTrainer trainer(*problem, *model, *sampler, *optimizer, config);
 
     std::cout << "problem=" << problem->name() << " n=" << n
@@ -111,6 +120,13 @@ int main(int argc, char** argv) {
     std::cout << "energy " << est.mean << " +- " << est.std_error
               << " | std(l) " << est.std_dev << " | train "
               << format_fixed(trainer.training_seconds(), 2) << " s\n";
+
+    const health::HealthCounters& hc = trainer.health_counters();
+    if (hc.guard_trips > 0) {
+      std::cout << "health: " << hc.guard_trips << " guard trip(s) ("
+                << hc.skipped_iterations << " skipped, " << hc.rollbacks
+                << " rollbacks) | last: " << hc.last_trip_reason << "\n";
+    }
 
     if (const auto* maxcut = dynamic_cast<const MaxCut*>(problem.get())) {
       Real best = 0;

@@ -1,0 +1,73 @@
+#include "common/health.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vqmc::health {
+
+bool all_finite(std::span<const Real> values) {
+  for (const Real v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+bool all_finite(const Matrix& values) {
+  return all_finite(std::span<const Real>(values.data(), values.size()));
+}
+
+std::size_t count_nonfinite(std::span<const Real> values) {
+  std::size_t bad = 0;
+  for (const Real v : values) {
+    if (!std::isfinite(v)) ++bad;
+  }
+  return bad;
+}
+
+const char* to_string(GuardPolicy policy) {
+  switch (policy) {
+    case GuardPolicy::Throw:
+      return "throw";
+    case GuardPolicy::SkipIteration:
+      return "skip";
+    case GuardPolicy::RollbackAndBackoff:
+      return "rollback";
+  }
+  return "throw";
+}
+
+GuardPolicy parse_guard_policy(const std::string& name) {
+  if (name == "throw" || name == "Throw") return GuardPolicy::Throw;
+  if (name == "skip" || name == "SkipIteration")
+    return GuardPolicy::SkipIteration;
+  if (name == "rollback" || name == "RollbackAndBackoff")
+    return GuardPolicy::RollbackAndBackoff;
+  throw Error("unknown guard policy '" + name +
+              "' (expected throw, skip or rollback)");
+}
+
+DivergenceDetector::DivergenceDetector(const GuardConfig& config)
+    : window_(config.divergence_window),
+      factor_(config.divergence_factor),
+      offset_(config.divergence_offset) {}
+
+bool DivergenceDetector::update(Real energy) {
+  if (!std::isfinite(energy)) return false;  // non-finite is its own guard
+  if (!have_best_ || energy < best_) {
+    best_ = energy;
+    have_best_ = true;
+  }
+  if (window_ <= 0) return false;
+  const Real threshold = best_ + factor_ * (std::abs(best_) + offset_);
+  if (energy > threshold) {
+    ++consecutive_;
+  } else {
+    consecutive_ = 0;
+  }
+  return consecutive_ >= window_;
+}
+
+void DivergenceDetector::reset_streak() { consecutive_ = 0; }
+
+}  // namespace vqmc::health

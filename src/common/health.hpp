@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file health.hpp
+/// \brief Run-health subsystem: non-finite guards, divergence detection and
+/// recovery policy for long-running stochastic training loops.
+///
+/// VQMC training is a stochastic loop in which a single NaN local energy, an
+/// SR/CG breakdown, or one bad rank feeding an allreduce can silently corrupt
+/// every replica.  This layer provides the shared vocabulary used by the
+/// trainer, the distributed trainer, SR and the samplers:
+///
+///  * cheap non-finite scans over spans/matrices (`all_finite`,
+///    `count_nonfinite`);
+///  * a `DivergenceDetector` that flags energy explosions relative to the
+///    running best;
+///  * a `GuardPolicy` deciding what a tripped guard does — fail fast
+///    (`Throw`), drop the iteration (`SkipIteration`) or restore the
+///    last-good parameter snapshot and shrink the learning rate
+///    (`RollbackAndBackoff`);
+///  * `HealthCounters`, the per-run tally surfaced through
+///    `IterationMetrics` / `DistributedResult` so every run reports its
+///    health.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "tensor/matrix.hpp"
+#include "tensor/real.hpp"
+
+namespace vqmc::health {
+
+/// True iff every element is finite (no NaN, no +-inf). Early-exits on the
+/// first bad value, so the healthy-path cost is one linear scan.
+bool all_finite(std::span<const Real> values);
+
+/// Overload scanning a matrix's contiguous storage.
+bool all_finite(const Matrix& values);
+
+/// Number of non-finite elements (for diagnostic messages).
+std::size_t count_nonfinite(std::span<const Real> values);
+
+/// What a tripped guard does to the training loop.
+enum class GuardPolicy {
+  /// Throw vqmc::Error with a descriptive reason — fail fast (default).
+  Throw,
+  /// Drop the iteration: no parameter update, training continues. Parameters
+  /// are bitwise unchanged by a skipped iteration.
+  SkipIteration,
+  /// Restore the last-good parameter snapshot (the parameters most recently
+  /// observed to produce finite local energies) and multiply the base
+  /// learning rate by `GuardConfig::backoff_factor`.
+  RollbackAndBackoff,
+};
+
+/// Short lowercase name ("throw" / "skip" / "rollback").
+const char* to_string(GuardPolicy policy);
+
+/// Inverse of to_string; accepts the full enum spelling too. Throws
+/// vqmc::Error on unknown names.
+GuardPolicy parse_guard_policy(const std::string& name);
+
+/// Guard configuration shared by the serial and distributed trainers.
+struct GuardConfig {
+  GuardPolicy policy = GuardPolicy::Throw;
+  /// Divergence detection: trip after `divergence_window` consecutive
+  /// iterations whose batch energy exceeds
+  ///   best + divergence_factor * (|best| + divergence_offset).
+  /// A window of 0 disables the detector (the default: plain non-finite
+  /// guards only, so healthy runs are bit-identical with guards on or off).
+  int divergence_window = 0;
+  Real divergence_factor = 100;
+  Real divergence_offset = 1;
+  /// Learning-rate multiplier applied on each RollbackAndBackoff trip.
+  Real backoff_factor = 0.5;
+};
+
+/// Flags energy explosions relative to the running best batch energy.
+///
+/// Feed it one finite batch-mean energy per iteration; it returns true when
+/// the energy has exceeded the explosion threshold for `divergence_window`
+/// consecutive updates. Disabled (always false) when the window is 0.
+class DivergenceDetector {
+ public:
+  DivergenceDetector() = default;
+  explicit DivergenceDetector(const GuardConfig& config);
+
+  /// Record one batch energy; true when the divergence guard trips.
+  bool update(Real energy);
+
+  /// Forget the consecutive-explosion streak (e.g. after a rollback). The
+  /// running best is kept: a post-rollback re-explosion should trip quickly.
+  void reset_streak();
+
+  [[nodiscard]] Real running_best() const { return best_; }
+
+ private:
+  int window_ = 0;
+  Real factor_ = 100;
+  Real offset_ = 1;
+  Real best_ = 0;
+  bool have_best_ = false;
+  int consecutive_ = 0;
+};
+
+/// Per-run tally of guard activity.
+struct HealthCounters {
+  std::uint64_t guard_trips = 0;          ///< total tripped iterations
+  std::uint64_t nonfinite_energy = 0;     ///< batches with NaN/inf local energy
+  std::uint64_t nonfinite_gradient = 0;   ///< non-finite energy gradients
+  std::uint64_t nonfinite_update = 0;     ///< non-finite post-SR updates
+  std::uint64_t sr_breakdowns = 0;        ///< SR/CG solver breakdowns
+  std::uint64_t divergences = 0;          ///< divergence-detector trips
+  std::uint64_t skipped_iterations = 0;   ///< SkipIteration recoveries
+  std::uint64_t rollbacks = 0;            ///< RollbackAndBackoff recoveries
+  std::string last_trip_reason;           ///< human-readable, "" if none
+};
+
+}  // namespace vqmc::health

@@ -1,5 +1,6 @@
 #include "core/reporting.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -15,11 +16,41 @@ void emit_number(std::ostringstream& oss, double value) {
   oss << value;
 }
 
+/// JSON has no NaN/inf literals; guard-tripped iterations record NaN
+/// energies, which serialize as null.
+void emit_json_number(std::ostringstream& oss, double value) {
+  if (std::isfinite(value)) {
+    emit_number(oss, value);
+  } else {
+    oss << "null";
+  }
+}
+
+/// Guard reasons are free-form text; keep them one-CSV-cell / one-JSON-string
+/// safe without pulling in a full escaper.
+std::string sanitize_reason(const std::string& reason) {
+  std::string out;
+  out.reserve(reason.size());
+  for (const char c : reason) {
+    if (c == ',' || c == ';') {
+      out += ';';
+    } else if (c == '"' || c == '\\') {
+      out += '\'';
+    } else if (c == '\n' || c == '\r') {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string metrics_to_csv(const std::vector<IterationMetrics>& history) {
   std::ostringstream oss;
-  oss << "iteration,energy,std_dev,best_energy,seconds\n";
+  oss << "iteration,energy,std_dev,best_energy,seconds,guard_trips,"
+         "guard_reason\n";
   for (const IterationMetrics& m : history) {
     oss << m.iteration << ',';
     emit_number(oss, m.energy);
@@ -29,6 +60,7 @@ std::string metrics_to_csv(const std::vector<IterationMetrics>& history) {
     emit_number(oss, m.best_energy);
     oss << ',';
     emit_number(oss, m.seconds);
+    oss << ',' << m.guard_trips << ',' << sanitize_reason(m.guard_reason);
     oss << '\n';
   }
   return oss.str();
@@ -41,14 +73,15 @@ std::string metrics_to_json(const std::vector<IterationMetrics>& history) {
     const IterationMetrics& m = history[i];
     if (i) oss << ",";
     oss << "\n  {\"iteration\": " << m.iteration << ", \"energy\": ";
-    emit_number(oss, m.energy);
+    emit_json_number(oss, m.energy);
     oss << ", \"std_dev\": ";
-    emit_number(oss, m.std_dev);
+    emit_json_number(oss, m.std_dev);
     oss << ", \"best_energy\": ";
-    emit_number(oss, m.best_energy);
+    emit_json_number(oss, m.best_energy);
     oss << ", \"seconds\": ";
     emit_number(oss, m.seconds);
-    oss << "}";
+    oss << ", \"guard_trips\": " << m.guard_trips << ", \"guard_reason\": \""
+        << sanitize_reason(m.guard_reason) << "\"}";
   }
   oss << (history.empty() ? "]" : "\n]");
   oss << "\n";

@@ -15,11 +15,13 @@
 
 namespace vqmc {
 
-/// CSV with header `iteration,energy,std_dev,best_energy,seconds`.
+/// CSV with header
+/// `iteration,energy,std_dev,best_energy,seconds,guard_trips,guard_reason`.
 std::string metrics_to_csv(const std::vector<IterationMetrics>& history);
 
 /// JSON array of objects with the same fields. Numbers are emitted with
-/// enough digits to round-trip doubles.
+/// enough digits to round-trip doubles; non-finite energies (guard-tripped
+/// iterations) serialize as null.
 std::string metrics_to_json(const std::vector<IterationMetrics>& history);
 
 /// Write `content` to `path`, throwing vqmc::Error on I/O failure.

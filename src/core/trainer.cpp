@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "tensor/kernels.hpp"
@@ -30,7 +31,38 @@ VqmcTrainer::VqmcTrainer(const Hamiltonian& hamiltonian,
   }
   VQMC_REQUIRE(config_.max_grad_norm >= 0,
                "trainer: max_grad_norm must be non-negative");
+  VQMC_REQUIRE(config_.guard.backoff_factor > 0 &&
+                   config_.guard.backoff_factor <= 1,
+               "trainer: guard backoff factor must be in (0, 1]");
   base_learning_rate_ = optimizer_.learning_rate();
+  divergence_ = health::DivergenceDetector(config_.guard);
+  if (config_.guard.policy == health::GuardPolicy::RollbackAndBackoff)
+    snapshot_ = Vector(model_.num_parameters());
+}
+
+void VqmcTrainer::handle_guard_trip(const std::string& reason) {
+  ++health_.guard_trips;
+  health_.last_trip_reason = reason;
+  switch (config_.guard.policy) {
+    case health::GuardPolicy::Throw:
+      throw Error("trainer: health guard tripped at iteration " +
+                  std::to_string(iteration_) + ": " + reason);
+    case health::GuardPolicy::SkipIteration:
+      ++health_.skipped_iterations;
+      break;
+    case health::GuardPolicy::RollbackAndBackoff: {
+      ++health_.rollbacks;
+      if (have_snapshot_) {
+        std::span<Real> params = model_.parameters();
+        std::copy(snapshot_.span().begin(), snapshot_.span().end(),
+                  params.begin());
+      }
+      base_learning_rate_ *= config_.guard.backoff_factor;
+      optimizer_.set_learning_rate(base_learning_rate_);
+      divergence_.reset_streak();
+      break;
+    }
+  }
 }
 
 IterationMetrics VqmcTrainer::step() {
@@ -39,39 +71,91 @@ IterationMetrics VqmcTrainer::step() {
   // 1. Sample a batch from the current model distribution.
   sampler_.sample(batch_);
 
-  // 2. Local energies (Eq. 3).
+  // 2. Local energies (Eq. 3), guarded: a single NaN/inf local energy must
+  // not reach the gradient, the optimizer or the metrics unnoticed.
   engine_.compute(batch_, local_energies_.span());
-  const EnergyEstimate est = estimate_energy(local_energies_.span());
+  bool tripped = false;
+  std::string trip_reason;
+  EnergyEstimate est;
+  const std::size_t bad = health::count_nonfinite(local_energies_.span());
+  if (bad > 0) {
+    ++health_.nonfinite_energy;
+    tripped = true;
+    trip_reason = "non-finite local energies (" + std::to_string(bad) +
+                  " of " + std::to_string(local_energies_.size()) + ")";
+    est.mean = est.std_dev = std::numeric_limits<Real>::quiet_NaN();
+  } else {
+    est = estimate_energy(local_energies_.span());
+    if (divergence_.update(est.mean)) {
+      ++health_.divergences;
+      tripped = true;
+      trip_reason = "energy divergence: batch mean exceeded the explosion "
+                    "threshold for " +
+                    std::to_string(config_.guard.divergence_window) +
+                    " consecutive iterations";
+    }
+  }
 
-  // 3. Energy gradient (Eq. 5).
-  gradient_.fill(0);
-  accumulate_energy_gradient(model_, batch_, local_energies_.span(),
-                             gradient_.span());
+  // 3. Energy gradient (Eq. 5). The current parameters just produced finite
+  // energies, so they become the last-good rollback snapshot.
+  if (!tripped) {
+    if (config_.guard.policy == health::GuardPolicy::RollbackAndBackoff) {
+      std::span<const Real> params = model_.parameters();
+      std::copy(params.begin(), params.end(), snapshot_.span().begin());
+      have_snapshot_ = true;
+    }
+    gradient_.fill(0);
+    accumulate_energy_gradient(model_, batch_, local_energies_.span(),
+                               gradient_.span());
+    if (!health::all_finite(gradient_.span())) {
+      ++health_.nonfinite_gradient;
+      tripped = true;
+      trip_reason = "non-finite energy gradient";
+    }
+  }
 
-  // 4. Optional SR preconditioning, clipping and schedule, then the update.
+  // 4. Optional SR preconditioning, guarded against solver breakdowns and
+  // non-finite natural gradients.
   std::span<Real> update = gradient_.span();
-  if (config_.use_sr) {
+  if (!tripped && config_.use_sr) {
     model_.log_psi_gradient_per_sample(batch_, per_sample_o_);
-    sr_.precondition(per_sample_o_, gradient_.span(),
-                     natural_gradient_.span());
-    update = natural_gradient_.span();
+    const SrReport sr = sr_.precondition(per_sample_o_, gradient_.span(),
+                                         natural_gradient_.span());
+    if (sr.breakdown) {
+      ++health_.sr_breakdowns;
+      tripped = true;
+      trip_reason = "SR breakdown: " + sr.reason;
+    } else {
+      update = natural_gradient_.span();
+      if (!health::all_finite(update)) {
+        ++health_.nonfinite_update;
+        tripped = true;
+        trip_reason = "non-finite natural gradient after SR";
+      }
+    }
   }
-  if (config_.max_grad_norm > 0) {
-    Real norm2 = 0;
-    for (Real v : update) norm2 += v * v;
-    const Real norm = std::sqrt(norm2);
-    if (norm > config_.max_grad_norm)
-      scale(update, config_.max_grad_norm / norm);
-  }
-  if (config_.lr_schedule != nullptr) {
-    optimizer_.set_learning_rate(base_learning_rate_ *
-                                 config_.lr_schedule->multiplier(iteration_));
-  }
-  optimizer_.step(model_.parameters(), update);
 
-  if (!have_best_ || est.min < best_energy_) {
-    best_energy_ = est.min;
-    have_best_ = true;
+  // 5. Clipping, schedule and the optimizer step — or the recovery action.
+  if (!tripped) {
+    if (config_.max_grad_norm > 0) {
+      Real norm2 = 0;
+      for (Real v : update) norm2 += v * v;
+      const Real norm = std::sqrt(norm2);
+      if (norm > config_.max_grad_norm)
+        scale(update, config_.max_grad_norm / norm);
+    }
+    if (config_.lr_schedule != nullptr) {
+      optimizer_.set_learning_rate(
+          base_learning_rate_ * config_.lr_schedule->multiplier(iteration_));
+    }
+    optimizer_.step(model_.parameters(), update);
+
+    if (!have_best_ || est.min < best_energy_) {
+      best_energy_ = est.min;
+      have_best_ = true;
+    }
+  } else {
+    handle_guard_trip(trip_reason);
   }
 
   training_seconds_ += timer.seconds();
@@ -81,6 +165,8 @@ IterationMetrics VqmcTrainer::step() {
   metrics.std_dev = est.std_dev;
   metrics.best_energy = best_energy_;
   metrics.seconds = training_seconds_;
+  metrics.guard_trips = health_.guard_trips;
+  metrics.guard_reason = health_.last_trip_reason;
   history_.push_back(metrics);
   return metrics;
 }

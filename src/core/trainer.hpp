@@ -6,8 +6,10 @@
 /// -> update parameters.
 
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "common/health.hpp"
 #include "common/timer.hpp"
 #include "core/estimators.hpp"
 #include "core/local_energy.hpp"
@@ -34,6 +36,11 @@ struct TrainerConfig {
   /// Clip the (possibly SR-preconditioned) update to this Euclidean norm
   /// before the optimizer step; 0 disables (the paper's setting).
   Real max_grad_norm = 0;
+  /// Numerical run-health guards (non-finite local energies / gradients /
+  /// SR updates, optional divergence detection) and the recovery policy.
+  /// Defaults: fail fast (Throw) on non-finite values, divergence detection
+  /// off — healthy runs are bit-identical to a guard-free trainer.
+  health::GuardConfig guard;
 };
 
 /// Per-iteration metrics (the red/blue curves of Figure 2).
@@ -43,6 +50,12 @@ struct IterationMetrics {
   Real std_dev = 0;      ///< batch std of the stochastic objective
   Real best_energy = 0;  ///< lowest local energy seen so far in training
   double seconds = 0;    ///< cumulative training wall time
+  /// Cumulative health-guard trips up to and including this iteration.
+  /// On a tripped iteration `energy`/`std_dev` are NaN when the batch local
+  /// energies were non-finite.
+  std::uint64_t guard_trips = 0;
+  /// Reason of the most recent guard trip; empty while the run is healthy.
+  std::string guard_reason;
 };
 
 /// Single-device VQMC trainer.
@@ -81,7 +94,14 @@ class VqmcTrainer {
   /// Cumulative training wall-time in seconds (excludes evaluate() calls).
   [[nodiscard]] double training_seconds() const { return training_seconds_; }
 
+  /// Run-health tally: guard trips by cause and the recoveries applied.
+  [[nodiscard]] const health::HealthCounters& health_counters() const {
+    return health_;
+  }
+
  private:
+  /// Apply the configured guard policy after a trip; throws under Throw.
+  void handle_guard_trip(const std::string& reason);
   const Hamiltonian& hamiltonian_;
   WavefunctionModel& model_;
   Sampler& sampler_;
@@ -102,6 +122,13 @@ class VqmcTrainer {
   Real best_energy_ = 0;
   bool have_best_ = false;
   double training_seconds_ = 0;
+
+  health::DivergenceDetector divergence_;
+  health::HealthCounters health_;
+  /// Last parameters observed to produce finite local energies (only
+  /// maintained under RollbackAndBackoff).
+  Vector snapshot_;
+  bool have_snapshot_ = false;
 };
 
 }  // namespace vqmc

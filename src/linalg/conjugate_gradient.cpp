@@ -27,6 +27,11 @@ CgResult conjugate_gradient(const LinearOperator& apply,
 
   Real rr = dot(r.span(), r.span());
   CgResult result;
+  if (!std::isfinite(b_norm) || !std::isfinite(rr)) {
+    result.breakdown = true;
+    result.breakdown_reason = "non-finite right-hand side or initial residual";
+    return result;
+  }
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.relative_residual = std::sqrt(rr) / b_norm;
     if (result.relative_residual <= options.tolerance) {
@@ -35,15 +40,32 @@ CgResult conjugate_gradient(const LinearOperator& apply,
     }
     apply(p.span(), ap.span());
     const Real p_ap = dot(p.span(), ap.span());
+    if (!std::isfinite(p_ap)) {
+      // Stop before alpha = rr / p_ap poisons x: SR would otherwise apply
+      // the NaN iterate as a parameter update.
+      result.breakdown = true;
+      result.breakdown_reason = "non-finite curvature p.Ap";
+      return result;
+    }
     if (p_ap <= Real(0)) {
       // Operator is not positive-definite along p (can happen with a noisy
       // Fisher estimate); return the current best iterate.
+      result.breakdown = true;
+      result.breakdown_reason = "non-positive curvature direction (p.Ap <= 0)";
       return result;
     }
     const Real alpha = rr / p_ap;
     axpy(alpha, p.span(), x);
     axpy(-alpha, ap.span(), r.span());
     const Real rr_next = dot(r.span(), r.span());
+    if (!std::isfinite(rr_next)) {
+      // Undo the step that produced the non-finite residual so x stays the
+      // last finite iterate.
+      axpy(-alpha, p.span(), x);
+      result.breakdown = true;
+      result.breakdown_reason = "non-finite residual";
+      return result;
+    }
     const Real beta = rr_next / rr;
     for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
     rr = rr_next;

@@ -29,6 +29,13 @@ struct CgResult {
   int iterations = 0;
   Real relative_residual = 0;
   bool converged = false;
+  /// True when the solve aborted on a numerical breakdown: a zero/negative
+  /// curvature direction (`p·Ap <= 0`, the operator is not SPD along `p`) or
+  /// a non-finite residual.  `x` holds the last iterate from *before* the
+  /// breakdown step, so callers never receive a freshly poisoned solution.
+  bool breakdown = false;
+  /// Empty unless `breakdown`; a short human-readable cause.
+  const char* breakdown_reason = "";
 };
 
 /// Solve A x = b with unpreconditioned CG; `x` holds the initial guess on

@@ -1,6 +1,7 @@
 #include "optim/stochastic_reconfiguration.hpp"
 
 #include "common/error.hpp"
+#include "common/health.hpp"
 #include "linalg/cholesky.hpp"
 #include "tensor/kernels.hpp"
 
@@ -12,14 +13,26 @@ StochasticReconfiguration::StochasticReconfiguration(SrConfig config)
                "SR: regularization must be positive");
 }
 
-int StochasticReconfiguration::precondition(const Matrix& per_sample_o,
-                                            std::span<const Real> grad,
-                                            std::span<Real> delta) const {
+SrReport StochasticReconfiguration::precondition(const Matrix& per_sample_o,
+                                                 std::span<const Real> grad,
+                                                 std::span<Real> delta) const {
   const std::size_t bs = per_sample_o.rows();
   const std::size_t d = per_sample_o.cols();
   VQMC_REQUIRE(grad.size() == d && delta.size() == d,
                "SR: gradient size mismatch");
   VQMC_REQUIRE(bs >= 2, "SR: need at least 2 samples");
+
+  const auto fail = [&delta](const std::string& why) {
+    for (Real& v : delta) v = 0;
+    SrReport report;
+    report.converged = false;
+    report.breakdown = true;
+    report.reason = why;
+    return report;
+  };
+  if (!health::all_finite(grad)) return fail("non-finite gradient input");
+  if (!health::all_finite(per_sample_o))
+    return fail("non-finite per-sample log-derivatives");
 
   // Column means o_bar.
   Vector o_bar(d);
@@ -39,8 +52,12 @@ int StochasticReconfiguration::precondition(const Matrix& per_sample_o,
       s(i, i) += lambda;
     }
     const bool ok = linalg::solve_spd(s, grad, delta);
-    VQMC_REQUIRE(ok, "SR: regularized S is not positive definite");
-    return 0;
+    if (!ok)
+      return fail("dense Cholesky failed: S + lambda I is not positive "
+                  "definite");
+    if (!health::all_finite(delta))
+      return fail("dense solve produced a non-finite solution");
+    return {};
   }
 
   // Matrix-free path: S v = O^T (O v) / bs - o_bar (o_bar . v) + lambda v.
@@ -56,7 +73,14 @@ int StochasticReconfiguration::precondition(const Matrix& per_sample_o,
   for (std::size_t i = 0; i < d; ++i) delta[i] = 0;
   const linalg::CgResult cg =
       linalg::conjugate_gradient(apply, grad, delta, config_.cg);
-  return cg.iterations;
+  if (cg.breakdown)
+    return fail(std::string("CG breakdown: ") + cg.breakdown_reason);
+  if (!health::all_finite(delta))
+    return fail("CG produced a non-finite iterate");
+  SrReport report;
+  report.cg_iterations = cg.iterations;
+  report.converged = cg.converged;
+  return report;
 }
 
 }  // namespace vqmc

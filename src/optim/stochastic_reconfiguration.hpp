@@ -23,6 +23,7 @@
 ///    matrix, never forming S — the scalable path for large models.
 
 #include <memory>
+#include <string>
 
 #include "linalg/conjugate_gradient.hpp"
 #include "tensor/matrix.hpp"
@@ -36,6 +37,20 @@ struct SrConfig {
   linalg::CgOptions cg;
 };
 
+/// Outcome of one SR solve. On `breakdown`, `delta` is not usable as an
+/// update (it is zeroed) and `reason` says why — the trainer's health guard
+/// decides whether to throw, skip or roll back instead of stepping along a
+/// NaN direction.
+struct SrReport {
+  int cg_iterations = 0;  ///< 0 for the dense path
+  /// CG met its tolerance (always true on the dense path when it succeeds).
+  /// A false value without `breakdown` means CG merely hit its iteration
+  /// cap; the iterate is finite and still a descent-ish direction.
+  bool converged = true;
+  bool breakdown = false;  ///< hard numerical failure; do not use delta
+  std::string reason;      ///< empty unless breakdown
+};
+
 /// Natural-gradient preconditioner.
 class StochasticReconfiguration {
  public:
@@ -43,9 +58,8 @@ class StochasticReconfiguration {
 
   /// Solve (S + lambda I) delta = grad with S built from `per_sample_o`
   /// (bs x d).  `delta` has length d and is overwritten.
-  /// Returns the number of CG iterations (0 for the dense path).
-  int precondition(const Matrix& per_sample_o, std::span<const Real> grad,
-                   std::span<Real> delta) const;
+  SrReport precondition(const Matrix& per_sample_o, std::span<const Real> grad,
+                        std::span<Real> delta) const;
 
   [[nodiscard]] const SrConfig& config() const { return config_; }
 

@@ -1,10 +1,13 @@
 #include "parallel/distributed_trainer.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <mutex>
 
 #include "common/error.hpp"
+#include "common/health.hpp"
 #include "common/timer.hpp"
 #include "core/estimators.hpp"
 #include "core/local_energy.hpp"
@@ -24,14 +27,25 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
   VQMC_REQUIRE(config.shape.total() >= 1, "distributed: empty cluster");
   VQMC_REQUIRE(config.mini_batch_size >= 1, "distributed: mbs must be >= 1");
   VQMC_REQUIRE(config.iterations >= 0, "distributed: iterations must be >= 0");
+  if (config.optimizer != "SGD" && config.optimizer != "ADAM") {
+    if (config.optimizer.find("SR") != std::string::npos)
+      throw Error("distributed: optimizer '" + config.optimizer +
+                  "' is not supported: stochastic reconfiguration is only "
+                  "available in the serial VqmcTrainer (TrainerConfig::use_sr)"
+                  " until distributed SR lands");
+    throw Error("distributed: unknown optimizer '" + config.optimizer +
+                "' (expected \"SGD\" or \"ADAM\")");
+  }
 
   const int num_ranks = config.shape.total();
   const std::size_t n = hamiltonian.num_spins();
   const std::size_t mbs = config.mini_batch_size;
   const Real global_batch = Real(mbs) * Real(num_ranks);
+  const health::GuardPolicy policy = config.guard.policy;
 
   DistributedResult result;
   result.energy_history.assign(std::size_t(config.iterations), Real(0));
+  result.guard_trips_per_rank.assign(std::size_t(num_ranks), 0);
   std::mutex result_mutex;
   std::vector<double> busy_seconds(std::size_t(num_ranks), 0.0);
 
@@ -51,10 +65,27 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
     std::unique_ptr<Optimizer> optimizer =
         config.optimizer == "SGD" ? make_sgd(0.1) : make_adam(0.01);
 
+    const std::size_t d = replica->num_parameters();
     Matrix batch(mbs, n);
     Vector local_energies(mbs);
-    Vector gradient(replica->num_parameters());
+    Vector gradient(d);
     Vector coeff(mbs);
+    // Guard-aware collective buffers. The per-rank bad flags ride along in
+    // the same allreduce as the payload, so detecting a sick rank costs no
+    // extra collective: stats = [energy_sum, count, bad_rank_0..R-1] and
+    // grad_ext = [gradient_0..d-1, bad_rank_0..R-1]. A rank whose local
+    // values are non-finite contributes zeros plus its flag, so the folded
+    // payload stays finite for everyone.
+    std::vector<Real> stats(2 + std::size_t(num_ranks));
+    Vector grad_ext(d + std::size_t(num_ranks));
+    Vector snapshot;
+    bool have_snapshot = false;
+    if (policy == health::GuardPolicy::RollbackAndBackoff)
+      snapshot = Vector(d);
+    health::DivergenceDetector divergence(config.guard);
+    std::uint64_t my_bad_contributions = 0;
+    std::uint64_t trips = 0;
+    std::string last_reason;
     // Per-thread CPU time: wall time would charge a virtual device for the
     // periods it sat descheduled when the host core is oversubscribed.
     ThreadCpuTimer busy;
@@ -64,42 +95,132 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
       busy.reset();
       sampler.sample(batch);
       engine.compute(batch, local_energies.span());
-      Real stats[2] = {sum(local_energies.span()), Real(mbs)};
+      const std::size_t bad_le =
+          health::count_nonfinite(local_energies.span());
+      std::fill(stats.begin(), stats.end(), Real(0));
+      if (bad_le == 0) {
+        stats[0] = sum(local_energies.span());
+        stats[1] = Real(mbs);
+      } else {
+        stats[2 + std::size_t(rank)] = 1;
+      }
       my_busy += busy.seconds();
 
-      comm.allreduce_sum(std::span<Real>(stats, 2));
-      const Real global_mean = stats[0] / stats[1];
+      comm.allreduce_sum(std::span<Real>(stats.data(), stats.size()));
+      int bad_energy_ranks = 0;
+      for (int r = 0; r < num_ranks; ++r)
+        bad_energy_ranks += stats[2 + std::size_t(r)] > 0 ? 1 : 0;
+      const Real global_mean =
+          stats[1] > 0 ? stats[0] / stats[1]
+                       : std::numeric_limits<Real>::quiet_NaN();
 
-      busy.reset();
-      // Local gradient contribution with *global* centering, so the
-      // allreduced sum is exactly the serial gradient over the full batch.
-      for (std::size_t k = 0; k < mbs; ++k)
-        coeff[k] = 2 * (local_energies[k] - global_mean) / global_batch;
-      gradient.fill(0);
-      replica->accumulate_log_psi_gradient(batch, coeff.span(),
-                                           gradient.span());
-      my_busy += busy.seconds();
+      // Trip decisions are made from allreduced data only, so every rank
+      // takes the same branch — the bit-identical-replicas invariant holds
+      // through recoveries too.
+      bool tripped = false;
+      std::string reason;
+      if (bad_energy_ranks > 0) {
+        tripped = true;
+        reason = "non-finite local energies on " +
+                 std::to_string(bad_energy_ranks) + " rank(s)";
+        if (bad_le > 0) ++my_bad_contributions;
+      } else if (divergence.update(global_mean)) {
+        tripped = true;
+        reason = "energy divergence: global batch mean exceeded the "
+                 "explosion threshold for " +
+                 std::to_string(config.guard.divergence_window) +
+                 " consecutive iterations";
+      }
 
-      comm.allreduce_sum(gradient.span());
+      if (!tripped) {
+        busy.reset();
+        if (policy == health::GuardPolicy::RollbackAndBackoff) {
+          std::copy(replica->parameters().begin(),
+                    replica->parameters().end(), snapshot.begin());
+          have_snapshot = true;
+        }
+        // Local gradient contribution with *global* centering, so the
+        // allreduced sum is exactly the serial gradient over the full batch.
+        for (std::size_t k = 0; k < mbs; ++k)
+          coeff[k] = 2 * (local_energies[k] - global_mean) / global_batch;
+        gradient.fill(0);
+        replica->accumulate_log_psi_gradient(batch, coeff.span(),
+                                             gradient.span());
+        const bool bad_grad = !health::all_finite(gradient.span());
+        std::copy(gradient.begin(), gradient.end(), grad_ext.begin());
+        for (int r = 0; r < num_ranks; ++r) grad_ext[d + std::size_t(r)] = 0;
+        if (bad_grad) {
+          for (std::size_t i = 0; i < d; ++i) grad_ext[i] = 0;
+          grad_ext[d + std::size_t(rank)] = 1;
+        }
+        my_busy += busy.seconds();
 
-      busy.reset();
-      optimizer->step(replica->parameters(), gradient.span());
-      my_busy += busy.seconds();
+        comm.allreduce_sum(grad_ext.span());
+        int bad_grad_ranks = 0;
+        for (int r = 0; r < num_ranks; ++r)
+          bad_grad_ranks += grad_ext[d + std::size_t(r)] > 0 ? 1 : 0;
+        if (bad_grad_ranks > 0) {
+          tripped = true;
+          reason = "non-finite gradient on " +
+                   std::to_string(bad_grad_ranks) + " rank(s)";
+          if (bad_grad) ++my_bad_contributions;
+        } else {
+          busy.reset();
+          optimizer->step(replica->parameters(),
+                          std::span<const Real>(grad_ext.data(), d));
+          my_busy += busy.seconds();
+        }
+      }
+
+      if (tripped) {
+        ++trips;
+        last_reason = reason;
+        switch (policy) {
+          case health::GuardPolicy::Throw:
+            // Every rank reaches this point together (the trip decision is
+            // post-allreduce), so throwing here cannot strand a peer inside
+            // a collective.
+            throw Error("distributed: health guard tripped at iteration " +
+                        std::to_string(iter) + ": " + reason);
+          case health::GuardPolicy::SkipIteration:
+            break;
+          case health::GuardPolicy::RollbackAndBackoff:
+            if (have_snapshot)
+              std::copy(snapshot.begin(), snapshot.end(),
+                        replica->parameters().begin());
+            optimizer->set_learning_rate(optimizer->learning_rate() *
+                                         config.guard.backoff_factor);
+            divergence.reset_streak();
+            break;
+        }
+      }
 
       if (rank == 0)
         result.energy_history[std::size_t(iter)] = global_mean;
     }
 
-    // Final evaluation: fresh samples on every rank, global mean/std.
+    // Final evaluation: fresh samples on every rank, global mean/std. A rank
+    // with non-finite evaluation energies is excluded (zero contribution +
+    // flag) rather than poisoning the global estimate; the exclusion is
+    // reported through guard_trips_per_rank and last_trip_reason.
     const std::size_t eb = std::max<std::size_t>(1, config.eval_batch_per_rank);
     Matrix eval_batch(eb, n);
     Vector eval_energies(eb);
     sampler.sample(eval_batch);
     engine.compute(eval_batch, eval_energies.span());
-    Real moments[3] = {sum(eval_energies.span()),
+    const bool bad_eval = !health::all_finite(eval_energies.span());
+    Real moments[4] = {sum(eval_energies.span()),
                        dot(eval_energies.span(), eval_energies.span()),
-                       Real(eb)};
-    comm.allreduce_sum(std::span<Real>(moments, 3));
+                       Real(eb), 0};
+    if (bad_eval) {
+      moments[0] = moments[1] = moments[2] = 0;
+      moments[3] = 1;
+      ++my_bad_contributions;
+    }
+    comm.allreduce_sum(std::span<Real>(moments, 4));
+    if (moments[3] > 0)
+      last_reason = "non-finite evaluation energies on " +
+                    std::to_string(int(moments[3])) + " rank(s)";
 
     // Replica-consistency check: max minus min of each parameter across
     // ranks must be zero.
@@ -118,13 +239,20 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
     {
       const std::lock_guard<std::mutex> lock(result_mutex);
       busy_seconds[std::size_t(rank)] = my_busy;
+      result.guard_trips_per_rank[std::size_t(rank)] = my_bad_contributions;
       if (rank == 0) {
-        const Real mean = moments[0] / moments[2];
+        const Real mean =
+            moments[2] > 0 ? moments[0] / moments[2]
+                           : std::numeric_limits<Real>::quiet_NaN();
         const Real var =
-            std::max<Real>(0, moments[1] / moments[2] - mean * mean);
+            moments[2] > 0
+                ? std::max<Real>(0, moments[1] / moments[2] - mean * mean)
+                : std::numeric_limits<Real>::quiet_NaN();
         result.converged_energy = mean;
         result.converged_std = std::sqrt(var);
         result.replicas_identical = spread == Real(0);
+        result.guard_trips = trips;
+        result.last_trip_reason = last_reason;
         result.final_parameters.assign(replica->parameters().begin(),
                                        replica->parameters().end());
       }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/health.hpp"
 #include "hamiltonian/hamiltonian.hpp"
 #include "nn/wavefunction.hpp"
 #include "parallel/cost_model.hpp"
@@ -35,6 +36,12 @@ struct DistributedConfig {
   std::size_t local_energy_chunk = 1024;
   std::size_t eval_batch_per_rank = 64;  ///< final-evaluation draw per rank
   std::uint64_t seed = 0;
+  /// Run-health guards. Every rank scans its local energies and gradient
+  /// *before* contributing to an allreduce, and the bad-rank count itself is
+  /// allreduced, so one sick rank is detected collectively instead of
+  /// poisoning all replicas — and every rank applies the same recovery, which
+  /// preserves the bit-identical-replicas invariant.
+  health::GuardConfig guard;
 };
 
 struct DistributedResult {
@@ -50,6 +57,15 @@ struct DistributedResult {
   std::vector<Real> final_parameters;
   /// True iff all replicas ended bit-identical (checked via allreduce).
   bool replicas_identical = false;
+  /// Training iterations on which the health guard tripped (identical on
+  /// every rank: the trip decision is made after an allreduce).
+  std::uint64_t guard_trips = 0;
+  /// Per-rank count of iterations where *this rank's* local energies or
+  /// gradient were non-finite (length shape.total()). Summing gives the
+  /// total number of bad contributions; a single hot rank shows up directly.
+  std::vector<std::uint64_t> guard_trips_per_rank;
+  /// Reason of the most recent guard trip; empty for a healthy run.
+  std::string last_trip_reason;
 };
 
 /// Train `prototype` (autoregressive; AUTO sampling) on `hamiltonian`

@@ -1,5 +1,7 @@
 #include "sampler/autoregressive_sampler.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "rng/distributions.hpp"
 
@@ -23,7 +25,16 @@ void AutoregressiveSampler::sample(Matrix& out) {
     model_.conditionals(out, conditionals_);
     ++stats_.forward_passes;
     for (std::size_t k = 0; k < bs; ++k) {
-      const Real p1 = conditionals_(k, i);
+      Real p1 = conditionals_(k, i);
+      if (!std::isfinite(p1)) {
+        // A NaN/inf conditional would turn the draw into an ill-defined
+        // comparison and silently bias every later site. Clamp to an
+        // unbiased coin (one uniform is consumed either way, so healthy
+        // runs keep a bit-identical RNG stream) and count the event so the
+        // trainer's health guards can attribute the sick batch.
+        ++stats_.nonfinite_rejections;
+        p1 = Real(0.5);
+      }
       out(k, i) = rng::bernoulli(gen_, p1) ? Real(1) : Real(0);
     }
   }

@@ -80,6 +80,13 @@ void MetropolisSampler::step() {
   // pi'/(pi + pi') = sigmoid(2 dlogpsi). Both leave pi invariant.
   for (std::size_t chain = 0; chain < c; ++chain) {
     ++stats_.proposals;
+    if (!std::isfinite(proposal_log_psi_[chain])) {
+      // A NaN/inf log-psi must never enter the chain state: a NaN acceptance
+      // ratio silently poisons every later step, and +inf would be accepted
+      // with certainty. Reject outright and count the event.
+      ++stats_.nonfinite_rejections;
+      continue;
+    }
     const Real dlog = proposal_log_psi_[chain] - state_log_psi_[chain];
     bool accept;
     if (config_.rule == AcceptanceRule::HeatBath) {
@@ -111,6 +118,9 @@ void MetropolisSampler::sample(Matrix& out) {
     // have typically changed since the previous call.
     model_.log_psi(states_, state_log_psi_.span());
     ++stats_.forward_passes;
+    // Optional re-equilibration toward the updated distribution (see
+    // MetropolisConfig::reburn_in for the bias trade-off).
+    for (std::size_t i = 0; i < config_.reburn_in; ++i) step();
   }
 
   // Collect: round-robin over chains, advancing `thinning` steps between

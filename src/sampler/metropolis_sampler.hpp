@@ -58,6 +58,16 @@ struct MetropolisConfig {
   std::size_t thinning = 1;
   /// Keep chain state across sample() calls instead of re-burning.
   bool persistent_chains = false;
+  /// Re-equilibration steps run at the start of every persistent-chain
+  /// sample() call (after the chains are re-scored under the updated
+  /// parameters). The default 0 preserves the historical behavior: chains
+  /// resume exactly where they stopped, which is cheap but biased — the
+  /// retained states are distributed according to the *previous* iteration's
+  /// pi_theta, and small parameter updates make that bias small but
+  /// systematic. A few tens of steps trade forward passes for a chain that
+  /// has relaxed toward the updated distribution. Ignored when
+  /// `persistent_chains` is false (full burn-in runs instead).
+  std::size_t reburn_in = 0;
   AcceptanceRule rule = AcceptanceRule::MetropolisHastings;
   ProposalKind proposal = ProposalKind::SingleFlip;
   std::uint64_t seed = 0;

@@ -24,6 +24,12 @@ struct SamplerStatistics {
   std::uint64_t forward_passes = 0;  ///< batched model evaluations
   std::uint64_t proposals = 0;       ///< MH proposals (0 for AUTO)
   std::uint64_t accepted = 0;        ///< accepted proposals (0 for AUTO)
+  /// Model evaluations rejected/clamped because the model returned a
+  /// non-finite value: NaN/inf log-psi proposals (MCMC, rejected outright)
+  /// or NaN/inf conditionals (AUTO, clamped to an unbiased coin). A nonzero
+  /// count means the model is numerically unhealthy; the trainer's health
+  /// guards will usually trip on the same batch.
+  std::uint64_t nonfinite_rejections = 0;
 
   [[nodiscard]] double acceptance_rate() const {
     return proposals == 0 ? 0.0 : double(accepted) / double(proposals);

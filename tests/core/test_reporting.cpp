@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -13,14 +14,15 @@ namespace {
 
 std::vector<IterationMetrics> sample_history() {
   std::vector<IterationMetrics> h(2);
-  h[0] = {0, -1.5, 0.25, -2.0, 0.01};
-  h[1] = {1, -1.75, 0.125, -2.25, 0.02};
+  h[0] = {0, -1.5, 0.25, -2.0, 0.01, 0, ""};
+  h[1] = {1, -1.75, 0.125, -2.25, 0.02, 0, ""};
   return h;
 }
 
 TEST(Reporting, CsvHasHeaderAndOneLinePerIteration) {
   const std::string csv = metrics_to_csv(sample_history());
-  EXPECT_NE(csv.find("iteration,energy,std_dev,best_energy,seconds\n"),
+  EXPECT_NE(csv.find("iteration,energy,std_dev,best_energy,seconds,"
+                     "guard_trips,guard_reason\n"),
             std::string::npos);
   EXPECT_NE(csv.find("0,-1.5,0.25,-2,0.01"), std::string::npos);
   EXPECT_NE(csv.find("1,-1.75,0.125,-2.25,0.02"), std::string::npos);
@@ -30,7 +32,33 @@ TEST(Reporting, CsvHasHeaderAndOneLinePerIteration) {
 
 TEST(Reporting, CsvOfEmptyHistoryIsJustTheHeader) {
   const std::string csv = metrics_to_csv({});
-  EXPECT_EQ(csv, "iteration,energy,std_dev,best_energy,seconds\n");
+  EXPECT_EQ(csv,
+            "iteration,energy,std_dev,best_energy,seconds,guard_trips,"
+            "guard_reason\n");
+}
+
+TEST(Reporting, GuardTripsAndSanitizedReasonAreExported) {
+  std::vector<IterationMetrics> h(1);
+  h[0] = {3, -1.0, 0.5, -1.5, 0.04, 2, "non-finite local energies, 4 of 32"};
+  const std::string csv = metrics_to_csv(h);
+  // The comma inside the reason must not split the CSV cell.
+  EXPECT_NE(csv.find(",2,non-finite local energies; 4 of 32\n"),
+            std::string::npos);
+  const std::string json = metrics_to_json(h);
+  EXPECT_NE(json.find("\"guard_trips\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"guard_reason\": \"non-finite local energies; 4 of "
+                      "32\""),
+            std::string::npos);
+}
+
+TEST(Reporting, NonFiniteEnergiesSerializeAsJsonNull) {
+  std::vector<IterationMetrics> h(1);
+  h[0] = {0, std::numeric_limits<Real>::quiet_NaN(),
+          std::numeric_limits<Real>::quiet_NaN(), -1.5, 0.01, 1, "bad batch"};
+  const std::string json = metrics_to_json(h);
+  EXPECT_NE(json.find("\"energy\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"std_dev\": null"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
 }
 
 TEST(Reporting, JsonIsWellFormedArray) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "linalg/cholesky.hpp"
@@ -97,6 +99,46 @@ TEST(ConjugateGradient, RespectsIterationCap) {
       conjugate_gradient(dense_operator(a), b.span(), x.span(), opts);
   EXPECT_FALSE(r.converged);
   EXPECT_LE(r.iterations, 2);
+}
+
+TEST(ConjugateGradient, NegativeCurvatureReportsBreakdown) {
+  // y = -x is negative definite: p.Ap < 0 on the first direction.
+  const std::size_t n = 6;
+  Vector b(n), x(n);
+  b.fill(1.0);
+  const auto negate = [](std::span<const Real> in, std::span<Real> out) {
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = -in[i];
+  };
+  const CgResult r = conjugate_gradient(negate, b.span(), x.span());
+  EXPECT_TRUE(r.breakdown);
+  EXPECT_FALSE(r.converged);
+  EXPECT_NE(std::string(r.breakdown_reason).find("curvature"),
+            std::string::npos);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(std::isfinite(x[i]));
+}
+
+TEST(ConjugateGradient, NonFiniteOperatorReportsBreakdownWithFiniteX) {
+  const std::size_t n = 5;
+  Vector b(n), x(n);
+  b.fill(1.0);
+  const auto poisoned = [](std::span<const Real> in, std::span<Real> out) {
+    std::copy(in.begin(), in.end(), out.begin());
+    out[2] = std::numeric_limits<Real>::quiet_NaN();
+  };
+  const CgResult r = conjugate_gradient(poisoned, b.span(), x.span());
+  EXPECT_TRUE(r.breakdown);
+  EXPECT_FALSE(r.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(std::isfinite(x[i]));
+}
+
+TEST(ConjugateGradient, NonFiniteRhsReportsBreakdown) {
+  const Matrix a = random_spd(4, 18);
+  Vector b(4), x(4);
+  b.fill(1.0);
+  b[1] = std::numeric_limits<Real>::infinity();
+  const CgResult r = conjugate_gradient(dense_operator(a), b.span(), x.span());
+  EXPECT_TRUE(r.breakdown);
+  EXPECT_FALSE(r.converged);
 }
 
 TEST(ConjugateGradient, SizeMismatchThrows) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/error.hpp"
 #include "linalg/cholesky.hpp"
 #include "rng/distributions.hpp"
@@ -69,8 +71,10 @@ TEST(StochasticReconfiguration, CgPathMatchesDensePath) {
   cg_cfg.cg.tolerance = 1e-12;
   cg_cfg.cg.max_iterations = 500;
   StochasticReconfiguration sr_cg(cg_cfg);
-  const int iters = sr_cg.precondition(o, grad.span(), iterative.span());
-  EXPECT_GT(iters, 0);
+  const SrReport report = sr_cg.precondition(o, grad.span(), iterative.span());
+  EXPECT_GT(report.cg_iterations, 0);
+  EXPECT_TRUE(report.converged);
+  EXPECT_FALSE(report.breakdown);
   for (std::size_t i = 0; i < d; ++i) EXPECT_NEAR(iterative[i], dense[i], 1e-7);
 }
 
@@ -109,6 +113,35 @@ TEST(StochasticReconfiguration, SolutionSatisfiesTheLinearSystem) {
     const Real lhs = s_delta[i] / Real(bs) - o_bar[i] * ob_v +
                      cfg.regularization * delta[i];
     EXPECT_NEAR(lhs, grad[i], 1e-8);
+  }
+}
+
+TEST(StochasticReconfiguration, NonFiniteInputsReportBreakdownNotNaN) {
+  const std::size_t bs = 10, d = 4;
+  Matrix o = random_samples(bs, d, 8);
+  rng::Xoshiro256 gen(9);
+  Vector grad(d), delta(d);
+  for (std::size_t i = 0; i < d; ++i) grad[i] = rng::uniform(gen, -1.0, 1.0);
+
+  // NaN gradient -> breakdown, delta zeroed (never NaN).
+  grad[1] = std::numeric_limits<Real>::quiet_NaN();
+  StochasticReconfiguration sr;
+  SrReport report = sr.precondition(o, grad.span(), delta.span());
+  EXPECT_TRUE(report.breakdown);
+  EXPECT_FALSE(report.converged);
+  EXPECT_FALSE(report.reason.empty());
+  for (std::size_t i = 0; i < d; ++i) EXPECT_EQ(delta[i], 0.0);
+
+  // NaN per-sample log-derivatives -> breakdown too (both solve paths).
+  grad[1] = 0.5;
+  o(3, 2) = std::numeric_limits<Real>::infinity();
+  for (const std::size_t threshold : {std::size_t(100), std::size_t(1)}) {
+    SrConfig cfg;
+    cfg.dense_threshold = threshold;
+    StochasticReconfiguration guarded(cfg);
+    report = guarded.precondition(o, grad.span(), delta.span());
+    EXPECT_TRUE(report.breakdown);
+    for (std::size_t i = 0; i < d; ++i) EXPECT_EQ(delta[i], 0.0);
   }
 }
 

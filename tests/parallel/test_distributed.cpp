@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+
 #include "core/trainer.hpp"
 #include "hamiltonian/transverse_field_ising.hpp"
 #include "nn/made.hpp"
@@ -164,6 +170,122 @@ TEST(DistributedTrainer, InvalidConfigRejected) {
   Made proto(4, 4);
   DistributedConfig cfg = small_config(1);
   cfg.mini_batch_size = 0;
+  EXPECT_THROW(train_distributed(tim, proto, cfg), Error);
+}
+
+TEST(DistributedTrainer, UnknownOptimizerRejectedWithOffendingName) {
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(4, 19);
+  Made proto(4, 4);
+  DistributedConfig cfg = small_config(2, 2, 4);
+  cfg.optimizer = "RMSPROP";
+  try {
+    train_distributed(tim, proto, cfg);
+    FAIL() << "unknown optimizer must be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("RMSPROP"), std::string::npos);
+  }
+}
+
+TEST(DistributedTrainer, SrOptimizerRejectedWithPointerToSerialTrainer) {
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(4, 19);
+  Made proto(4, 4);
+  DistributedConfig cfg = small_config(2, 2, 4);
+  cfg.optimizer = "SGD+SR";
+  try {
+    train_distributed(tim, proto, cfg);
+    FAIL() << "SR optimizers must be rejected, not silently remapped";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("SGD+SR"), std::string::npos);
+    EXPECT_NE(what.find("serial"), std::string::npos);
+  }
+}
+
+/// Cloneable model whose FIRST clone (i.e. exactly one of the per-rank
+/// replicas) permanently returns a NaN log-psi, so one rank feeds bad local
+/// energies into every iteration while sampling stays healthy everywhere.
+class OneBadCloneModel final : public AutoregressiveModel {
+ public:
+  OneBadCloneModel(std::size_t n, std::size_t hidden, std::uint64_t seed)
+      : inner_(n, hidden), clones_(std::make_shared<std::atomic<int>>(0)) {
+    inner_.initialize(seed);
+  }
+
+  [[nodiscard]] std::size_t num_spins() const override {
+    return inner_.num_spins();
+  }
+  [[nodiscard]] std::size_t num_parameters() const override {
+    return inner_.num_parameters();
+  }
+  [[nodiscard]] std::span<Real> parameters() override {
+    return inner_.parameters();
+  }
+  [[nodiscard]] std::span<const Real> parameters() const override {
+    return inner_.parameters();
+  }
+  void initialize(std::uint64_t seed) override { inner_.initialize(seed); }
+  void log_psi(const Matrix& batch, std::span<Real> out) const override {
+    inner_.log_psi(batch, out);
+    if (faulty_) out[0] = std::numeric_limits<Real>::quiet_NaN();
+  }
+  void accumulate_log_psi_gradient(const Matrix& batch,
+                                   std::span<const Real> coeff,
+                                   std::span<Real> grad) const override {
+    inner_.accumulate_log_psi_gradient(batch, coeff, grad);
+  }
+  void log_psi_gradient_per_sample(const Matrix& batch,
+                                   Matrix& out) const override {
+    inner_.log_psi_gradient_per_sample(batch, out);
+  }
+  void conditionals(const Matrix& batch, Matrix& out) const override {
+    inner_.conditionals(batch, out);
+  }
+  [[nodiscard]] std::string name() const override { return "OneBadClone"; }
+  [[nodiscard]] std::unique_ptr<WavefunctionModel> clone() const override {
+    auto copy = std::make_unique<OneBadCloneModel>(*this);
+    copy->faulty_ = clones_->fetch_add(1) == 0;
+    return copy;
+  }
+
+ private:
+  Made inner_;
+  std::shared_ptr<std::atomic<int>> clones_;
+  bool faulty_ = false;
+};
+
+TEST(DistributedTrainer, OneBadRankIsDetectedCollectivelyUnderSkip) {
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(5, 21);
+  OneBadCloneModel proto(5, 6, 22);
+  DistributedConfig cfg = small_config(3, 8, 8);
+  cfg.guard.policy = health::GuardPolicy::SkipIteration;
+  const DistributedResult r = train_distributed(tim, proto, cfg);
+
+  // Every iteration trips (the fault is permanent), every rank takes the
+  // same decision, and the replicas stay bit-identical through recovery.
+  EXPECT_TRUE(r.replicas_identical);
+  EXPECT_EQ(r.guard_trips, 8u);
+  EXPECT_NE(r.last_trip_reason.find("non-finite"), std::string::npos);
+
+  // The per-rank tally attributes every bad contribution to a single rank:
+  // 8 training iterations plus the final evaluation.
+  std::uint64_t total = 0;
+  int bad_ranks = 0;
+  for (const std::uint64_t c : r.guard_trips_per_rank) {
+    total += c;
+    bad_ranks += c > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(bad_ranks, 1);
+  EXPECT_EQ(total, 9u);
+
+  // The sick rank is excluded from the global estimates, not averaged in.
+  EXPECT_TRUE(std::isfinite(r.converged_energy));
+  for (const Real e : r.energy_history) EXPECT_TRUE(std::isfinite(e));
+}
+
+TEST(DistributedTrainer, OneBadRankUnderThrowFailsFast) {
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(5, 21);
+  OneBadCloneModel proto(5, 6, 22);
+  DistributedConfig cfg = small_config(3, 8, 8);  // guard defaults to Throw
   EXPECT_THROW(train_distributed(tim, proto, cfg), Error);
 }
 

@@ -133,6 +133,24 @@ TEST(MetropolisSampler, PersistentChainsSkipReburn) {
   EXPECT_EQ(second, 11u);
 }
 
+TEST(MetropolisSampler, PersistentChainsRunConfiguredReburn) {
+  Rbm rbm(5, 4);
+  MetropolisConfig cfg;
+  cfg.burn_in = 100;
+  cfg.persistent_chains = true;
+  cfg.reburn_in = 7;
+  cfg.num_chains = 1;
+  MetropolisSampler sampler(rbm, cfg);
+  Matrix out(10, 5);
+  sampler.sample(out);  // first call pays the full burn-in
+  const std::uint64_t first = sampler.statistics().forward_passes;
+  EXPECT_EQ(first, 1u + 100u + 10u);
+  sampler.sample(out);
+  const std::uint64_t second = sampler.statistics().forward_passes - first;
+  // Second call: 1 re-evaluation + reburn_in re-equilibration + 10 collection.
+  EXPECT_EQ(second, 1u + 7u + 10u);
+}
+
 TEST(MetropolisSampler, DeterministicPerSeed) {
   Rbm rbm(5, 5);
   randomize_parameters(rbm, 7);
