@@ -79,6 +79,17 @@ int main(int argc, char** argv) {
   opts.add_option("metrics-json", "", "write per-iteration metrics JSON here");
   opts.add_option("save-checkpoint", "", "write final parameters here");
   opts.add_option("load-checkpoint", "", "restore parameters before training");
+  opts.add_option("checkpoint", "",
+                  "training-state checkpoint base path (periodic full-state "
+                  "saves; resume with --resume)");
+  opts.add_option("checkpoint-every", "25",
+                  "write a training checkpoint every k iterations (with "
+                  "--checkpoint)");
+  opts.add_option("resume", "",
+                  "resume the full training state (parameters, optimizer "
+                  "moments, RNG streams, iteration counter) from this "
+                  "training checkpoint; the continuation is bit-identical "
+                  "to an uninterrupted run");
   opts.add_flag("exact", "also compute the exact ground energy (n <= 20)");
   if (!opts.parse(argc, argv)) return 0;
 
@@ -106,7 +117,16 @@ int main(int argc, char** argv) {
     config.guard.policy =
         health::parse_guard_policy(opts.get_string("guard-policy"));
     config.guard.divergence_window = opts.get_int("divergence-window");
+    config.checkpoint_path = opts.get_string("checkpoint");
+    config.checkpoint_every = opts.get_int("checkpoint-every");
     VqmcTrainer trainer(*problem, *model, *sampler, *optimizer, config);
+    if (!opts.get_string("resume").empty()) {
+      const TrainingSnapshot snap =
+          load_training_checkpoint(opts.get_string("resume"));
+      trainer.restore(snap);
+      std::cout << "resumed from '" << opts.get_string("resume")
+                << "' at iteration " << snap.iteration << "\n";
+    }
 
     std::cout << "problem=" << problem->name() << " n=" << n
               << " model=" << model->name() << " (d=" << model->num_parameters()

@@ -21,6 +21,25 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A collective communication call exceeded its deadline (or the group was
+/// aborted while this rank was blocked inside a collective). Catching this
+/// distinctly from plain Error lets a driver distinguish "a peer is hung or
+/// dead" from "my own inputs were invalid" and react accordingly (shrink the
+/// group, checkpoint and abort, ...).
+class CommTimeoutError : public Error {
+ public:
+  explicit CommTimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on a rank that has been declared dead (e.g. by fault injection).
+/// The rank must have already left its communicator group — peers are not
+/// blocked on it — so the training loop can catch this, record the death and
+/// let the surviving ranks continue elastically.
+class RankDeadError : public Error {
+ public:
+  explicit RankDeadError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_error(const char* file, int line,

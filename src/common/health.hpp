@@ -94,6 +94,20 @@ class DivergenceDetector {
 
   [[nodiscard]] Real running_best() const { return best_; }
 
+  /// Dynamic state for checkpoint/restart (the window/factor/offset knobs
+  /// come from GuardConfig and are not part of it).
+  struct State {
+    Real best = 0;
+    bool have_best = false;
+    int consecutive = 0;
+  };
+  [[nodiscard]] State state() const { return {best_, have_best_, consecutive_}; }
+  void set_state(const State& s) {
+    best_ = s.best;
+    have_best_ = s.have_best;
+    consecutive_ = s.consecutive;
+  }
+
  private:
   int window_ = 0;
   Real factor_ = 100;

@@ -38,6 +38,12 @@ VqmcTrainer::VqmcTrainer(const Hamiltonian& hamiltonian,
   divergence_ = health::DivergenceDetector(config_.guard);
   if (config_.guard.policy == health::GuardPolicy::RollbackAndBackoff)
     snapshot_ = Vector(model_.num_parameters());
+  VQMC_REQUIRE(config_.checkpoint_every >= 0,
+               "trainer: checkpoint_every must be >= 0");
+  if (!config_.checkpoint_path.empty() && config_.checkpoint_every > 0) {
+    keeper_ = std::make_unique<CheckpointKeeper>(
+        config_.checkpoint_path, config_.checkpoint_keep_last);
+  }
 }
 
 void VqmcTrainer::handle_guard_trip(const std::string& reason) {
@@ -168,17 +174,98 @@ IterationMetrics VqmcTrainer::step() {
   metrics.guard_trips = health_.guard_trips;
   metrics.guard_reason = health_.last_trip_reason;
   history_.push_back(metrics);
+  if (keeper_ && iteration_ % config_.checkpoint_every == 0)
+    keeper_->write(snapshot());
   return metrics;
 }
 
+// Both loops count from iteration_ rather than 0 so a restored trainer
+// resumes at the interrupted iteration instead of re-running the full
+// budget.
 void VqmcTrainer::run() {
-  for (int i = 0; i < config_.iterations; ++i) step();
+  while (iteration_ < config_.iterations) step();
 }
 
 void VqmcTrainer::run_until(
     const std::function<bool(const IterationMetrics&)>& stop) {
-  for (int i = 0; i < config_.iterations; ++i) {
+  while (iteration_ < config_.iterations) {
     if (stop(step())) return;
+  }
+}
+
+TrainingSnapshot VqmcTrainer::snapshot() const {
+  TrainingSnapshot snap;
+  snap.model_name = model_.name();
+  snap.optimizer_name = optimizer_.name();
+  snap.sampler_name = sampler_.name();
+  snap.num_spins = model_.num_spins();
+  snap.num_parameters = model_.num_parameters();
+  snap.iteration = iteration_;
+  const std::span<const Real> params = model_.parameters();
+  snap.parameters.assign(params.begin(), params.end());
+  snap.optimizer_state = optimizer_.serialize_state();
+  snap.sampler_state = sampler_.serialize_state();
+  // Trainer-local state: [base_lr, best_energy, have_best, seconds,
+  // divergence {best, have_best, consecutive}, have_snapshot,
+  // rollback snapshot (iff held)].
+  const health::DivergenceDetector::State div = divergence_.state();
+  snap.trainer_state = {base_learning_rate_,
+                        best_energy_,
+                        have_best_ ? Real(1) : Real(0),
+                        Real(training_seconds_),
+                        div.best,
+                        div.have_best ? Real(1) : Real(0),
+                        Real(div.consecutive),
+                        have_snapshot_ ? Real(1) : Real(0)};
+  if (have_snapshot_)
+    snap.trainer_state.insert(snap.trainer_state.end(),
+                              snapshot_.span().begin(), snapshot_.span().end());
+  return snap;
+}
+
+void VqmcTrainer::restore(const TrainingSnapshot& snap) {
+  VQMC_REQUIRE(snap.model_name == model_.name(),
+               "trainer restore: model kind mismatch ('" + snap.model_name +
+                   "' vs '" + model_.name() + "')");
+  VQMC_REQUIRE(snap.num_spins == model_.num_spins(),
+               "trainer restore: spin count mismatch");
+  VQMC_REQUIRE(snap.num_parameters == model_.num_parameters(),
+               "trainer restore: parameter count mismatch");
+  VQMC_REQUIRE(snap.optimizer_name == optimizer_.name(),
+               "trainer restore: optimizer kind mismatch ('" +
+                   snap.optimizer_name + "' vs '" + optimizer_.name() + "')");
+  VQMC_REQUIRE(snap.sampler_name == sampler_.name(),
+               "trainer restore: sampler kind mismatch ('" +
+                   snap.sampler_name + "' vs '" + sampler_.name() + "')");
+  VQMC_REQUIRE(snap.parameters.size() == model_.num_parameters(),
+               "trainer restore: parameter payload size mismatch");
+  VQMC_REQUIRE(snap.trainer_state.size() >= 8,
+               "trainer restore: trainer state too short");
+
+  std::span<Real> params = model_.parameters();
+  std::copy(snap.parameters.begin(), snap.parameters.end(), params.begin());
+  optimizer_.restore_state(snap.optimizer_state);
+  sampler_.restore_state(snap.sampler_state);
+
+  iteration_ = int(snap.iteration);
+  base_learning_rate_ = snap.trainer_state[0];
+  best_energy_ = snap.trainer_state[1];
+  have_best_ = snap.trainer_state[2] != 0;
+  training_seconds_ = double(snap.trainer_state[3]);
+  health::DivergenceDetector::State div;
+  div.best = snap.trainer_state[4];
+  div.have_best = snap.trainer_state[5] != 0;
+  div.consecutive = int(snap.trainer_state[6]);
+  divergence_.set_state(div);
+  have_snapshot_ = snap.trainer_state[7] != 0;
+  if (have_snapshot_) {
+    VQMC_REQUIRE(
+        snap.trainer_state.size() == 8 + model_.num_parameters(),
+        "trainer restore: rollback snapshot payload size mismatch");
+    if (snapshot_.size() != model_.num_parameters())
+      snapshot_ = Vector(model_.num_parameters());
+    std::copy(snap.trainer_state.begin() + 8, snap.trainer_state.end(),
+              snapshot_.span().begin());
   }
 }
 

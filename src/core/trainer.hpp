@@ -6,11 +6,13 @@
 /// -> update parameters.
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/health.hpp"
 #include "common/timer.hpp"
+#include "core/checkpoint.hpp"
 #include "core/estimators.hpp"
 #include "core/local_energy.hpp"
 #include "hamiltonian/hamiltonian.hpp"
@@ -41,6 +43,14 @@ struct TrainerConfig {
   /// Defaults: fail fast (Throw) on non-finite values, divergence detection
   /// off — healthy runs are bit-identical to a guard-free trainer.
   health::GuardConfig guard;
+  /// Periodic training checkpoints (DESIGN.md §5c): every
+  /// `checkpoint_every` completed iterations the full training state is
+  /// written atomically under `checkpoint_path` (plus a
+  /// `<path>.iter<N>` history pruned to `checkpoint_keep_last` entries).
+  /// Disabled when the path is empty or the period is 0.
+  std::string checkpoint_path;
+  int checkpoint_every = 0;
+  int checkpoint_keep_last = 3;
 };
 
 /// Per-iteration metrics (the red/blue curves of Figure 2).
@@ -99,6 +109,18 @@ class VqmcTrainer {
     return health_;
   }
 
+  /// Capture the full mutable training state at the current iteration
+  /// boundary: model parameters, optimizer moments, sampler RNG/chain state,
+  /// iteration counter and guard state. Restoring it into an identically
+  /// configured trainer makes the continuation bit-identical to a run that
+  /// was never interrupted.
+  [[nodiscard]] TrainingSnapshot snapshot() const;
+
+  /// Inverse of snapshot(). Verifies the snapshot's identity fields (model /
+  /// optimizer / sampler kinds and sizes) against this trainer and throws
+  /// vqmc::Error on any mismatch.
+  void restore(const TrainingSnapshot& snapshot);
+
  private:
   /// Apply the configured guard policy after a trip; throws under Throw.
   void handle_guard_trip(const std::string& reason);
@@ -129,6 +151,9 @@ class VqmcTrainer {
   /// maintained under RollbackAndBackoff).
   Vector snapshot_;
   bool have_snapshot_ = false;
+
+  /// Periodic-checkpoint bookkeeping; null unless configured.
+  std::unique_ptr<CheckpointKeeper> keeper_;
 };
 
 }  // namespace vqmc

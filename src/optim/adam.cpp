@@ -39,6 +39,30 @@ void Adam::reset() {
   step_count_ = 0;
 }
 
+std::vector<Real> Adam::serialize_state() const {
+  std::vector<Real> state;
+  state.reserve(2 + 2 * m_.size());
+  state.push_back(lr_);
+  state.push_back(Real(step_count_));
+  state.insert(state.end(), m_.span().begin(), m_.span().end());
+  state.insert(state.end(), v_.span().begin(), v_.span().end());
+  return state;
+}
+
+void Adam::restore_state(const std::vector<Real>& state) {
+  VQMC_REQUIRE(state.size() >= 2 && (state.size() - 2) % 2 == 0,
+               "Adam: optimizer state size mismatch");
+  lr_ = state[0];
+  step_count_ = long(state[1]);
+  const std::size_t d = (state.size() - 2) / 2;
+  m_ = Vector(d);
+  v_ = Vector(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    m_[i] = state[2 + i];
+    v_[i] = state[2 + d + i];
+  }
+}
+
 std::unique_ptr<Optimizer> make_adam(Real learning_rate, Real beta1, Real beta2,
                                      Real epsilon) {
   return std::make_unique<Adam>(learning_rate, beta1, beta2, epsilon);

@@ -19,6 +19,10 @@ class Adam final : public Optimizer {
   void reset() override;
   [[nodiscard]] std::string name() const override { return "ADAM"; }
 
+  /// State layout: [lr, step_count, m..., v...].
+  [[nodiscard]] std::vector<Real> serialize_state() const override;
+  void restore_state(const std::vector<Real>& state) override;
+
   [[nodiscard]] Real learning_rate() const override { return lr_; }
   void set_learning_rate(Real lr) override { lr_ = lr; }
 

@@ -11,7 +11,9 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
+#include "common/error.hpp"
 #include "tensor/real.hpp"
 
 namespace vqmc {
@@ -35,6 +37,22 @@ class Optimizer {
   virtual void set_learning_rate(Real lr) = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Full mutable state as a flat vector (checkpoint/restart). Restoring the
+  /// serialized state into a same-kind optimizer makes its subsequent steps
+  /// bit-identical to the original's. The base default covers stateless
+  /// rules: just the learning rate.
+  [[nodiscard]] virtual std::vector<Real> serialize_state() const {
+    return {learning_rate()};
+  }
+
+  /// Inverse of serialize_state(). Throws vqmc::Error on a state vector
+  /// that cannot belong to this optimizer kind.
+  virtual void restore_state(const std::vector<Real>& state) {
+    VQMC_REQUIRE(state.size() == 1,
+                 name() + ": optimizer state size mismatch");
+    set_learning_rate(state[0]);
+  }
 };
 
 /// Factory helpers matching the paper's three optimizer configurations.

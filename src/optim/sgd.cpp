@@ -26,6 +26,22 @@ void Sgd::step(std::span<Real> params, std::span<const Real> grad) {
 
 void Sgd::reset() { velocity_ = Vector(); }
 
+std::vector<Real> Sgd::serialize_state() const {
+  std::vector<Real> state;
+  state.reserve(1 + velocity_.size());
+  state.push_back(lr_);
+  state.insert(state.end(), velocity_.span().begin(), velocity_.span().end());
+  return state;
+}
+
+void Sgd::restore_state(const std::vector<Real>& state) {
+  VQMC_REQUIRE(!state.empty(), "SGD: optimizer state size mismatch");
+  lr_ = state[0];
+  velocity_ = state.size() > 1 ? Vector(state.size() - 1) : Vector();
+  for (std::size_t i = 0; i < velocity_.size(); ++i)
+    velocity_[i] = state[1 + i];
+}
+
 std::unique_ptr<Optimizer> make_sgd(Real learning_rate, Real momentum) {
   return std::make_unique<Sgd>(learning_rate, momentum);
 }

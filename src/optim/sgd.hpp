@@ -17,6 +17,10 @@ class Sgd final : public Optimizer {
   void reset() override;
   [[nodiscard]] std::string name() const override { return "SGD"; }
 
+  /// State layout: [lr, velocity...] (velocity only once it exists).
+  [[nodiscard]] std::vector<Real> serialize_state() const override;
+  void restore_state(const std::vector<Real>& state) override;
+
   [[nodiscard]] Real learning_rate() const override { return lr_; }
   void set_learning_rate(Real lr) override { lr_ = lr; }
 

@@ -27,6 +27,8 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
   VQMC_REQUIRE(config.shape.total() >= 1, "distributed: empty cluster");
   VQMC_REQUIRE(config.mini_batch_size >= 1, "distributed: mbs must be >= 1");
   VQMC_REQUIRE(config.iterations >= 0, "distributed: iterations must be >= 0");
+  VQMC_REQUIRE(config.comm_timeout_seconds >= 0,
+               "distributed: comm timeout must be >= 0");
   if (config.optimizer != "SGD" && config.optimizer != "ADAM") {
     if (config.optimizer.find("SR") != std::string::npos)
       throw Error("distributed: optimizer '" + config.optimizer +
@@ -40,7 +42,6 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
   const int num_ranks = config.shape.total();
   const std::size_t n = hamiltonian.num_spins();
   const std::size_t mbs = config.mini_batch_size;
-  const Real global_batch = Real(mbs) * Real(num_ranks);
   const health::GuardPolicy policy = config.guard.policy;
 
   DistributedResult result;
@@ -49,11 +50,24 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
   std::mutex result_mutex;
   std::vector<double> busy_seconds(std::size_t(num_ranks), 0.0);
 
-  run_thread_group(num_ranks, [&](Communicator& comm) {
-    const int rank = comm.rank();
+  GroupOptions group_options;
+  group_options.timeout_seconds = config.comm_timeout_seconds;
+
+  run_thread_group(num_ranks, [&](Communicator& endpoint) {
+    const int rank = endpoint.rank();
+
+    // Optional scripted faults for this rank (test hook): route the rank's
+    // collectives through the fault-injecting decorator.
+    FaultPlan plan;
+    if (std::size_t(rank) < config.fault_plans.size())
+      plan = config.fault_plans[std::size_t(rank)];
+    FaultInjectingCommunicator injected(endpoint, plan);
+    Communicator& comm = plan.empty() ? endpoint : injected;
 
     // Per-rank replica and private RNG stream. Replicas start identical
-    // (same prototype); the sampler streams differ per rank.
+    // (same prototype); the sampler streams differ per rank — and are
+    // independent of the cluster size, so a group that shrinks to the same
+    // live set as a smaller cluster follows the identical trajectory.
     std::unique_ptr<WavefunctionModel> replica_base = prototype.clone();
     auto* replica = dynamic_cast<AutoregressiveModel*>(replica_base.get());
     VQMC_REQUIRE(replica != nullptr, "distributed: clone lost its type");
@@ -70,13 +84,18 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
     Vector local_energies(mbs);
     Vector gradient(d);
     Vector coeff(mbs);
-    // Guard-aware collective buffers. The per-rank bad flags ride along in
-    // the same allreduce as the payload, so detecting a sick rank costs no
-    // extra collective: stats = [energy_sum, count, bad_rank_0..R-1] and
-    // grad_ext = [gradient_0..d-1, bad_rank_0..R-1]. A rank whose local
-    // values are non-finite contributes zeros plus its flag, so the folded
-    // payload stays finite for everyone.
-    std::vector<Real> stats(2 + std::size_t(num_ranks));
+    // Guard- and liveness-aware collective buffers. Per-rank flags ride
+    // along in the same allreduce as the payload, so detecting a sick or
+    // dead rank costs no extra collective:
+    //   stats    = [energy_sum, count, bad_0..R-1, live_0..R-1]
+    //   grad_ext = [gradient_0..d-1, bad_0..R-1]
+    // A rank whose local values are non-finite contributes zeros plus its
+    // bad flag, so the folded payload stays finite for everyone. A dead rank
+    // contributes nothing at all (the reduction skips it), so its live slot
+    // stays 0 — that is how the survivors detect the shrink, and
+    // stats[count] automatically becomes the surviving sample count used to
+    // rescale the gradient average.
+    std::vector<Real> stats(2 + 2 * std::size_t(num_ranks));
     Vector grad_ext(d + std::size_t(num_ranks));
     Vector snapshot;
     bool have_snapshot = false;
@@ -86,178 +105,251 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
     std::uint64_t my_bad_contributions = 0;
     std::uint64_t trips = 0;
     std::string last_reason;
+    std::vector<char> known_alive(std::size_t(num_ranks), 1);
     // Per-thread CPU time: wall time would charge a virtual device for the
     // periods it sat descheduled when the host core is oversubscribed.
     ThreadCpuTimer busy;
     double my_busy = 0;
 
-    for (int iter = 0; iter < config.iterations; ++iter) {
-      busy.reset();
-      sampler.sample(batch);
-      engine.compute(batch, local_energies.span());
-      const std::size_t bad_le =
-          health::count_nonfinite(local_energies.span());
-      std::fill(stats.begin(), stats.end(), Real(0));
-      if (bad_le == 0) {
-        stats[0] = sum(local_energies.span());
-        stats[1] = Real(mbs);
-      } else {
-        stats[2 + std::size_t(rank)] = 1;
-      }
-      my_busy += busy.seconds();
+    try {
+      for (int iter = 0; iter < config.iterations; ++iter) {
+        if (plan.kill_at_iteration == iter) {
+          // Cooperative death at an iteration boundary: leave the group so
+          // peers' collectives complete without this rank, then unwind.
+          comm.leave();
+          throw RankDeadError("fault injection: rank " +
+                              std::to_string(rank) +
+                              " killed at iteration " + std::to_string(iter));
+        }
 
-      comm.allreduce_sum(std::span<Real>(stats.data(), stats.size()));
-      int bad_energy_ranks = 0;
-      for (int r = 0; r < num_ranks; ++r)
-        bad_energy_ranks += stats[2 + std::size_t(r)] > 0 ? 1 : 0;
-      const Real global_mean =
-          stats[1] > 0 ? stats[0] / stats[1]
-                       : std::numeric_limits<Real>::quiet_NaN();
-
-      // Trip decisions are made from allreduced data only, so every rank
-      // takes the same branch — the bit-identical-replicas invariant holds
-      // through recoveries too.
-      bool tripped = false;
-      std::string reason;
-      if (bad_energy_ranks > 0) {
-        tripped = true;
-        reason = "non-finite local energies on " +
-                 std::to_string(bad_energy_ranks) + " rank(s)";
-        if (bad_le > 0) ++my_bad_contributions;
-      } else if (divergence.update(global_mean)) {
-        tripped = true;
-        reason = "energy divergence: global batch mean exceeded the "
-                 "explosion threshold for " +
-                 std::to_string(config.guard.divergence_window) +
-                 " consecutive iterations";
-      }
-
-      if (!tripped) {
         busy.reset();
-        if (policy == health::GuardPolicy::RollbackAndBackoff) {
-          std::copy(replica->parameters().begin(),
-                    replica->parameters().end(), snapshot.begin());
-          have_snapshot = true;
+        sampler.sample(batch);
+        engine.compute(batch, local_energies.span());
+        const std::size_t bad_le =
+            health::count_nonfinite(local_energies.span());
+        std::fill(stats.begin(), stats.end(), Real(0));
+        if (bad_le == 0) {
+          stats[0] = sum(local_energies.span());
+          stats[1] = Real(mbs);
+        } else {
+          stats[2 + std::size_t(rank)] = 1;
         }
-        // Local gradient contribution with *global* centering, so the
-        // allreduced sum is exactly the serial gradient over the full batch.
-        for (std::size_t k = 0; k < mbs; ++k)
-          coeff[k] = 2 * (local_energies[k] - global_mean) / global_batch;
-        gradient.fill(0);
-        replica->accumulate_log_psi_gradient(batch, coeff.span(),
-                                             gradient.span());
-        const bool bad_grad = !health::all_finite(gradient.span());
-        std::copy(gradient.begin(), gradient.end(), grad_ext.begin());
-        for (int r = 0; r < num_ranks; ++r) grad_ext[d + std::size_t(r)] = 0;
-        if (bad_grad) {
-          for (std::size_t i = 0; i < d; ++i) grad_ext[i] = 0;
-          grad_ext[d + std::size_t(rank)] = 1;
-        }
+        stats[2 + std::size_t(num_ranks) + std::size_t(rank)] = 1;  // live
         my_busy += busy.seconds();
 
-        comm.allreduce_sum(grad_ext.span());
-        int bad_grad_ranks = 0;
-        for (int r = 0; r < num_ranks; ++r)
-          bad_grad_ranks += grad_ext[d + std::size_t(r)] > 0 ? 1 : 0;
-        if (bad_grad_ranks > 0) {
+        comm.allreduce_sum(std::span<Real>(stats.data(), stats.size()));
+        int bad_energy_ranks = 0;
+        int live_ranks = 0;
+        for (int r = 0; r < num_ranks; ++r) {
+          bad_energy_ranks += stats[2 + std::size_t(r)] > 0 ? 1 : 0;
+          const bool live =
+              stats[2 + std::size_t(num_ranks) + std::size_t(r)] > 0;
+          live_ranks += live ? 1 : 0;
+          if (!live && known_alive[std::size_t(r)]) {
+            known_alive[std::size_t(r)] = 0;
+            // The lowest surviving rank reports the shrink (every survivor
+            // sees identical flags, so exactly one rank writes).
+            int reporter = 0;
+            while (reporter < num_ranks &&
+                   stats[2 + std::size_t(num_ranks) + std::size_t(reporter)] <=
+                       0)
+              ++reporter;
+            if (rank == reporter) {
+              const std::lock_guard<std::mutex> lock(result_mutex);
+              int live_after = 0;
+              for (int q = 0; q < num_ranks; ++q)
+                live_after +=
+                    stats[2 + std::size_t(num_ranks) + std::size_t(q)] > 0 ? 1
+                                                                           : 0;
+              result.shrink_events.push_back(ShrinkEvent{iter, r, live_after});
+            }
+          }
+        }
+        // Surviving effective batch: the allreduced sample count. Healthy
+        // full-strength runs fold to mbs * num_ranks exactly, so the
+        // rescaling is bit-identical to the fixed divisor it replaces; after
+        // an elastic shrink it becomes mbs * live_ranks automatically.
+        const Real effective_batch = stats[1];
+        const Real global_mean =
+            stats[1] > 0 ? stats[0] / stats[1]
+                         : std::numeric_limits<Real>::quiet_NaN();
+
+        // Trip decisions are made from allreduced data only, so every rank
+        // takes the same branch — the bit-identical-replicas invariant holds
+        // through recoveries too.
+        bool tripped = false;
+        std::string reason;
+        if (bad_energy_ranks > 0) {
           tripped = true;
-          reason = "non-finite gradient on " +
-                   std::to_string(bad_grad_ranks) + " rank(s)";
-          if (bad_grad) ++my_bad_contributions;
-        } else {
+          reason = "non-finite local energies on " +
+                   std::to_string(bad_energy_ranks) + " rank(s)";
+          if (bad_le > 0) ++my_bad_contributions;
+        } else if (divergence.update(global_mean)) {
+          tripped = true;
+          reason = "energy divergence: global batch mean exceeded the "
+                   "explosion threshold for " +
+                   std::to_string(config.guard.divergence_window) +
+                   " consecutive iterations";
+        }
+
+        if (!tripped) {
           busy.reset();
-          optimizer->step(replica->parameters(),
-                          std::span<const Real>(grad_ext.data(), d));
+          if (policy == health::GuardPolicy::RollbackAndBackoff) {
+            std::copy(replica->parameters().begin(),
+                      replica->parameters().end(), snapshot.begin());
+            have_snapshot = true;
+          }
+          // Local gradient contribution with *global* centering, so the
+          // allreduced sum is exactly the serial gradient over the full
+          // surviving batch.
+          for (std::size_t k = 0; k < mbs; ++k)
+            coeff[k] = 2 * (local_energies[k] - global_mean) / effective_batch;
+          gradient.fill(0);
+          replica->accumulate_log_psi_gradient(batch, coeff.span(),
+                                               gradient.span());
+          const bool bad_grad = !health::all_finite(gradient.span());
+          std::copy(gradient.begin(), gradient.end(), grad_ext.begin());
+          for (int r = 0; r < num_ranks; ++r)
+            grad_ext[d + std::size_t(r)] = 0;
+          if (bad_grad) {
+            for (std::size_t i = 0; i < d; ++i) grad_ext[i] = 0;
+            grad_ext[d + std::size_t(rank)] = 1;
+          }
           my_busy += busy.seconds();
+
+          comm.allreduce_sum(grad_ext.span());
+          int bad_grad_ranks = 0;
+          for (int r = 0; r < num_ranks; ++r)
+            bad_grad_ranks += grad_ext[d + std::size_t(r)] > 0 ? 1 : 0;
+          if (bad_grad_ranks > 0) {
+            tripped = true;
+            reason = "non-finite gradient on " +
+                     std::to_string(bad_grad_ranks) + " rank(s)";
+            if (bad_grad) ++my_bad_contributions;
+          } else {
+            busy.reset();
+            optimizer->step(replica->parameters(),
+                            std::span<const Real>(grad_ext.data(), d));
+            my_busy += busy.seconds();
+          }
+        }
+
+        if (tripped) {
+          ++trips;
+          last_reason = reason;
+          switch (policy) {
+            case health::GuardPolicy::Throw:
+              // Every rank reaches this point together (the trip decision is
+              // post-allreduce), so throwing here cannot strand a peer inside
+              // a collective.
+              throw Error("distributed: health guard tripped at iteration " +
+                          std::to_string(iter) + ": " + reason);
+            case health::GuardPolicy::SkipIteration:
+              break;
+            case health::GuardPolicy::RollbackAndBackoff:
+              if (have_snapshot)
+                std::copy(snapshot.begin(), snapshot.end(),
+                          replica->parameters().begin());
+              optimizer->set_learning_rate(optimizer->learning_rate() *
+                                           config.guard.backoff_factor);
+              divergence.reset_streak();
+              break;
+          }
+        }
+
+        // The lowest surviving rank records the iteration energy (each slot
+        // has exactly one writer; the writer can change after a shrink).
+        {
+          int reporter = 0;
+          while (reporter < num_ranks && !known_alive[std::size_t(reporter)])
+            ++reporter;
+          if (rank == reporter)
+            result.energy_history[std::size_t(iter)] = global_mean;
         }
       }
 
-      if (tripped) {
-        ++trips;
-        last_reason = reason;
-        switch (policy) {
-          case health::GuardPolicy::Throw:
-            // Every rank reaches this point together (the trip decision is
-            // post-allreduce), so throwing here cannot strand a peer inside
-            // a collective.
-            throw Error("distributed: health guard tripped at iteration " +
-                        std::to_string(iter) + ": " + reason);
-          case health::GuardPolicy::SkipIteration:
-            break;
-          case health::GuardPolicy::RollbackAndBackoff:
-            if (have_snapshot)
-              std::copy(snapshot.begin(), snapshot.end(),
-                        replica->parameters().begin());
-            optimizer->set_learning_rate(optimizer->learning_rate() *
-                                         config.guard.backoff_factor);
-            divergence.reset_streak();
-            break;
+      // Final evaluation: fresh samples on every surviving rank, global
+      // mean/std. A rank with non-finite evaluation energies is excluded
+      // (zero contribution + flag) rather than poisoning the global
+      // estimate; the exclusion is reported through guard_trips_per_rank and
+      // last_trip_reason. Liveness flags ride along so the survivors agree
+      // on who reports the result.
+      const std::size_t eb =
+          std::max<std::size_t>(1, config.eval_batch_per_rank);
+      Matrix eval_batch(eb, n);
+      Vector eval_energies(eb);
+      sampler.sample(eval_batch);
+      engine.compute(eval_batch, eval_energies.span());
+      const bool bad_eval = !health::all_finite(eval_energies.span());
+      std::vector<Real> moments(4 + std::size_t(num_ranks), Real(0));
+      moments[0] = sum(eval_energies.span());
+      moments[1] = dot(eval_energies.span(), eval_energies.span());
+      moments[2] = Real(eb);
+      if (bad_eval) {
+        moments[0] = moments[1] = moments[2] = 0;
+        moments[3] = 1;
+        ++my_bad_contributions;
+      }
+      moments[4 + std::size_t(rank)] = 1;  // live
+      comm.allreduce_sum(std::span<Real>(moments.data(), moments.size()));
+      if (moments[3] > 0)
+        last_reason = "non-finite evaluation energies on " +
+                      std::to_string(int(moments[3])) + " rank(s)";
+      int final_live = 0;
+      int final_reporter = num_ranks;
+      for (int r = 0; r < num_ranks; ++r) {
+        if (moments[4 + std::size_t(r)] > 0) {
+          ++final_live;
+          final_reporter = std::min(final_reporter, r);
         }
       }
 
-      if (rank == 0)
-        result.energy_history[std::size_t(iter)] = global_mean;
-    }
+      // Replica-consistency check: max minus min of each parameter across
+      // the surviving ranks must be zero.
+      Vector p_max(replica->num_parameters());
+      Vector p_neg_min(replica->num_parameters());
+      for (std::size_t i = 0; i < p_max.size(); ++i) {
+        p_max[i] = replica->parameters()[i];
+        p_neg_min[i] = -replica->parameters()[i];
+      }
+      comm.allreduce_max(p_max.span());
+      comm.allreduce_max(p_neg_min.span());
+      Real spread = 0;
+      for (std::size_t i = 0; i < p_max.size(); ++i)
+        spread = std::max(spread, p_max[i] + p_neg_min[i]);
 
-    // Final evaluation: fresh samples on every rank, global mean/std. A rank
-    // with non-finite evaluation energies is excluded (zero contribution +
-    // flag) rather than poisoning the global estimate; the exclusion is
-    // reported through guard_trips_per_rank and last_trip_reason.
-    const std::size_t eb = std::max<std::size_t>(1, config.eval_batch_per_rank);
-    Matrix eval_batch(eb, n);
-    Vector eval_energies(eb);
-    sampler.sample(eval_batch);
-    engine.compute(eval_batch, eval_energies.span());
-    const bool bad_eval = !health::all_finite(eval_energies.span());
-    Real moments[4] = {sum(eval_energies.span()),
-                       dot(eval_energies.span(), eval_energies.span()),
-                       Real(eb), 0};
-    if (bad_eval) {
-      moments[0] = moments[1] = moments[2] = 0;
-      moments[3] = 1;
-      ++my_bad_contributions;
-    }
-    comm.allreduce_sum(std::span<Real>(moments, 4));
-    if (moments[3] > 0)
-      last_reason = "non-finite evaluation energies on " +
-                    std::to_string(int(moments[3])) + " rank(s)";
-
-    // Replica-consistency check: max minus min of each parameter across
-    // ranks must be zero.
-    Vector p_max(replica->num_parameters());
-    Vector p_neg_min(replica->num_parameters());
-    for (std::size_t i = 0; i < p_max.size(); ++i) {
-      p_max[i] = replica->parameters()[i];
-      p_neg_min[i] = -replica->parameters()[i];
-    }
-    comm.allreduce_max(p_max.span());
-    comm.allreduce_max(p_neg_min.span());
-    Real spread = 0;
-    for (std::size_t i = 0; i < p_max.size(); ++i)
-      spread = std::max(spread, p_max[i] + p_neg_min[i]);
-
-    {
+      {
+        const std::lock_guard<std::mutex> lock(result_mutex);
+        busy_seconds[std::size_t(rank)] = my_busy;
+        result.guard_trips_per_rank[std::size_t(rank)] = my_bad_contributions;
+        if (rank == final_reporter) {
+          const Real mean =
+              moments[2] > 0 ? moments[0] / moments[2]
+                             : std::numeric_limits<Real>::quiet_NaN();
+          const Real var =
+              moments[2] > 0
+                  ? std::max<Real>(0, moments[1] / moments[2] - mean * mean)
+                  : std::numeric_limits<Real>::quiet_NaN();
+          result.converged_energy = mean;
+          result.converged_std = std::sqrt(var);
+          result.replicas_identical = spread == Real(0);
+          result.guard_trips = trips;
+          result.last_trip_reason = last_reason;
+          result.final_live_ranks = final_live;
+          result.final_parameters.assign(replica->parameters().begin(),
+                                         replica->parameters().end());
+        }
+      }
+    } catch (const RankDeadError&) {
+      // This rank is dead; it has already left the group, so the survivors'
+      // collectives complete without it. Record what it accomplished and
+      // unwind the thread quietly — the shrink itself is detected and
+      // reported by the survivors through the liveness flags.
       const std::lock_guard<std::mutex> lock(result_mutex);
       busy_seconds[std::size_t(rank)] = my_busy;
       result.guard_trips_per_rank[std::size_t(rank)] = my_bad_contributions;
-      if (rank == 0) {
-        const Real mean =
-            moments[2] > 0 ? moments[0] / moments[2]
-                           : std::numeric_limits<Real>::quiet_NaN();
-        const Real var =
-            moments[2] > 0
-                ? std::max<Real>(0, moments[1] / moments[2] - mean * mean)
-                : std::numeric_limits<Real>::quiet_NaN();
-        result.converged_energy = mean;
-        result.converged_std = std::sqrt(var);
-        result.replicas_identical = spread == Real(0);
-        result.guard_trips = trips;
-        result.last_trip_reason = last_reason;
-        result.final_parameters.assign(replica->parameters().begin(),
-                                       replica->parameters().end());
-      }
     }
-  });
+  }, group_options);
 
   for (double s : busy_seconds)
     result.max_rank_busy_seconds = std::max(result.max_rank_busy_seconds, s);

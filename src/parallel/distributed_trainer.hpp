@@ -8,14 +8,22 @@
 /// exact AUTO samples, measures local energies, and contributes to two
 /// allreduces per iteration:
 ///
-///   1. (sum of local energies, count) -> the global batch mean L;
-///   2. the local gradient sum          -> the global averaged gradient.
+///   1. (sum of local energies, count, flags) -> the global batch mean L;
+///   2. the local gradient sum               -> the global averaged gradient.
 ///
 /// Every rank then applies the same optimizer update to its replica, so the
 /// replicas stay bit-identical (the thread communicator folds reductions in
 /// a fixed order) — the invariant the tests assert.  This is exactly the
 /// paper's scheme with an effective batch size bs = L x mbs and O(hn)
 /// communication per iteration.
+///
+/// Fault tolerance (DESIGN.md §5c): collectives take an optional deadline
+/// (a hung rank aborts the group with vqmc::CommTimeoutError instead of
+/// deadlocking it), and a rank declared dead leaves the group — surviving
+/// ranks detect the departure through liveness flags that ride the energy
+/// allreduce, rescale the gradient average by the surviving sample count,
+/// and continue with bit-identical replicas. Shrink events are recorded in
+/// DistributedResult::shrink_events.
 
 #include <cstdint>
 #include <string>
@@ -25,6 +33,7 @@
 #include "hamiltonian/hamiltonian.hpp"
 #include "nn/wavefunction.hpp"
 #include "parallel/cost_model.hpp"
+#include "parallel/fault_injection.hpp"
 
 namespace vqmc::parallel {
 
@@ -42,6 +51,22 @@ struct DistributedConfig {
   /// poisoning all replicas — and every rank applies the same recovery, which
   /// preserves the bit-identical-replicas invariant.
   health::GuardConfig guard;
+  /// Deadline per collective; 0 = wait forever. With a deadline, a hung or
+  /// silently-dead rank makes every blocked rank throw CommTimeoutError
+  /// within the deadline instead of deadlocking the group.
+  double comm_timeout_seconds = 0;
+  /// Scripted per-rank faults (index = rank; ranks beyond the vector run
+  /// fault-free). Test hook: every recovery path is exercised
+  /// deterministically through these plans.
+  std::vector<FaultPlan> fault_plans;
+};
+
+/// One elastic-shrink event: `rank` was detected dead at `iteration`,
+/// leaving `live_after` ranks in the group.
+struct ShrinkEvent {
+  int iteration = 0;
+  int rank = 0;
+  int live_after = 0;
 };
 
 struct DistributedResult {
@@ -53,9 +78,11 @@ struct DistributedResult {
   double max_rank_busy_seconds = 0;
   /// Modeled wall time for the whole run on the V100-class cluster.
   double modeled_seconds = 0;
-  /// Final replica parameters (rank 0's copy; equals every rank's).
+  /// Final replica parameters (the lowest surviving rank's copy; equals
+  /// every surviving rank's).
   std::vector<Real> final_parameters;
-  /// True iff all replicas ended bit-identical (checked via allreduce).
+  /// True iff all surviving replicas ended bit-identical (checked via
+  /// allreduce).
   bool replicas_identical = false;
   /// Training iterations on which the health guard tripped (identical on
   /// every rank: the trip decision is made after an allreduce).
@@ -66,6 +93,11 @@ struct DistributedResult {
   std::vector<std::uint64_t> guard_trips_per_rank;
   /// Reason of the most recent guard trip; empty for a healthy run.
   std::string last_trip_reason;
+  /// Elastic-recovery log: one entry per rank detected dead, in detection
+  /// order. Empty for a healthy run.
+  std::vector<ShrinkEvent> shrink_events;
+  /// Ranks still alive at the end of the run.
+  int final_live_ranks = 0;
 };
 
 /// Train `prototype` (autoregressive; AUTO sampling) on `hamiltonian`

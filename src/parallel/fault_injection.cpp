@@ -1,0 +1,58 @@
+#include "parallel/fault_injection.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace vqmc::parallel {
+
+void FaultInjectingCommunicator::before_collective(std::span<Real> payload) {
+  const long long call = calls_++;
+  if (plan_.kill_at_call == call) {
+    inner_.leave();
+    throw RankDeadError("fault injection: rank " + std::to_string(rank()) +
+                        " killed at collective call " + std::to_string(call));
+  }
+  if (plan_.hang_at_call == call) {
+    // Emulate a hung peer: block (interruptibly, so a group abort wakes us
+    // and the thread can join) well past the group deadline.
+    inner_.interruptible_sleep(plan_.hang_seconds);
+  }
+  if (plan_.delay_at_call == call && plan_.delay_seconds > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(plan_.delay_seconds));
+  }
+  if (plan_.corrupt_at_call == call && plan_.corrupt_index < payload.size()) {
+    static_assert(sizeof(Real) == sizeof(std::uint64_t),
+                  "bit corruption assumes 64-bit Real");
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &payload[plan_.corrupt_index], sizeof(bits));
+    bits ^= plan_.corrupt_xor_mask;
+    std::memcpy(&payload[plan_.corrupt_index], &bits, sizeof(bits));
+  }
+}
+
+void FaultInjectingCommunicator::allreduce_sum(std::span<Real> data) {
+  before_collective(data);
+  inner_.allreduce_sum(data);
+}
+
+void FaultInjectingCommunicator::allreduce_max(std::span<Real> data) {
+  before_collective(data);
+  inner_.allreduce_max(data);
+}
+
+void FaultInjectingCommunicator::broadcast(std::span<Real> data, int root) {
+  before_collective(data);
+  inner_.broadcast(data, root);
+}
+
+void FaultInjectingCommunicator::barrier() {
+  before_collective(std::span<Real>());
+  inner_.barrier();
+}
+
+}  // namespace vqmc::parallel

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file fault_injection.hpp
+/// \brief Deterministic fault injection for the communicator layer.
+///
+/// Every recovery path of the fault-tolerance design (DESIGN.md §5c) must be
+/// testable without real hardware failures. `FaultInjectingCommunicator`
+/// wraps any Communicator endpoint and triggers scripted faults at exact
+/// collective-call indices, so a test can kill a rank at iteration k, hang
+/// one allreduce, or corrupt payload bits — reproducibly, every run:
+///
+///  * kill:    the rank leaves the group and throws vqmc::RankDeadError
+///             (the elastic-recovery path);
+///  * hang:    the rank blocks inside the collective until the group's
+///             deadline aborts it (the CommTimeoutError path);
+///  * delay:   the rank is late but under the deadline (must be tolerated);
+///  * corrupt: payload bits are flipped before the reduction (the
+///             health-guard detection path).
+
+#include <cstdint>
+
+#include "parallel/communicator.hpp"
+
+namespace vqmc::parallel {
+
+/// Scripted faults for one rank. Collective calls (allreduce_sum,
+/// allreduce_max, broadcast, barrier) are counted from 0; a trigger of -1 is
+/// disabled. `kill_at_iteration` is interpreted by train_distributed at the
+/// top of its training loop (iteration index, not call index).
+struct FaultPlan {
+  /// Leave the group and throw RankDeadError *instead of* making collective
+  /// call number `kill_at_call`.
+  long long kill_at_call = -1;
+  /// Die at the top of training iteration `kill_at_iteration` (used by
+  /// train_distributed; ignored by the raw decorator).
+  long long kill_at_iteration = -1;
+  /// Block inside collective call number `hang_at_call` for up to
+  /// `hang_seconds` (interruptibly: a group abort wakes the sleeper) before
+  /// attempting the call — with a group deadline shorter than the hang, the
+  /// group times out and every rank throws CommTimeoutError.
+  long long hang_at_call = -1;
+  double hang_seconds = 3600;
+  /// Sleep `delay_seconds` (non-interruptibly short) before collective call
+  /// number `delay_at_call` — a slow rank that deadlines must tolerate.
+  long long delay_at_call = -1;
+  double delay_seconds = 0;
+  /// XOR `corrupt_xor_mask` into the bit pattern of payload element
+  /// `corrupt_index` before collective call number `corrupt_at_call`.
+  /// The default mask flips the exponent field of an IEEE-754 double, which
+  /// turns a typical finite value into inf/NaN-scale garbage — exactly what
+  /// the run-health guards must catch downstream.
+  long long corrupt_at_call = -1;
+  std::size_t corrupt_index = 0;
+  std::uint64_t corrupt_xor_mask = 0x7ff0000000000000ULL;
+
+  [[nodiscard]] bool empty() const {
+    return kill_at_call < 0 && kill_at_iteration < 0 && hang_at_call < 0 &&
+           delay_at_call < 0 && corrupt_at_call < 0;
+  }
+};
+
+/// Decorator that forwards every Communicator call to `inner`, injecting the
+/// faults scripted in `plan` at the configured collective-call indices.
+class FaultInjectingCommunicator final : public Communicator {
+ public:
+  FaultInjectingCommunicator(Communicator& inner, FaultPlan plan)
+      : inner_(inner), plan_(plan) {}
+
+  using Communicator::allreduce_sum;  // keep the scalar overloads visible
+  using Communicator::allreduce_max;
+
+  [[nodiscard]] int rank() const override { return inner_.rank(); }
+  [[nodiscard]] int size() const override { return inner_.size(); }
+  [[nodiscard]] int live_count() const override { return inner_.live_count(); }
+  [[nodiscard]] bool is_alive(int r) const override {
+    return inner_.is_alive(r);
+  }
+  void leave() override { inner_.leave(); }
+  void interruptible_sleep(double seconds) override {
+    inner_.interruptible_sleep(seconds);
+  }
+
+  void allreduce_sum(std::span<Real> data) override;
+  void allreduce_max(std::span<Real> data) override;
+  void broadcast(std::span<Real> data, int root) override;
+  void barrier() override;
+
+  /// Collective calls issued so far through this endpoint.
+  [[nodiscard]] long long calls() const { return calls_; }
+
+ private:
+  /// Run the pre-call faults for collective call `calls_` (kill / hang /
+  /// delay / corrupt), then advance the call counter.
+  void before_collective(std::span<Real> payload);
+
+  Communicator& inner_;
+  const FaultPlan plan_;
+  long long calls_ = 0;
+};
+
+}  // namespace vqmc::parallel

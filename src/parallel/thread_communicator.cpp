@@ -1,9 +1,11 @@
 #include "parallel/thread_communicator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -13,41 +15,98 @@ namespace vqmc::parallel {
 
 namespace {
 
-/// Reusable sense-reversing barrier (std::barrier would also work; this
-/// avoids libstdc++ version quirks and keeps the dependency surface small).
-class Barrier {
- public:
-  explicit Barrier(int count) : threshold_(count), count_(count) {}
-
-  void arrive_and_wait() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    const bool sense = sense_;
-    if (--count_ == 0) {
-      count_ = threshold_;
-      sense_ = !sense_;
-      cv_.notify_all();
-    } else {
-      cv_.wait(lock, [&] { return sense_ != sense; });
-    }
-  }
-
- private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  const int threshold_;
-  int count_;
-  bool sense_ = false;
-};
-
-/// Shared state of one thread group.
+/// Shared state of one thread group: a sense-reversing barrier with dynamic
+/// membership (ranks can leave), per-collective deadlines and a group-wide
+/// abort flag, plus the per-rank staging buffers for reductions.
+///
+/// Membership changes are only legal at collective boundaries (a rank calls
+/// leave() while *not* inside a collective). Because a barrier phase cannot
+/// complete until every live rank has arrived or left, the `alive` flags are
+/// stable between a collective's first and second barrier — which is what
+/// makes the skip-dead reduction fold deterministic and bit-identical on
+/// every surviving rank.
 struct GroupContext {
-  explicit GroupContext(int size)
-      : size(size), barrier(size), contributions(std::size_t(size)) {}
+  GroupContext(int size, const GroupOptions& options)
+      : size(size),
+        options(options),
+        threshold(size),
+        count(size),
+        alive(std::size_t(size), 1),
+        contributions(std::size_t(size)) {}
 
   const int size;
-  Barrier barrier;
+  const GroupOptions options;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  int threshold;  ///< live membership: arrivals required per barrier phase
+  int count;      ///< arrivals still missing in the current phase
+  bool sense = false;
+  bool aborted = false;
+  std::string abort_reason;
+  std::vector<char> alive;
   /// Per-rank staging buffers for reductions / the broadcast payload.
   std::vector<std::vector<Real>> contributions;
+
+  /// Mark the group aborted and wake every waiter. Idempotent; the first
+  /// reason wins (it is the root cause, later ones are fallout).
+  void abort(const std::string& reason) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    abort_locked(reason);
+  }
+
+  void abort_locked(const std::string& reason) {
+    if (!aborted) {
+      aborted = true;
+      abort_reason = reason;
+    }
+    cv.notify_all();
+  }
+
+  /// Barrier arrival with the group deadline. Throws CommTimeoutError when
+  /// the deadline expires or the group is aborted before the phase
+  /// completes; a completed phase always wins over a concurrent abort.
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    if (aborted)
+      throw CommTimeoutError("collective aborted: " + abort_reason);
+    const bool my_sense = sense;
+    if (--count == 0) {
+      count = threshold;
+      sense = !sense;
+      cv.notify_all();
+      return;
+    }
+    const auto done = [&] { return sense != my_sense || aborted; };
+    if (options.timeout_seconds <= 0) {
+      cv.wait(lock, done);
+    } else if (!cv.wait_for(lock,
+                            std::chrono::duration<double>(
+                                options.timeout_seconds),
+                            done)) {
+      ++count;  // withdraw the arrival so the barrier stays consistent
+      abort_locked("collective timed out after " +
+                   std::to_string(options.timeout_seconds) +
+                   " s (a peer rank is hung or dead)");
+      throw CommTimeoutError("collective aborted: " + abort_reason);
+    }
+    if (sense == my_sense)  // woken by abort, not by phase completion
+      throw CommTimeoutError("collective aborted: " + abort_reason);
+  }
+
+  /// Remove `rank` from the membership (called at a collective boundary).
+  void leave(int rank) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (aborted || !alive[std::size_t(rank)]) return;
+    alive[std::size_t(rank)] = 0;
+    --threshold;
+    if (threshold > 0 && --count == 0) {
+      // Everyone else had already arrived; the departure completes the phase.
+      count = threshold;
+      sense = !sense;
+      cv.notify_all();
+    }
+  }
 };
 
 /// One rank's endpoint into the shared context.
@@ -70,37 +129,63 @@ class ThreadCommunicator final : public Communicator {
   void broadcast(std::span<Real> data, int root) override {
     VQMC_REQUIRE(root >= 0 && root < context_.size,
                  "broadcast: root out of range");
+    VQMC_REQUIRE(is_alive(root), "broadcast: root rank has left the group");
     if (rank_ == root)
       context_.contributions[std::size_t(root)].assign(data.begin(),
                                                        data.end());
-    context_.barrier.arrive_and_wait();
-    const std::vector<Real>& payload = context_.contributions[std::size_t(root)];
+    context_.arrive_and_wait();
+    const std::vector<Real>& payload =
+        context_.contributions[std::size_t(root)];
     VQMC_REQUIRE(payload.size() == data.size(), "broadcast: size mismatch");
     if (rank_ != root) std::copy(payload.begin(), payload.end(), data.begin());
-    context_.barrier.arrive_and_wait();
+    context_.arrive_and_wait();
   }
 
-  void barrier() override { context_.barrier.arrive_and_wait(); }
+  void barrier() override { context_.arrive_and_wait(); }
+
+  [[nodiscard]] int live_count() const override {
+    const std::lock_guard<std::mutex> lock(context_.mutex);
+    return context_.threshold;
+  }
+
+  [[nodiscard]] bool is_alive(int r) const override {
+    if (r < 0 || r >= context_.size) return false;
+    const std::lock_guard<std::mutex> lock(context_.mutex);
+    return context_.alive[std::size_t(r)] != 0;
+  }
+
+  void leave() override { context_.leave(rank_); }
+
+  void interruptible_sleep(double seconds) override {
+    std::unique_lock<std::mutex> lock(context_.mutex);
+    context_.cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                         [&] { return context_.aborted; });
+  }
 
  private:
   template <typename Op>
   void reduce(std::span<Real> data, Op op) {
     auto& mine = context_.contributions[std::size_t(rank_)];
     mine.assign(data.begin(), data.end());
-    context_.barrier.arrive_and_wait();
-    // Every rank folds the contributions in the same (rank) order, so the
-    // floating-point result is bit-identical everywhere.
+    context_.arrive_and_wait();
+    // Every rank folds the live contributions in the same (rank) order, so
+    // the floating-point result is bit-identical everywhere. The `alive`
+    // flags are stable between the two barriers (see GroupContext docs), so
+    // all survivors skip the same departed ranks.
+    bool first = true;
     for (int r = 0; r < context_.size; ++r) {
+      if (!context_.alive[std::size_t(r)]) continue;
       const std::vector<Real>& other = context_.contributions[std::size_t(r)];
       VQMC_REQUIRE(other.size() == data.size(), "allreduce: size mismatch");
-      if (r == 0) {
+      if (first) {
         std::copy(other.begin(), other.end(), data.begin());
+        first = false;
       } else {
         for (std::size_t i = 0; i < data.size(); ++i)
           data[i] = op(data[i], other[i]);
       }
     }
-    context_.barrier.arrive_and_wait();
+    context_.arrive_and_wait();
   }
 
   GroupContext& context_;
@@ -110,9 +195,10 @@ class ThreadCommunicator final : public Communicator {
 }  // namespace
 
 void run_thread_group(int num_ranks,
-                      const std::function<void(Communicator&)>& body) {
+                      const std::function<void(Communicator&)>& body,
+                      const GroupOptions& options) {
   VQMC_REQUIRE(num_ranks >= 1, "thread group: need at least one rank");
-  GroupContext context(num_ranks);
+  GroupContext context(num_ranks, options);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors{std::size_t(num_ranks)};
   threads.reserve(std::size_t(num_ranks));
@@ -121,22 +207,32 @@ void run_thread_group(int num_ranks,
       ThreadCommunicator comm(context, r);
       try {
         body(comm);
+      } catch (const std::exception& e) {
+        errors[std::size_t(r)] = std::current_exception();
+        // Abort the group so peers blocked in collectives wake up and throw
+        // CommTimeoutError instead of deadlocking on the failed rank.
+        context.abort("rank " + std::to_string(r) + " failed: " + e.what());
       } catch (...) {
         errors[std::size_t(r)] = std::current_exception();
-        // A failed rank must keep participating in barriers or the rest of
-        // the group deadlocks; there is no safe generic recovery, so we
-        // terminate the group by rethrowing after join (below) — but first
-        // we must not leave peers blocked. The pragmatic choice: abort the
-        // whole group only when a rank dies *outside* collectives; inside,
-        // the body is required to be exception-free. We simply record and
-        // return; tests construct bodies that fail before any collective.
+        context.abort("rank " + std::to_string(r) + " failed");
       }
     });
   }
   for (std::thread& t : threads) t.join();
+  // Rethrow the most informative error: a non-timeout failure is the root
+  // cause; the CommTimeoutErrors it triggers on other ranks are fallout.
+  std::exception_ptr first_timeout;
   for (const std::exception_ptr& err : errors) {
-    if (err) std::rethrow_exception(err);
+    if (!err) continue;
+    try {
+      std::rethrow_exception(err);
+    } catch (const CommTimeoutError&) {
+      if (!first_timeout) first_timeout = err;
+    } catch (...) {
+      std::rethrow_exception(err);
+    }
   }
+  if (first_timeout) std::rethrow_exception(first_timeout);
 }
 
 }  // namespace vqmc::parallel

@@ -10,6 +10,15 @@
 /// underneath is threads instead of GPUs.  Reductions are computed in a
 /// fixed rank order on every rank, so results are bit-identical across
 /// ranks and across runs regardless of thread scheduling.
+///
+/// Fault tolerance (DESIGN.md §5c):
+///  * `GroupOptions::timeout_seconds` puts a deadline on every collective;
+///    a rank blocked past it aborts the whole group and every blocked rank
+///    throws vqmc::CommTimeoutError — a hung peer can no longer deadlock
+///    the group.
+///  * `Communicator::leave()` removes a rank from the membership at a
+///    collective boundary; subsequent collectives complete among the
+///    survivors and reductions deterministically skip departed ranks.
 
 #include <functional>
 #include <span>
@@ -18,10 +27,23 @@
 
 namespace vqmc::parallel {
 
+/// Knobs shared by every rank of one thread group.
+struct GroupOptions {
+  /// Deadline for each collective; 0 disables (wait forever). When a rank
+  /// waits longer than this inside a collective it aborts the group: every
+  /// rank currently or subsequently blocked in a collective throws
+  /// vqmc::CommTimeoutError instead of deadlocking.
+  double timeout_seconds = 0;
+};
+
 /// Launch `num_ranks` threads, each receiving its own Communicator endpoint,
-/// and join them.  Exceptions thrown by any rank are captured and the first
-/// one is rethrown after all threads have joined.
+/// and join them.  Exceptions thrown by any rank abort the group (waking
+/// peers blocked in collectives, which then throw CommTimeoutError) and the
+/// most informative one is rethrown after all threads have joined:
+/// non-timeout errors take precedence over the CommTimeoutErrors they cause
+/// on other ranks.
 void run_thread_group(int num_ranks,
-                      const std::function<void(Communicator&)>& body);
+                      const std::function<void(Communicator&)>& body,
+                      const GroupOptions& options = {});
 
 }  // namespace vqmc::parallel

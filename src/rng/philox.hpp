@@ -55,7 +55,35 @@ class Philox4x32 {
     return (hi << 32) | lo;
   }
 
+  /// Full generator state packed as 6 words (checkpoint/restart):
+  /// [key, counter_lo, counter_hi, block words 0-1, block words 2-3,
+  /// buffered index].
+  [[nodiscard]] std::array<std::uint64_t, 6> state() const {
+    return {pack(key_[0], key_[1]),
+            pack(counter_[0], counter_[1]),
+            pack(counter_[2], counter_[3]),
+            pack(block_[0], block_[1]),
+            pack(block_[2], block_[3]),
+            std::uint64_t(buffered_)};
+  }
+  void set_state(const std::array<std::uint64_t, 6>& s) {
+    key_ = {lo32(s[0]), hi32(s[0])};
+    counter_ = {lo32(s[1]), hi32(s[1]), lo32(s[2]), hi32(s[2])};
+    block_ = {lo32(s[3]), hi32(s[3]), lo32(s[4]), hi32(s[4])};
+    buffered_ = unsigned(s[5]);
+  }
+
  private:
+  static constexpr std::uint64_t pack(std::uint32_t lo, std::uint32_t hi) {
+    return std::uint64_t(lo) | (std::uint64_t(hi) << 32);
+  }
+  static constexpr std::uint32_t lo32(std::uint64_t w) {
+    return std::uint32_t(w);
+  }
+  static constexpr std::uint32_t hi32(std::uint64_t w) {
+    return std::uint32_t(w >> 32);
+  }
+
   void increment_counter();
 
   std::array<std::uint32_t, 2> key_{};

@@ -66,6 +66,11 @@ class Xoshiro256 {
     return g;
   }
 
+  /// The full 256-bit state (checkpoint/restart: restoring it resumes the
+  /// stream exactly where it stopped).
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) { state_ = state; }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

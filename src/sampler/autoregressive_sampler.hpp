@@ -34,6 +34,16 @@ class AutoregressiveSampler final : public Sampler {
   [[nodiscard]] bool is_exact() const override { return true; }
   [[nodiscard]] std::string name() const override { return "AUTO"; }
 
+  /// State layout: the 4 RNG words (AUTO draws are otherwise stateless).
+  [[nodiscard]] std::vector<std::uint64_t> serialize_state() const override {
+    const auto words = gen_.state();
+    return {words.begin(), words.end()};
+  }
+  void restore_state(const std::vector<std::uint64_t>& state) override {
+    VQMC_REQUIRE(state.size() == 4, "AUTO: sampler state size mismatch");
+    gen_.set_state({state[0], state[1], state[2], state[3]});
+  }
+
  private:
   const AutoregressiveModel& model_;
   rng::Xoshiro256 gen_;

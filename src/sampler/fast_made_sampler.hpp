@@ -47,6 +47,16 @@ class FastMadeSampler final : public Sampler {
   [[nodiscard]] bool is_exact() const override { return true; }
   [[nodiscard]] std::string name() const override { return "AUTO-fast"; }
 
+  /// State layout: the 4 RNG words (draws are otherwise stateless).
+  [[nodiscard]] std::vector<std::uint64_t> serialize_state() const override {
+    const auto words = gen_.state();
+    return {words.begin(), words.end()};
+  }
+  void restore_state(const std::vector<std::uint64_t>& state) override {
+    VQMC_REQUIRE(state.size() == 4, "AUTO-fast: sampler state size mismatch");
+    gen_.set_state({state[0], state[1], state[2], state[3]});
+  }
+
  private:
   const Made& model_;
   rng::Xoshiro256 gen_;

@@ -1,5 +1,6 @@
 #include "sampler/metropolis_sampler.hpp"
 
+#include <bit>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -20,6 +21,44 @@ MetropolisSampler::MetropolisSampler(const WavefunctionModel& model,
   proposals_ = Matrix(c, n);
   proposal_log_psi_ = Vector(c);
   flip_sites_.resize(c);
+}
+
+std::vector<std::uint64_t> MetropolisSampler::serialize_state() const {
+  static_assert(sizeof(Real) == sizeof(std::uint64_t),
+                "chain-state serialization assumes 64-bit Real");
+  const auto words = gen_.state();
+  std::vector<std::uint64_t> state(words.begin(), words.end());
+  state.push_back(chains_initialized_ ? 1 : 0);
+  if (chains_initialized_) {
+    const std::size_t c = config_.num_chains;
+    const std::size_t n = model_.num_spins();
+    state.reserve(state.size() + c * n + c);
+    for (std::size_t chain = 0; chain < c; ++chain)
+      for (std::size_t j = 0; j < n; ++j)
+        state.push_back(std::bit_cast<std::uint64_t>(states_(chain, j)));
+    for (std::size_t chain = 0; chain < c; ++chain)
+      state.push_back(std::bit_cast<std::uint64_t>(state_log_psi_[chain]));
+  }
+  return state;
+}
+
+void MetropolisSampler::restore_state(const std::vector<std::uint64_t>& state) {
+  const std::size_t c = config_.num_chains;
+  const std::size_t n = model_.num_spins();
+  VQMC_REQUIRE(state.size() == 5 || state.size() == 5 + c * n + c,
+               name() + ": sampler state size mismatch");
+  gen_.set_state({state[0], state[1], state[2], state[3]});
+  chains_initialized_ = state[4] != 0;
+  if (chains_initialized_) {
+    VQMC_REQUIRE(state.size() == 5 + c * n + c,
+                 name() + ": chain state missing from sampler state");
+    std::size_t pos = 5;
+    for (std::size_t chain = 0; chain < c; ++chain)
+      for (std::size_t j = 0; j < n; ++j)
+        states_(chain, j) = std::bit_cast<Real>(state[pos++]);
+    for (std::size_t chain = 0; chain < c; ++chain)
+      state_log_psi_[chain] = std::bit_cast<Real>(state[pos++]);
+  }
 }
 
 void MetropolisSampler::restart_chains() {

@@ -95,6 +95,15 @@ class MetropolisSampler final : public Sampler {
 
   [[nodiscard]] const MetropolisConfig& config() const { return config_; }
 
+  /// State layout: [4 RNG words, chains_initialized, then — only when the
+  /// chains are live — the c x n chain states and c log-psi values
+  /// (bit-cast)]. Persistent chains therefore survive checkpoint/restart
+  /// exactly; note the restored log-psi values are only consistent if the
+  /// model parameters are restored to the same point (the training
+  /// checkpoint does both).
+  [[nodiscard]] std::vector<std::uint64_t> serialize_state() const override;
+  void restore_state(const std::vector<std::uint64_t>& state) override;
+
  private:
   /// (Re-)initialize chains uniformly at random.
   void restart_chains();

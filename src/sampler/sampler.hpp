@@ -14,7 +14,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/error.hpp"
 #include "tensor/matrix.hpp"
 
 namespace vqmc {
@@ -53,6 +55,21 @@ class Sampler {
   [[nodiscard]] virtual bool is_exact() const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Full mutable state as a flat word vector (checkpoint/restart): the RNG
+  /// stream position plus any retained chain state. Restoring it into a
+  /// same-kind sampler over the same model resumes the sample stream exactly
+  /// — the property the kill-and-resume determinism tests assert. The base
+  /// default covers stateless samplers (empty state).
+  [[nodiscard]] virtual std::vector<std::uint64_t> serialize_state() const {
+    return {};
+  }
+
+  /// Inverse of serialize_state(). Throws vqmc::Error on a state vector that
+  /// cannot belong to this sampler kind.
+  virtual void restore_state(const std::vector<std::uint64_t>& state) {
+    VQMC_REQUIRE(state.empty(), name() + ": sampler state size mismatch");
+  }
 };
 
 }  // namespace vqmc

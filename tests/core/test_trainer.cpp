@@ -3,9 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <limits>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "common/error.hpp"
+#include "core/checkpoint.hpp"
 #include "core/factory.hpp"
 #include "core/hitting_time.hpp"
 #include "hamiltonian/exact.hpp"
@@ -266,6 +272,151 @@ TEST(HittingTime, UnreachableTargetExhaustsBudget) {
       16);
   EXPECT_FALSE(r.reached);
   EXPECT_EQ(r.iterations, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restart determinism (DESIGN.md §5c): a killed-and-resumed run
+// must be bit-identical to one that was never interrupted.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kCkptBase = "/tmp/vqmc_trainer_ckpt_test.bin";
+
+struct CkptCleanup {
+  ~CkptCleanup() {
+    for (int iter = 0; iter <= 40; ++iter)
+      std::remove((std::string(kCkptBase) + ".iter" + std::to_string(iter))
+                      .c_str());
+    std::remove(kCkptBase);
+  }
+};
+
+/// One assembled training stack over the same 6-spin TIM instance.
+struct Stack {
+  TransverseFieldIsing tim = TransverseFieldIsing::random_dense(6, 21);
+  Made made{6, 8};
+  AutoregressiveSampler sampler;
+  std::unique_ptr<Optimizer> optimizer;
+  std::unique_ptr<VqmcTrainer> trainer;
+
+  Stack(const std::string& optimizer_kind, TrainerConfig cfg)
+      : sampler((made.initialize(13), made), 17) {
+    optimizer = optimizer_kind == "SGD" ? make_sgd(0.1) : make_adam(0.01);
+    trainer = std::make_unique<VqmcTrainer>(tim, made, sampler, *optimizer,
+                                            cfg);
+  }
+};
+
+void expect_kill_and_resume_bit_identical(const std::string& optimizer_kind) {
+  CkptCleanup cleanup;
+  const int total = 20;
+  const int kill_at = 10;
+
+  TrainerConfig cfg;
+  cfg.iterations = total;
+  cfg.batch_size = 32;
+
+  // Reference: uninterrupted run.
+  Stack reference(optimizer_kind, cfg);
+  reference.trainer->run();
+
+  // Interrupted run: checkpoint every 5 iterations, "kill" the process at
+  // iteration `kill_at` (stop and discard the whole stack)...
+  TrainerConfig ckpt_cfg = cfg;
+  ckpt_cfg.checkpoint_path = kCkptBase;
+  ckpt_cfg.checkpoint_every = 5;
+  {
+    Stack victim(optimizer_kind, ckpt_cfg);
+    victim.trainer->run_until([&](const IterationMetrics& m) {
+      return m.iteration + 1 >= kill_at;
+    });
+    ASSERT_EQ(victim.trainer->history().size(), std::size_t(kill_at));
+  }
+
+  // ...then resume a *fresh* stack from the checkpoint on disk.
+  Stack resumed(optimizer_kind, cfg);
+  resumed.trainer->restore(load_training_checkpoint(kCkptBase));
+  resumed.trainer->run();
+
+  // Bit-identical parameters...
+  for (std::size_t i = 0; i < reference.made.num_parameters(); ++i)
+    EXPECT_EQ(resumed.made.parameters()[i], reference.made.parameters()[i])
+        << optimizer_kind << " parameter " << i;
+  // ...and a bit-identical post-resume energy trajectory.
+  ASSERT_EQ(resumed.trainer->history().size(), std::size_t(total - kill_at));
+  for (std::size_t k = 0; k < resumed.trainer->history().size(); ++k) {
+    const IterationMetrics& ours = resumed.trainer->history()[k];
+    const IterationMetrics& theirs =
+        reference.trainer->history()[std::size_t(kill_at) + k];
+    EXPECT_EQ(ours.iteration, theirs.iteration);
+    EXPECT_EQ(ours.energy, theirs.energy) << "iteration " << ours.iteration;
+  }
+}
+
+TEST(TrainerCheckpoint, KillAndResumeIsBitIdenticalWithSgd) {
+  expect_kill_and_resume_bit_identical("SGD");
+}
+
+TEST(TrainerCheckpoint, KillAndResumeIsBitIdenticalWithAdam) {
+  expect_kill_and_resume_bit_identical("ADAM");
+}
+
+TEST(TrainerCheckpoint, PeriodicWritesPruneToKeepLast) {
+  CkptCleanup cleanup;
+  TrainerConfig cfg;
+  cfg.iterations = 20;
+  cfg.batch_size = 16;
+  cfg.checkpoint_path = kCkptBase;
+  cfg.checkpoint_every = 4;
+  cfg.checkpoint_keep_last = 2;
+  Stack stack("ADAM", cfg);
+  stack.trainer->run();
+  // Checkpoints landed at iterations 4, 8, 12, 16, 20; only 16 and 20 are
+  // retained, and the base path holds the final state.
+  EXPECT_EQ(load_training_checkpoint(kCkptBase).iteration, 20);
+  EXPECT_EQ(load_training_checkpoint(std::string(kCkptBase) + ".iter16")
+                .iteration,
+            16);
+  std::ifstream pruned(std::string(kCkptBase) + ".iter12");
+  EXPECT_FALSE(pruned.good());
+}
+
+TEST(TrainerCheckpoint, RestoreRejectsEveryIdentityMismatch) {
+  CkptCleanup cleanup;
+  TrainerConfig cfg;
+  cfg.iterations = 4;
+  cfg.batch_size = 16;
+  Stack stack("ADAM", cfg);
+  stack.trainer->run();
+  const TrainingSnapshot good = stack.trainer->snapshot();
+
+  // Each identity field is verified independently on restore.
+  {
+    TrainingSnapshot bad = good;
+    bad.model_name = "RBM";
+    EXPECT_THROW(stack.trainer->restore(bad), Error);
+  }
+  {
+    TrainingSnapshot bad = good;
+    bad.optimizer_name = "SGD";
+    EXPECT_THROW(stack.trainer->restore(bad), Error);
+  }
+  {
+    TrainingSnapshot bad = good;
+    bad.sampler_name = "MCMC";
+    EXPECT_THROW(stack.trainer->restore(bad), Error);
+  }
+  {
+    TrainingSnapshot bad = good;
+    bad.num_spins += 1;
+    EXPECT_THROW(stack.trainer->restore(bad), Error);
+  }
+  {
+    TrainingSnapshot bad = good;
+    bad.num_parameters += 1;
+    EXPECT_THROW(stack.trainer->restore(bad), Error);
+  }
+  // And the unmutated snapshot restores cleanly.
+  EXPECT_NO_THROW(stack.trainer->restore(good));
 }
 
 }  // namespace

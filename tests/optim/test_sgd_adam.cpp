@@ -116,5 +116,53 @@ TEST(Factories, ProduceTheDocumentedDefaults) {
   EXPECT_EQ(adam->name(), "ADAM");
 }
 
+// State serialization (checkpoint/restart): a restored optimizer must
+// continue bit-identically to the original.
+template <typename Opt>
+void expect_state_roundtrip_resumes_bitwise(Opt make) {
+  Opt a = make;
+  Opt b = make;
+  Vector pa{1.0, -2.0, 0.5};
+  Vector pb{1.0, -2.0, 0.5};
+  Vector g1{0.3, -0.1, 0.7};
+  Vector g2{-0.2, 0.4, 0.1};
+
+  a.step(pa.span(), g1.span());
+  b.step(pb.span(), g1.span());
+
+  // Serialize a's mid-run state into a *fresh* instance and continue both.
+  Opt restored = make;
+  restored.restore_state(a.serialize_state());
+  restored.step(pa.span(), g2.span());
+  b.step(pb.span(), g2.span());
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(pa[i], pb[i]) << i;
+}
+
+TEST(OptimizerState, SgdRoundTripResumesBitwise) {
+  expect_state_roundtrip_resumes_bitwise(Sgd(0.1, 0.5));
+}
+
+TEST(OptimizerState, AdamRoundTripResumesBitwise) {
+  expect_state_roundtrip_resumes_bitwise(Adam(0.01));
+}
+
+TEST(OptimizerState, AdamSerializesMomentsAndStepCount) {
+  Adam adam(0.01);
+  Vector p{1.0, 2.0};
+  Vector g{0.5, -0.5};
+  adam.step(p.span(), g.span());
+  const std::vector<Real> state = adam.serialize_state();
+  // Layout: [lr, step_count, m..., v...].
+  ASSERT_EQ(state.size(), 2u + 4u);
+  EXPECT_EQ(state[0], Real(0.01));
+  EXPECT_EQ(state[1], Real(1));
+  EXPECT_THROW(adam.restore_state({0.01}), Error);  // malformed payload
+}
+
+TEST(OptimizerState, SgdRejectsEmptyState) {
+  Sgd sgd(0.1);
+  EXPECT_THROW(sgd.restore_state({}), Error);
+}
+
 }  // namespace
 }  // namespace vqmc

@@ -21,6 +21,20 @@ TEST(SelfCommunicator, IsTrivialGroupOfOne) {
   EXPECT_DOUBLE_EQ(comm.allreduce_sum(Real(5)), 5.0);
 }
 
+TEST(SelfCommunicator, DegenerateCollectivesAreIdentities) {
+  // Both degenerate collectives of the group of one: an elementwise max
+  // over a single rank and its scalar convenience form must hand every
+  // value back unchanged, exactly like allreduce_sum does.
+  SelfCommunicator comm;
+  Vector v{3.0, -7.0};
+  comm.allreduce_max(v.span());
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], -7.0);
+  EXPECT_DOUBLE_EQ(comm.allreduce_max(Real(-2.5)), -2.5);
+  EXPECT_EQ(comm.live_count(), 1);
+  EXPECT_TRUE(comm.is_alive(0));
+}
+
 TEST(ThreadGroup, RanksAreDistinctAndComplete) {
   const int L = 6;
   std::vector<std::atomic<int>> seen(L);

@@ -1,0 +1,333 @@
+/// \file test_fault_tolerance.cpp
+/// \brief Fault-tolerant distributed training (DESIGN.md §5c): collective
+/// deadlines, elastic rank failure, and deterministic fault injection.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "hamiltonian/transverse_field_ising.hpp"
+#include "nn/made.hpp"
+#include "parallel/distributed_trainer.hpp"
+#include "parallel/fault_injection.hpp"
+#include "parallel/thread_communicator.hpp"
+#include "tensor/vector.hpp"
+
+namespace vqmc::parallel {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Communicator layer: deadlines and dynamic membership.
+// ---------------------------------------------------------------------------
+
+TEST(CommTimeout, MissingRankAbortsBlockedPeersWithinDeadline) {
+  GroupOptions options;
+  options.timeout_seconds = 0.2;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(
+      run_thread_group(
+          3,
+          [&](Communicator& comm) {
+            // Rank 2 never shows up for the collective; the others must be
+            // released by the deadline instead of blocking forever.
+            if (comm.rank() == 2) return;
+            Vector v{Real(comm.rank())};
+            comm.allreduce_sum(v.span());
+          },
+          options),
+      CommTimeoutError);
+  // Generous bound: the deadline is 0.2 s; anything near a minute would mean
+  // a rank deadlocked and the watchdog never fired.
+  EXPECT_LT(seconds_since(start), 30.0);
+}
+
+TEST(CommTimeout, CompletedCollectivesAreUnaffectedByTheDeadline) {
+  GroupOptions options;
+  options.timeout_seconds = 5.0;
+  std::vector<Real> sums(3, 0);
+  run_thread_group(
+      3,
+      [&](Communicator& comm) {
+        Vector v{Real(comm.rank() + 1)};
+        comm.allreduce_sum(v.span());
+        sums[std::size_t(comm.rank())] = v[0];
+      },
+      options);
+  for (Real s : sums) EXPECT_DOUBLE_EQ(s, 6.0);
+}
+
+TEST(ElasticMembership, LeaveShrinksReductionsToSurvivors) {
+  std::vector<Real> sums(4, -1);
+  std::vector<int> live(4, -1);
+  run_thread_group(4, [&](Communicator& comm) {
+    if (comm.rank() == 3) {
+      comm.leave();  // departs before ever contributing
+      return;
+    }
+    Vector v{Real(100 + comm.rank())};
+    comm.allreduce_sum(v.span());
+    sums[std::size_t(comm.rank())] = v[0];
+    live[std::size_t(comm.rank())] = comm.live_count();
+    EXPECT_FALSE(comm.is_alive(3));
+    EXPECT_TRUE(comm.is_alive(comm.rank()));
+  });
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(sums[std::size_t(r)], 303.0) << "rank " << r;
+    EXPECT_EQ(live[std::size_t(r)], 3) << "rank " << r;
+  }
+}
+
+TEST(ElasticMembership, BroadcastAndMaxWorkAfterShrink) {
+  std::vector<Real> maxima(3, -1);
+  run_thread_group(3, [&](Communicator& comm) {
+    if (comm.rank() == 1) {
+      comm.leave();
+      return;
+    }
+    Vector b{comm.rank() == 0 ? Real(42) : Real(0)};
+    comm.broadcast(b.span(), 0);
+    EXPECT_DOUBLE_EQ(b[0], 42.0);
+    maxima[std::size_t(comm.rank())] =
+        comm.allreduce_max(Real(10 * (comm.rank() + 1)));
+  });
+  EXPECT_DOUBLE_EQ(maxima[0], 30.0);
+  EXPECT_DOUBLE_EQ(maxima[2], 30.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection decorator.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, KillAtCallLeavesGroupAndThrowsRankDead) {
+  std::vector<Real> sums(3, 0);
+  bool rank2_died = false;
+  run_thread_group(3, [&](Communicator& comm) {
+    FaultPlan plan;
+    if (comm.rank() == 2) plan.kill_at_call = 1;
+    FaultInjectingCommunicator injected(comm, plan);
+
+    Vector v{Real(1)};
+    injected.allreduce_sum(v.span());  // call 0: everyone participates
+    EXPECT_DOUBLE_EQ(v[0], 3.0);
+
+    Vector w{Real(comm.rank())};
+    try {
+      injected.allreduce_sum(w.span());  // call 1: rank 2 dies instead
+      sums[std::size_t(comm.rank())] = w[0];
+    } catch (const RankDeadError&) {
+      rank2_died = comm.rank() == 2;
+      return;
+    }
+  });
+  EXPECT_TRUE(rank2_died);
+  EXPECT_DOUBLE_EQ(sums[0], 1.0);  // 0 + 1: survivors only
+  EXPECT_DOUBLE_EQ(sums[1], 1.0);
+}
+
+TEST(FaultInjection, DelayUnderTheDeadlineIsTolerated) {
+  GroupOptions options;
+  options.timeout_seconds = 10.0;
+  std::vector<Real> sums(2, 0);
+  run_thread_group(
+      2,
+      [&](Communicator& comm) {
+        FaultPlan plan;
+        if (comm.rank() == 1) {
+          plan.delay_at_call = 0;
+          plan.delay_seconds = 0.05;
+        }
+        FaultInjectingCommunicator injected(comm, plan);
+        Vector v{Real(comm.rank() + 1)};
+        injected.allreduce_sum(v.span());
+        sums[std::size_t(comm.rank())] = v[0];
+      },
+      options);
+  EXPECT_DOUBLE_EQ(sums[0], 3.0);
+  EXPECT_DOUBLE_EQ(sums[1], 3.0);
+}
+
+TEST(FaultInjection, HungCollectiveAbortsTheGroupWithinDeadline) {
+  GroupOptions options;
+  options.timeout_seconds = 0.2;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(
+      run_thread_group(
+          3,
+          [&](Communicator& comm) {
+            FaultPlan plan;
+            if (comm.rank() == 0) {
+              plan.hang_at_call = 0;
+              plan.hang_seconds = 3600;  // must be cut short by the abort
+            }
+            FaultInjectingCommunicator injected(comm, plan);
+            Vector v{Real(1)};
+            injected.allreduce_sum(v.span());
+          },
+          options),
+      CommTimeoutError);
+  // All three threads joined (run_thread_group returned) long before the
+  // hour-long hang: the interruptible sleep was woken by the group abort.
+  EXPECT_LT(seconds_since(start), 30.0);
+}
+
+TEST(FaultInjection, CorruptFlipsTheConfiguredPayloadBits) {
+  std::vector<Real> results(2, 0);
+  run_thread_group(2, [&](Communicator& comm) {
+    FaultPlan plan;
+    if (comm.rank() == 1) {
+      plan.corrupt_at_call = 0;
+      plan.corrupt_index = 0;
+      // 0.0 with the exponent field flipped is +inf: the fold must propagate
+      // it so downstream health guards can see it.
+    }
+    FaultInjectingCommunicator injected(comm, plan);
+    Vector v{Real(0)};
+    injected.allreduce_sum(v.span());
+    results[std::size_t(comm.rank())] = v[0];
+  });
+  EXPECT_TRUE(std::isinf(results[0]));
+  EXPECT_TRUE(std::isinf(results[1]));
+}
+
+// ---------------------------------------------------------------------------
+// Elastic distributed training.
+// ---------------------------------------------------------------------------
+
+DistributedConfig fault_config(int ranks, int iterations = 12,
+                               std::size_t mbs = 8) {
+  DistributedConfig cfg;
+  cfg.shape = {1, ranks};
+  cfg.iterations = iterations;
+  cfg.mini_batch_size = mbs;
+  cfg.eval_batch_per_rank = 32;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(ElasticTraining, RankDeathAtStartMatchesSmallerClusterBitwise) {
+  // Per-rank RNG streams depend only on the rank index, so a 3-rank group
+  // whose rank 2 dies before contributing anything must follow the *exact*
+  // trajectory of a 2-rank group — this is the strongest possible check that
+  // the gradient average is rescaled correctly after a shrink (a wrong
+  // divisor changes every parameter of every subsequent iteration).
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(6, 3);
+  Made made(6, 8);
+  made.initialize(5);
+
+  DistributedConfig with_death = fault_config(3);
+  with_death.fault_plans.resize(3);
+  with_death.fault_plans[2].kill_at_iteration = 0;
+  const DistributedResult shrunk = train_distributed(tim, made, with_death);
+
+  const DistributedResult reference =
+      train_distributed(tim, made, fault_config(2));
+
+  ASSERT_EQ(shrunk.shrink_events.size(), 1u);
+  EXPECT_EQ(shrunk.shrink_events[0].iteration, 0);
+  EXPECT_EQ(shrunk.shrink_events[0].rank, 2);
+  EXPECT_EQ(shrunk.shrink_events[0].live_after, 2);
+  EXPECT_EQ(shrunk.final_live_ranks, 2);
+  EXPECT_TRUE(shrunk.replicas_identical);
+
+  ASSERT_EQ(shrunk.energy_history.size(), reference.energy_history.size());
+  for (std::size_t i = 0; i < reference.energy_history.size(); ++i)
+    EXPECT_EQ(shrunk.energy_history[i], reference.energy_history[i])
+        << "iteration " << i;
+  ASSERT_EQ(shrunk.final_parameters.size(),
+            reference.final_parameters.size());
+  for (std::size_t i = 0; i < reference.final_parameters.size(); ++i)
+    EXPECT_EQ(shrunk.final_parameters[i], reference.final_parameters[i])
+        << "parameter " << i;
+  EXPECT_EQ(shrunk.converged_energy, reference.converged_energy);
+}
+
+TEST(ElasticTraining, MidRunRankDeathShrinksAndSurvivorsStayIdentical) {
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(6, 4);
+  Made made(6, 8);
+  made.initialize(6);
+
+  DistributedConfig cfg = fault_config(4, 14);
+  cfg.fault_plans.resize(4);
+  cfg.fault_plans[1].kill_at_iteration = 5;
+  const DistributedResult r = train_distributed(tim, made, cfg);
+
+  ASSERT_EQ(r.shrink_events.size(), 1u);
+  EXPECT_EQ(r.shrink_events[0].iteration, 5);
+  EXPECT_EQ(r.shrink_events[0].rank, 1);
+  EXPECT_EQ(r.shrink_events[0].live_after, 3);
+  EXPECT_EQ(r.final_live_ranks, 3);
+  EXPECT_TRUE(r.replicas_identical);
+  EXPECT_EQ(r.energy_history.size(), 14u);
+  // Training kept producing finite energies through the recovery.
+  for (Real e : r.energy_history) EXPECT_TRUE(std::isfinite(e));
+}
+
+TEST(ElasticTraining, TwoDeathsLeaveALoneSurvivor) {
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(5, 9);
+  Made made(5, 6);
+  made.initialize(7);
+
+  DistributedConfig cfg = fault_config(3, 10);
+  cfg.fault_plans.resize(3);
+  cfg.fault_plans[0].kill_at_iteration = 3;
+  cfg.fault_plans[2].kill_at_iteration = 6;
+  const DistributedResult r = train_distributed(tim, made, cfg);
+
+  ASSERT_EQ(r.shrink_events.size(), 2u);
+  EXPECT_EQ(r.shrink_events[0].rank, 0);
+  EXPECT_EQ(r.shrink_events[0].live_after, 2);
+  EXPECT_EQ(r.shrink_events[1].rank, 2);
+  EXPECT_EQ(r.shrink_events[1].live_after, 1);
+  EXPECT_EQ(r.final_live_ranks, 1);
+  EXPECT_TRUE(r.replicas_identical);
+  for (Real e : r.energy_history) EXPECT_TRUE(std::isfinite(e));
+}
+
+TEST(ElasticTraining, HungRankTimesOutTheWholeRun) {
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(5, 2);
+  Made made(5, 6);
+  made.initialize(3);
+
+  DistributedConfig cfg = fault_config(3, 10);
+  cfg.comm_timeout_seconds = 0.25;
+  cfg.fault_plans.resize(3);
+  cfg.fault_plans[1].hang_at_call = 4;
+  cfg.fault_plans[1].hang_seconds = 3600;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(train_distributed(tim, made, cfg), CommTimeoutError);
+  EXPECT_LT(seconds_since(start), 30.0);
+}
+
+TEST(ElasticTraining, CorruptedFlagTripsGuardAndRunRecoversUnderSkip) {
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(6, 8);
+  Made made(6, 8);
+  made.initialize(9);
+
+  DistributedConfig cfg = fault_config(2, 10);
+  cfg.guard.policy = health::GuardPolicy::SkipIteration;
+  cfg.fault_plans.resize(2);
+  // Rank 1's bad-energy flag slot holds exactly 0.0; the default exponent
+  // flip turns it into +inf, which the post-allreduce trip logic must read
+  // as "a rank reported non-finite energies".
+  cfg.fault_plans[1].corrupt_at_call = 0;
+  cfg.fault_plans[1].corrupt_index = 2 + 1;
+  const DistributedResult r = train_distributed(tim, made, cfg);
+
+  EXPECT_GE(r.guard_trips, 1u);
+  EXPECT_FALSE(r.last_trip_reason.empty());
+  EXPECT_TRUE(r.replicas_identical);
+  EXPECT_EQ(r.final_live_ranks, 2);
+  EXPECT_TRUE(r.shrink_events.empty());
+}
+
+}  // namespace
+}  // namespace vqmc::parallel

@@ -104,5 +104,29 @@ TEST(Philox, NextU64CombinesTwoWords) {
   EXPECT_EQ(g.next_u64(), expected);
 }
 
+TEST(Xoshiro256, StateRoundTripResumesTheStream) {
+  Xoshiro256 g(99);
+  for (int i = 0; i < 10; ++i) g();
+  const auto mid = g.state();
+  std::vector<std::uint64_t> tail;
+  for (int i = 0; i < 8; ++i) tail.push_back(g());
+
+  Xoshiro256 restored(1234567);  // different seed; state overrides it
+  restored.set_state(mid);
+  for (std::uint64_t expected : tail) EXPECT_EQ(restored(), expected);
+}
+
+TEST(Philox4x32, StateRoundTripResumesTheStream) {
+  Philox4x32 g(0xfeedULL);
+  g();  // leave the generator mid-block so the buffer index matters too
+  const auto mid = g.state();
+  std::vector<std::uint32_t> tail;
+  for (int i = 0; i < 9; ++i) tail.push_back(g());
+
+  Philox4x32 restored(0x1ULL);
+  restored.set_state(mid);
+  for (std::uint32_t expected : tail) EXPECT_EQ(restored(), expected);
+}
+
 }  // namespace
 }  // namespace vqmc::rng

@@ -225,5 +225,36 @@ TEST(MetropolisSampler, IsNotExact) {
   EXPECT_EQ(sampler.name(), "MCMC");
 }
 
+TEST(MetropolisSampler, StateRoundTripResumesPersistentChains) {
+  Made made(5, 6);
+  made.initialize(8);
+  MetropolisConfig cfg;
+  cfg.num_chains = 2;
+  cfg.burn_in = 20;
+  cfg.persistent_chains = true;
+  cfg.seed = 4;
+
+  MetropolisSampler a(made, cfg);
+  MetropolisSampler b(made, cfg);
+  Matrix batch_a(6, 5);
+  Matrix batch_b(6, 5);
+  a.sample(batch_a);
+  b.sample(batch_b);
+
+  // A restored sampler must resume the chains (positions, log-psi values and
+  // RNG stream) exactly where the checkpoint froze them.
+  MetropolisConfig other = cfg;
+  other.seed = 999;
+  MetropolisSampler restored(made, other);
+  restored.restore_state(a.serialize_state());
+  restored.sample(batch_a);
+  b.sample(batch_b);
+  for (std::size_t k = 0; k < batch_a.rows(); ++k)
+    for (std::size_t j = 0; j < batch_a.cols(); ++j)
+      EXPECT_EQ(batch_a(k, j), batch_b(k, j));
+
+  EXPECT_THROW(restored.restore_state({1, 2}), Error);
+}
+
 }  // namespace
 }  // namespace vqmc
