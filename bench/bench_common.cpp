@@ -62,6 +62,7 @@ ComboResult run_combo(const Hamiltonian& hamiltonian,
   ComboResult result;
   result.history = trainer.history();
   result.train_seconds = trainer.training_seconds();
+  result.phase_totals = sum_phases(result.history);
 
   Matrix samples;
   const EnergyEstimate est =
@@ -76,6 +77,41 @@ ComboResult run_combo(const Hamiltonian& hamiltonian,
           std::max(result.best_cut, maxcut->cut_value(samples.row(k)));
   }
   return result;
+}
+
+PhaseBreakdown sum_phases(const std::vector<IterationMetrics>& history) {
+  PhaseBreakdown total;
+  for (const IterationMetrics& m : history) {
+    total.sample += m.phases.sample;
+    total.local_energy += m.phases.local_energy;
+    total.gradient += m.phases.gradient;
+    total.sr_solve += m.phases.sr_solve;
+    total.allreduce += m.phases.allreduce;
+    total.optimizer += m.phases.optimizer;
+    total.checkpoint += m.phases.checkpoint;
+  }
+  return total;
+}
+
+std::string format_phase_breakdown(const PhaseBreakdown& phases) {
+  const double total = phases.total();
+  if (total <= 0) return "";
+  const std::pair<const char*, double> parts[] = {
+      {"sample", phases.sample},       {"local_energy", phases.local_energy},
+      {"gradient", phases.gradient},   {"sr", phases.sr_solve},
+      {"allreduce", phases.allreduce}, {"optimizer", phases.optimizer},
+      {"checkpoint", phases.checkpoint}};
+  std::string out;
+  for (const auto& [name, seconds] : parts) {
+    const double share = seconds / total;
+    if (share < 0.005) continue;
+    if (!out.empty()) out += " | ";
+    out += name;
+    out += ' ';
+    out += std::to_string(int(std::lround(share * 100)));
+    out += '%';
+  }
+  return out;
 }
 
 std::pair<Real, Real> mean_std(const std::vector<Real>& values) {

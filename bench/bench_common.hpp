@@ -59,8 +59,20 @@ struct ComboResult {
   Real mean_cut = 0;        ///< Max-Cut only: cut implied by eval energy
   Real best_cut = 0;        ///< Max-Cut only: best cut among eval samples
   double train_seconds = 0; ///< wall time of the training loop
+  /// Where the training time went, summed over the history (Table 1 /
+  /// DESIGN.md §5d attribution).
+  PhaseBreakdown phase_totals;
   std::vector<IterationMetrics> history;
 };
+
+/// Sum the per-iteration phase breakdowns of a history.
+PhaseBreakdown sum_phases(const std::vector<IterationMetrics>& history);
+
+/// One-line phase attribution, e.g.
+/// "sample 42% | local_energy 31% | gradient 18% | optimizer 9%" (phases
+/// below 0.5% of the total are omitted; empty string when nothing was
+/// attributed).
+std::string format_phase_breakdown(const PhaseBreakdown& phases);
 
 /// Build the (model, sampler, optimizer) combo from row labels and train it
 /// on `hamiltonian`. `hidden == 0` selects the family default.

@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
 
   const std::size_t mbs = std::size_t(opts.get_int("mbs"));
   std::vector<std::vector<double>> busy(kConfigs.size());
+  std::vector<std::vector<double>> wait(kConfigs.size());
   for (std::size_t d = 0; d < scale.dims.size(); ++d) {
     const std::size_t n = std::size_t(scale.dims[d]);
     // Large-n instances use sparse disorder to bound memory (DESIGN.md).
@@ -82,6 +83,12 @@ int main(int argc, char** argv) {
       cfg.seed = 5;
       const DistributedResult r = train_distributed(tim, proto, cfg, device);
       busy[c].push_back(r.max_rank_busy_seconds);
+      // Max-over-ranks allreduce wait: the straggler penalty the paper's
+      // weak-scaling argument says should stay negligible.
+      double w = 0;
+      for (const double s : r.allreduce_wait_seconds_per_rank)
+        w = std::max(w, s);
+      wait[c].push_back(w);
     }
   }
   for (std::size_t c = 0; c < kConfigs.size(); ++c) {
@@ -93,6 +100,20 @@ int main(int argc, char** argv) {
     measured.add_row(row);
   }
   std::cout << measured.to_string() << "\n";
+
+  std::cout << "Max per-rank allreduce wait seconds (telemetry; thread-backed "
+               "ranks contend for host cores, so absolute values are "
+               "substrate artifacts — the paper's observable is the trend "
+               "with cluster size):\n";
+  Table wait_table("");
+  wait_table.set_header(header);
+  for (std::size_t c = 0; c < kConfigs.size(); ++c) {
+    std::vector<std::string> row = {shape_label(kConfigs[c])};
+    for (std::size_t d = 0; d < scale.dims.size(); ++d)
+      row.push_back(format_fixed(wait[c][d], 3));
+    wait_table.add_row(row);
+  }
+  std::cout << wait_table.to_string() << "\n";
 
   // --- MODELED: V100-class device time at the paper's dimensions -----------
   std::cout << "MODELED V100-class iteration seconds at the paper's "

@@ -49,6 +49,13 @@ int main(int argc, char** argv) {
                                   std::max(1e-9, made.train_seconds),
                               1)
               << "x)\n";
+    // Phase attribution (DESIGN.md §5d): where each combo's time went.
+    const std::string rbm_phases = format_phase_breakdown(rbm.phase_totals);
+    const std::string made_phases = format_phase_breakdown(made.phase_totals);
+    if (!rbm_phases.empty())
+      std::cout << "      RBM&MCMC phases:  " << rbm_phases << "\n";
+    if (!made_phases.empty())
+      std::cout << "      MADE&AUTO phases: " << made_phases << "\n";
   }
   table.add_row(rbm_row);
   table.add_row(made_row);

@@ -15,6 +15,10 @@
 #include "nn/made.hpp"
 #include "parallel/cost_model.hpp"
 #include "parallel/distributed_trainer.hpp"
+#include "telemetry/jsonl.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/tracer.hpp"
 
 int main(int argc, char** argv) {
   using namespace vqmc;
@@ -26,7 +30,20 @@ int main(int argc, char** argv) {
   opts.add_option("devices", "1,2,4,8", "device counts to sweep");
   opts.add_option("mbs", "4", "mini-batch per device (paper: 4)");
   opts.add_option("iterations", "80", "training iterations");
+  opts.add_option("trace-out", "",
+                  "write a Chrome-trace JSON of per-rank phase spans here "
+                  "(open in chrome://tracing or Perfetto)");
+  opts.add_option("log-json", "",
+                  "append structured JSONL events (one object per line) here");
+  opts.add_flag("telemetry-off",
+                "disable all telemetry (metrics, spans) at runtime");
   if (!opts.parse(argc, argv)) return 0;
+
+  if (opts.get_flag("telemetry-off")) telemetry::set_enabled(false);
+  if (!opts.get_string("log-json").empty())
+    telemetry::JsonlLogger::instance().open(opts.get_string("log-json"));
+  const std::string trace_path = opts.get_string("trace-out");
+  if (!trace_path.empty()) telemetry::Tracer::instance().start();
 
   const std::size_t n = std::size_t(opts.get_int("n"));
   const TransverseFieldIsing hamiltonian =
@@ -55,10 +72,35 @@ int main(int argc, char** argv) {
                    result.replicas_identical ? "yes" : "NO",
                    format_fixed(result.max_rank_busy_seconds, 3),
                    format_fixed(result.modeled_seconds, 4)});
+
+    if (telemetry::enabled()) {
+      // Per-rank allreduce wait: the straggler diagnostic the telemetry
+      // merge exposes (DESIGN.md §5d).
+      std::cout << "  " << devices << " device(s) allreduce wait (s):";
+      for (const double w : result.allreduce_wait_seconds_per_rank)
+        std::cout << " " << format_fixed(w, 3);
+      std::cout << "\n";
+      if (const telemetry::HistogramSnapshot* h =
+              result.merged_metrics.find_histogram(
+                  "comm.allreduce_wait_seconds")) {
+        std::cout << "  merged comm.allreduce_wait_seconds: count "
+                  << h->count << ", p50 " << format_fixed(h->p50, 6)
+                  << "s, p95 " << format_fixed(h->p95, 6) << "s, p99 "
+                  << format_fixed(h->p99, 6) << "s\n";
+      }
+    }
   }
   std::cout << table.to_string();
   std::cout << "\nWeak-scaling takeaway: rank busy time is ~flat in the "
                "device count while the effective batch (and thus the final "
                "energy) improves.\n";
+
+  if (!trace_path.empty()) {
+    telemetry::Tracer::instance().stop();
+    telemetry::Tracer::instance().write_chrome_trace(trace_path);
+    std::cout << "trace written to " << trace_path << " ("
+              << telemetry::Tracer::instance().events().size() << " spans)\n";
+  }
+  telemetry::JsonlLogger::instance().close();
   return 0;
 }

@@ -22,6 +22,10 @@
 #include "core/factory.hpp"
 #include "core/reporting.hpp"
 #include "core/trainer.hpp"
+#include "telemetry/jsonl.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/tracer.hpp"
 #include "hamiltonian/exact.hpp"
 #include "hamiltonian/heisenberg.hpp"
 #include "hamiltonian/maxcut.hpp"
@@ -91,9 +95,21 @@ int main(int argc, char** argv) {
                   "training checkpoint; the continuation is bit-identical "
                   "to an uninterrupted run");
   opts.add_flag("exact", "also compute the exact ground energy (n <= 20)");
+  opts.add_option("trace-out", "",
+                  "write a Chrome-trace JSON of the run's phase spans here "
+                  "(open in chrome://tracing or Perfetto)");
+  opts.add_option("log-json", "",
+                  "append structured JSONL events (one object per line) here");
+  opts.add_flag("telemetry-off",
+                "disable all telemetry (metrics, spans) at runtime");
   if (!opts.parse(argc, argv)) return 0;
 
   try {
+    if (opts.get_flag("telemetry-off")) telemetry::set_enabled(false);
+    if (!opts.get_string("log-json").empty())
+      telemetry::JsonlLogger::instance().open(opts.get_string("log-json"));
+    const std::string trace_path = opts.get_string("trace-out");
+    if (!trace_path.empty()) telemetry::Tracer::instance().start();
     const std::size_t n = std::size_t(opts.get_int("n"));
     const std::uint64_t seed = std::uint64_t(opts.get_int("seed"));
     const auto problem =
@@ -141,6 +157,28 @@ int main(int argc, char** argv) {
               << " | std(l) " << est.std_dev << " | train "
               << format_fixed(trainer.training_seconds(), 2) << " s\n";
 
+    // Phase attribution over the whole run (DESIGN.md §5d).
+    PhaseBreakdown phase_totals;
+    for (const IterationMetrics& m : trainer.history()) {
+      phase_totals.sample += m.phases.sample;
+      phase_totals.local_energy += m.phases.local_energy;
+      phase_totals.gradient += m.phases.gradient;
+      phase_totals.sr_solve += m.phases.sr_solve;
+      phase_totals.allreduce += m.phases.allreduce;
+      phase_totals.optimizer += m.phases.optimizer;
+      phase_totals.checkpoint += m.phases.checkpoint;
+    }
+    if (phase_totals.total() > 0) {
+      std::cout << "phases: sample "
+                << format_fixed(phase_totals.sample, 2) << "s | local_energy "
+                << format_fixed(phase_totals.local_energy, 2)
+                << "s | gradient " << format_fixed(phase_totals.gradient, 2)
+                << "s | sr " << format_fixed(phase_totals.sr_solve, 2)
+                << "s | optimizer " << format_fixed(phase_totals.optimizer, 2)
+                << "s | checkpoint "
+                << format_fixed(phase_totals.checkpoint, 2) << "s\n";
+    }
+
     const health::HealthCounters& hc = trainer.health_counters();
     if (hc.guard_trips > 0) {
       std::cout << "health: " << hc.guard_trips << " guard trip(s) ("
@@ -174,6 +212,15 @@ int main(int argc, char** argv) {
                       metrics_to_json(trainer.history()));
     if (!opts.get_string("save-checkpoint").empty())
       save_checkpoint(opts.get_string("save-checkpoint"), *model);
+
+    if (!trace_path.empty()) {
+      telemetry::Tracer::instance().stop();
+      telemetry::Tracer::instance().write_chrome_trace(trace_path);
+      std::cout << "trace written to " << trace_path << " ("
+                << telemetry::Tracer::instance().events().size()
+                << " spans)\n";
+    }
+    telemetry::JsonlLogger::instance().close();
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

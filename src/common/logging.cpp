@@ -1,7 +1,11 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
+#include <memory>
 #include <mutex>
 
 namespace vqmc {
@@ -10,6 +14,10 @@ namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
 std::mutex g_mutex;
+thread_local int t_rank = -1;
+// Sink swaps are rare; reads are per-message. A shared_ptr snapshot under
+// the mutex keeps an in-flight sink alive across set_log_sink(nullptr).
+std::shared_ptr<const LogSink> g_sink;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -37,10 +45,45 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_log_rank(int rank) { t_rank = rank; }
+
+int log_rank() { return t_rank; }
+
+std::string iso8601_utc_timestamp() {
+  using namespace std::chrono;
+  const system_clock::time_point now = system_clock::now();
+  const std::time_t seconds = system_clock::to_time_t(now);
+  const auto millis =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, int(millis));
+  return buf;
+}
+
+void set_log_sink(LogSink sink) {
+  auto holder =
+      sink ? std::make_shared<const LogSink>(std::move(sink)) : nullptr;
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(holder);
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
-  const std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+  std::string line = "[" + iso8601_utc_timestamp() + "] [" +
+                     level_name(level) + "] ";
+  if (t_rank >= 0) line += "[rank " + std::to_string(t_rank) + "] ";
+  line += message;
+  std::shared_ptr<const LogSink> sink;
+  {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    std::cerr << line << "\n";
+    sink = g_sink;
+  }
+  if (sink) (*sink)(level, message);
 }
 
 }  // namespace vqmc

@@ -3,11 +3,23 @@
 /// \file logging.hpp
 /// \brief Minimal leveled logger used by trainers and benches.
 ///
-/// The logger writes to stderr with a `[level] ` prefix.  The global level
-/// defaults to Info and can be tightened by benches that want quiet output.
-/// Logging is intentionally synchronous and unbuffered; the library emits
-/// few messages (per-iteration metrics go through MetricsHistory instead).
+/// The logger writes to stderr as
+///
+///   [2026-08-05T12:00:00.123Z] [info] [rank 2] message
+///
+/// with the `[rank N]` segment present only on threads that declared a rank
+/// via `set_log_rank` (distributed rank threads do; the ISO-8601 UTC
+/// timestamp makes interleaved multi-rank output attributable and
+/// orderable).  The global level defaults to Info and can be tightened by
+/// benches that want quiet output.  Logging is intentionally synchronous
+/// and unbuffered; the library emits few messages (per-iteration metrics go
+/// through MetricsHistory instead).
+///
+/// A process-wide sink hook (`set_log_sink`) receives every emitted
+/// message; the telemetry subsystem's JSONL logger uses it to mirror log
+/// lines as structured events.
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -20,6 +32,22 @@ void set_log_level(LogLevel level);
 
 /// Current process-wide log level.
 LogLevel log_level();
+
+/// Declare the calling thread's rank for log attribution (-1 = no rank,
+/// the default; distributed rank threads set their communicator rank).
+void set_log_rank(int rank);
+
+/// The calling thread's declared rank (-1 when none).
+[[nodiscard]] int log_rank();
+
+/// Current UTC wall time as ISO-8601 with millisecond precision
+/// ("2026-08-05T12:00:00.123Z").
+[[nodiscard]] std::string iso8601_utc_timestamp();
+
+/// Observer receiving every emitted (above-threshold) message alongside
+/// stderr. Pass nullptr to uninstall.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
 
 /// Emit one message at `level` (no-op if below the global level).
 void log_message(LogLevel level, const std::string& message);

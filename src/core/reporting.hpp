@@ -16,12 +16,16 @@
 namespace vqmc {
 
 /// CSV with header
-/// `iteration,energy,std_dev,best_energy,seconds,guard_trips,guard_reason`.
+/// `iteration,energy,std_dev,best_energy,seconds,guard_trips,guard_reason,`
+/// `sample_seconds,local_energy_seconds,gradient_seconds,sr_seconds,`
+/// `allreduce_seconds,optimizer_seconds,checkpoint_seconds` — the trailing
+/// seven columns are the iteration's phase breakdown (DESIGN.md §5d).
 std::string metrics_to_csv(const std::vector<IterationMetrics>& history);
 
-/// JSON array of objects with the same fields. Numbers are emitted with
-/// enough digits to round-trip doubles; non-finite energies (guard-tripped
-/// iterations) serialize as null.
+/// JSON array of objects with the same fields; the phase breakdown is a
+/// nested `"phases"` object. Numbers are emitted with enough digits to
+/// round-trip doubles; non-finite energies (guard-tripped iterations)
+/// serialize as null.
 std::string metrics_to_json(const std::vector<IterationMetrics>& history);
 
 /// Write `content` to `path`, throwing vqmc::Error on I/O failure.

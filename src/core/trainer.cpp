@@ -5,9 +5,37 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
+#include "telemetry/jsonl.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/tracer.hpp"
 #include "tensor/kernels.hpp"
 
 namespace vqmc {
+
+namespace {
+
+/// Feed the per-iteration phase breakdown into the thread-current metrics
+/// registry (merged across ranks in distributed runs; see DESIGN.md §5d).
+void record_phase_metrics(const PhaseBreakdown& phases) {
+  if (!telemetry::enabled()) return;
+  telemetry::MetricsRegistry& registry = telemetry::metrics();
+  registry.counter("trainer.iterations").add();
+  registry.histogram("phase.sample_seconds").observe(phases.sample);
+  registry.histogram("phase.local_energy_seconds")
+      .observe(phases.local_energy);
+  registry.histogram("phase.gradient_seconds").observe(phases.gradient);
+  if (phases.sr_solve > 0)
+    registry.histogram("phase.sr_seconds").observe(phases.sr_solve);
+  if (phases.allreduce > 0)
+    registry.histogram("phase.allreduce_seconds").observe(phases.allreduce);
+  registry.histogram("phase.optimizer_seconds").observe(phases.optimizer);
+  if (phases.checkpoint > 0)
+    registry.histogram("phase.checkpoint_seconds")
+        .observe(phases.checkpoint);
+}
+
+}  // namespace
 
 VqmcTrainer::VqmcTrainer(const Hamiltonian& hamiltonian,
                          WavefunctionModel& model, Sampler& sampler,
@@ -49,6 +77,14 @@ VqmcTrainer::VqmcTrainer(const Hamiltonian& hamiltonian,
 void VqmcTrainer::handle_guard_trip(const std::string& reason) {
   ++health_.guard_trips;
   health_.last_trip_reason = reason;
+  telemetry::jsonl_event(
+      "guard_trip",
+      {{"reason", reason}, {"trips", health_.guard_trips}});
+  if (telemetry::enabled())
+    telemetry::metrics().counter("trainer.guard_trips").add();
+  if (config_.guard.policy != health::GuardPolicy::Throw)
+    log_warn("trainer: health guard tripped at iteration ", iteration_, ": ",
+             reason);
   switch (config_.guard.policy) {
     case health::GuardPolicy::Throw:
       throw Error("trainer: health guard tripped at iteration " +
@@ -72,39 +108,54 @@ void VqmcTrainer::handle_guard_trip(const std::string& reason) {
 }
 
 IterationMetrics VqmcTrainer::step() {
+  telemetry::set_iteration(iteration_);
+  telemetry::Span iteration_span("iteration");
   Timer timer;
+  PhaseBreakdown phases;
+  Timer phase_timer;
 
   // 1. Sample a batch from the current model distribution.
-  sampler_.sample(batch_);
+  {
+    TELEMETRY_SPAN("sample");
+    sampler_.sample(batch_);
+  }
+  phases.sample = phase_timer.seconds();
 
   // 2. Local energies (Eq. 3), guarded: a single NaN/inf local energy must
   // not reach the gradient, the optimizer or the metrics unnoticed.
-  engine_.compute(batch_, local_energies_.span());
+  phase_timer.reset();
   bool tripped = false;
   std::string trip_reason;
   EnergyEstimate est;
-  const std::size_t bad = health::count_nonfinite(local_energies_.span());
-  if (bad > 0) {
-    ++health_.nonfinite_energy;
-    tripped = true;
-    trip_reason = "non-finite local energies (" + std::to_string(bad) +
-                  " of " + std::to_string(local_energies_.size()) + ")";
-    est.mean = est.std_dev = std::numeric_limits<Real>::quiet_NaN();
-  } else {
-    est = estimate_energy(local_energies_.span());
-    if (divergence_.update(est.mean)) {
-      ++health_.divergences;
+  {
+    TELEMETRY_SPAN("local_energy");
+    engine_.compute(batch_, local_energies_.span());
+    const std::size_t bad = health::count_nonfinite(local_energies_.span());
+    if (bad > 0) {
+      ++health_.nonfinite_energy;
       tripped = true;
-      trip_reason = "energy divergence: batch mean exceeded the explosion "
-                    "threshold for " +
-                    std::to_string(config_.guard.divergence_window) +
-                    " consecutive iterations";
+      trip_reason = "non-finite local energies (" + std::to_string(bad) +
+                    " of " + std::to_string(local_energies_.size()) + ")";
+      est.mean = est.std_dev = std::numeric_limits<Real>::quiet_NaN();
+    } else {
+      est = estimate_energy(local_energies_.span());
+      if (divergence_.update(est.mean)) {
+        ++health_.divergences;
+        tripped = true;
+        trip_reason = "energy divergence: batch mean exceeded the explosion "
+                      "threshold for " +
+                      std::to_string(config_.guard.divergence_window) +
+                      " consecutive iterations";
+      }
     }
   }
+  phases.local_energy = phase_timer.seconds();
 
   // 3. Energy gradient (Eq. 5). The current parameters just produced finite
   // energies, so they become the last-good rollback snapshot.
+  phase_timer.reset();
   if (!tripped) {
+    TELEMETRY_SPAN("gradient");
     if (config_.guard.policy == health::GuardPolicy::RollbackAndBackoff) {
       std::span<const Real> params = model_.parameters();
       std::copy(params.begin(), params.end(), snapshot_.span().begin());
@@ -119,11 +170,14 @@ IterationMetrics VqmcTrainer::step() {
       trip_reason = "non-finite energy gradient";
     }
   }
+  phases.gradient = phase_timer.seconds();
 
   // 4. Optional SR preconditioning, guarded against solver breakdowns and
   // non-finite natural gradients.
+  phase_timer.reset();
   std::span<Real> update = gradient_.span();
   if (!tripped && config_.use_sr) {
+    TELEMETRY_SPAN("sr_solve");
     model_.log_psi_gradient_per_sample(batch_, per_sample_o_);
     const SrReport sr = sr_.precondition(per_sample_o_, gradient_.span(),
                                          natural_gradient_.span());
@@ -140,9 +194,12 @@ IterationMetrics VqmcTrainer::step() {
       }
     }
   }
+  phases.sr_solve = phase_timer.seconds();
 
   // 5. Clipping, schedule and the optimizer step — or the recovery action.
+  phase_timer.reset();
   if (!tripped) {
+    TELEMETRY_SPAN("optimizer");
     if (config_.max_grad_norm > 0) {
       Real norm2 = 0;
       for (Real v : update) norm2 += v * v;
@@ -163,6 +220,7 @@ IterationMetrics VqmcTrainer::step() {
   } else {
     handle_guard_trip(trip_reason);
   }
+  phases.optimizer = phase_timer.seconds();
 
   training_seconds_ += timer.seconds();
   IterationMetrics metrics;
@@ -173,9 +231,32 @@ IterationMetrics VqmcTrainer::step() {
   metrics.seconds = training_seconds_;
   metrics.guard_trips = health_.guard_trips;
   metrics.guard_reason = health_.last_trip_reason;
-  history_.push_back(metrics);
-  if (keeper_ && iteration_ % config_.checkpoint_every == 0)
+  if (keeper_ && iteration_ % config_.checkpoint_every == 0) {
+    TELEMETRY_SPAN("checkpoint");
+    phase_timer.reset();
     keeper_->write(snapshot());
+    phases.checkpoint = phase_timer.seconds();
+    telemetry::jsonl_event(
+        "checkpoint", {{"path", config_.checkpoint_path},
+                       {"seconds", phases.checkpoint}});
+  }
+  metrics.phases = phases;
+  record_phase_metrics(phases);
+  // Sink I/O happens after the iteration span closes so it is not charged
+  // to iteration wall time; guarded on active() because the field list
+  // allocates.
+  iteration_span.end();
+  if (telemetry::JsonlLogger::instance().active()) {
+    telemetry::jsonl_event(
+        "iteration", {{"energy", double(metrics.energy)},
+                      {"std_dev", double(metrics.std_dev)},
+                      {"sample_seconds", phases.sample},
+                      {"local_energy_seconds", phases.local_energy},
+                      {"gradient_seconds", phases.gradient},
+                      {"optimizer_seconds", phases.optimizer}});
+  }
+  history_.push_back(metrics);
+  telemetry::set_iteration(-1);
   return metrics;
 }
 

@@ -53,6 +53,25 @@ struct TrainerConfig {
   int checkpoint_keep_last = 3;
 };
 
+/// Where one iteration's wall time went (seconds, DESIGN.md §5d). The
+/// phases partition the step: sampling, local-energy measurement, energy
+/// gradient, SR preconditioning, gradient allreduce (distributed runs
+/// only), optimizer update, periodic checkpoint write.
+struct PhaseBreakdown {
+  double sample = 0;
+  double local_energy = 0;
+  double gradient = 0;
+  double sr_solve = 0;
+  double allreduce = 0;
+  double optimizer = 0;
+  double checkpoint = 0;
+
+  [[nodiscard]] double total() const {
+    return sample + local_energy + gradient + sr_solve + allreduce +
+           optimizer + checkpoint;
+  }
+};
+
 /// Per-iteration metrics (the red/blue curves of Figure 2).
 struct IterationMetrics {
   int iteration = 0;
@@ -66,6 +85,8 @@ struct IterationMetrics {
   std::uint64_t guard_trips = 0;
   /// Reason of the most recent guard trip; empty while the run is healthy.
   std::string guard_reason;
+  /// Attributed wall time of this iteration (Table 1 / Eq. 14 accounting).
+  PhaseBreakdown phases;
 };
 
 /// Single-device VQMC trainer.

@@ -3,6 +3,8 @@
 #include "common/error.hpp"
 #include "common/health.hpp"
 #include "linalg/cholesky.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/tracer.hpp"
 #include "tensor/kernels.hpp"
 
 namespace vqmc {
@@ -16,6 +18,7 @@ StochasticReconfiguration::StochasticReconfiguration(SrConfig config)
 SrReport StochasticReconfiguration::precondition(const Matrix& per_sample_o,
                                                  std::span<const Real> grad,
                                                  std::span<Real> delta) const {
+  TELEMETRY_SPAN("sr.solve");
   const std::size_t bs = per_sample_o.rows();
   const std::size_t d = per_sample_o.cols();
   VQMC_REQUIRE(grad.size() == d && delta.size() == d,
@@ -80,6 +83,9 @@ SrReport StochasticReconfiguration::precondition(const Matrix& per_sample_o,
   SrReport report;
   report.cg_iterations = cg.iterations;
   report.converged = cg.converged;
+  if (telemetry::enabled())
+    telemetry::metrics().histogram("sr.cg_iterations")
+        .observe(double(cg.iterations));
   return report;
 }
 

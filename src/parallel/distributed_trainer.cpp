@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/health.hpp"
+#include "common/logging.hpp"
 #include "common/timer.hpp"
 #include "core/estimators.hpp"
 #include "core/local_energy.hpp"
@@ -16,6 +17,9 @@
 #include "parallel/thread_communicator.hpp"
 #include "rng/splitmix.hpp"
 #include "sampler/autoregressive_sampler.hpp"
+#include "telemetry/jsonl.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/tracer.hpp"
 #include "tensor/kernels.hpp"
 
 namespace vqmc::parallel {
@@ -47,6 +51,7 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
   DistributedResult result;
   result.energy_history.assign(std::size_t(config.iterations), Real(0));
   result.guard_trips_per_rank.assign(std::size_t(num_ranks), 0);
+  result.allreduce_wait_seconds_per_rank.assign(std::size_t(num_ranks), 0.0);
   std::mutex result_mutex;
   std::vector<double> busy_seconds(std::size_t(num_ranks), 0.0);
 
@@ -55,6 +60,9 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
 
   run_thread_group(num_ranks, [&](Communicator& endpoint) {
     const int rank = endpoint.rank();
+    // Rank attribution for this thread: log lines gain a "[rank N]" prefix,
+    // trace spans and JSONL events carry the rank field.
+    set_log_rank(rank);
 
     // Optional scripted faults for this rank (test hook): route the rank's
     // collectives through the fault-injecting decorator.
@@ -110,6 +118,29 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
     // periods it sat descheduled when the host core is oversubscribed.
     ThreadCpuTimer busy;
     double my_busy = 0;
+    // Wall time blocked inside allreduces (the straggler signature).
+    double my_allreduce_wait = 0;
+
+    // Per-rank metrics: this thread's `metrics()` calls — including the
+    // sampler's — land in a private registry. Pre-creating every instrument
+    // the rank can touch makes the instrument set (and therefore the
+    // pack_additive payload layout) identical on every rank regardless of
+    // which guard/recovery branches actually ran, which the end-of-run
+    // allreduce merge requires.
+    telemetry::MetricsRegistry rank_registry;
+    const telemetry::ScopedMetricsRegistry scoped_registry(rank_registry);
+    rank_registry.counter("sampler.auto.batches");
+    rank_registry.counter("sampler.auto.forward_passes");
+    rank_registry.counter("sampler.auto.samples");
+    rank_registry.counter("sampler.nonfinite_rejections");
+    rank_registry.counter("trainer.iterations");
+    rank_registry.counter("trainer.guard_trips");
+    rank_registry.histogram("comm.allreduce_wait_seconds");
+    rank_registry.histogram("phase.sample_seconds");
+    rank_registry.histogram("phase.local_energy_seconds");
+    rank_registry.histogram("phase.gradient_seconds");
+    rank_registry.histogram("phase.allreduce_seconds");
+    rank_registry.histogram("phase.optimizer_seconds");
 
     try {
       for (int iter = 0; iter < config.iterations; ++iter) {
@@ -122,22 +153,52 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
                               " killed at iteration " + std::to_string(iter));
         }
 
-        busy.reset();
-        sampler.sample(batch);
-        engine.compute(batch, local_energies.span());
-        const std::size_t bad_le =
-            health::count_nonfinite(local_energies.span());
-        std::fill(stats.begin(), stats.end(), Real(0));
-        if (bad_le == 0) {
-          stats[0] = sum(local_energies.span());
-          stats[1] = Real(mbs);
-        } else {
-          stats[2 + std::size_t(rank)] = 1;
-        }
-        stats[2 + std::size_t(num_ranks) + std::size_t(rank)] = 1;  // live
-        my_busy += busy.seconds();
+        telemetry::set_iteration(iter);
+        telemetry::Span iteration_span("iteration");
+        rank_registry.counter("trainer.iterations").add();
 
-        comm.allreduce_sum(std::span<Real>(stats.data(), stats.size()));
+        busy.reset();
+        Timer phase_timer;
+        {
+          TELEMETRY_SPAN("sample");
+          sampler.sample(batch);
+        }
+        rank_registry.histogram("phase.sample_seconds")
+            .observe(phase_timer.seconds());
+        phase_timer.reset();
+        std::size_t bad_le = 0;
+        {
+          // The finite scan is O(mbs) post-processing of the energies; it
+          // lives inside the span so phase spans tile the iteration.
+          TELEMETRY_SPAN("local_energy");
+          engine.compute(batch, local_energies.span());
+          bad_le = health::count_nonfinite(local_energies.span());
+        }
+        const double le_seconds = phase_timer.seconds();
+
+        // The span (and wait timer) opens at barrier *arrival* — once this
+        // rank is ready to reduce.  On a contended substrate the scheduler
+        // can park the thread anywhere between here and the collective
+        // (the thread-CPU clock read below is a syscall, i.e. a preemption
+        // point); that park time is straggler wait and belongs to the
+        // allreduce phase, not to an untracked gap.
+        Timer allreduce_timer;
+        {
+          TELEMETRY_SPAN("allreduce");
+          rank_registry.histogram("phase.local_energy_seconds")
+              .observe(le_seconds);
+          my_busy += busy.seconds();
+          std::fill(stats.begin(), stats.end(), Real(0));
+          if (bad_le == 0) {
+            stats[0] = sum(local_energies.span());
+            stats[1] = Real(mbs);
+          } else {
+            stats[2 + std::size_t(rank)] = 1;
+          }
+          stats[2 + std::size_t(num_ranks) + std::size_t(rank)] = 1;  // live
+          comm.allreduce_sum(std::span<Real>(stats.data(), stats.size()));
+        }
+        double iter_allreduce = allreduce_timer.seconds();
         int bad_energy_ranks = 0;
         int live_ranks = 0;
         for (int r = 0; r < num_ranks; ++r) {
@@ -155,13 +216,21 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
                        0)
               ++reporter;
             if (rank == reporter) {
-              const std::lock_guard<std::mutex> lock(result_mutex);
               int live_after = 0;
               for (int q = 0; q < num_ranks; ++q)
                 live_after +=
                     stats[2 + std::size_t(num_ranks) + std::size_t(q)] > 0 ? 1
                                                                            : 0;
-              result.shrink_events.push_back(ShrinkEvent{iter, r, live_after});
+              {
+                const std::lock_guard<std::mutex> lock(result_mutex);
+                result.shrink_events.push_back(
+                    ShrinkEvent{iter, r, live_after});
+              }
+              log_warn("elastic shrink: rank " + std::to_string(r) +
+                       " left at iteration " + std::to_string(iter) + ", " +
+                       std::to_string(live_after) + " rank(s) remain");
+              telemetry::jsonl_event(
+                  "shrink", {{"dead_rank", r}, {"live_after", live_after}});
             }
           }
         }
@@ -194,30 +263,46 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
 
         if (!tripped) {
           busy.reset();
-          if (policy == health::GuardPolicy::RollbackAndBackoff) {
-            std::copy(replica->parameters().begin(),
-                      replica->parameters().end(), snapshot.begin());
-            have_snapshot = true;
+          phase_timer.reset();
+          bool bad_grad = false;
+          {
+            TELEMETRY_SPAN("gradient");
+            if (policy == health::GuardPolicy::RollbackAndBackoff) {
+              std::copy(replica->parameters().begin(),
+                        replica->parameters().end(), snapshot.begin());
+              have_snapshot = true;
+            }
+            // Local gradient contribution with *global* centering, so the
+            // allreduced sum is exactly the serial gradient over the full
+            // surviving batch.
+            for (std::size_t k = 0; k < mbs; ++k)
+              coeff[k] =
+                  2 * (local_energies[k] - global_mean) / effective_batch;
+            gradient.fill(0);
+            replica->accumulate_log_psi_gradient(batch, coeff.span(),
+                                                 gradient.span());
+            // The O(d) finite scan and pack into the extended payload are
+            // gradient post-processing; inside the span so phase spans tile
+            // the iteration.
+            bad_grad = !health::all_finite(gradient.span());
+            std::copy(gradient.begin(), gradient.end(), grad_ext.begin());
+            for (int r = 0; r < num_ranks; ++r)
+              grad_ext[d + std::size_t(r)] = 0;
+            if (bad_grad) {
+              for (std::size_t i = 0; i < d; ++i) grad_ext[i] = 0;
+              grad_ext[d + std::size_t(rank)] = 1;
+            }
           }
-          // Local gradient contribution with *global* centering, so the
-          // allreduced sum is exactly the serial gradient over the full
-          // surviving batch.
-          for (std::size_t k = 0; k < mbs; ++k)
-            coeff[k] = 2 * (local_energies[k] - global_mean) / effective_batch;
-          gradient.fill(0);
-          replica->accumulate_log_psi_gradient(batch, coeff.span(),
-                                               gradient.span());
-          const bool bad_grad = !health::all_finite(gradient.span());
-          std::copy(gradient.begin(), gradient.end(), grad_ext.begin());
-          for (int r = 0; r < num_ranks; ++r)
-            grad_ext[d + std::size_t(r)] = 0;
-          if (bad_grad) {
-            for (std::size_t i = 0; i < d; ++i) grad_ext[i] = 0;
-            grad_ext[d + std::size_t(rank)] = 1;
-          }
+          rank_registry.histogram("phase.gradient_seconds")
+              .observe(phase_timer.seconds());
           my_busy += busy.seconds();
 
-          comm.allreduce_sum(grad_ext.span());
+          allreduce_timer.reset();
+          {
+            TELEMETRY_SPAN("allreduce");
+            comm.allreduce_sum(grad_ext.span());
+          }
+          iter_allreduce += allreduce_timer.seconds();
           int bad_grad_ranks = 0;
           for (int r = 0; r < num_ranks; ++r)
             bad_grad_ranks += grad_ext[d + std::size_t(r)] > 0 ? 1 : 0;
@@ -228,8 +313,14 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
             if (bad_grad) ++my_bad_contributions;
           } else {
             busy.reset();
-            optimizer->step(replica->parameters(),
-                            std::span<const Real>(grad_ext.data(), d));
+            phase_timer.reset();
+            {
+              TELEMETRY_SPAN("optimizer");
+              optimizer->step(replica->parameters(),
+                              std::span<const Real>(grad_ext.data(), d));
+            }
+            rank_registry.histogram("phase.optimizer_seconds")
+                .observe(phase_timer.seconds());
             my_busy += busy.seconds();
           }
         }
@@ -237,6 +328,21 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
         if (tripped) {
           ++trips;
           last_reason = reason;
+          rank_registry.counter("trainer.guard_trips").add();
+          {
+            // The lowest surviving rank reports (every survivor sees the
+            // same allreduced flags, so exactly one rank logs).
+            int reporter = 0;
+            while (reporter < num_ranks && !known_alive[std::size_t(reporter)])
+              ++reporter;
+            if (rank == reporter) {
+              if (policy != health::GuardPolicy::Throw)
+                log_warn("health guard tripped at iteration " +
+                         std::to_string(iter) + ": " + reason);
+              telemetry::jsonl_event(
+                  "guard_trip", {{"reason", reason}, {"trips", trips}});
+            }
+          }
           switch (policy) {
             case health::GuardPolicy::Throw:
               // Every rank reaches this point together (the trip decision is
@@ -266,7 +372,23 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
           if (rank == reporter)
             result.energy_history[std::size_t(iter)] = global_mean;
         }
+
+        my_allreduce_wait += iter_allreduce;
+        rank_registry.histogram("comm.allreduce_wait_seconds")
+            .observe(iter_allreduce);
+        rank_registry.histogram("phase.allreduce_seconds")
+            .observe(iter_allreduce);
+        // Sink I/O happens after the iteration span closes so it is not
+        // charged to iteration wall time; guarded on active() because the
+        // field list allocates.
+        iteration_span.end();
+        if (telemetry::JsonlLogger::instance().active()) {
+          telemetry::jsonl_event(
+              "iteration", {{"energy", double(global_mean)},
+                            {"allreduce_wait_seconds", iter_allreduce}});
+        }
       }
+      telemetry::set_iteration(-1);
 
       // Final evaluation: fresh samples on every surviving rank, global
       // mean/std. A rank with non-finite evaluation energies is excluded
@@ -318,11 +440,24 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
       for (std::size_t i = 0; i < p_max.size(); ++i)
         spread = std::max(spread, p_max[i] + p_neg_min[i]);
 
+      // Cross-rank telemetry merge: one trailing allreduce over the packed
+      // additive state. Every surviving rank pre-created the same instrument
+      // set, so the payload layouts line up element-wise. Appended after all
+      // existing collectives, so scripted fault call-indices are unaffected.
+      telemetry::MetricsSnapshot merged = rank_registry.snapshot();
+      std::vector<Real> metrics_payload = merged.pack_additive();
+      comm.allreduce_sum(
+          std::span<Real>(metrics_payload.data(), metrics_payload.size()));
+      merged.apply_summed(metrics_payload);
+
       {
         const std::lock_guard<std::mutex> lock(result_mutex);
         busy_seconds[std::size_t(rank)] = my_busy;
         result.guard_trips_per_rank[std::size_t(rank)] = my_bad_contributions;
+        result.allreduce_wait_seconds_per_rank[std::size_t(rank)] =
+            my_allreduce_wait;
         if (rank == final_reporter) {
+          result.merged_metrics = std::move(merged);
           const Real mean =
               moments[2] > 0 ? moments[0] / moments[2]
                              : std::numeric_limits<Real>::quiet_NaN();
@@ -345,9 +480,12 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
       // collectives complete without it. Record what it accomplished and
       // unwind the thread quietly — the shrink itself is detected and
       // reported by the survivors through the liveness flags.
+      telemetry::set_iteration(-1);
       const std::lock_guard<std::mutex> lock(result_mutex);
       busy_seconds[std::size_t(rank)] = my_busy;
       result.guard_trips_per_rank[std::size_t(rank)] = my_bad_contributions;
+      result.allreduce_wait_seconds_per_rank[std::size_t(rank)] =
+          my_allreduce_wait;
     }
   }, group_options);
 

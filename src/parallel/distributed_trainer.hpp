@@ -34,6 +34,7 @@
 #include "nn/wavefunction.hpp"
 #include "parallel/cost_model.hpp"
 #include "parallel/fault_injection.hpp"
+#include "telemetry/metrics_registry.hpp"
 
 namespace vqmc::parallel {
 
@@ -98,6 +99,15 @@ struct DistributedResult {
   std::vector<ShrinkEvent> shrink_events;
   /// Ranks still alive at the end of the run.
   int final_live_ranks = 0;
+  /// Wall seconds each rank spent blocked inside allreduces (length
+  /// shape.total()). The spread across ranks is the straggler signature:
+  /// fast ranks wait for slow ones, so the slowest rank shows the *least*
+  /// wait (DESIGN.md §5d).
+  std::vector<double> allreduce_wait_seconds_per_rank;
+  /// Per-rank telemetry merged across the surviving ranks (one trailing
+  /// allreduce over the packed additive state). Empty when telemetry is
+  /// disabled.
+  telemetry::MetricsSnapshot merged_metrics;
 };
 
 /// Train `prototype` (autoregressive; AUTO sampling) on `hamiltonian`

@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "rng/distributions.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace vqmc {
 
@@ -12,6 +14,8 @@ AutoregressiveSampler::AutoregressiveSampler(const AutoregressiveModel& model,
     : model_(model), gen_(seed) {}
 
 void AutoregressiveSampler::sample(Matrix& out) {
+  TELEMETRY_SPAN("sample.auto");
+  const std::uint64_t nonfinite_before = stats_.nonfinite_rejections;
   const std::size_t n = model_.num_spins();
   VQMC_REQUIRE(out.cols() == n, "AUTO: output batch has wrong spin count");
   const std::size_t bs = out.rows();
@@ -37,6 +41,17 @@ void AutoregressiveSampler::sample(Matrix& out) {
       }
       out(k, i) = rng::bernoulli(gen_, p1) ? Real(1) : Real(0);
     }
+  }
+
+  // Unconditional instrument creation keeps every rank's instrument set
+  // identical, which the cross-rank metrics merge requires.
+  if (telemetry::enabled()) {
+    telemetry::MetricsRegistry& registry = telemetry::metrics();
+    registry.counter("sampler.auto.batches").add();
+    registry.counter("sampler.auto.forward_passes").add(n);
+    registry.counter("sampler.auto.samples").add(bs);
+    registry.counter("sampler.nonfinite_rejections")
+        .add(stats_.nonfinite_rejections - nonfinite_before);
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include "common/error.hpp"
 #include "rng/distributions.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/tracer.hpp"
 #include "tensor/kernels.hpp"
 
 namespace vqmc {
@@ -10,6 +12,7 @@ FastMadeSampler::FastMadeSampler(const Made& model, std::uint64_t seed)
     : model_(model), gen_(seed) {}
 
 void FastMadeSampler::sample(Matrix& out) {
+  TELEMETRY_SPAN("sample.auto_fast");
   const std::size_t n = model_.num_spins();
   const std::size_t h = model_.hidden_size();
   VQMC_REQUIRE(out.cols() == n, "AUTO-fast: output batch has wrong spin count");
@@ -55,6 +58,13 @@ void FastMadeSampler::sample(Matrix& out) {
         for (std::size_t l = 0; l < h; ++l) a_mut[l] += w1_base[l * n + i];
       }
     }
+  }
+
+  if (telemetry::enabled()) {
+    telemetry::MetricsRegistry& registry = telemetry::metrics();
+    registry.counter("sampler.auto_fast.batches").add();
+    registry.counter("sampler.auto_fast.forward_passes").add(n);
+    registry.counter("sampler.auto_fast.samples").add(bs);
   }
 }
 

@@ -4,7 +4,10 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "rng/distributions.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/tracer.hpp"
 #include "tensor/kernels.hpp"
 
 namespace vqmc {
@@ -144,36 +147,61 @@ void MetropolisSampler::step() {
 }
 
 void MetropolisSampler::sample(Matrix& out) {
+  TELEMETRY_SPAN("sample.mcmc");
+  const std::uint64_t nonfinite_before = stats_.nonfinite_rejections;
   const std::size_t n = model_.num_spins();
   VQMC_REQUIRE(out.cols() == n, "MCMC: output batch has wrong spin count");
   const std::size_t bs = out.rows();
   VQMC_REQUIRE(bs > 0, "MCMC: batch must be non-empty");
 
-  if (!config_.persistent_chains || !chains_initialized_) {
-    restart_chains();
-    for (std::size_t i = 0; i < config_.burn_in; ++i) step();
-  } else {
-    // Persistent chains still need a fresh log-psi: the model parameters
-    // have typically changed since the previous call.
-    model_.log_psi(states_, state_log_psi_.span());
-    ++stats_.forward_passes;
-    // Optional re-equilibration toward the updated distribution (see
-    // MetropolisConfig::reburn_in for the bias trade-off).
-    for (std::size_t i = 0; i < config_.reburn_in; ++i) step();
+  // Burn-in (or persistent-chain re-equilibration) vs chain/collection time
+  // are the two terms of the paper's MCMC budget (Eq. 14: k + j*bs/c model
+  // evaluations); the split is recorded so Table 1 benches can attribute
+  // which term dominates.
+  Timer burn_timer;
+  {
+    TELEMETRY_SPAN("mcmc.burn_in");
+    if (!config_.persistent_chains || !chains_initialized_) {
+      restart_chains();
+      for (std::size_t i = 0; i < config_.burn_in; ++i) step();
+    } else {
+      // Persistent chains still need a fresh log-psi: the model parameters
+      // have typically changed since the previous call.
+      model_.log_psi(states_, state_log_psi_.span());
+      ++stats_.forward_passes;
+      // Optional re-equilibration toward the updated distribution (see
+      // MetropolisConfig::reburn_in for the bias trade-off).
+      for (std::size_t i = 0; i < config_.reburn_in; ++i) step();
+    }
   }
+  const double burn_seconds = burn_timer.seconds();
 
   // Collect: round-robin over chains, advancing `thinning` steps between
   // kept states of the same chain (i.e. one step per kept sample when
   // c == 1 and thinning == 1).
-  const std::size_t c = config_.num_chains;
-  std::size_t collected = 0;
-  while (collected < bs) {
-    for (std::size_t t = 0; t < config_.thinning; ++t) step();
-    for (std::size_t chain = 0; chain < c && collected < bs; ++chain) {
-      auto src = states_.row(chain);
-      auto dst = out.row(collected++);
-      std::copy(src.begin(), src.end(), dst.begin());
+  Timer chain_timer;
+  {
+    TELEMETRY_SPAN("mcmc.collect");
+    const std::size_t c = config_.num_chains;
+    std::size_t collected = 0;
+    while (collected < bs) {
+      for (std::size_t t = 0; t < config_.thinning; ++t) step();
+      for (std::size_t chain = 0; chain < c && collected < bs; ++chain) {
+        auto src = states_.row(chain);
+        auto dst = out.row(collected++);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
     }
+  }
+
+  if (telemetry::enabled()) {
+    telemetry::MetricsRegistry& registry = telemetry::metrics();
+    registry.counter("sampler.mcmc.batches").add();
+    registry.histogram("sampler.mcmc.burn_in_seconds").observe(burn_seconds);
+    registry.histogram("sampler.mcmc.chain_seconds")
+        .observe(chain_timer.seconds());
+    registry.counter("sampler.nonfinite_rejections")
+        .add(stats_.nonfinite_rejections - nonfinite_before);
   }
 }
 

@@ -1,0 +1,152 @@
+#include "telemetry/jsonl.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vqmc::telemetry {
+
+namespace {
+
+std::atomic<bool> g_active{false};
+std::mutex g_mutex;
+std::ofstream g_out;
+
+void emit_escaped(std::ostringstream& oss, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': oss << "\\\""; break;
+      case '\\': oss << "\\\\"; break;
+      case '\n': oss << "\\n"; break;
+      case '\r': oss << "\\r"; break;
+      case '\t': oss << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          oss << buf;
+        } else {
+          oss << c;
+        }
+    }
+  }
+}
+
+void emit_value(std::ostringstream& oss, const JsonField& field) {
+  switch (field.kind) {
+    case JsonField::Kind::Null:
+      oss << "null";
+      break;
+    case JsonField::Kind::Bool:
+      oss << (field.int_value != 0 ? "true" : "false");
+      break;
+    case JsonField::Kind::Int:
+      oss << field.int_value;
+      break;
+    case JsonField::Kind::Double:
+      // JSON has no NaN/inf literals.
+      if (std::isfinite(field.double_value)) {
+        oss.precision(std::numeric_limits<double>::max_digits10);
+        oss << field.double_value;
+      } else {
+        oss << "null";
+      }
+      break;
+    case JsonField::Kind::String:
+      oss << '"';
+      emit_escaped(oss, field.string_value);
+      oss << '"';
+      break;
+  }
+}
+
+const char* level_label(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string format_jsonl_line(std::string_view event_name,
+                              std::initializer_list<JsonField> fields) {
+  std::ostringstream oss;
+  oss << "{\"ts\": \"" << iso8601_utc_timestamp() << "\", \"event\": \"";
+  emit_escaped(oss, event_name);
+  oss << "\", \"rank\": " << log_rank()
+      << ", \"iteration\": " << iteration();
+  for (const JsonField& field : fields) {
+    oss << ", \"";
+    emit_escaped(oss, field.key);
+    oss << "\": ";
+    emit_value(oss, field);
+  }
+  oss << "}";
+  return oss.str();
+}
+
+JsonlLogger& JsonlLogger::instance() {
+  static JsonlLogger logger;
+  return logger;
+}
+
+void JsonlLogger::open(const std::string& path) {
+  {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_out.is_open()) g_out.close();
+    g_out.open(path, std::ios::binary | std::ios::trunc);
+    VQMC_REQUIRE(g_out.good(),
+                 "jsonl: cannot open '" + path + "' for writing");
+    g_active.store(true, std::memory_order_release);
+  }
+  // Mirror human-readable log lines as structured events (the bridge reads
+  // rank/iteration context from the emitting thread, so attribution is
+  // preserved).
+  set_log_sink([](LogLevel level, const std::string& message) {
+    JsonlLogger::instance().event(
+        "log", {{"level", level_label(level)}, {"message", message}});
+  });
+}
+
+void JsonlLogger::close() {
+  set_log_sink(nullptr);
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_active.store(false, std::memory_order_release);
+  if (g_out.is_open()) {
+    g_out.flush();
+    g_out.close();
+  }
+}
+
+bool JsonlLogger::active() const {
+  return g_active.load(std::memory_order_acquire);
+}
+
+void JsonlLogger::event(std::string_view event_name,
+                        std::initializer_list<JsonField> fields) {
+  if (!active()) return;
+  const std::string line = format_jsonl_line(event_name, fields);
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_out.is_open()) return;
+  g_out << line << "\n";
+}
+
+void jsonl_event(std::string_view event_name,
+                 std::initializer_list<JsonField> fields) {
+  JsonlLogger::instance().event(event_name, fields);
+}
+
+}  // namespace vqmc::telemetry

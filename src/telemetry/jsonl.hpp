@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file jsonl.hpp
+/// \brief Structured JSONL event logging (DESIGN.md §5d).
+///
+/// One JSON object per line, each carrying the shared context
+/// (ISO-8601 UTC timestamp, rank, training iteration) plus event-specific
+/// fields:
+///
+///   {"ts":"2026-08-05T12:00:00.123Z","event":"shrink","rank":0,
+///    "iteration":41,"dead_rank":2,"live_after":3}
+///
+/// Opening the sink (the `--log-json` flag) also installs a logging bridge:
+/// every `log_message` above the level threshold is mirrored as an
+/// {"event":"log","level":...,"message":...} line, so ad-hoc stderr lines
+/// from the trainer and distributed trainer become machine-parseable
+/// without touching their call sites.
+///
+/// Inactive cost: one atomic load per `jsonl_event` call.
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace vqmc::telemetry {
+
+/// One key/value pair of a JSONL event. Implicit constructors let call
+/// sites write `{"dead_rank", rank}` for strings, integers, doubles and
+/// bools.
+struct JsonField {
+  enum class Kind { Null, Bool, Int, Double, String };
+
+  JsonField(std::string key, std::nullptr_t)
+      : key(std::move(key)), kind(Kind::Null) {}
+  JsonField(std::string key, bool value)
+      : key(std::move(key)), kind(Kind::Bool), int_value(value ? 1 : 0) {}
+  // One constrained template instead of per-width overloads: on LP64
+  // platforms size_t and uint64_t are the same type, so spelling them out
+  // as separate constructors would not compile.
+  template <class T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonField(std::string key, T value)
+      : key(std::move(key)),
+        kind(Kind::Int),
+        int_value(std::int64_t(value)) {}
+  JsonField(std::string key, double value)
+      : key(std::move(key)), kind(Kind::Double), double_value(value) {}
+  JsonField(std::string key, std::string value)
+      : key(std::move(key)),
+        kind(Kind::String),
+        string_value(std::move(value)) {}
+  JsonField(std::string key, const char* value)
+      : key(std::move(key)), kind(Kind::String), string_value(value) {}
+
+  std::string key;
+  Kind kind = Kind::Null;
+  std::int64_t int_value = 0;
+  double double_value = 0;
+  std::string string_value;
+};
+
+/// Process-global JSONL sink.
+class JsonlLogger {
+ public:
+  static JsonlLogger& instance();
+
+  /// Open (truncate) `path` and start accepting events; installs the
+  /// log_message bridge. Throws vqmc::Error on I/O failure.
+  void open(const std::string& path);
+
+  /// Flush, close and uninstall the bridge. Safe when already closed.
+  void close();
+
+  [[nodiscard]] bool active() const;
+
+  /// Emit one event line (no-op while closed). Thread-safe.
+  void event(std::string_view event_name,
+             std::initializer_list<JsonField> fields = {});
+
+ private:
+  JsonlLogger() = default;
+};
+
+/// Convenience forwarder: JsonlLogger::instance().event(...).
+void jsonl_event(std::string_view event_name,
+                 std::initializer_list<JsonField> fields = {});
+
+/// Serialize one event line without the sink (exposed for tests).
+[[nodiscard]] std::string format_jsonl_line(
+    std::string_view event_name, std::initializer_list<JsonField> fields);
+
+}  // namespace vqmc::telemetry

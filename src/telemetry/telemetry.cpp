@@ -1,0 +1,45 @@
+#include "telemetry/telemetry.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace vqmc::telemetry {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+thread_local std::int64_t t_iteration = -1;
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point process_epoch() {
+  // Initialized on first use; thread-safe per the C++ static-init rules.
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+// Touch the epoch at static-init time so the first traced span does not pay
+// for (or race on) the lazy initialization.
+const Clock::time_point g_epoch_init = process_epoch();
+
+}  // namespace
+
+#if VQMC_TELEMETRY_COMPILED
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+#endif
+
+void set_iteration(std::int64_t iteration) { t_iteration = iteration; }
+
+std::int64_t iteration() { return t_iteration; }
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   process_epoch())
+      .count();
+}
+
+}  // namespace vqmc::telemetry

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file telemetry.hpp
+/// \brief Master switch and per-thread attribution context for the
+/// vqmc::telemetry subsystem (DESIGN.md §5d).
+///
+/// The subsystem has three layers, each independently cheap to leave off:
+///  * MetricsRegistry (metrics_registry.hpp) — named counters / gauges /
+///    log-scale latency histograms, snapshotable per rank and mergeable
+///    across ranks through one allreduce;
+///  * Tracer (tracer.hpp) — span-based phase tracing with Chrome-trace
+///    export (`TELEMETRY_SPAN("sample")`);
+///  * JsonlLogger (jsonl.hpp) — structured JSONL event logging.
+///
+/// Overhead discipline:
+///  * Compile-out: building with `VQMC_TELEMETRY_COMPILED=0` (CMake option
+///    `-DVQMC_TELEMETRY=OFF`) turns `enabled()` into `constexpr false` and
+///    `TELEMETRY_SPAN` into nothing, so every instrumentation site is dead
+///    code the optimizer deletes.
+///  * Runtime: `set_enabled(false)` (the `--telemetry-off` flag) reduces
+///    every metric update to one relaxed atomic load, and spans to one
+///    relaxed load of the tracer-active flag; neither allocates.
+///
+/// Rank attribution rides on the logging layer's thread-local rank
+/// (`vqmc::set_log_rank`), so log lines, spans and JSONL events all agree on
+/// which rank a thread is acting as.
+
+#include <cstdint>
+
+#ifndef VQMC_TELEMETRY_COMPILED
+#define VQMC_TELEMETRY_COMPILED 1
+#endif
+
+namespace vqmc::telemetry {
+
+#if VQMC_TELEMETRY_COMPILED
+/// Process-wide master switch (default on). When off, counters, gauges,
+/// histograms and spans are no-ops.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+#else
+[[nodiscard]] constexpr bool enabled() { return false; }
+inline void set_enabled(bool) {}
+#endif
+
+/// Thread-local training-iteration context: spans and JSONL events recorded
+/// by this thread carry the value (-1 = outside any iteration).
+void set_iteration(std::int64_t iteration);
+[[nodiscard]] std::int64_t iteration();
+
+/// Microseconds since a process-global steady-clock epoch. Monotone and
+/// shared by every thread, so trace timestamps from different ranks are
+/// directly comparable.
+[[nodiscard]] double now_us();
+
+}  // namespace vqmc::telemetry

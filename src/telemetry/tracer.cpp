@@ -1,0 +1,199 @@
+#include "telemetry/tracer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace vqmc::telemetry {
+
+namespace {
+
+std::atomic<std::uint32_t> g_next_thread_id{0};
+thread_local std::uint16_t t_span_depth = 0;
+
+}  // namespace
+
+/// Per-thread drop-oldest ring. The owning thread is the only writer;
+/// snapshot/export readers synchronize through the per-buffer mutex (the
+/// owner holds it only for one event copy, so contention is negligible).
+struct Tracer::ThreadBuffer {
+  mutable std::mutex mutex;
+  std::vector<TraceEvent> ring;
+  std::size_t next = 0;   ///< next write slot
+  std::size_t count = 0;  ///< events held (<= ring.size())
+  std::uint64_t dropped = 0;
+  std::uint32_t thread_id = 0;
+};
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  struct LocalRef {
+    ThreadBuffer* buffer = nullptr;
+    std::uint64_t generation = 0;
+  };
+  thread_local LocalRef ref;
+  // clear()/start() invalidate previously cached buffers (they were
+  // destroyed); the generation check re-registers lazily.
+  std::uint64_t generation;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    generation = generation_;
+    if (ref.buffer != nullptr && ref.generation == generation)
+      return *ref.buffer;
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->ring.resize(capacity_.load(std::memory_order_relaxed));
+    buffer->thread_id =
+        g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+    ref.buffer = buffer.get();
+    ref.generation = generation;
+    buffers_.push_back(std::move(buffer));
+    return *ref.buffer;
+  }
+}
+
+void Tracer::start(std::size_t events_per_thread) {
+  VQMC_REQUIRE(events_per_thread >= 1,
+               "tracer: ring capacity must be >= 1 event");
+  clear();
+  capacity_.store(events_per_thread, std::memory_order_relaxed);
+  active_.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() { active_.store(false, std::memory_order_release); }
+
+void Tracer::record(const char* name, double ts_us, double dur_us,
+                    std::uint16_t depth) {
+  ThreadBuffer& buffer = local_buffer();
+  TraceEvent event;
+  event.name = name;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.rank = log_rank();
+  event.thread_id = buffer.thread_id;
+  event.depth = depth;
+  event.iteration = iteration();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.count == buffer.ring.size()) ++buffer.dropped;
+  buffer.ring[buffer.next] = event;
+  buffer.next = (buffer.next + 1) % buffer.ring.size();
+  buffer.count = std::min(buffer.count + 1, buffer.ring.size());
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> all;
+  {
+    const std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+    for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+      const std::lock_guard<std::mutex> lock(buffer->mutex);
+      const std::size_t size = buffer->ring.size();
+      // Oldest-first: when full, the oldest event sits at `next`.
+      const std::size_t first =
+          buffer->count == size ? buffer->next : 0;
+      for (std::size_t i = 0; i < buffer->count; ++i)
+        all.push_back(buffer->ring[(first + i) % size]);
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              return a.dur_us > b.dur_us;  // parents before children
+            });
+  return all;
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<TraceEvent> all = events();
+
+  // Rank attribution: ranks map to tids directly; rankless threads (serial
+  // trainer, benches) get tids above any plausible rank count.
+  const auto chrome_tid = [](const TraceEvent& e) -> std::int64_t {
+    return e.rank >= 0 ? e.rank : 100000 + std::int64_t(e.thread_id);
+  };
+
+  std::ostringstream oss;
+  oss.precision(3);
+  oss << std::fixed;
+  oss << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  // Thread-name metadata so Perfetto labels each timeline by rank.
+  std::vector<std::int64_t> seen_tids;
+  for (const TraceEvent& e : all) {
+    const std::int64_t tid = chrome_tid(e);
+    if (std::find(seen_tids.begin(), seen_tids.end(), tid) !=
+        seen_tids.end())
+      continue;
+    seen_tids.push_back(tid);
+    if (!first) oss << ",";
+    first = false;
+    oss << "\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+           "\"tid\": "
+        << tid << ", \"args\": {\"name\": \""
+        << (e.rank >= 0 ? "rank " + std::to_string(e.rank)
+                        : "thread " + std::to_string(e.thread_id))
+        << "\"}}";
+  }
+  for (const TraceEvent& e : all) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "\n  {\"name\": \"" << e.name
+        << "\", \"cat\": \"vqmc\", \"ph\": \"X\", \"ts\": " << e.ts_us
+        << ", \"dur\": " << e.dur_us << ", \"pid\": 0, \"tid\": "
+        << chrome_tid(e) << ", \"args\": {\"rank\": " << e.rank
+        << ", \"iteration\": " << e.iteration << ", \"depth\": " << e.depth
+        << "}}";
+  }
+  oss << "\n]}\n";
+  return oss.str();
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  VQMC_REQUIRE(out.good(),
+               "tracer: cannot open '" + path + "' for writing");
+  out << to_chrome_json();
+  VQMC_REQUIRE(out.good(), "tracer: write to '" + path + "' failed");
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  buffers_.clear();
+  ++generation_;
+}
+
+Span::Span(const char* name) : name_(name) {
+  // Both gates are one relaxed atomic load; the runtime master switch
+  // (--telemetry-off) silences spans even while a tracer is collecting.
+  if (!enabled() || !Tracer::instance().active()) return;
+  live_ = true;
+  depth_ = t_span_depth++;
+  start_us_ = now_us();
+}
+
+Span::~Span() { end(); }
+
+void Span::end() {
+  if (!live_) return;
+  live_ = false;
+  --t_span_depth;
+  Tracer::instance().record(name_, start_us_, now_us() - start_us_, depth_);
+}
+
+}  // namespace vqmc::telemetry

@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file tracer.hpp
+/// \brief Span-based phase tracer with Chrome-trace export (DESIGN.md §5d).
+///
+/// `TELEMETRY_SPAN("sample")` opens an RAII scope; when the tracer is
+/// active, closing the scope records one complete event (name, start,
+/// duration, rank, thread, nesting depth, training iteration) into the
+/// calling thread's ring buffer.  Buffers are fixed-capacity and
+/// drop-oldest, so a run can never grow without bound; drops are counted.
+///
+/// Export is `chrome://tracing` / Perfetto JSON (`write_chrome_trace`):
+/// events are sorted by start time (monotone `ts`), ranks map to `tid`, so
+/// a 4-rank run shows four aligned timelines whose gaps are the allreduce
+/// waits.
+///
+/// Cost model: an inactive span is one relaxed atomic load (no clock read,
+/// no allocation — the disabled-mode zero-allocation test pins this).  An
+/// active span is two steady-clock reads plus a push into a per-thread ring
+/// under that thread's (uncontended) mutex.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace vqmc::telemetry {
+
+/// One closed span.
+struct TraceEvent {
+  const char* name = "";        ///< static string (macro literal)
+  double ts_us = 0;             ///< start, microseconds since process epoch
+  double dur_us = 0;            ///< duration, microseconds
+  int rank = -1;                ///< vqmc::log_rank() at record time
+  std::uint32_t thread_id = 0;  ///< sequential id of the recording thread
+  std::uint16_t depth = 0;      ///< span nesting depth (0 = outermost)
+  std::int64_t iteration = -1;  ///< telemetry::iteration() at record time
+};
+
+/// Process-global span collector.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Begin collecting; clears previously collected events. Threads get ring
+  /// buffers of `events_per_thread` capacity (drop-oldest beyond that).
+  void start(std::size_t events_per_thread = 1 << 16);
+
+  /// Stop collecting (already-recorded events stay readable).
+  void stop();
+
+  [[nodiscard]] bool active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Record one closed span (called by Span; safe from any thread).
+  void record(const char* name, double ts_us, double dur_us,
+              std::uint16_t depth);
+
+  /// All recorded events, sorted by start time.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Events dropped to ring-buffer overflow across all threads.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Chrome trace JSON ({"traceEvents": [...]}, `ph:"X"` complete events,
+  /// `ts` monotone non-decreasing, rank as `tid` with thread_name
+  /// metadata).
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Write to_chrome_json() to `path` (throws vqmc::Error on I/O failure).
+  void write_chrome_trace(const std::string& path) const;
+
+  /// Drop all collected events and per-thread buffers.
+  void clear();
+
+ private:
+  Tracer() = default;
+  struct ThreadBuffer;
+  ThreadBuffer& local_buffer();
+
+  std::atomic<bool> active_{false};
+  std::atomic<std::size_t> capacity_{1 << 16};
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::uint64_t generation_ = 0;  ///< bumped by clear()/start()
+};
+
+/// RAII span. Does nothing (and allocates nothing) while the tracer is
+/// inactive; otherwise records a TraceEvent when the scope closes.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Close the span now instead of at scope exit (for excluding trailing
+  /// work — e.g. sink I/O — from the measured interval). Idempotent.
+  void end();
+
+ private:
+  const char* name_;
+  double start_us_ = 0;
+  std::uint16_t depth_ = 0;
+  bool live_ = false;
+};
+
+}  // namespace vqmc::telemetry
+
+#if VQMC_TELEMETRY_COMPILED
+#define VQMC_TELEMETRY_CONCAT_IMPL(a, b) a##b
+#define VQMC_TELEMETRY_CONCAT(a, b) VQMC_TELEMETRY_CONCAT_IMPL(a, b)
+/// Open a named span covering the rest of the enclosing scope.
+#define TELEMETRY_SPAN(name)                                         \
+  const ::vqmc::telemetry::Span VQMC_TELEMETRY_CONCAT(telemetry_span_, \
+                                                      __COUNTER__)(name)
+#else
+#define TELEMETRY_SPAN(name) ((void)0)
+#endif

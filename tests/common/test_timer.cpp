@@ -1,0 +1,88 @@
+#include "common/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace vqmc {
+namespace {
+
+TEST(Timer, SecondsIsNonNegativeAndMonotone) {
+  Timer timer;
+  double previous = timer.seconds();
+  EXPECT_GE(previous, 0.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double now = timer.seconds();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+}
+
+TEST(Timer, MeasuresASleepWithinLooseBounds) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = timer.seconds();
+  // Lower bound is hard (sleep_for never returns early on a monotonic
+  // clock); the upper bound is loose to survive loaded CI machines.
+  EXPECT_GE(elapsed, 0.019);
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(Timer, ResetRestartsTheStopwatch) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(timer.seconds(), 0.004);
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 0.004);
+}
+
+TEST(Timer, MillisecondsMatchesSeconds) {
+  Timer timer;
+  const double s = timer.seconds();
+  const double ms = timer.milliseconds();
+  EXPECT_GE(ms, s * 1e3);
+  EXPECT_LT(ms, (s + 1.0) * 1e3);
+}
+
+TEST(Timer, ResolutionIsFinerThanAMillisecond) {
+  // The phase breakdown attributes sub-millisecond phases, so the clock
+  // must tick at millisecond granularity or better: two reads separated by
+  // a busy loop of bounded length must differ by less than 1 ms yet the
+  // clock must advance within that window.
+  Timer timer;
+  double first = timer.seconds();
+  double second = first;
+  for (int i = 0; i < 10'000'000 && second == first; ++i)
+    second = timer.seconds();
+  EXPECT_GT(second, first);
+  EXPECT_LT(second - first, 1e-3);
+}
+
+TEST(ThreadCpuTimer, CountsBusyWork) {
+  ThreadCpuTimer cpu;
+  volatile double sink = 0;
+  for (int i = 0; i < 2'000'000; ++i) sink = sink + 1.0;
+  EXPECT_GT(cpu.seconds(), 0.0);
+}
+
+TEST(ThreadCpuTimer, MostlyIgnoresSleep) {
+  ThreadCpuTimer cpu;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // A sleeping thread burns (almost) no CPU; allow generous scheduler noise.
+  EXPECT_LT(cpu.seconds(), 0.040);
+}
+
+TEST(ThreadCpuTimer, IsMonotoneAcrossReads) {
+  ThreadCpuTimer cpu;
+  double previous = cpu.seconds();
+  EXPECT_GE(previous, 0.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double now = cpu.seconds();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+}
+
+}  // namespace
+}  // namespace vqmc

@@ -3,27 +3,45 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <sstream>
 
 #include "common/error.hpp"
+#include "support/mini_json.hpp"
 
 namespace vqmc {
 namespace {
 
+constexpr const char* kCsvHeader =
+    "iteration,energy,std_dev,best_energy,seconds,guard_trips,guard_reason,"
+    "sample_seconds,local_energy_seconds,gradient_seconds,sr_seconds,"
+    "allreduce_seconds,optimizer_seconds,checkpoint_seconds\n";
+
 std::vector<IterationMetrics> sample_history() {
   std::vector<IterationMetrics> h(2);
-  h[0] = {0, -1.5, 0.25, -2.0, 0.01, 0, ""};
-  h[1] = {1, -1.75, 0.125, -2.25, 0.02, 0, ""};
+  h[0] = {0, -1.5, 0.25, -2.0, 0.01, 0, "", {}};
+  h[1] = {1, -1.75, 0.125, -2.25, 0.02, 0, "", {}};
+  h[0].phases = {0.004, 0.003, 0.002, 0, 0, 0.001, 0};
+  h[1].phases = {0.005, 0.006, 0.004, 0.002, 0.001, 0.001, 0.003};
   return h;
+}
+
+/// Split one CSV line into cells (no quoting in this format).
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream iss(line);
+  while (std::getline(iss, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
 }
 
 TEST(Reporting, CsvHasHeaderAndOneLinePerIteration) {
   const std::string csv = metrics_to_csv(sample_history());
-  EXPECT_NE(csv.find("iteration,energy,std_dev,best_energy,seconds,"
-                     "guard_trips,guard_reason\n"),
-            std::string::npos);
+  EXPECT_NE(csv.find(kCsvHeader), std::string::npos);
   EXPECT_NE(csv.find("0,-1.5,0.25,-2,0.01"), std::string::npos);
   EXPECT_NE(csv.find("1,-1.75,0.125,-2.25,0.02"), std::string::npos);
   // header + 2 rows = 3 newlines.
@@ -31,18 +49,17 @@ TEST(Reporting, CsvHasHeaderAndOneLinePerIteration) {
 }
 
 TEST(Reporting, CsvOfEmptyHistoryIsJustTheHeader) {
-  const std::string csv = metrics_to_csv({});
-  EXPECT_EQ(csv,
-            "iteration,energy,std_dev,best_energy,seconds,guard_trips,"
-            "guard_reason\n");
+  EXPECT_EQ(metrics_to_csv({}), kCsvHeader);
 }
 
 TEST(Reporting, GuardTripsAndSanitizedReasonAreExported) {
   std::vector<IterationMetrics> h(1);
-  h[0] = {3, -1.0, 0.5, -1.5, 0.04, 2, "non-finite local energies, 4 of 32"};
+  h[0] = {3,    -1.0, 0.5, -1.5, 0.04, 2, "non-finite local energies, 4 of 32",
+          {}};
   const std::string csv = metrics_to_csv(h);
-  // The comma inside the reason must not split the CSV cell.
-  EXPECT_NE(csv.find(",2,non-finite local energies; 4 of 32\n"),
+  // The comma inside the reason must not split the CSV cell (the reason cell
+  // is followed by the seven phase columns).
+  EXPECT_NE(csv.find(",2,non-finite local energies; 4 of 32,"),
             std::string::npos);
   const std::string json = metrics_to_json(h);
   EXPECT_NE(json.find("\"guard_trips\": 2"), std::string::npos);
@@ -53,8 +70,11 @@ TEST(Reporting, GuardTripsAndSanitizedReasonAreExported) {
 
 TEST(Reporting, NonFiniteEnergiesSerializeAsJsonNull) {
   std::vector<IterationMetrics> h(1);
-  h[0] = {0, std::numeric_limits<Real>::quiet_NaN(),
-          std::numeric_limits<Real>::quiet_NaN(), -1.5, 0.01, 1, "bad batch"};
+  h[0] = {0,    std::numeric_limits<Real>::quiet_NaN(),
+          std::numeric_limits<Real>::quiet_NaN(),
+          -1.5, 0.01,
+          1,    "bad batch",
+          {}};
   const std::string json = metrics_to_json(h);
   EXPECT_NE(json.find("\"energy\": null"), std::string::npos);
   EXPECT_NE(json.find("\"std_dev\": null"), std::string::npos);
@@ -67,13 +87,100 @@ TEST(Reporting, JsonIsWellFormedArray) {
   EXPECT_NE(json.find("\"iteration\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"energy\": -1.75"), std::string::npos);
   EXPECT_NE(json.find("\"best_energy\": -2.25"), std::string::npos);
-  // Balanced braces: 2 objects.
-  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 2);
-  EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 2);
+  // Balanced braces: 2 iteration objects, each with a nested phases object.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 4);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 4);
 }
 
 TEST(Reporting, JsonOfEmptyHistoryIsEmptyArray) {
   EXPECT_EQ(metrics_to_json({}), "[]\n");
+}
+
+TEST(Reporting, CsvRoundTripsFieldByField) {
+  std::vector<IterationMetrics> h = sample_history();
+  h.push_back({2, std::numeric_limits<Real>::quiet_NaN(),
+               std::numeric_limits<Real>::quiet_NaN(), -2.25, 0.03, 1,
+               "bad, batch", {}});
+  const std::string csv = metrics_to_csv(h);
+
+  std::istringstream lines(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const std::vector<std::string> header = split_csv_line(line);
+  ASSERT_EQ(header.size(), 14u);
+  EXPECT_EQ(header.front(), "iteration");
+  EXPECT_EQ(header.back(), "checkpoint_seconds");
+
+  for (const IterationMetrics& m : h) {
+    ASSERT_TRUE(std::getline(lines, line));
+    const std::vector<std::string> cells = split_csv_line(line);
+    ASSERT_EQ(cells.size(), header.size());
+    EXPECT_EQ(std::stoi(cells[0]), m.iteration);
+    if (std::isfinite(m.energy)) {
+      EXPECT_DOUBLE_EQ(std::stod(cells[1]), m.energy);
+      EXPECT_DOUBLE_EQ(std::stod(cells[2]), m.std_dev);
+    } else {
+      // NaN survives the CSV as a non-numeric token (CSV has no null).
+      EXPECT_TRUE(std::isnan(std::stod(cells[1])));
+      EXPECT_TRUE(std::isnan(std::stod(cells[2])));
+    }
+    EXPECT_DOUBLE_EQ(std::stod(cells[3]), m.best_energy);
+    EXPECT_DOUBLE_EQ(std::stod(cells[4]), m.seconds);
+    EXPECT_EQ(std::stoull(cells[5]), m.guard_trips);
+    // The sanitizer replaced the comma, so the reason stayed one cell.
+    EXPECT_EQ(cells[6], m.guard_trips > 0 ? "bad; batch" : "");
+    EXPECT_DOUBLE_EQ(std::stod(cells[7]), m.phases.sample);
+    EXPECT_DOUBLE_EQ(std::stod(cells[8]), m.phases.local_energy);
+    EXPECT_DOUBLE_EQ(std::stod(cells[9]), m.phases.gradient);
+    EXPECT_DOUBLE_EQ(std::stod(cells[10]), m.phases.sr_solve);
+    EXPECT_DOUBLE_EQ(std::stod(cells[11]), m.phases.allreduce);
+    EXPECT_DOUBLE_EQ(std::stod(cells[12]), m.phases.optimizer);
+    EXPECT_DOUBLE_EQ(std::stod(cells[13]), m.phases.checkpoint);
+  }
+  EXPECT_FALSE(std::getline(lines, line));
+}
+
+TEST(Reporting, JsonRoundTripsFieldByFieldWithNanAsNull) {
+  std::vector<IterationMetrics> h = sample_history();
+  h.push_back({2, std::numeric_limits<Real>::quiet_NaN(),
+               std::numeric_limits<Real>::quiet_NaN(), -2.25, 0.03, 1,
+               "diverged", {}});
+  const std::string json = metrics_to_json(h);
+
+  const testing::JsonValue doc = testing::parse_json(json);
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.array_value.size(), h.size());
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const testing::JsonValue& obj = doc.array_value[i];
+    const IterationMetrics& m = h[i];
+    ASSERT_TRUE(obj.is_object());
+    EXPECT_EQ(int(obj.at("iteration").number_value), m.iteration);
+    if (std::isfinite(m.energy)) {
+      EXPECT_DOUBLE_EQ(obj.at("energy").number_value, m.energy);
+      EXPECT_DOUBLE_EQ(obj.at("std_dev").number_value, m.std_dev);
+    } else {
+      EXPECT_TRUE(obj.at("energy").is_null());
+      EXPECT_TRUE(obj.at("std_dev").is_null());
+    }
+    EXPECT_DOUBLE_EQ(obj.at("best_energy").number_value, m.best_energy);
+    EXPECT_DOUBLE_EQ(obj.at("seconds").number_value, m.seconds);
+    EXPECT_EQ(std::uint64_t(obj.at("guard_trips").number_value),
+              m.guard_trips);
+    EXPECT_EQ(obj.at("guard_reason").string_value, m.guard_reason);
+    const testing::JsonValue& phases = obj.at("phases");
+    ASSERT_TRUE(phases.is_object());
+    EXPECT_DOUBLE_EQ(phases.at("sample").number_value, m.phases.sample);
+    EXPECT_DOUBLE_EQ(phases.at("local_energy").number_value,
+                     m.phases.local_energy);
+    EXPECT_DOUBLE_EQ(phases.at("gradient").number_value, m.phases.gradient);
+    EXPECT_DOUBLE_EQ(phases.at("sr").number_value, m.phases.sr_solve);
+    EXPECT_DOUBLE_EQ(phases.at("allreduce").number_value,
+                     m.phases.allreduce);
+    EXPECT_DOUBLE_EQ(phases.at("optimizer").number_value,
+                     m.phases.optimizer);
+    EXPECT_DOUBLE_EQ(phases.at("checkpoint").number_value,
+                     m.phases.checkpoint);
+  }
 }
 
 TEST(Reporting, WriteTextFileRoundTrips) {

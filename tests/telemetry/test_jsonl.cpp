@@ -1,0 +1,125 @@
+#include "telemetry/jsonl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "support/mini_json.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vqmc::telemetry {
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+class JsonlTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    JsonlLogger::instance().close();
+    set_iteration(-1);
+    vqmc::set_log_rank(-1);
+    std::remove(path_.c_str());
+  }
+  const std::string path_ = "/tmp/vqmc_test_events.jsonl";
+};
+
+TEST_F(JsonlTest, FormatsAContextCarryingParseableLine) {
+  vqmc::set_log_rank(2);
+  set_iteration(41);
+  const std::string line = format_jsonl_line(
+      "shrink", {{"dead_rank", 3}, {"live_after", 2}});
+  set_iteration(-1);
+  vqmc::set_log_rank(-1);
+
+  const vqmc::testing::JsonValue doc = vqmc::testing::parse_json(line);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("event").string_value, "shrink");
+  EXPECT_EQ(int(doc.at("rank").number_value), 2);
+  EXPECT_EQ(int(doc.at("iteration").number_value), 41);
+  EXPECT_EQ(int(doc.at("dead_rank").number_value), 3);
+  EXPECT_EQ(int(doc.at("live_after").number_value), 2);
+  // ISO-8601 UTC with millisecond precision: 2026-08-05T12:00:00.123Z.
+  const std::string ts = doc.at("ts").string_value;
+  ASSERT_EQ(ts.size(), 24u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[19], '.');
+  EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST_F(JsonlTest, EscapesStringsAndMapsNonFiniteToNull) {
+  const std::string line = format_jsonl_line(
+      "check",
+      {{"text", "quote \" backslash \\ newline \n tab \t"},
+       {"nan", std::numeric_limits<double>::quiet_NaN()},
+       {"inf", std::numeric_limits<double>::infinity()},
+       {"pi", 3.25},
+       {"ok", true},
+       {"missing", nullptr}});
+  const vqmc::testing::JsonValue doc = vqmc::testing::parse_json(line);
+  EXPECT_EQ(doc.at("text").string_value,
+            "quote \" backslash \\ newline \n tab \t");
+  EXPECT_TRUE(doc.at("nan").is_null());
+  EXPECT_TRUE(doc.at("inf").is_null());
+  EXPECT_DOUBLE_EQ(doc.at("pi").number_value, 3.25);
+  EXPECT_TRUE(doc.at("ok").bool_value);
+  EXPECT_TRUE(doc.at("missing").is_null());
+}
+
+TEST_F(JsonlTest, InactiveLoggerDropsEventsCheaply) {
+  ASSERT_FALSE(JsonlLogger::instance().active());
+  jsonl_event("ignored", {{"n", 1}});  // must not crash or write anywhere
+}
+
+TEST_F(JsonlTest, WritesOneParseableObjectPerLine) {
+  JsonlLogger::instance().open(path_);
+  ASSERT_TRUE(JsonlLogger::instance().active());
+  jsonl_event("first", {{"n", 1}});
+  jsonl_event("second", {{"n", 2}});
+  JsonlLogger::instance().close();
+
+  const std::vector<std::string> lines = read_lines(path_);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(vqmc::testing::parse_json(lines[0]).at("event").string_value,
+            "first");
+  EXPECT_EQ(vqmc::testing::parse_json(lines[1]).at("event").string_value,
+            "second");
+}
+
+TEST_F(JsonlTest, BridgesLogMessagesAsStructuredEvents) {
+  JsonlLogger::instance().open(path_);
+  vqmc::set_log_rank(1);
+  vqmc::log_warn("trouble at mill");
+  vqmc::set_log_rank(-1);
+  JsonlLogger::instance().close();
+
+  const std::vector<std::string> lines = read_lines(path_);
+  ASSERT_EQ(lines.size(), 1u);
+  const vqmc::testing::JsonValue doc = vqmc::testing::parse_json(lines[0]);
+  EXPECT_EQ(doc.at("event").string_value, "log");
+  EXPECT_EQ(doc.at("level").string_value, "warn");
+  EXPECT_EQ(doc.at("message").string_value, "trouble at mill");
+  EXPECT_EQ(int(doc.at("rank").number_value), 1);
+}
+
+TEST_F(JsonlTest, CloseUninstallsTheBridge) {
+  JsonlLogger::instance().open(path_);
+  JsonlLogger::instance().close();
+  vqmc::log_warn("after close");  // must not reopen or crash
+  EXPECT_TRUE(read_lines(path_).empty());
+}
+
+}  // namespace
+}  // namespace vqmc::telemetry
