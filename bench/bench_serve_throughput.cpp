@@ -1,0 +1,242 @@
+/// \file bench_serve_throughput.cpp
+/// \brief Serving throughput vs micro-batching policy (DESIGN.md §5e).
+///
+/// Closed-loop clients hammer one InferenceEngine with single-row requests
+/// while the batching policy sweeps from "no coalescing" (budget 1, window
+/// 0 — every request is its own batch) to progressively wider
+/// `max_batch_rows x max_wait_us` windows.  Per-request cost has a large
+/// fixed component — chiefly materializing the masked MADE weights, ~1.9 ms
+/// at n = 1000 (see model_snapshot.hpp) — so coalescing K rows into one
+/// batch amortizes it K-fold; the sweep measures how much of that the full
+/// engine (queueing, futures, scheduling) actually delivers.
+///
+/// Emits BENCH_serve.json with per-config throughput and client-observed
+/// latency percentiles, plus the headline micro-batching gain
+/// (best tuned config vs the no-coalescing baseline).
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "nn/made.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "serve/inference_engine.hpp"
+#include "telemetry/telemetry.hpp"
+
+using namespace vqmc;
+
+namespace {
+
+struct SweepPoint {
+  std::size_t max_batch_rows;
+  double max_wait_us;
+};
+
+struct RunResult {
+  SweepPoint point{};
+  std::uint64_t responses = 0;
+  std::uint64_t batches = 0;
+  double seconds = 0;
+  double rps = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+
+  [[nodiscard]] double mean_batch_rows() const {
+    return batches == 0 ? 0 : double(responses) / double(batches);
+  }
+};
+
+double percentile_of_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * double(sorted.size() - 1);
+  const std::size_t lo = std::size_t(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - double(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+/// Drive one engine configuration with `clients` closed-loop threads for
+/// `seconds`; every request is `rows` rows of the given kind.
+RunResult run_point(const Made& model, bool sample_kind,
+                    const SweepPoint& point, std::size_t workers,
+                    std::size_t clients, std::size_t rows, double seconds) {
+  serve::ServeConfig config;
+  config.workers = workers;
+  config.max_batch_rows = point.max_batch_rows;
+  config.max_wait_us = point.max_wait_us;
+  config.max_pending_rows =
+      std::max<std::size_t>(4096, clients * rows * 4);
+  serve::InferenceEngine engine(config);
+  engine.publish_model(model);
+
+  // One shared pool of evaluation configurations (clients reuse them; the
+  // engine copies what it needs).
+  const std::size_t n = model.num_spins();
+  Matrix pool(64, n);
+  rng::Xoshiro256 gen(12345);
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    pool.data()[i] = rng::bernoulli(gen, 0.5) ? 1 : 0;
+
+  std::vector<std::vector<double>> latencies_us(clients);
+  const double start_us = telemetry::now_us();
+  const double deadline_us = start_us + seconds * 1e6;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<double>& latencies = latencies_us[c];
+      Matrix configs(rows, n);
+      std::uint64_t r = 0;
+      while (telemetry::now_us() < deadline_us) {
+        const double t0 = telemetry::now_us();
+        if (sample_kind) {
+          (void)engine.submit_sample(rows, 1000 * (c + 1) + r).get();
+        } else {
+          for (std::size_t k = 0; k < rows; ++k) {
+            const auto src = pool.row((c + r + k) % pool.rows());
+            std::copy(src.begin(), src.end(), configs.row(k).begin());
+          }
+          (void)engine.submit_log_psi(configs).get();
+        }
+        latencies.push_back(telemetry::now_us() - t0);
+        ++r;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  engine.drain();
+  const double elapsed_s = (telemetry::now_us() - start_us) * 1e-6;
+
+  std::vector<double> all;
+  for (const auto& latencies : latencies_us)
+    all.insert(all.end(), latencies.begin(), latencies.end());
+  std::sort(all.begin(), all.end());
+
+  const serve::EngineCounters counters = engine.counters();
+  RunResult result;
+  result.point = point;
+  result.responses = counters.completed;
+  result.batches = counters.batches;
+  result.seconds = elapsed_s;
+  result.rps = double(counters.completed) / elapsed_s;
+  result.p50_ms = percentile_of_sorted(all, 0.50) * 1e-3;
+  result.p95_ms = percentile_of_sorted(all, 0.95) * 1e-3;
+  result.p99_ms = percentile_of_sorted(all, 0.99) * 1e-3;
+  return result;
+}
+
+void append_result_json(std::ostringstream& json, const RunResult& result,
+                        double gain) {
+  json << "      {\"max_batch_rows\": " << result.point.max_batch_rows
+       << ", \"max_wait_us\": " << result.point.max_wait_us
+       << ", \"responses\": " << result.responses
+       << ", \"seconds\": " << result.seconds
+       << ", \"throughput_rps\": " << result.rps
+       << ", \"mean_batch_rows\": " << result.mean_batch_rows()
+       << ", \"gain_vs_baseline\": " << gain
+       << ", \"latency_ms\": {\"p50\": " << result.p50_ms
+       << ", \"p95\": " << result.p95_ms << ", \"p99\": " << result.p99_ms
+       << "}}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OptionParser opts("bench_serve_throughput",
+                    "serving throughput vs micro-batch policy; writes "
+                    "BENCH_serve.json");
+  opts.add_option("spins", "1000", "MADE input dimension");
+  opts.add_option("hidden", "0", "hidden width (0 = paper default)");
+  opts.add_option("clients", "64", "closed-loop client threads");
+  opts.add_option("rows", "1", "rows per request");
+  opts.add_option("workers", "1", "engine worker threads");
+  opts.add_option("seconds", "1.5", "measurement time per configuration");
+  opts.add_option("out", "BENCH_serve.json", "JSON artifact path");
+  if (!opts.parse(argc, argv)) return 0;
+
+  const std::size_t n = std::size_t(opts.get_int("spins"));
+  const std::size_t h = opts.get_int("hidden") > 0
+                            ? std::size_t(opts.get_int("hidden"))
+                            : made_default_hidden(n);
+  const std::size_t clients = std::size_t(opts.get_int("clients"));
+  const std::size_t rows = std::size_t(opts.get_int("rows"));
+  const std::size_t workers = std::size_t(opts.get_int("workers"));
+  const double seconds = opts.get_double("seconds");
+
+  Made model(n, h);
+  model.initialize(7);
+  std::cout << "MADE n=" << n << " h=" << h << " ("
+            << model.num_parameters() << " parameters); " << clients
+            << " closed-loop clients x " << rows << " row(s)/request, "
+            << workers << " worker(s), " << seconds << " s/config\n\n";
+
+  const SweepPoint baseline{1, 0};
+  const std::vector<SweepPoint> tuned = {
+      {16, 500}, {32, 1000}, {64, 2000}, {128, 4000}};
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"serve_throughput\",\n";
+  json << "  \"model\": {\"spins\": " << n << ", \"hidden\": " << h
+       << ", \"parameters\": " << model.num_parameters() << "},\n";
+  json << "  \"load\": {\"clients\": " << clients
+       << ", \"rows_per_request\": " << rows << ", \"workers\": " << workers
+       << ", \"seconds_per_config\": " << seconds << "},\n";
+  json << "  \"kinds\": {\n";
+
+  double best_gain = 0;
+  const char* kind_names[] = {"sample", "log_psi"};
+  for (int kind = 0; kind < 2; ++kind) {
+    const bool sample_kind = kind == 0;
+    std::cout << "=== kind: " << kind_names[kind] << " ===\n";
+    const RunResult base =
+        run_point(model, sample_kind, baseline, workers, clients, rows,
+                  seconds);
+    std::cout << "  batch=1 window=0      : " << format_fixed(base.rps, 1)
+              << " req/s  p50 " << format_fixed(base.p50_ms, 2)
+              << " ms  p99 " << format_fixed(base.p99_ms, 2) << " ms\n";
+
+    json << "    \"" << kind_names[kind] << "\": {\n      \"baseline\":\n";
+    append_result_json(json, base, 1.0);
+    json << ",\n      \"tuned\": [\n";
+
+    double kind_best = 0;
+    for (std::size_t i = 0; i < tuned.size(); ++i) {
+      const RunResult result = run_point(model, sample_kind, tuned[i],
+                                         workers, clients, rows, seconds);
+      const double gain = base.rps > 0 ? result.rps / base.rps : 0;
+      kind_best = std::max(kind_best, gain);
+      std::cout << "  batch=" << result.point.max_batch_rows << " window="
+                << result.point.max_wait_us
+                << "us: " << format_fixed(result.rps, 1) << " req/s  p50 "
+                << format_fixed(result.p50_ms, 2) << " ms  p99 "
+                << format_fixed(result.p99_ms, 2) << " ms  (occupancy "
+                << format_fixed(result.mean_batch_rows(), 1) << " rows, gain "
+                << format_fixed(gain, 2) << "x)\n";
+      json << "  ";
+      append_result_json(json, result, gain);
+      json << (i + 1 < tuned.size() ? ",\n" : "\n");
+    }
+    json << "      ],\n      \"best_gain\": " << kind_best << "\n    }"
+         << (kind == 0 ? ",\n" : "\n");
+    best_gain = std::max(best_gain, kind_best);
+    std::cout << "  best micro-batching gain: "
+              << format_fixed(kind_best, 2) << "x\n\n";
+  }
+
+  const bool achieved = best_gain >= 3.0;
+  json << "  },\n  \"gain\": " << best_gain
+       << ",\n  \"target_gain\": 3.0,\n  \"achieved\": "
+       << (achieved ? "true" : "false") << "\n}\n";
+
+  const std::string out = opts.get_string("out");
+  std::ofstream file(out);
+  file << json.str();
+  std::cout << "headline micro-batching gain " << format_fixed(best_gain, 2)
+            << "x (target >= 3x: " << (achieved ? "ACHIEVED" : "MISSED")
+            << "); wrote " << out << "\n";
+  return achieved ? 0 : 1;
+}

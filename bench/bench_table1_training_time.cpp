@@ -6,7 +6,9 @@
 /// every size, and both columns grow with n — MADE roughly linearly in its
 /// sampling dimension, RBM&MCMC with the burn-in length k = 3n + 100.
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench_common.hpp"
 #include "nn/made.hpp"
@@ -20,6 +22,8 @@ int main(int argc, char** argv) {
   OptionParser opts("bench_table1_training_time",
                     "Table 1: training time, RBM&MCMC vs MADE&AUTO on TIM");
   add_scale_options(opts);
+  opts.add_option("json", "BENCH_table1.json",
+                  "machine-readable artifact path (empty disables)");
   bool ok = false;
   Scale scale = parse_scale(opts, argc, argv, ok);
   if (!ok) return 0;
@@ -35,6 +39,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> rbm_row = {"RBM", "ADAM", "MCMC"};
   std::vector<std::string> made_row = {"MADE", "ADAM", "AUTO"};
+  std::ostringstream measured_json;
   for (int n : scale.dims) {
     const TransverseFieldIsing tim =
         TransverseFieldIsing::random_dense(std::size_t(n), std::uint64_t(n));
@@ -42,6 +47,13 @@ int main(int argc, char** argv) {
     const ComboResult made = run_combo(tim, "MADE", "AUTO", "ADAM", scale, 1);
     rbm_row.push_back(format_fixed(rbm.train_seconds, 2));
     made_row.push_back(format_fixed(made.train_seconds, 2));
+    if (measured_json.tellp() > 0) measured_json << ",\n";
+    measured_json << "    {\"n\": " << n
+                  << ", \"rbm_mcmc_seconds\": " << rbm.train_seconds
+                  << ", \"made_auto_seconds\": " << made.train_seconds
+                  << ", \"speedup\": "
+                  << rbm.train_seconds / std::max(1e-9, made.train_seconds)
+                  << "}";
     std::cout << "n=" << n << ": RBM&MCMC " << format_fixed(rbm.train_seconds, 2)
               << "s, MADE&AUTO " << format_fixed(made.train_seconds, 2)
               << "s (speedup "
@@ -99,5 +111,38 @@ int main(int argc, char** argv) {
   std::cout << modeled.to_string() << "\n";
   std::cout << "Paper reference (V100, full scale): RBM&MCMC 135.6 -> 456.7 s,"
                " MADE&AUTO 2.9 -> 49.6 s over n = 20 -> 500.\n";
+
+  const std::string json_path = opts.get_string("json");
+  if (!json_path.empty()) {
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"table1_training_time\",\n";
+    json << "  \"iterations\": " << scale.iterations
+         << ",\n  \"batch_size\": " << scale.batch_size
+         << ",\n  \"full_scale\": " << (opts.get_flag("full") ? "true" : "false")
+         << ",\n  \"measured\": [\n"
+         << measured_json.str() << "\n  ],\n";
+    json << "  \"modeled_v100\": [\n";
+    for (std::size_t i = 0; i < paper_dims.size(); ++i) {
+      const std::size_t un = std::size_t(paper_dims[i]);
+      const std::size_t h_made = made_default_hidden(un);
+      const double t_made =
+          paper_iters * parallel::model_auto_iteration_seconds(
+                            device, un, h_made, paper_bs, 1024);
+      const double t_rbm =
+          paper_iters * parallel::model_mcmc_iteration_seconds(
+                            device, un, un, paper_bs, 2, paper_burn_in(un), 1,
+                            1024);
+      json << "    {\"n\": " << paper_dims[i]
+           << ", \"rbm_mcmc_seconds\": " << t_rbm
+           << ", \"made_auto_seconds\": " << t_made << "}"
+           << (i + 1 < paper_dims.size() ? ",\n" : "\n");
+    }
+    json << "  ],\n";
+    json << "  \"paper_reference\": {\"rbm_mcmc_seconds\": [135.6, 456.7], "
+            "\"made_auto_seconds\": [2.9, 49.6], \"dims\": [20, 500]}\n}\n";
+    std::ofstream file(json_path);
+    file << json.str();
+    std::cout << "wrote " << json_path << "\n";
+  }
   return 0;
 }

@@ -22,6 +22,13 @@
 /// (n-1)) assigned cyclically: M1[k][j] = 1 iff j + 1 <= m_k and
 /// M2[i][k] = 1 iff i + 1 > m_k.  Output 0 has no incoming connections, so
 /// p(x_1 = 1) = sigmoid(b2[0]) is a learned scalar, as it must be.
+///
+/// Thread safety: every const method (log_psi, conditionals, the gradient
+/// evaluations, masked_weights_public) uses only call-local scratch — no
+/// shared mutable state — so concurrent read-only use of one Made instance
+/// from multiple threads is safe as long as no thread concurrently writes
+/// parameters() or calls initialize().  The serve subsystem relies on this
+/// (a TSan-covered test hammers one frozen instance from 8 threads).
 
 #include <cstdint>
 

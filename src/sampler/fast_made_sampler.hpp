@@ -21,6 +21,14 @@
 ///
 /// Cost accounting: the statistics still count n "forward passes" per batch
 /// to stay comparable with the baseline sampler's Figure-1 accounting.
+///
+/// Thread safety: a FastMadeSampler instance is single-threaded — it owns
+/// mutable scratch (the masked-weight copies and running pre-activations)
+/// and an RNG stream.  The borrowed Made, however, is only ever read
+/// through const methods, so any number of sampler instances (one per
+/// thread) may share one frozen model concurrently.  For the serving path,
+/// serve::ModelSnapshot re-implements this exact draw order with
+/// per-request generators (bit-for-bit parity is tested).
 
 #include <cstdint>
 

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file errors.hpp
+/// \brief Typed error hierarchy of the vqmc::serve subsystem.
+///
+/// Callers of the inference engine need to distinguish *why* a request
+/// failed: overload shedding is retryable-with-backoff, a missed deadline
+/// means the caller's latency budget (not the engine) is at fault, and a
+/// shutdown rejection is terminal.  Snapshot-interop failures (loading a
+/// checkpoint written for a different architecture) get their own type so a
+/// serving process can refuse a bad model push without tearing down.
+
+#include "common/error.hpp"
+
+namespace vqmc::serve {
+
+/// Base class for every serve-layer failure.
+class ServeError : public Error {
+ public:
+  explicit ServeError(const std::string& what) : Error(what) {}
+};
+
+/// Admission control rejected the request because the engine's bounded
+/// backlog (ServeConfig::max_pending_rows) is full.  Thrown synchronously
+/// from submit_* — a shed request is never enqueued, so its future never
+/// existed and nothing is silently dropped.
+class ServeOverloadError : public ServeError {
+ public:
+  explicit ServeOverloadError(const std::string& what) : ServeError(what) {}
+};
+
+/// The engine is shutting down (or already shut down) and no longer admits
+/// requests.
+class ServeShutdownError : public ServeError {
+ public:
+  explicit ServeShutdownError(const std::string& what) : ServeError(what) {}
+};
+
+/// The request's deadline expired before a worker could execute it.  The
+/// failure is reported through the request's future.
+class ServeDeadlineError : public ServeError {
+ public:
+  explicit ServeDeadlineError(const std::string& what) : ServeError(what) {}
+};
+
+/// A TrainingSnapshot (or live model) cannot be served: wrong model family,
+/// inconsistent spin/parameter counts, or an architecture switch relative to
+/// the versions already published.
+class SnapshotMismatchError : public ServeError {
+ public:
+  explicit SnapshotMismatchError(const std::string& what) : ServeError(what) {}
+};
+
+}  // namespace vqmc::serve

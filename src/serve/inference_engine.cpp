@@ -1,0 +1,418 @@
+#include "serve/inference_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "core/local_energy.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace vqmc::serve {
+
+namespace {
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0:
+      return "sample";
+    case 1:
+      return "log_psi";
+    default:
+      return "local_energy";
+  }
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(ServeConfig config)
+    : config_(std::move(config)) {
+  VQMC_REQUIRE(config_.workers >= 1, "serve: need at least one worker");
+  VQMC_REQUIRE(config_.max_batch_rows >= 1,
+               "serve: micro-batch budget must be positive");
+  VQMC_REQUIRE(config_.max_pending_rows >= config_.max_batch_rows,
+               "serve: admission bound below the micro-batch budget");
+  VQMC_REQUIRE(config_.max_wait_us >= 0, "serve: negative batching window");
+  workers_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+InferenceEngine::~InferenceEngine() { shutdown(); }
+
+std::uint64_t InferenceEngine::publish(
+    std::shared_ptr<const ModelSnapshot> snapshot) {
+  VQMC_REQUIRE(snapshot != nullptr, "serve: cannot publish a null snapshot");
+  const auto previous = published_.load(std::memory_order_acquire);
+  if (previous != nullptr &&
+      previous->snapshot->num_spins() != snapshot->num_spins()) {
+    throw SnapshotMismatchError(
+        "serve: published model has " +
+        std::to_string(snapshot->num_spins()) + " spins but version " +
+        std::to_string(previous->version) + " served " +
+        std::to_string(previous->snapshot->num_spins()) +
+        " — a hot-swap may retune weights, not change the problem size");
+  }
+  auto next = std::make_shared<const Published>(
+      Published{next_version_.fetch_add(1, std::memory_order_relaxed) + 1,
+                std::move(snapshot)});
+  const std::uint64_t version = next->version;
+  published_.store(std::move(next), std::memory_order_release);
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::enabled()) {
+    telemetry::metrics().counter("serve.publishes").add();
+  }
+  return version;
+}
+
+std::uint64_t InferenceEngine::publish_model(const Made& model) {
+  return publish(ModelSnapshot::from_model(model));
+}
+
+std::uint64_t InferenceEngine::publish_checkpoint(
+    const TrainingSnapshot& snapshot) {
+  return publish(ModelSnapshot::from_training_snapshot(snapshot));
+}
+
+std::shared_ptr<const ModelSnapshot> InferenceEngine::current_snapshot()
+    const {
+  const auto published = published_.load(std::memory_order_acquire);
+  return published == nullptr ? nullptr : published->snapshot;
+}
+
+std::uint64_t InferenceEngine::current_version() const {
+  const auto published = published_.load(std::memory_order_acquire);
+  return published == nullptr ? 0 : published->version;
+}
+
+std::future<SampleResult> InferenceEngine::submit_sample(std::size_t count,
+                                                         std::uint64_t seed,
+                                                         double timeout_us) {
+  VQMC_REQUIRE(count > 0, "serve: sample count must be positive");
+  auto request = std::make_unique<Request>();
+  request->kind = Kind::Sample;
+  request->rows = count;
+  request->seed = seed;
+  return enqueue_sample(std::move(request), timeout_us);
+}
+
+std::future<EvalResult> InferenceEngine::submit_log_psi(Matrix configs,
+                                                        double timeout_us) {
+  auto request = std::make_unique<Request>();
+  request->kind = Kind::LogPsi;
+  request->rows = configs.rows();
+  request->configs = std::move(configs);
+  return enqueue_eval(std::move(request), timeout_us);
+}
+
+std::future<EvalResult> InferenceEngine::submit_local_energy(
+    Matrix configs, double timeout_us) {
+  VQMC_REQUIRE(config_.hamiltonian != nullptr,
+               "serve: engine was configured without a Hamiltonian; "
+               "local-energy requests are unavailable");
+  auto request = std::make_unique<Request>();
+  request->kind = Kind::LocalEnergy;
+  request->rows = configs.rows();
+  request->configs = std::move(configs);
+  return enqueue_eval(std::move(request), timeout_us);
+}
+
+std::future<SampleResult> InferenceEngine::enqueue_sample(
+    std::unique_ptr<Request> request, double timeout_us) {
+  std::future<SampleResult> future = request->sample_promise.get_future();
+  admit(std::move(request), timeout_us);
+  return future;
+}
+
+std::future<EvalResult> InferenceEngine::enqueue_eval(
+    std::unique_ptr<Request> request, double timeout_us) {
+  std::future<EvalResult> future = request->eval_promise.get_future();
+  admit(std::move(request), timeout_us);
+  return future;
+}
+
+void InferenceEngine::admit(std::unique_ptr<Request> request,
+                            double timeout_us) {
+  const auto published = published_.load(std::memory_order_acquire);
+  VQMC_REQUIRE(published != nullptr,
+               "serve: no model published; publish a snapshot first");
+  if (request->kind != Kind::Sample) {
+    VQMC_REQUIRE(request->configs.cols() == published->snapshot->num_spins(),
+                 "serve: request configurations have the wrong spin count");
+  }
+  VQMC_REQUIRE(request->rows > 0, "serve: empty request");
+  VQMC_REQUIRE(timeout_us >= 0, "serve: negative request timeout");
+
+  const std::size_t rows = request->rows;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw ServeShutdownError("serve: engine is shut down");
+    }
+    if (pending_rows_ + rows > config_.max_pending_rows) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry::enabled()) {
+        telemetry::metrics().counter("serve.shed").add();
+      }
+      throw ServeOverloadError(
+          "serve: overloaded — " + std::to_string(pending_rows_) +
+          " rows outstanding, request of " + std::to_string(rows) +
+          " exceeds the bound of " +
+          std::to_string(config_.max_pending_rows));
+    }
+    request->enqueue_us = telemetry::now_us();
+    if (timeout_us > 0) {
+      request->deadline_us = request->enqueue_us + timeout_us;
+    }
+    queue_.push_back(std::move(request));
+    queued_rows_ += rows;
+    pending_rows_ += rows;
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+      telemetry::MetricsRegistry& registry = telemetry::metrics();
+      registry.counter("serve.requests").add();
+      registry.gauge("serve.queue_rows").set(double(queued_rows_));
+    }
+  }
+  work_cv_.notify_one();
+}
+
+void InferenceEngine::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+
+    // Open a micro-batch around the oldest request; its arrival time
+    // anchors the batching window.
+    const Kind kind = queue_.front()->kind;
+    const double window_end =
+        queue_.front()->enqueue_us + config_.max_wait_us;
+    std::vector<std::unique_ptr<Request>> batch;
+    std::size_t rows = 0;
+
+    const auto harvest = [&] {
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        Request& candidate = **it;
+        if (candidate.kind == kind &&
+            (rows == 0 || rows + candidate.rows <= config_.max_batch_rows)) {
+          rows += candidate.rows;
+          queued_rows_ -= candidate.rows;
+          batch.push_back(std::move(*it));
+          it = queue_.erase(it);
+          if (rows >= config_.max_batch_rows) break;
+        } else {
+          ++it;
+        }
+      }
+    };
+    harvest();
+
+    // Hold the batch open for late co-batchable arrivals until the window
+    // closes or the row budget fills.  Shutdown collapses the window so the
+    // backlog drains promptly.
+    while (!stopping_ && rows < config_.max_batch_rows) {
+      const double now = telemetry::now_us();
+      if (now >= window_end) break;
+      work_cv_.wait_for(lock, std::chrono::duration<double, std::micro>(
+                                  window_end - now));
+      harvest();
+    }
+
+    if (telemetry::enabled()) {
+      telemetry::metrics().gauge("serve.queue_rows").set(double(queued_rows_));
+    }
+    lock.unlock();
+    execute_batch(kind, batch, rows);
+    finish_rows(rows);
+    lock.lock();
+  }
+}
+
+void InferenceEngine::finish_rows(std::size_t rows) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_rows_ -= rows;
+  }
+  drain_cv_.notify_all();
+}
+
+void InferenceEngine::fail_request(Request& request,
+                                   std::exception_ptr error) {
+  // Count before fulfilling (see execute_batch): a client unblocked by the
+  // future must already see itself in counters().failed.
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  if (request.kind == Kind::Sample) {
+    request.sample_promise.set_exception(error);
+  } else {
+    request.eval_promise.set_exception(error);
+  }
+}
+
+void InferenceEngine::execute_batch(
+    Kind kind, std::vector<std::unique_ptr<Request>>& batch,
+    std::size_t rows) {
+  TELEMETRY_SPAN("serve.batch");
+  // Bind the batch to exactly one published version: every response below
+  // is attributable to this snapshot and no other.
+  const auto published = published_.load(std::memory_order_acquire);
+  const std::uint64_t version = published->version;
+  const ModelSnapshot& snapshot = *published->snapshot;
+  const double start_us = telemetry::now_us();
+
+  // Expired requests are failed (reported!) up front and excluded from the
+  // compute batch.
+  std::vector<Request*> live;
+  live.reserve(batch.size());
+  std::size_t live_rows = 0;
+  for (auto& request : batch) {
+    if (request->deadline_us < start_us) {
+      fail_request(*request,
+                   std::make_exception_ptr(ServeDeadlineError(
+                       "serve: deadline expired before dispatch")));
+      if (telemetry::enabled()) {
+        telemetry::metrics().counter("serve.deadline_expired").add();
+      }
+    } else {
+      live.push_back(request.get());
+      live_rows += request->rows;
+    }
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::enabled()) {
+    telemetry::MetricsRegistry& registry = telemetry::metrics();
+    registry.counter("serve.batches").add();
+    registry.counter(std::string("serve.batches.") +
+                     kind_name(int(kind)))
+        .add();
+    registry.histogram("serve.batch_rows").observe(double(rows));
+  }
+  if (live.empty()) return;
+
+  try {
+    const std::size_t n = snapshot.num_spins();
+    if (kind == Kind::Sample) {
+      // One ancestral pass over the sites serves every request; each
+      // request's rows consume its own seed stream (bit-identical to a
+      // dedicated FastMadeSampler).
+      Matrix out(live_rows, n);
+      std::vector<rng::Xoshiro256> gens;
+      gens.reserve(live.size());
+      for (const Request* request : live) gens.emplace_back(request->seed);
+      std::vector<ModelSnapshot::SampleSlice> slices(live.size());
+      std::size_t row = 0;
+      for (std::size_t r = 0; r < live.size(); ++r) {
+        slices[r] = {row, live[r]->rows, &gens[r]};
+        row += live[r]->rows;
+      }
+      snapshot.sample(out, slices);
+      const double end_us = telemetry::now_us();
+      row = 0;
+      for (Request*& request : live) {
+        SampleResult result;
+        result.samples = Matrix(request->rows, n);
+        std::copy_n(out.data() + row * n, request->rows * n,
+                    result.samples.data());
+        result.model_version = version;
+        row += request->rows;
+        const double enqueue_us = request->enqueue_us;
+        // Count before fulfilling: a client unblocked by the future must
+        // already see itself in counters().completed.
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        request->sample_promise.set_value(std::move(result));
+        request = nullptr;  // fulfilled; the catch below must skip it
+        if (telemetry::enabled()) {
+          telemetry::MetricsRegistry& registry = telemetry::metrics();
+          registry.counter("serve.responses").add();
+          registry.histogram("serve.latency_seconds")
+              .observe((end_us - enqueue_us) * 1e-6);
+        }
+      }
+    } else {
+      // Stack the request configurations into one forward batch.
+      Matrix all(live_rows, n);
+      std::size_t row = 0;
+      for (const Request* request : live) {
+        std::copy_n(request->configs.data(), request->rows * n,
+                    all.data() + row * n);
+        row += request->rows;
+      }
+      std::vector<Real> values(live_rows);
+      if (kind == Kind::LogPsi) {
+        snapshot.log_psi(all, values);
+      } else {
+        LocalEnergyEngine engine(*config_.hamiltonian, snapshot.model());
+        engine.compute(all, values);
+      }
+      const double end_us = telemetry::now_us();
+      row = 0;
+      for (Request*& request : live) {
+        EvalResult result;
+        result.values.assign(values.begin() + std::ptrdiff_t(row),
+                             values.begin() +
+                                 std::ptrdiff_t(row + request->rows));
+        result.model_version = version;
+        row += request->rows;
+        const double enqueue_us = request->enqueue_us;
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        request->eval_promise.set_value(std::move(result));
+        request = nullptr;  // fulfilled; the catch below must skip it
+        if (telemetry::enabled()) {
+          telemetry::MetricsRegistry& registry = telemetry::metrics();
+          registry.counter("serve.responses").add();
+          registry.histogram("serve.latency_seconds")
+              .observe((end_us - enqueue_us) * 1e-6);
+        }
+      }
+    }
+  } catch (...) {
+    // A kernel-level failure fails every not-yet-fulfilled request in the
+    // batch — each future observes the error, so nothing is dropped
+    // unreported.
+    const std::exception_ptr error = std::current_exception();
+    for (Request* request : live) {
+      if (request != nullptr) fail_request(*request, error);
+    }
+  }
+}
+
+void InferenceEngine::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [this] { return pending_rows_ == 0; });
+}
+
+void InferenceEngine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Idempotent: a second shutdown only needs the joins below to have
+      // happened, which the first call guarantees.
+      return;
+    }
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+EngineCounters InferenceEngine::counters() const {
+  EngineCounters counters;
+  counters.submitted = submitted_.load(std::memory_order_relaxed);
+  counters.completed = completed_.load(std::memory_order_relaxed);
+  counters.failed = failed_.load(std::memory_order_relaxed);
+  counters.shed = shed_.load(std::memory_order_relaxed);
+  counters.batches = batches_.load(std::memory_order_relaxed);
+  counters.publishes = publishes_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+}  // namespace vqmc::serve

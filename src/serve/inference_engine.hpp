@@ -1,0 +1,203 @@
+#pragma once
+
+/// \file inference_engine.hpp
+/// \brief Concurrent inference engine over immutable MADE snapshots:
+/// dynamic micro-batching, atomic model hot-swap and admission control
+/// (DESIGN.md §5e).
+///
+/// The engine turns a trained model into a queryable service.  Three
+/// request kinds — sample-n, log-psi evaluation and local-energy
+/// measurement — enter one bounded queue; a pool of worker threads
+/// coalesces same-kind requests into dynamic micro-batches under a
+/// `max_batch_rows x max_wait_us` policy and fulfils them with the batched
+/// kernels, one future per request.
+///
+/// **Hot-swap.** `publish()` installs a new immutable ModelSnapshot with a
+/// single atomic pointer exchange; requests in flight keep the snapshot
+/// they were dispatched against alive through shared ownership.  A batch
+/// binds to exactly one published version at execution start and every
+/// response carries that version, so the swap is linearizable at batch
+/// granularity: no response ever mixes weights from two versions, and
+/// training can keep publishing while traffic is served.
+///
+/// **Backpressure.** Admission is bounded by outstanding rows
+/// (queued + dispatched-but-unfinished).  A request over budget is shed
+/// synchronously with a typed ServeOverloadError — it is never enqueued, so
+/// the accounting invariant `submitted == completed + failed` holds after
+/// drain() and nothing can be dropped without being reported.  Per-request
+/// deadlines fail through the future with ServeDeadlineError.
+///
+/// **Telemetry.** Queue-depth gauge (`serve.queue_rows`), batch-occupancy
+/// histogram (`serve.batch_rows`), end-to-end latency histogram
+/// (`serve.latency_seconds`, p50/p95/p99) and counters for requests,
+/// responses, sheds, batches and publishes.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "hamiltonian/hamiltonian.hpp"
+#include "serve/model_snapshot.hpp"
+
+namespace vqmc::serve {
+
+/// Engine tuning knobs.
+struct ServeConfig {
+  /// Worker threads fulfilling micro-batches.
+  std::size_t workers = 2;
+  /// Micro-batch row budget: a batch closes as soon as it holds this many
+  /// rows.  1 disables coalescing (every request is its own batch).
+  std::size_t max_batch_rows = 64;
+  /// Batching window: a batch stays open this long after its oldest request
+  /// arrived, waiting for co-batchable traffic.  0 dispatches immediately.
+  double max_wait_us = 200;
+  /// Admission bound on outstanding rows (queued + executing).  Requests
+  /// beyond it are shed with ServeOverloadError.
+  std::size_t max_pending_rows = 4096;
+  /// Enables local-energy requests (borrowed; must outlive the engine).
+  const Hamiltonian* hamiltonian = nullptr;
+};
+
+/// Response to a sample-n request.
+struct SampleResult {
+  Matrix samples;                   ///< count x n configurations in {0,1}
+  std::uint64_t model_version = 0;  ///< snapshot version that produced them
+};
+
+/// Response to a log-psi or local-energy request (one value per input row).
+struct EvalResult {
+  std::vector<Real> values;
+  std::uint64_t model_version = 0;
+};
+
+/// Monotone request-accounting counters.  After drain() with no traffic in
+/// flight: submitted == completed + failed, and shed requests were rejected
+/// synchronously (never enqueued) — so every admitted request is accounted
+/// for exactly once.
+struct EngineCounters {
+  std::uint64_t submitted = 0;  ///< admitted into the queue
+  std::uint64_t completed = 0;  ///< fulfilled with a result
+  std::uint64_t failed = 0;     ///< fulfilled with an exception (deadline...)
+  std::uint64_t shed = 0;       ///< rejected at admission (overload)
+  std::uint64_t batches = 0;    ///< micro-batches executed
+  std::uint64_t publishes = 0;  ///< snapshot versions published
+};
+
+/// Concurrent inference engine.  Thread-safe: any thread may submit or
+/// publish; worker threads are owned by the engine.
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(ServeConfig config = {});
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Install `snapshot` as the current model (atomic pointer swap; requests
+  /// already dispatched keep their version).  Returns the monotone version
+  /// number assigned to it (first publish is version 1).  Throws
+  /// SnapshotMismatchError if the spin count differs from the versions
+  /// served so far — a hot-swap may retune weights, not change the problem.
+  std::uint64_t publish(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// Convenience: snapshot a live model's current parameters and publish.
+  std::uint64_t publish_model(const Made& model);
+
+  /// Convenience: validate and publish a training checkpoint
+  /// (ModelSnapshot::from_training_snapshot).
+  std::uint64_t publish_checkpoint(const TrainingSnapshot& snapshot);
+
+  /// The currently published snapshot (nullptr before the first publish).
+  [[nodiscard]] std::shared_ptr<const ModelSnapshot> current_snapshot() const;
+  /// Version of the currently published snapshot (0 before first publish).
+  [[nodiscard]] std::uint64_t current_version() const;
+
+  /// Draw `count` exact samples.  The request's rows are bit-identical to a
+  /// FastMadeSampler over the same weights seeded with `seed`, regardless
+  /// of how the engine batches it.  `timeout_us` == 0 means no deadline.
+  std::future<SampleResult> submit_sample(std::size_t count,
+                                          std::uint64_t seed,
+                                          double timeout_us = 0);
+
+  /// Evaluate log |psi| for each row of `configs` (entries in {0,1}).
+  std::future<EvalResult> submit_log_psi(Matrix configs,
+                                         double timeout_us = 0);
+
+  /// Evaluate local energies for each row of `configs`.  Requires
+  /// ServeConfig::hamiltonian.
+  std::future<EvalResult> submit_local_energy(Matrix configs,
+                                              double timeout_us = 0);
+
+  /// Block until every admitted request has been fulfilled (result or
+  /// exception).  New requests may still arrive while draining.
+  void drain();
+
+  /// Stop admission (further submits throw ServeShutdownError), fulfil
+  /// every queued request, and join the workers.  Idempotent; also run by
+  /// the destructor.
+  void shutdown();
+
+  [[nodiscard]] EngineCounters counters() const;
+  [[nodiscard]] const ServeConfig& config() const { return config_; }
+
+ private:
+  enum class Kind { Sample, LogPsi, LocalEnergy };
+
+  struct Request {
+    Kind kind = Kind::Sample;
+    std::size_t rows = 0;
+    std::uint64_t seed = 0;  ///< Sample only
+    Matrix configs;          ///< LogPsi / LocalEnergy only
+    std::promise<SampleResult> sample_promise;
+    std::promise<EvalResult> eval_promise;
+    double enqueue_us = 0;
+    double deadline_us = std::numeric_limits<double>::infinity();
+  };
+
+  /// One published version: the snapshot plus its engine-assigned version.
+  struct Published {
+    std::uint64_t version = 0;
+    std::shared_ptr<const ModelSnapshot> snapshot;
+  };
+
+  std::future<SampleResult> enqueue_sample(std::unique_ptr<Request> request,
+                                           double timeout_us);
+  std::future<EvalResult> enqueue_eval(std::unique_ptr<Request> request,
+                                       double timeout_us);
+  void admit(std::unique_ptr<Request> request, double timeout_us);
+  void worker_loop();
+  void execute_batch(Kind kind,
+                     std::vector<std::unique_ptr<Request>>& batch,
+                     std::size_t rows);
+  void fail_request(Request& request, std::exception_ptr error);
+  void finish_rows(std::size_t rows);
+
+  ServeConfig config_;
+  std::atomic<std::shared_ptr<const Published>> published_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< workers wait for traffic
+  std::condition_variable drain_cv_;  ///< drain() waits for quiescence
+  std::deque<std::unique_ptr<Request>> queue_;
+  std::size_t queued_rows_ = 0;   ///< rows waiting in queue_
+  std::size_t pending_rows_ = 0;  ///< rows admitted but not yet fulfilled
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> next_version_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> publishes_{0};
+};
+
+}  // namespace vqmc::serve

@@ -1,0 +1,158 @@
+#include "serve/model_snapshot.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/distributions.hpp"
+#include "tensor/kernels.hpp"
+
+namespace vqmc::serve {
+
+namespace {
+
+/// Same clamp as Made::log_psi (made.cpp); the parity tests assert
+/// bit-for-bit equality, which pins the two constants together.
+constexpr Real kProbEps = 1e-12;
+
+Real clamped_log(Real p) { return std::log(std::max(p, kProbEps)); }
+
+}  // namespace
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::from_model(
+    const Made& model) {
+  return std::shared_ptr<const ModelSnapshot>(new ModelSnapshot(model));
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::from_training_snapshot(
+    const TrainingSnapshot& snapshot) {
+  if (snapshot.model_name != "MADE") {
+    throw SnapshotMismatchError("serve: checkpoint holds a '" +
+                                snapshot.model_name +
+                                "' model; only MADE is servable");
+  }
+  const std::uint64_t n = snapshot.num_spins;
+  const std::uint64_t d = snapshot.num_parameters;
+  if (n < 2) {
+    throw SnapshotMismatchError(
+        "serve: checkpoint spin count " + std::to_string(n) +
+        " is not a valid MADE (need at least 2 spins)");
+  }
+  // d = 2hn + h + n  =>  h = (d - n) / (2n + 1), which must be integral.
+  if (d <= n || (d - n) % (2 * n + 1) != 0) {
+    throw SnapshotMismatchError(
+        "serve: checkpoint parameter count " + std::to_string(d) +
+        " does not factor as 2hn + h + n for n = " + std::to_string(n));
+  }
+  const std::uint64_t h = (d - n) / (2 * n + 1);
+  if (h < 1) {
+    throw SnapshotMismatchError("serve: checkpoint implies hidden width 0");
+  }
+  if (snapshot.parameters.size() != d) {
+    throw SnapshotMismatchError(
+        "serve: checkpoint declares " + std::to_string(d) +
+        " parameters but carries " +
+        std::to_string(snapshot.parameters.size()));
+  }
+  Made model{std::size_t(n), std::size_t(h)};
+  std::copy(snapshot.parameters.begin(), snapshot.parameters.end(),
+            model.parameters().begin());
+  return std::shared_ptr<const ModelSnapshot>(
+      new ModelSnapshot(std::move(model)));
+}
+
+void ModelSnapshot::log_psi(const Matrix& batch, std::span<Real> out) const {
+  const std::size_t n = model_.num_spins();
+  const std::size_t h = model_.hidden_size();
+  VQMC_REQUIRE(batch.cols() == n, "serve: batch has wrong spin count");
+  VQMC_REQUIRE(out.size() == batch.rows(), "serve: output size mismatch");
+  const std::size_t bs = batch.rows();
+
+  // Kernel-for-kernel replay of Made::forward; per-row arithmetic is
+  // independent of the batch composition, so coalescing requests cannot
+  // perturb any row's value.  Materializing the masked weights here is the
+  // per-micro-batch fixed cost the batching window amortizes (see the file
+  // comment in model_snapshot.hpp).
+  Matrix w1m, w2m;
+  model_.masked_weights_public(w1m, w2m);
+  Matrix a1(bs, h);
+  gemm_nt(batch, w1m, a1);
+  add_row_broadcast(a1, model_.bias1());
+  Matrix h1 = a1;
+  relu_inplace(h1);
+  Matrix p(bs, n);
+  gemm_nt(h1, w2m, p);
+  add_row_broadcast(p, model_.bias2());
+  sigmoid_inplace(p);
+
+#pragma omp parallel for schedule(static)
+  for (std::size_t k = 0; k < bs; ++k) {
+    Real log_pi = 0;
+    const Real* x = batch.row(k).data();
+    const Real* pk = p.row(k).data();
+    for (std::size_t i = 0; i < n; ++i) {
+      log_pi +=
+          x[i] * clamped_log(pk[i]) + (1 - x[i]) * clamped_log(1 - pk[i]);
+    }
+    out[k] = log_pi / 2;  // psi = sqrt(pi)
+  }
+}
+
+void ModelSnapshot::sample(Matrix& out,
+                           std::span<const SampleSlice> slices) const {
+  const std::size_t n = model_.num_spins();
+  const std::size_t h = model_.hidden_size();
+  VQMC_REQUIRE(out.cols() == n, "serve: output batch has wrong spin count");
+  const std::size_t bs = out.rows();
+  VQMC_REQUIRE(bs > 0, "serve: sample batch must be non-empty");
+  for (const SampleSlice& s : slices) {
+    VQMC_REQUIRE(s.gen != nullptr && s.row_count > 0 &&
+                     s.row_begin + s.row_count <= bs,
+                 "serve: invalid sample slice");
+  }
+
+  Matrix w1m, w2m;
+  model_.masked_weights_public(w1m, w2m);
+  const std::span<const Real> b1 = model_.bias1();
+  const std::span<const Real> b2 = model_.bias2();
+
+  // Running hidden pre-activations, rank-1-updated exactly as in
+  // FastMadeSampler (the all-zeros start contributes only the bias).
+  Matrix a1(bs, h);
+  for (std::size_t k = 0; k < bs; ++k) {
+    Real* row = a1.row(k).data();
+    for (std::size_t l = 0; l < h; ++l) row[l] = b1[l];
+  }
+  out.fill(0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real* w2_row = w2m.row(i).data();
+    const Real bias = b2[i];
+    for (const SampleSlice& s : slices) {
+      rng::Xoshiro256& gen = *s.gen;
+      const std::size_t end = s.row_begin + s.row_count;
+      for (std::size_t k = s.row_begin; k < end; ++k) {
+        const Real* a_row = a1.row(k).data();
+        Real logit = bias;
+        for (std::size_t l = 0; l < h; ++l) {
+          const Real hl = a_row[l] > 0 ? a_row[l] : 0;  // ReLU on the fly
+          logit += w2_row[l] * hl;
+        }
+        const Real p1 = sigmoid(logit);
+        if (rng::bernoulli(gen, p1)) {
+          out(k, i) = 1;
+          Real* a_mut = a1.row(k).data();
+          const Real* w1_base = w1m.data();
+          for (std::size_t l = 0; l < h; ++l) a_mut[l] += w1_base[l * n + i];
+        }
+      }
+    }
+  }
+}
+
+void ModelSnapshot::sample(Matrix& out, std::uint64_t seed) const {
+  rng::Xoshiro256 gen(seed);
+  const SampleSlice slice{0, out.rows(), &gen};
+  sample(out, std::span<const SampleSlice>(&slice, 1));
+}
+
+}  // namespace vqmc::serve

@@ -33,13 +33,15 @@ void axpy(Real alpha, std::span<const Real> x, std::span<Real> y);
 /// x *= alpha.
 void scale(std::span<Real> x, Real alpha);
 
-/// Sum of elements.
+/// Sum of elements (pairwise accumulation: O(log N)-ulp error bound, so
+/// million-row batch statistics stay accurate).
 Real sum(std::span<const Real> x);
 
-/// Arithmetic mean (0 for empty spans).
+/// Arithmetic mean (0 for empty spans; pairwise accumulation).
 Real mean(std::span<const Real> x);
 
-/// Population variance (division by N; 0 for empty spans).
+/// Population variance (division by N; 0 for empty spans; two-pass with
+/// pairwise accumulation of the squared deviations).
 Real variance(std::span<const Real> x);
 
 // ---------------------------------------------------------------------------

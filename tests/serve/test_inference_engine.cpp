@@ -1,0 +1,267 @@
+#include "serve/inference_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "core/local_energy.hpp"
+#include "hamiltonian/transverse_field_ising.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "sampler/fast_made_sampler.hpp"
+
+namespace vqmc::serve {
+namespace {
+
+void randomize_parameters(WavefunctionModel& model, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  for (Real& p : model.parameters()) p = rng::uniform(gen, -0.8, 0.8);
+}
+
+Matrix random_configs(std::size_t rows, std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  Matrix batch(rows, n);
+  for (std::size_t k = 0; k < rows; ++k)
+    for (std::size_t i = 0; i < n; ++i)
+      batch(k, i) = rng::bernoulli(gen, 0.5) ? 1 : 0;
+  return batch;
+}
+
+TEST(InferenceEngine, LogPsiMatchesModelBitForBit) {
+  Made made(8, 10);
+  randomize_parameters(made, 1);
+  InferenceEngine engine({.workers = 2});
+  EXPECT_EQ(engine.publish_model(made), 1u);
+
+  const Matrix configs = random_configs(16, 8, 2);
+  Vector expected(16);
+  made.log_psi(configs, expected.span());
+
+  auto future = engine.submit_log_psi(configs);
+  const EvalResult result = future.get();
+  EXPECT_EQ(result.model_version, 1u);
+  ASSERT_EQ(result.values.size(), 16u);
+  for (std::size_t k = 0; k < 16; ++k)
+    EXPECT_EQ(expected[k], result.values[k]);
+}
+
+TEST(InferenceEngine, SampleMatchesInTrainerSamplerBitForBit) {
+  Made made(9, 7);
+  randomize_parameters(made, 3);
+  InferenceEngine engine;
+  engine.publish_model(made);
+
+  FastMadeSampler reference(made, 77);
+  Matrix expected(32, 9);
+  reference.sample(expected);
+
+  const SampleResult result = engine.submit_sample(32, 77).get();
+  EXPECT_EQ(result.model_version, 1u);
+  ASSERT_EQ(result.samples.rows(), 32u);
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(expected.data()[i], result.samples.data()[i]);
+}
+
+TEST(InferenceEngine, LocalEnergyMatchesEngineDirect) {
+  const auto tim = TransverseFieldIsing::random_dense(6, 11);
+  Made made(6, 8);
+  randomize_parameters(made, 4);
+  ServeConfig config;
+  config.hamiltonian = &tim;
+  InferenceEngine engine(config);
+  engine.publish_model(made);
+
+  const Matrix configs = random_configs(12, 6, 5);
+  std::vector<Real> expected(12);
+  LocalEnergyEngine direct(tim, made);
+  direct.compute(configs, expected);
+
+  const EvalResult result = engine.submit_local_energy(configs).get();
+  ASSERT_EQ(result.values.size(), 12u);
+  for (std::size_t k = 0; k < 12; ++k)
+    EXPECT_EQ(expected[k], result.values[k]);
+}
+
+TEST(InferenceEngine, LocalEnergyRequiresHamiltonian) {
+  Made made(6, 8);
+  InferenceEngine engine;
+  engine.publish_model(made);
+  EXPECT_THROW((void)engine.submit_local_energy(random_configs(2, 6, 1)),
+               Error);
+}
+
+TEST(InferenceEngine, SubmitBeforePublishRejected) {
+  InferenceEngine engine;
+  EXPECT_THROW((void)engine.submit_sample(4, 1), Error);
+}
+
+TEST(InferenceEngine, HotSwapAttributesVersionsExactly) {
+  Made v1(7, 9), v2(7, 9);
+  randomize_parameters(v1, 10);
+  randomize_parameters(v2, 20);
+  InferenceEngine engine;
+  EXPECT_EQ(engine.publish_model(v1), 1u);
+
+  const Matrix configs = random_configs(8, 7, 6);
+  Vector expected_v1(8), expected_v2(8);
+  v1.log_psi(configs, expected_v1.span());
+  v2.log_psi(configs, expected_v2.span());
+
+  const EvalResult before = engine.submit_log_psi(configs).get();
+  EXPECT_EQ(before.model_version, 1u);
+  for (std::size_t k = 0; k < 8; ++k)
+    EXPECT_EQ(expected_v1[k], before.values[k]);
+
+  EXPECT_EQ(engine.publish_model(v2), 2u);
+  EXPECT_EQ(engine.current_version(), 2u);
+  const EvalResult after = engine.submit_log_psi(configs).get();
+  EXPECT_EQ(after.model_version, 2u);
+  for (std::size_t k = 0; k < 8; ++k)
+    EXPECT_EQ(expected_v2[k], after.values[k]);
+}
+
+TEST(InferenceEngine, PublishRejectsProblemSizeChange) {
+  Made small(6, 8), large(7, 8);
+  InferenceEngine engine;
+  engine.publish_model(small);
+  EXPECT_THROW(engine.publish_model(large), SnapshotMismatchError);
+}
+
+TEST(InferenceEngine, WindowCoalescesConcurrentRequestsIntoOneBatch) {
+  Made made(6, 8);
+  randomize_parameters(made, 7);
+  ServeConfig config;
+  config.workers = 1;
+  config.max_batch_rows = 8;
+  config.max_wait_us = 200000;  // generous window: the budget closes it
+  InferenceEngine engine(config);
+  engine.publish_model(made);
+
+  const Matrix configs = random_configs(1, 6, 8);
+  std::vector<std::future<EvalResult>> futures;
+  for (int i = 0; i < 8; ++i)
+    futures.push_back(engine.submit_log_psi(configs));
+  for (auto& future : futures) (void)future.get();
+
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.submitted, 8u);
+  EXPECT_EQ(counters.completed, 8u);
+  // All eight row-1 requests fit one micro-batch; allow a second in case
+  // the worker dispatched before the budget filled.
+  EXPECT_LE(counters.batches, 2u);
+}
+
+TEST(InferenceEngine, OverloadShedsWithTypedError) {
+  Made made(6, 8);
+  randomize_parameters(made, 9);
+  ServeConfig config;
+  config.workers = 1;
+  config.max_batch_rows = 4;
+  config.max_wait_us = 200000;  // holds the first batch open
+  config.max_pending_rows = 4;
+  InferenceEngine engine(config);
+  engine.publish_model(made);
+
+  // 3 rows outstanding; a 2-row request exceeds the bound of 4 and is shed
+  // synchronously, while a 1-row request still fits (and fills the batch).
+  auto first = engine.submit_log_psi(random_configs(3, 6, 10));
+  EXPECT_THROW((void)engine.submit_log_psi(random_configs(2, 6, 11)),
+               ServeOverloadError);
+  auto third = engine.submit_log_psi(random_configs(1, 6, 12));
+  (void)first.get();
+  (void)third.get();
+
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.shed, 1u);
+  EXPECT_EQ(counters.submitted, 2u);
+  EXPECT_EQ(counters.completed, 2u);
+  EXPECT_EQ(counters.failed, 0u);
+}
+
+TEST(InferenceEngine, DeadlineExpiryFailsThroughTheFuture) {
+  Made made(6, 8);
+  randomize_parameters(made, 13);
+  ServeConfig config;
+  config.workers = 1;
+  config.max_batch_rows = 8;
+  config.max_wait_us = 150000;  // window far beyond the request deadline
+  InferenceEngine engine(config);
+  engine.publish_model(made);
+
+  auto future = engine.submit_log_psi(random_configs(1, 6, 14),
+                                      /*timeout_us=*/1000);
+  EXPECT_THROW((void)future.get(), ServeDeadlineError);
+  engine.drain();
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.submitted, 1u);
+  EXPECT_EQ(counters.failed, 1u);
+  EXPECT_EQ(counters.completed, 0u);
+}
+
+TEST(InferenceEngine, ShutdownDrainsBacklogAndRejectsNewWork) {
+  Made made(6, 8);
+  randomize_parameters(made, 15);
+  ServeConfig config;
+  config.workers = 1;
+  config.max_wait_us = 500000;  // shutdown must collapse this window
+  InferenceEngine engine(config);
+  engine.publish_model(made);
+
+  std::vector<std::future<EvalResult>> futures;
+  for (int i = 0; i < 6; ++i)
+    futures.push_back(engine.submit_log_psi(random_configs(1, 6, 16)));
+  engine.shutdown();
+
+  // Every admitted request was fulfilled during shutdown (none dropped).
+  for (auto& future : futures) (void)future.get();
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.submitted, 6u);
+  EXPECT_EQ(counters.completed + counters.failed, 6u);
+
+  EXPECT_THROW((void)engine.submit_sample(1, 1), ServeShutdownError);
+  engine.shutdown();  // idempotent
+}
+
+TEST(InferenceEngine, DrainReachesQuiescentAccounting) {
+  Made made(6, 8);
+  randomize_parameters(made, 17);
+  InferenceEngine engine({.workers = 2});
+  engine.publish_model(made);
+  std::vector<std::future<SampleResult>> futures;
+  for (int i = 0; i < 20; ++i)
+    futures.push_back(engine.submit_sample(4, std::uint64_t(i)));
+  engine.drain();
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.submitted, 20u);
+  EXPECT_EQ(counters.completed + counters.failed, counters.submitted);
+  for (auto& future : futures) (void)future.get();
+}
+
+TEST(InferenceEngine, OversizedRequestIsServedAlone) {
+  // A request larger than the micro-batch budget is legal; it simply forms
+  // its own batch.
+  Made made(6, 8);
+  randomize_parameters(made, 19);
+  ServeConfig config;
+  config.max_batch_rows = 4;
+  InferenceEngine engine(config);
+  engine.publish_model(made);
+
+  FastMadeSampler reference(made, 5);
+  Matrix expected(16, 6);
+  reference.sample(expected);
+  const SampleResult result = engine.submit_sample(16, 5).get();
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(expected.data()[i], result.samples.data()[i]);
+}
+
+TEST(InferenceEngine, WrongSpinCountRejectedAtSubmit) {
+  Made made(6, 8);
+  InferenceEngine engine;
+  engine.publish_model(made);
+  EXPECT_THROW((void)engine.submit_log_psi(random_configs(2, 7, 1)), Error);
+}
+
+}  // namespace
+}  // namespace vqmc::serve

@@ -1,0 +1,185 @@
+#include "serve/model_snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "sampler/fast_made_sampler.hpp"
+
+namespace vqmc::serve {
+namespace {
+
+void randomize_parameters(WavefunctionModel& model, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  for (Real& p : model.parameters()) p = rng::uniform(gen, -0.8, 0.8);
+}
+
+Matrix random_configs(std::size_t rows, std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  Matrix batch(rows, n);
+  for (std::size_t k = 0; k < rows; ++k)
+    for (std::size_t i = 0; i < n; ++i)
+      batch(k, i) = rng::bernoulli(gen, 0.5) ? 1 : 0;
+  return batch;
+}
+
+TrainingSnapshot made_training_snapshot(const Made& made) {
+  TrainingSnapshot snapshot;
+  snapshot.model_name = made.name();
+  snapshot.num_spins = made.num_spins();
+  snapshot.num_parameters = made.num_parameters();
+  snapshot.parameters.assign(made.parameters().begin(),
+                             made.parameters().end());
+  return snapshot;
+}
+
+TEST(ModelSnapshot, LogPsiBitIdenticalToModel) {
+  Made made(10, 13);
+  randomize_parameters(made, 1);
+  const auto snapshot = ModelSnapshot::from_model(made);
+  const Matrix batch = random_configs(64, 10, 2);
+  Vector expected(64), got(64);
+  made.log_psi(batch, expected.span());
+  snapshot->log_psi(batch, got.span());
+  for (std::size_t k = 0; k < 64; ++k) EXPECT_EQ(expected[k], got[k]);
+}
+
+TEST(ModelSnapshot, SampleBitIdenticalToFastMadeSampler) {
+  Made made(8, 11);
+  randomize_parameters(made, 3);
+  const auto snapshot = ModelSnapshot::from_model(made);
+
+  FastMadeSampler reference(made, 42);
+  Matrix expected(96, 8);
+  reference.sample(expected);
+
+  Matrix got(96, 8);
+  snapshot->sample(got, 42);
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(expected.data()[i], got.data()[i]);
+}
+
+TEST(ModelSnapshot, CoalescedSlicesMatchDedicatedSamplers) {
+  // Two requests fused into one batch must each receive exactly the rows a
+  // dedicated sampler with their seed would have produced — coalescing is
+  // invisible to every request.
+  Made made(7, 9);
+  randomize_parameters(made, 4);
+  const auto snapshot = ModelSnapshot::from_model(made);
+
+  Matrix expected_a(5, 7), expected_b(11, 7);
+  FastMadeSampler sampler_a(made, 100);
+  FastMadeSampler sampler_b(made, 200);
+  sampler_a.sample(expected_a);
+  sampler_b.sample(expected_b);
+
+  Matrix fused(16, 7);
+  rng::Xoshiro256 gen_a(100), gen_b(200);
+  const ModelSnapshot::SampleSlice slices[] = {{0, 5, &gen_a},
+                                               {5, 11, &gen_b}};
+  snapshot->sample(fused, slices);
+
+  for (std::size_t k = 0; k < 5; ++k)
+    for (std::size_t i = 0; i < 7; ++i)
+      EXPECT_EQ(expected_a(k, i), fused(k, i));
+  for (std::size_t k = 0; k < 11; ++k)
+    for (std::size_t i = 0; i < 7; ++i)
+      EXPECT_EQ(expected_b(k, i), fused(5 + k, i));
+}
+
+TEST(ModelSnapshot, RoundTripThroughTrainingSnapshot) {
+  // Loading a checkpointed MADE must reproduce the in-trainer sampler's
+  // stream bit-for-bit at a fixed seed (the serving<->training parity the
+  // satellite demands).
+  Made made(9, 12);
+  randomize_parameters(made, 5);
+  const TrainingSnapshot training = made_training_snapshot(made);
+  const auto snapshot = ModelSnapshot::from_training_snapshot(training);
+  EXPECT_EQ(snapshot->num_spins(), 9u);
+  EXPECT_EQ(snapshot->hidden_size(), 12u);
+
+  FastMadeSampler reference(made, 7);
+  Matrix expected(64, 9), got(64, 9);
+  reference.sample(expected);
+  snapshot->sample(got, 7);
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(expected.data()[i], got.data()[i]);
+
+  const Matrix batch = random_configs(32, 9, 6);
+  Vector lp_model(32), lp_snapshot(32);
+  made.log_psi(batch, lp_model.span());
+  snapshot->log_psi(batch, lp_snapshot.span());
+  for (std::size_t k = 0; k < 32; ++k)
+    EXPECT_EQ(lp_model[k], lp_snapshot[k]);
+}
+
+TEST(ModelSnapshot, RoundTripThroughCheckpointFile) {
+  Made made(6, 8);
+  randomize_parameters(made, 8);
+  const std::string path = ::testing::TempDir() + "serve_ckpt_roundtrip.bin";
+  save_training_checkpoint(path, made_training_snapshot(made));
+  const TrainingSnapshot loaded = load_training_checkpoint(path);
+  const auto snapshot = ModelSnapshot::from_training_snapshot(loaded);
+  std::remove(path.c_str());
+
+  FastMadeSampler reference(made, 11);
+  Matrix expected(48, 6), got(48, 6);
+  reference.sample(expected);
+  snapshot->sample(got, 11);
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(expected.data()[i], got.data()[i]);
+}
+
+TEST(ModelSnapshot, RejectsForeignModelFamily) {
+  Made made(6, 8);
+  TrainingSnapshot snapshot = made_training_snapshot(made);
+  snapshot.model_name = "RBM";
+  EXPECT_THROW(ModelSnapshot::from_training_snapshot(snapshot),
+               SnapshotMismatchError);
+}
+
+TEST(ModelSnapshot, RejectsNonFactoringParameterCount) {
+  Made made(6, 8);
+  TrainingSnapshot snapshot = made_training_snapshot(made);
+  snapshot.num_parameters += 1;  // 2hn + h + n no longer factors
+  snapshot.parameters.push_back(0);
+  EXPECT_THROW(ModelSnapshot::from_training_snapshot(snapshot),
+               SnapshotMismatchError);
+}
+
+TEST(ModelSnapshot, RejectsParameterVectorLengthMismatch) {
+  Made made(6, 8);
+  TrainingSnapshot snapshot = made_training_snapshot(made);
+  snapshot.parameters.pop_back();  // declared count no longer matches
+  EXPECT_THROW(ModelSnapshot::from_training_snapshot(snapshot),
+               SnapshotMismatchError);
+}
+
+TEST(ModelSnapshot, RejectsDegenerateSpinCount) {
+  Made made(6, 8);
+  TrainingSnapshot snapshot = made_training_snapshot(made);
+  snapshot.num_spins = 1;
+  EXPECT_THROW(ModelSnapshot::from_training_snapshot(snapshot),
+               SnapshotMismatchError);
+}
+
+TEST(ModelSnapshot, MismatchIsTypedNotGeneric) {
+  // The typed error must be catchable as the serve hierarchy, so a serving
+  // process can refuse a bad model push without tearing down.
+  Made made(6, 8);
+  TrainingSnapshot snapshot = made_training_snapshot(made);
+  snapshot.model_name = "RNN";
+  bool caught = false;
+  try {
+    (void)ModelSnapshot::from_training_snapshot(snapshot);
+  } catch (const ServeError&) {
+    caught = true;
+  }
+  EXPECT_TRUE(caught);
+}
+
+}  // namespace
+}  // namespace vqmc::serve

@@ -210,6 +210,58 @@ TEST(Kernels, ColumnSumAccumulate) {
   EXPECT_DOUBLE_EQ(out[1], 6);
 }
 
+TEST(Kernels, PairwiseSumExactOnRepresentablePatternAtMillionElements) {
+  // Exactness sanity check at batch >= 1e6: every intermediate in the
+  // period-4 pattern {1e8, 0.5, -1e8, 1.5} (chunk sum exactly 2.0) is
+  // representable in double, so any accumulation-order bug shows up as a
+  // hard mismatch rather than tolerable noise.
+  constexpr std::size_t kCount = 1u << 20;  // 1,048,576 elements
+  Vector v(kCount);
+  for (std::size_t i = 0; i < kCount; i += 4) {
+    v[i] = 1e8;
+    v[i + 1] = 0.5;
+    v[i + 2] = -1e8;
+    v[i + 3] = 1.5;
+  }
+  const Real exact_sum = Real(kCount / 4) * 2.0;
+  const Real exact_mean = exact_sum / Real(kCount);
+  EXPECT_NEAR(sum(v.span()), exact_sum, 1e-6);
+  EXPECT_NEAR(mean(v.span()), exact_mean, 1e-12);
+
+  // Variance: constant shift should not perturb the result. E[x]=0.5 per
+  // the pattern; use a same-shape batch with values {1,2,3,4} repeating:
+  // mean 2.5, population variance 1.25, exactly.
+  for (std::size_t i = 0; i < kCount; ++i) v[i] = Real(1 + (i % 4));
+  EXPECT_NEAR(mean(v.span()), 2.5, 1e-12);
+  EXPECT_NEAR(variance(v.span()), 1.25, 1e-10);
+}
+
+TEST(Kernels, PairwiseSumMatchesLongDoubleReference) {
+  // Tolerance regression at batch >= 1e6: compare against a long-double
+  // reference on a random batch shaped like local energies.
+  constexpr std::size_t kCount = 1'200'000;
+  Vector v(kCount);
+  rng::Xoshiro256 gen(99);
+  for (std::size_t i = 0; i < kCount; ++i)
+    v[i] = rng::uniform(gen, -50.0, 50.0);
+  long double reference = 0.0L;
+  for (std::size_t i = 0; i < kCount; ++i) reference += (long double)v[i];
+  const Real got = sum(v.span());
+  // Pairwise error bound ~ O(log2 N) ulps of the running magnitude; give
+  // generous slack while still rejecting naive O(N)-ulp drift.
+  EXPECT_NEAR(got, (Real)reference, 1e-7);
+
+  long double mean_ref = reference / (long double)kCount;
+  long double var_ref = 0.0L;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    const long double d = (long double)v[i] - mean_ref;
+    var_ref += d * d;
+  }
+  var_ref /= (long double)kCount;
+  EXPECT_NEAR(mean(v.span()), (Real)mean_ref, 1e-12);
+  EXPECT_NEAR(variance(v.span()), (Real)var_ref, 1e-9);
+}
+
 /// Property sweep: the three gemm variants agree with the naive reference
 /// across a grid of shapes, including degenerate 1-sized extents.
 class GemmShapeSweep
