@@ -97,6 +97,7 @@ struct ByteWriter {
   std::vector<unsigned char> bytes;
 
   void raw(const void* data, std::size_t n) {
+    if (n == 0) return;  // empty vectors hand over data() == nullptr
     const auto* p = static_cast<const unsigned char*>(data);
     bytes.insert(bytes.end(), p, p + n);
   }
@@ -131,6 +132,7 @@ struct ByteReader {
                  "checkpoint: '" + path + "' is truncated (needed " +
                      std::to_string(n) + " more bytes, " +
                      std::to_string(remaining()) + " left)");
+    if (n == 0) return;  // empty vectors hand over data() == nullptr
     std::memcpy(out, bytes.data() + pos, n);
     pos += n;
   }

@@ -23,7 +23,8 @@ EnergyEstimate estimate_energy(std::span<const Real> local_energies) {
 void accumulate_energy_gradient(const WavefunctionModel& model,
                                 const Matrix& batch,
                                 std::span<const Real> local_energies,
-                                std::span<Real> grad) {
+                                std::span<Real> grad,
+                                WavefunctionModel::Workspace* ws) {
   const std::size_t bs = batch.rows();
   VQMC_REQUIRE(local_energies.size() == bs,
                "energy gradient: local energy size mismatch");
@@ -31,7 +32,7 @@ void accumulate_energy_gradient(const WavefunctionModel& model,
   Vector coeff(bs);
   for (std::size_t k = 0; k < bs; ++k)
     coeff[k] = 2 * (local_energies[k] - l_bar) / Real(bs);
-  model.accumulate_log_psi_gradient(batch, coeff.span(), grad);
+  model.accumulate_log_psi_gradient_ws(batch, coeff.span(), grad, ws);
 }
 
 }  // namespace vqmc

@@ -26,9 +26,12 @@ EnergyEstimate estimate_energy(std::span<const Real> local_energies);
 /// Energy gradient (Eq. 5): grad = 2 E[(l - L) d log psi] estimated as
 /// grad += (2/bs) sum_k (l_k - mean(l)) d log psi(x_k)/d theta.
 /// `grad` must be zeroed by the caller if a fresh gradient is wanted.
+/// `ws` (optional, from model.make_workspace()) reuses the model's
+/// evaluation scratch across calls.
 void accumulate_energy_gradient(const WavefunctionModel& model,
                                 const Matrix& batch,
                                 std::span<const Real> local_energies,
-                                std::span<Real> grad);
+                                std::span<Real> grad,
+                                WavefunctionModel::Workspace* ws = nullptr);
 
 }  // namespace vqmc

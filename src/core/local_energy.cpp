@@ -14,7 +14,8 @@ LocalEnergyEngine::LocalEnergyEngine(const Hamiltonian& hamiltonian,
     : hamiltonian_(hamiltonian),
       model_(model),
       chunk_size_(std::max<std::size_t>(1, chunk_size)),
-      max_log_ratio_(max_log_ratio) {
+      max_log_ratio_(max_log_ratio),
+      model_ws_(model.make_workspace()) {
   VQMC_REQUIRE(hamiltonian_.num_spins() == model_.num_spins(),
                "local energy: Hamiltonian and model disagree on spin count");
   VQMC_REQUIRE(max_log_ratio_ > 0, "local energy: clamp must be positive");
@@ -28,7 +29,7 @@ void LocalEnergyEngine::flush_chunk(std::span<Real> out) {
   std::copy_n(chunk_configs_.data(), chunk_fill_ * chunk_configs_.cols(),
               view.data());
   if (chunk_log_psi_.size() != chunk_fill_) chunk_log_psi_ = Vector(chunk_fill_);
-  model_.log_psi(view, chunk_log_psi_.span());
+  model_.log_psi_ws(view, chunk_log_psi_.span(), model_ws_.get());
   ++forward_passes_;
   for (std::size_t r = 0; r < chunk_fill_; ++r) {
     const std::size_t k = chunk_sample_[r];
@@ -54,7 +55,7 @@ void LocalEnergyEngine::compute(const Matrix& batch, std::span<Real> out) {
 
   // log psi at the sample configurations (denominator of the ratios).
   if (log_psi_x_.size() != bs) log_psi_x_ = Vector(bs);
-  model_.log_psi(batch, log_psi_x_.span());
+  model_.log_psi_ws(batch, log_psi_x_.span(), model_ws_.get());
   ++forward_passes_;
 
   // Gather connected configurations into fixed-size chunks.

@@ -19,6 +19,7 @@
 /// natural-evolution-strategies optimizer.
 
 #include <cstdint>
+#include <memory>
 
 #include "hamiltonian/hamiltonian.hpp"
 #include "nn/wavefunction.hpp"
@@ -59,6 +60,9 @@ class LocalEnergyEngine {
   std::uint64_t forward_passes_ = 0;
 
   // Scratch reused across compute() calls.
+  /// Model evaluation workspace (null for models without one); every
+  /// log_psi in the chunk loop reuses it instead of allocating scratch.
+  std::unique_ptr<WavefunctionModel::Workspace> model_ws_;
   Vector log_psi_x_;
   Matrix chunk_configs_;
   Vector chunk_log_psi_;

@@ -57,6 +57,7 @@ VqmcTrainer::VqmcTrainer(const Hamiltonian& hamiltonian,
     natural_gradient_ = Vector(model_.num_parameters());
     per_sample_o_ = Matrix(config_.batch_size, model_.num_parameters());
   }
+  model_ws_ = model_.make_workspace();
   VQMC_REQUIRE(config_.max_grad_norm >= 0,
                "trainer: max_grad_norm must be non-negative");
   VQMC_REQUIRE(config_.guard.backoff_factor > 0 &&
@@ -163,7 +164,7 @@ IterationMetrics VqmcTrainer::step() {
     }
     gradient_.fill(0);
     accumulate_energy_gradient(model_, batch_, local_energies_.span(),
-                               gradient_.span());
+                               gradient_.span(), model_ws_.get());
     if (!health::all_finite(gradient_.span())) {
       ++health_.nonfinite_gradient;
       tripped = true;
@@ -178,7 +179,8 @@ IterationMetrics VqmcTrainer::step() {
   std::span<Real> update = gradient_.span();
   if (!tripped && config_.use_sr) {
     TELEMETRY_SPAN("sr_solve");
-    model_.log_psi_gradient_per_sample(batch_, per_sample_o_);
+    model_.log_psi_gradient_per_sample_ws(batch_, per_sample_o_,
+                                          model_ws_.get());
     const SrReport sr = sr_.precondition(per_sample_o_, gradient_.span(),
                                          natural_gradient_.span());
     if (sr.breakdown) {

@@ -158,6 +158,9 @@ class VqmcTrainer {
   Vector gradient_;
   Vector natural_gradient_;
   Matrix per_sample_o_;
+  /// Model evaluation workspace (null for models without one), threaded
+  /// through the gradient phases so their scratch survives iterations.
+  std::unique_ptr<WavefunctionModel::Workspace> model_ws_;
 
   std::vector<IterationMetrics> history_;
   Real base_learning_rate_ = 0;

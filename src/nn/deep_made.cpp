@@ -39,6 +39,9 @@ DeepMade::DeepMade(std::size_t n, std::size_t hidden, std::size_t depth)
     for (std::size_t i = 0; i < n_; ++i)
       output_mask_(i, k) = (i + 1 > degrees_[k]) ? 1 : 0;
   }
+  input_ext_ = RowExtents::from_mask(input_mask_);
+  hidden_ext_ = RowExtents::from_mask(hidden_mask_);
+  output_ext_ = RowExtents::from_mask(output_mask_);
   initialize(0);
 }
 
@@ -77,131 +80,153 @@ void DeepMade::initialize(std::uint64_t seed) {
     w[i] = rng::uniform(gen, -s_hid, s_hid);
   Real* b = params_.data() + b_out_offset();
   for (std::size_t i = 0; i < n_; ++i) b[i] = 0;
+  version_.bump();
 }
 
-void DeepMade::masked_weight(std::size_t layer, Matrix& out) const {
-  const Real* w = params_.data() + w_offset(layer);
-  if (layer == 0) {
-    out = Matrix(h_, n_);
-    for (std::size_t i = 0; i < h_ * n_; ++i)
-      out.data()[i] = input_mask_.data()[i] * w[i];
-  } else {
-    out = Matrix(h_, h_);
-    for (std::size_t i = 0; i < h_ * h_; ++i)
-      out.data()[i] = hidden_mask_.data()[i] * w[i];
-  }
+std::shared_ptr<const DeepMade::MaskedWeights> DeepMade::masked() const {
+  const std::uint64_t v = version_.value();
+  return cache_.fetch(v, [&] {
+    auto mw = std::make_shared<MaskedWeights>();
+    mw->version = v;
+    mw->w.resize(depth_);
+    for (std::size_t layer = 0; layer < depth_; ++layer) {
+      const std::size_t in_dim = layer == 0 ? n_ : h_;
+      const RowExtentsView ext = layer_extents(layer).view();
+      const Real* src = params_.data() + w_offset(layer);
+      mw->w[layer] = Matrix(h_, in_dim);  // zero-initialized
+#pragma omp parallel for schedule(static)
+      for (std::size_t r = 0; r < h_; ++r) {
+        Real* dst = mw->w[layer].row(r).data();
+        const Real* s = src + r * in_dim;
+        for (const ColSpan span : ext.row(r))
+          for (std::size_t j = span.begin; j < span.end; ++j) dst[j] = s[j];
+      }
+    }
+    const RowExtentsView ext = output_ext_.view();
+    const Real* src = params_.data() + w_out_offset();
+    mw->w_out = Matrix(n_, h_);
+#pragma omp parallel for schedule(static)
+    for (std::size_t r = 0; r < n_; ++r) {
+      Real* dst = mw->w_out.row(r).data();
+      const Real* s = src + r * h_;
+      for (const ColSpan span : ext.row(r))
+        for (std::size_t j = span.begin; j < span.end; ++j) dst[j] = s[j];
+    }
+    return mw;
+  });
 }
 
-void DeepMade::masked_output_weight(Matrix& out) const {
-  const Real* w = params_.data() + w_out_offset();
-  out = Matrix(n_, h_);
-  for (std::size_t i = 0; i < n_ * h_; ++i)
-    out.data()[i] = output_mask_.data()[i] * w[i];
-}
-
-void DeepMade::forward(const Matrix& batch, Forward& f) const {
+void DeepMade::forward(const Matrix& batch, const MaskedWeights& mw,
+                       Workspace& ws, Matrix& p) const {
   VQMC_REQUIRE(batch.cols() == n_, "DeepMADE: batch has wrong spin count");
   const std::size_t bs = batch.rows();
-  f.pre.assign(depth_, Matrix());
-  f.post.assign(depth_, Matrix());
+  ws.pre.resize(depth_);
+  ws.post.resize(depth_);
 
-  Matrix w;
   for (std::size_t layer = 0; layer < depth_; ++layer) {
-    masked_weight(layer, w);
-    f.pre[layer] = Matrix(bs, h_);
-    gemm_nt(layer == 0 ? batch : f.post[layer - 1], w, f.pre[layer]);
-    add_row_broadcast(f.pre[layer],
+    ensure_shape(ws.pre[layer], bs, h_);
+    gemm_nt_extents(layer == 0 ? batch : ws.post[layer - 1], mw.w[layer],
+                    layer_extents(layer).view(), ws.pre[layer]);
+    add_row_broadcast(ws.pre[layer],
                       std::span<const Real>(params_.data() + b_offset(layer), h_));
-    f.post[layer] = f.pre[layer];
-    relu_inplace(f.post[layer]);
+    ws.post[layer] = ws.pre[layer];
+    relu_inplace(ws.post[layer]);
   }
-  masked_output_weight(w);
-  f.p = Matrix(bs, n_);
-  gemm_nt(f.post[depth_ - 1], w, f.p);
-  add_row_broadcast(f.p,
+  ensure_shape(p, bs, n_);
+  gemm_nt_extents(ws.post[depth_ - 1], mw.w_out, output_ext_.view(), p);
+  add_row_broadcast(p,
                     std::span<const Real>(params_.data() + b_out_offset(), n_));
-  sigmoid_inplace(f.p);
+  sigmoid_inplace(p);
 }
 
 void DeepMade::conditionals(const Matrix& batch, Matrix& out) const {
-  Forward f;
-  forward(batch, f);
-  out = std::move(f.p);
+  const std::shared_ptr<const MaskedWeights> mw = masked();
+  Workspace ws;
+  forward(batch, *mw, ws, out);
 }
 
-void DeepMade::log_psi(const Matrix& batch, std::span<Real> out) const {
+void DeepMade::log_psi(const Matrix& batch, std::span<Real> out,
+                       Workspace& ws) const {
   VQMC_REQUIRE(out.size() == batch.rows(), "DeepMADE: output size mismatch");
-  Forward f;
-  forward(batch, f);
+  const std::shared_ptr<const MaskedWeights> mw = masked();
+  forward(batch, *mw, ws, ws.p);
   const std::size_t bs = batch.rows();
 #pragma omp parallel for schedule(static)
   for (std::size_t k = 0; k < bs; ++k) {
     Real log_pi = 0;
     const Real* x = batch.row(k).data();
-    const Real* p = f.p.row(k).data();
+    const Real* p = ws.p.row(k).data();
     for (std::size_t i = 0; i < n_; ++i)
       log_pi += x[i] * clamped_log(p[i]) + (1 - x[i]) * clamped_log(1 - p[i]);
     out[k] = log_pi / 2;
   }
 }
 
+void DeepMade::log_psi(const Matrix& batch, std::span<Real> out) const {
+  Workspace ws;
+  log_psi(batch, out, ws);
+}
+
 void DeepMade::accumulate_log_psi_gradient(const Matrix& batch,
                                            std::span<const Real> coeff,
-                                           std::span<Real> grad) const {
+                                           std::span<Real> grad,
+                                           Workspace& ws) const {
   const std::size_t bs = batch.rows();
   VQMC_REQUIRE(coeff.size() == bs, "DeepMADE: coefficient size mismatch");
   VQMC_REQUIRE(grad.size() == num_parameters(),
                "DeepMADE: gradient size mismatch");
 
-  Forward f;
-  forward(batch, f);
+  const std::shared_ptr<const MaskedWeights> mw = masked();
+  forward(batch, *mw, ws, ws.p);
 
   // Output-layer gradient signal.
-  Matrix g_out(bs, n_);
+  ensure_shape(ws.g_out, bs, n_);
 #pragma omp parallel for schedule(static)
   for (std::size_t k = 0; k < bs; ++k) {
     const Real* x = batch.row(k).data();
-    const Real* p = f.p.row(k).data();
-    Real* g = g_out.row(k).data();
+    const Real* p = ws.p.row(k).data();
+    Real* g = ws.g_out.row(k).data();
     const Real c = coeff[k] / 2;
     for (std::size_t i = 0; i < n_; ++i) g[i] = c * (x[i] - p[i]);
   }
 
-  // Output layer: dW_out = mask .* (g_out^T H_last), db_out = col sums.
+  // Output layer: weight gradient only inside the mask extents.
   {
-    Matrix dw(n_, h_);
-    gemm_tn_accumulate(g_out, f.post[depth_ - 1], dw);
-    Real* gw = grad.data() + w_out_offset();
-    for (std::size_t i = 0; i < n_ * h_; ++i)
-      gw[i] += output_mask_.data()[i] * dw.data()[i];
-    column_sum_accumulate(g_out, grad.subspan(b_out_offset(), n_));
+    const RowExtentsView ext = output_ext_.view();
+    ensure_shape(ws.dw, n_, h_);
+    extents_zero(ws.dw, ext);
+    gemm_tn_accumulate_extents(ws.g_out, ws.post[depth_ - 1], ext, ws.dw);
+    extents_add_flat(ws.dw, ext, grad.subspan(w_out_offset(), n_ * h_));
+    column_sum_accumulate(ws.g_out, grad.subspan(b_out_offset(), n_));
   }
 
   // Back through hidden layers.
-  Matrix w_out_m;
-  masked_output_weight(w_out_m);
-  Matrix g(bs, h_);
-  gemm_nn(g_out, w_out_m, g);
+  ensure_shape(ws.g, bs, h_);
+  gemm_nn_extents(ws.g_out, mw->w_out, output_ext_.view(), ws.g);
   for (std::size_t layer = depth_; layer-- > 0;) {
-    relu_backward_inplace(f.pre[layer], g);
-    const Matrix& input = layer == 0 ? batch : f.post[layer - 1];
+    relu_backward_inplace(ws.pre[layer], ws.g);
+    const Matrix& input = layer == 0 ? batch : ws.post[layer - 1];
     const std::size_t in_dim = layer == 0 ? n_ : h_;
-    Matrix dw(h_, in_dim);
-    gemm_tn_accumulate(g, input, dw);
-    const Matrix& mask = layer == 0 ? input_mask_ : hidden_mask_;
-    Real* gw = grad.data() + w_offset(layer);
-    for (std::size_t i = 0; i < h_ * in_dim; ++i)
-      gw[i] += mask.data()[i] * dw.data()[i];
-    column_sum_accumulate(g, grad.subspan(b_offset(layer), h_));
+    const RowExtentsView ext = layer_extents(layer).view();
+    ensure_shape(ws.dw, h_, in_dim);
+    extents_zero(ws.dw, ext);
+    gemm_tn_accumulate_extents(ws.g, input, ext, ws.dw);
+    extents_add_flat(ws.dw, ext, grad.subspan(w_offset(layer), h_ * in_dim));
+    column_sum_accumulate(ws.g, grad.subspan(b_offset(layer), h_));
 
     if (layer > 0) {
-      Matrix w_m;
-      masked_weight(layer, w_m);
-      Matrix g_prev(bs, h_);
-      gemm_nn(g, w_m, g_prev);
-      g = std::move(g_prev);
+      ensure_shape(ws.g_prev, bs, h_);
+      gemm_nn_extents(ws.g, mw->w[layer], ext, ws.g_prev);
+      std::swap(ws.g, ws.g_prev);
     }
   }
+}
+
+void DeepMade::accumulate_log_psi_gradient(const Matrix& batch,
+                                           std::span<const Real> coeff,
+                                           std::span<Real> grad) const {
+  Workspace ws;
+  accumulate_log_psi_gradient(batch, coeff, grad, ws);
 }
 
 void DeepMade::log_psi_gradient_per_sample(const Matrix& batch,
@@ -216,13 +241,41 @@ void DeepMade::log_psi_gradient_per_sample(const Matrix& batch,
   Matrix single(1, n_);
   Vector coeff(1);
   coeff[0] = 1;
+  Workspace ws;
   for (std::size_t k = 0; k < bs; ++k) {
     auto src = batch.row(k);
     std::copy(src.begin(), src.end(), single.row(0).begin());
     auto dst = out.row(k);
     std::fill(dst.begin(), dst.end(), Real(0));
-    accumulate_log_psi_gradient(single, coeff.span(), dst);
+    accumulate_log_psi_gradient(single, coeff.span(), dst, ws);
   }
+}
+
+// -- Workspace-aware virtual variants ----------------------------------------
+
+void DeepMade::log_psi_ws(const Matrix& batch, std::span<Real> out,
+                          WavefunctionModel::Workspace* ws) const {
+  if (auto* w = dynamic_cast<Workspace*>(ws)) {
+    log_psi(batch, out, *w);
+  } else {
+    log_psi(batch, out);
+  }
+}
+
+void DeepMade::accumulate_log_psi_gradient_ws(
+    const Matrix& batch, std::span<const Real> coeff, std::span<Real> grad,
+    WavefunctionModel::Workspace* ws) const {
+  if (auto* w = dynamic_cast<Workspace*>(ws)) {
+    accumulate_log_psi_gradient(batch, coeff, grad, *w);
+  } else {
+    accumulate_log_psi_gradient(batch, coeff, grad);
+  }
+}
+
+void DeepMade::log_psi_gradient_per_sample_ws(
+    const Matrix& batch, Matrix& out, WavefunctionModel::Workspace* ws) const {
+  (void)ws;  // the per-sample path owns its per-call workspace already
+  log_psi_gradient_per_sample(batch, out);
 }
 
 }  // namespace vqmc

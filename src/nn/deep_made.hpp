@@ -15,10 +15,18 @@
 /// Parameter layout:
 ///   [ W_1 (h x n) | b_1 (h) | W_2..W_D (h x h) | b_2..b_D (h) each
 ///     | W_out (n x h) | b_out (n) ]
+///
+/// Like Made, evaluation runs through the masked compute plan (DESIGN.md
+/// §5f): per-mask RowExtents built once at construction drive the
+/// extent-aware kernels, and the masked weight matrices are cached behind
+/// the parameter version counter instead of re-materialized per call.  The
+/// same thread-safety and mutable-span rules as made.hpp apply.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "nn/masked_plan.hpp"
 #include "nn/wavefunction.hpp"
 
 namespace vqmc {
@@ -31,12 +39,38 @@ class DeepMade final : public AutoregressiveModel {
   /// \param depth number of hidden layers (>= 1; depth 1 == Made)
   DeepMade(std::size_t n, std::size_t hidden, std::size_t depth);
 
+  /// Immutable packed masked weights for one parameter version.
+  struct MaskedWeights {
+    std::vector<Matrix> w;  ///< per hidden layer: h x n (layer 0) or h x h
+    Matrix w_out;           ///< n x h
+    std::uint64_t version = 0;
+  };
+
+  /// Caller-owned evaluation scratch (activations + gradient temporaries).
+  struct Workspace final : WavefunctionModel::Workspace {
+    std::vector<Matrix> pre;   ///< pre-ReLU activations per hidden layer
+    std::vector<Matrix> post;  ///< post-ReLU activations per hidden layer
+    Matrix p;                  ///< conditionals
+    Matrix g_out;              ///< output-layer signal
+    Matrix g;                  ///< backprop signal (current layer)
+    Matrix g_prev;             ///< backprop signal (previous layer)
+    Matrix dw;                 ///< weight-gradient scratch
+  };
+
+  [[nodiscard]] std::unique_ptr<WavefunctionModel::Workspace> make_workspace()
+      const override {
+    return std::make_unique<Workspace>();
+  }
+
   // WavefunctionModel interface.
   [[nodiscard]] std::size_t num_spins() const override { return n_; }
   [[nodiscard]] std::size_t num_parameters() const override {
     return params_.size();
   }
-  [[nodiscard]] std::span<Real> parameters() override { return params_.span(); }
+  [[nodiscard]] std::span<Real> parameters() override {
+    version_.bump();
+    return params_.span();
+  }
   [[nodiscard]] std::span<const Real> parameters() const override {
     return params_.span();
   }
@@ -52,30 +86,50 @@ class DeepMade final : public AutoregressiveModel {
     return std::make_unique<DeepMade>(*this);
   }
 
+  // Workspace-aware variants (identical results, reused scratch).
+  void log_psi_ws(const Matrix& batch, std::span<Real> out,
+                  WavefunctionModel::Workspace* ws) const override;
+  void accumulate_log_psi_gradient_ws(const Matrix& batch,
+                                      std::span<const Real> coeff,
+                                      std::span<Real> grad,
+                                      WavefunctionModel::Workspace* ws)
+      const override;
+  void log_psi_gradient_per_sample_ws(const Matrix& batch, Matrix& out,
+                                      WavefunctionModel::Workspace* ws)
+      const override;
+
+  // Concrete-type overloads for callers that own a DeepMade::Workspace.
+  void log_psi(const Matrix& batch, std::span<Real> out, Workspace& ws) const;
+  void accumulate_log_psi_gradient(const Matrix& batch,
+                                   std::span<const Real> coeff,
+                                   std::span<Real> grad, Workspace& ws) const;
+
   // AutoregressiveModel interface.
   void conditionals(const Matrix& batch, Matrix& out) const override;
 
   [[nodiscard]] std::size_t hidden_size() const { return h_; }
   [[nodiscard]] std::size_t depth() const { return depth_; }
 
- private:
-  struct Forward {
-    std::vector<Matrix> pre;   ///< pre-ReLU activations per hidden layer
-    std::vector<Matrix> post;  ///< post-ReLU activations per hidden layer
-    Matrix p;                  ///< conditionals
-  };
+  /// Packed masked weights from the version-counter cache (see made.hpp).
+  [[nodiscard]] std::shared_ptr<const MaskedWeights> masked() const;
+  [[nodiscard]] std::uint64_t parameter_version() const {
+    return version_.value();
+  }
 
+ private:
   // Offsets into the flat parameter vector.
   [[nodiscard]] std::size_t w_offset(std::size_t layer) const;
   [[nodiscard]] std::size_t b_offset(std::size_t layer) const;
   [[nodiscard]] std::size_t w_out_offset() const;
   [[nodiscard]] std::size_t b_out_offset() const;
 
-  /// Masked weight of hidden layer `layer` (0-based) and of the output.
-  void masked_weight(std::size_t layer, Matrix& out) const;
-  void masked_output_weight(Matrix& out) const;
+  /// Extents of hidden layer `layer`'s mask (input mask for layer 0).
+  [[nodiscard]] const RowExtents& layer_extents(std::size_t layer) const {
+    return layer == 0 ? input_ext_ : hidden_ext_;
+  }
 
-  void forward(const Matrix& batch, Forward& f) const;
+  void forward(const Matrix& batch, const MaskedWeights& mw, Workspace& ws,
+               Matrix& p) const;
 
   std::size_t n_;
   std::size_t h_;
@@ -85,6 +139,11 @@ class DeepMade final : public AutoregressiveModel {
   Matrix input_mask_;                 ///< h x n
   Matrix hidden_mask_;                ///< h x h (between hidden layers)
   Matrix output_mask_;                ///< n x h
+  RowExtents input_ext_;
+  RowExtents hidden_ext_;
+  RowExtents output_ext_;
+  ParamVersion version_;
+  VersionedCache<MaskedWeights> cache_;
 };
 
 }  // namespace vqmc

@@ -41,6 +41,7 @@ Made::Made(std::size_t n, std::size_t hidden)
     for (std::size_t j = 0; j < n_; ++j) mask1_(k, j) = (j + 1 <= mk) ? 1 : 0;
     for (std::size_t i = 0; i < n_; ++i) mask2_(i, k) = (i + 1 > mk) ? 1 : 0;
   }
+  plan_.build(mask1_, mask2_);
   initialize(0);
 }
 
@@ -56,53 +57,78 @@ void Made::initialize(std::uint64_t seed) {
   for (std::size_t i = 0; i < n_ * h_; ++i) p[i] = rng::uniform(gen, -s2, s2);
   p += n_ * h_;
   for (std::size_t i = 0; i < n_; ++i) p[i] = 0;  // b2
+  version_.bump();
 }
 
-void Made::masked_weights(Matrix& w1m, Matrix& w2m) const {
-  w1m = Matrix(h_, n_);
-  w2m = Matrix(n_, h_);
-  const Real* pw1 = w1();
-  const Real* pw2 = w2();
-  for (std::size_t i = 0; i < h_ * n_; ++i)
-    w1m.data()[i] = mask1_.data()[i] * pw1[i];
-  for (std::size_t i = 0; i < n_ * h_; ++i)
-    w2m.data()[i] = mask2_.data()[i] * pw2[i];
+std::shared_ptr<const Made::MaskedWeights> Made::masked() const {
+  const std::uint64_t v = version_.value();
+  return cache_.fetch(v, [&] {
+    auto mw = std::make_shared<MaskedWeights>();
+    mw->version = v;
+    // Matrices are zero-initialized; only the in-extent (mask == 1)
+    // entries are copied, so everything outside is exactly zero.
+    mw->w1m = Matrix(h_, n_);
+    mw->w2m = Matrix(n_, h_);
+    const Real* pw1 = w1();
+    const Real* pw2 = w2();
+    const RowExtentsView e1 = plan_.w1.view();
+    const RowExtentsView e2 = plan_.w2.view();
+#pragma omp parallel for schedule(static)
+    for (std::size_t r = 0; r < h_; ++r) {
+      Real* dst = mw->w1m.row(r).data();
+      const Real* src = pw1 + r * n_;
+      for (const ColSpan s : e1.row(r))
+        for (std::size_t j = s.begin; j < s.end; ++j) dst[j] = src[j];
+    }
+#pragma omp parallel for schedule(static)
+    for (std::size_t r = 0; r < n_; ++r) {
+      Real* dst = mw->w2m.row(r).data();
+      const Real* src = pw2 + r * h_;
+      for (const ColSpan s : e2.row(r))
+        for (std::size_t j = s.begin; j < s.end; ++j) dst[j] = src[j];
+    }
+    return mw;
+  });
 }
 
-void Made::forward(const Matrix& batch, Forward& f) const {
+void Made::forward(const Matrix& batch, const MaskedWeights& mw, Workspace& ws,
+                   Matrix& p) const {
   VQMC_REQUIRE(batch.cols() == n_, "MADE: batch has wrong spin count");
   const std::size_t bs = batch.rows();
-  Matrix w1m, w2m;
-  masked_weights(w1m, w2m);
 
-  f.a1 = Matrix(bs, h_);
-  gemm_nt(batch, w1m, f.a1);
-  add_row_broadcast(f.a1, std::span<const Real>(b1(), h_));
-  f.h1 = f.a1;
-  relu_inplace(f.h1);
+  ensure_shape(ws.a1, bs, h_);
+  gemm_nt_extents(batch, mw.w1m, plan_.w1.view(), ws.a1);
+  add_row_broadcast(ws.a1, bias1());
+  ws.h1 = ws.a1;
+  relu_inplace(ws.h1);
 
-  f.p = Matrix(bs, n_);
-  gemm_nt(f.h1, w2m, f.p);
-  add_row_broadcast(f.p, std::span<const Real>(b2(), n_));
-  sigmoid_inplace(f.p);
+  ensure_shape(p, bs, n_);
+  gemm_nt_extents(ws.h1, mw.w2m, plan_.w2.view(), p);
+  add_row_broadcast(p, bias2());
+  sigmoid_inplace(p);
+}
+
+void Made::conditionals(const Matrix& batch, Matrix& out, Workspace& ws) const {
+  const std::shared_ptr<const MaskedWeights> mw = masked();
+  forward(batch, *mw, ws, out);
 }
 
 void Made::conditionals(const Matrix& batch, Matrix& out) const {
-  Forward f;
-  forward(batch, f);
-  out = std::move(f.p);
+  Workspace ws;
+  conditionals(batch, out, ws);
 }
 
-void Made::log_psi(const Matrix& batch, std::span<Real> out) const {
+void Made::log_psi(const Matrix& batch, std::span<Real> out,
+                   Workspace& ws) const {
   VQMC_REQUIRE(out.size() == batch.rows(), "MADE: output size mismatch");
-  Forward f;
-  forward(batch, f);
+  const std::shared_ptr<const MaskedWeights> mw = masked();
+  forward(batch, *mw, ws, ws.p);
   const std::size_t bs = batch.rows();
 #pragma omp parallel for schedule(static)
   for (std::size_t k = 0; k < bs; ++k) {
     Real log_pi = 0;
     const Real* x = batch.row(k).data();
-    const Real* p = f.p.row(k).data();
+    const Real* p = ws.p.row(k).data();
     for (std::size_t i = 0; i < n_; ++i) {
       log_pi += x[i] * clamped_log(p[i]) + (1 - x[i]) * clamped_log(1 - p[i]);
     }
@@ -110,104 +136,160 @@ void Made::log_psi(const Matrix& batch, std::span<Real> out) const {
   }
 }
 
+void Made::log_psi(const Matrix& batch, std::span<Real> out) const {
+  Workspace ws;
+  log_psi(batch, out, ws);
+}
+
 void Made::accumulate_log_psi_gradient(const Matrix& batch,
                                        std::span<const Real> coeff,
-                                       std::span<Real> grad) const {
+                                       std::span<Real> grad,
+                                       Workspace& ws) const {
   const std::size_t bs = batch.rows();
   VQMC_REQUIRE(coeff.size() == bs, "MADE: coefficient size mismatch");
   VQMC_REQUIRE(grad.size() == num_parameters(), "MADE: gradient size mismatch");
 
-  Forward f;
-  forward(batch, f);
-  Matrix w1m, w2m;
-  masked_weights(w1m, w2m);
-
-  // d(log psi)/d(a2)_{k,i} = coeff_k * (x_{k,i} - p_{k,i}) / 2.
-  Matrix g2(bs, n_);
-#pragma omp parallel for schedule(static)
-  for (std::size_t k = 0; k < bs; ++k) {
-    const Real* x = batch.row(k).data();
-    const Real* p = f.p.row(k).data();
-    Real* g = g2.row(k).data();
-    const Real c = coeff[k] / 2;
-    for (std::size_t i = 0; i < n_; ++i) g[i] = c * (x[i] - p[i]);
-  }
-
-  // Layer 2 gradients.
-  Matrix dw2(n_, h_);
-  gemm_tn_accumulate(g2, f.h1, dw2);
-  {
-    Real* gw2 = grad.data() + h_ * n_ + h_;
-    for (std::size_t i = 0; i < n_ * h_; ++i)
-      gw2[i] += mask2_.data()[i] * dw2.data()[i];
-    column_sum_accumulate(g2, grad.subspan(h_ * n_ + h_ + n_ * h_, n_));
-  }
-
-  // Backprop to the hidden layer: g1 = (g2 W2m) .* relu'(a1).
-  Matrix g1(bs, h_);
-  gemm_nn(g2, w2m, g1);
-  relu_backward_inplace(f.a1, g1);
-
-  // Layer 1 gradients.
-  Matrix dw1(h_, n_);
-  gemm_tn_accumulate(g1, batch, dw1);
-  {
-    Real* gw1 = grad.data();
-    for (std::size_t i = 0; i < h_ * n_; ++i)
-      gw1[i] += mask1_.data()[i] * dw1.data()[i];
-    column_sum_accumulate(g1, grad.subspan(h_ * n_, h_));
-  }
-}
-
-void Made::log_psi_gradient_per_sample(const Matrix& batch,
-                                       Matrix& out) const {
-  const std::size_t bs = batch.rows();
-  const std::size_t d = num_parameters();
-  VQMC_REQUIRE(out.rows() == bs && out.cols() == d,
-               "MADE: per-sample gradient shape mismatch");
-
-  Forward f;
-  forward(batch, f);
-  Matrix w1m, w2m;
-  masked_weights(w1m, w2m);
+  const std::shared_ptr<const MaskedWeights> mw = masked();
+  forward(batch, *mw, ws, ws.p);
+  const RowExtentsView e1 = plan_.w1.view();
+  const RowExtentsView e2 = plan_.w2.view();
 
   const std::size_t off_b1 = h_ * n_;
   const std::size_t off_w2 = off_b1 + h_;
   const std::size_t off_b2 = off_w2 + n_ * h_;
 
+  // d(log psi)/d(a2)_{k,i} = coeff_k * (x_{k,i} - p_{k,i}) / 2.
+  ensure_shape(ws.g2, bs, n_);
 #pragma omp parallel for schedule(static)
   for (std::size_t k = 0; k < bs; ++k) {
     const Real* x = batch.row(k).data();
-    const Real* p = f.p.row(k).data();
-    const Real* h1 = f.h1.row(k).data();
-    const Real* a1 = f.a1.row(k).data();
-    Real* o = out.row(k).data();
-    for (std::size_t i = 0; i < d; ++i) o[i] = 0;
+    const Real* p = ws.p.row(k).data();
+    Real* g = ws.g2.row(k).data();
+    const Real c = coeff[k] / 2;
+    for (std::size_t i = 0; i < n_; ++i) g[i] = c * (x[i] - p[i]);
+  }
 
-    // g2_i = (x_i - p_i)/2; fill b2 block and W2 block, and push back to g1.
-    Real* ob2 = o + off_b2;
-    Real* ow2 = o + off_w2;
-    std::vector<Real> g1(h_, Real(0));
-    for (std::size_t i = 0; i < n_; ++i) {
-      const Real g2 = (x[i] - p[i]) / 2;
-      ob2[i] = g2;
-      const Real* m2row = mask2_.row(i).data();
-      const Real* w2row = w2m.row(i).data();
-      Real* ow2row = ow2 + i * h_;
+  // Layer 2 gradients: accumulate only inside the mask extents (the mask
+  // is identically 1 there, 0 elsewhere, so no mask-apply pass is needed).
+  ensure_shape(ws.dw2, n_, h_);
+  extents_zero(ws.dw2, e2);
+  gemm_tn_accumulate_extents(ws.g2, ws.h1, e2, ws.dw2);
+  extents_add_flat(ws.dw2, e2, grad.subspan(off_w2, n_ * h_));
+  column_sum_accumulate(ws.g2, grad.subspan(off_b2, n_));
+
+  // Backprop to the hidden layer: g1 = (g2 W2m) .* relu'(a1).
+  ensure_shape(ws.g1, bs, h_);
+  gemm_nn_extents(ws.g2, mw->w2m, e2, ws.g1);
+  relu_backward_inplace(ws.a1, ws.g1);
+
+  // Layer 1 gradients.
+  ensure_shape(ws.dw1, h_, n_);
+  extents_zero(ws.dw1, e1);
+  gemm_tn_accumulate_extents(ws.g1, batch, e1, ws.dw1);
+  extents_add_flat(ws.dw1, e1, grad.subspan(0, h_ * n_));
+  column_sum_accumulate(ws.g1, grad.subspan(off_b1, h_));
+}
+
+void Made::accumulate_log_psi_gradient(const Matrix& batch,
+                                       std::span<const Real> coeff,
+                                       std::span<Real> grad) const {
+  Workspace ws;
+  accumulate_log_psi_gradient(batch, coeff, grad, ws);
+}
+
+void Made::log_psi_gradient_per_sample(const Matrix& batch, Matrix& out,
+                                       Workspace& ws) const {
+  const std::size_t bs = batch.rows();
+  const std::size_t d = num_parameters();
+  VQMC_REQUIRE(out.rows() == bs && out.cols() == d,
+               "MADE: per-sample gradient shape mismatch");
+
+  const std::shared_ptr<const MaskedWeights> mw = masked();
+  forward(batch, *mw, ws, ws.p);
+  const RowExtentsView e1 = plan_.w1.view();
+  const RowExtentsView e2 = plan_.w2.view();
+
+  const std::size_t off_b1 = h_ * n_;
+  const std::size_t off_w2 = off_b1 + h_;
+  const std::size_t off_b2 = off_w2 + n_ * h_;
+
+#pragma omp parallel
+  {
+    // Hidden-layer signal, hoisted out of the row loop per thread.
+    std::vector<Real> g1(h_);
+#pragma omp for schedule(static)
+    for (std::size_t k = 0; k < bs; ++k) {
+      const Real* x = batch.row(k).data();
+      const Real* p = ws.p.row(k).data();
+      const Real* h1 = ws.h1.row(k).data();
+      const Real* a1 = ws.a1.row(k).data();
+      Real* o = out.row(k).data();
+      for (std::size_t i = 0; i < d; ++i) o[i] = 0;
+      std::fill(g1.begin(), g1.end(), Real(0));
+
+      // g2_i = (x_i - p_i)/2; fill b2 block and the in-extent entries of
+      // the W2 block (the rest stays zero), and push back to g1.
+      Real* ob2 = o + off_b2;
+      Real* ow2 = o + off_w2;
+      for (std::size_t i = 0; i < n_; ++i) {
+        const Real g2 = (x[i] - p[i]) / 2;
+        ob2[i] = g2;
+        const Real* w2row = mw->w2m.row(i).data();
+        Real* ow2row = ow2 + i * h_;
+        for (const ColSpan s : e2.row(i)) {
+          for (std::size_t l = s.begin; l < s.end; ++l) {
+            ow2row[l] = g2 * h1[l];
+            g1[l] += g2 * w2row[l];
+          }
+        }
+      }
+      // ReLU backward + layer 1 blocks.
+      Real* ob1 = o + off_b1;
       for (std::size_t l = 0; l < h_; ++l) {
-        ow2row[l] = g2 * m2row[l] * h1[l];
-        g1[l] += g2 * w2row[l];
+        const Real g = (a1[l] > 0) ? g1[l] : 0;
+        ob1[l] = g;
+        Real* ow1row = o + l * n_;
+        for (const ColSpan s : e1.row(l)) {
+          for (std::size_t j = s.begin; j < s.end; ++j) ow1row[j] = g * x[j];
+        }
       }
     }
-    // ReLU backward + layer 1 blocks.
-    Real* ob1 = o + off_b1;
-    for (std::size_t l = 0; l < h_; ++l) {
-      const Real g = (a1[l] > 0) ? g1[l] : 0;
-      ob1[l] = g;
-      const Real* m1row = mask1_.row(l).data();
-      Real* ow1row = o + l * n_;
-      for (std::size_t j = 0; j < n_; ++j) ow1row[j] = g * m1row[j] * x[j];
-    }
+  }
+}
+
+void Made::log_psi_gradient_per_sample(const Matrix& batch,
+                                       Matrix& out) const {
+  Workspace ws;
+  log_psi_gradient_per_sample(batch, out, ws);
+}
+
+// -- Workspace-aware virtual variants ----------------------------------------
+
+void Made::log_psi_ws(const Matrix& batch, std::span<Real> out,
+                      WavefunctionModel::Workspace* ws) const {
+  if (auto* w = dynamic_cast<Workspace*>(ws)) {
+    log_psi(batch, out, *w);
+  } else {
+    log_psi(batch, out);
+  }
+}
+
+void Made::accumulate_log_psi_gradient_ws(
+    const Matrix& batch, std::span<const Real> coeff, std::span<Real> grad,
+    WavefunctionModel::Workspace* ws) const {
+  if (auto* w = dynamic_cast<Workspace*>(ws)) {
+    accumulate_log_psi_gradient(batch, coeff, grad, *w);
+  } else {
+    accumulate_log_psi_gradient(batch, coeff, grad);
+  }
+}
+
+void Made::log_psi_gradient_per_sample_ws(
+    const Matrix& batch, Matrix& out, WavefunctionModel::Workspace* ws) const {
+  if (auto* w = dynamic_cast<Workspace*>(ws)) {
+    log_psi_gradient_per_sample(batch, out, *w);
+  } else {
+    log_psi_gradient_per_sample(batch, out);
   }
 }
 

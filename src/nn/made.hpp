@@ -23,15 +23,31 @@
 /// M2[i][k] = 1 iff i + 1 > m_k.  Output 0 has no incoming connections, so
 /// p(x_1 = 1) = sigmoid(b2[0]) is a learned scalar, as it must be.
 ///
+/// Masked compute plan (DESIGN.md §5f): the masks are exact prefix /
+/// cyclic-prefix patterns, so every evaluation runs the extent-aware
+/// kernels over a MaskedPlan built once at construction, skipping the
+/// ~50% of multiply-adds the masks zero out.  The masked weight matrices
+/// `M .* W` are cached behind a parameter version counter (bumped whenever
+/// the mutable parameters() span is handed out) instead of being
+/// re-materialized per call; results are exactly equal to the dense masked
+/// path (the packed-vs-dense parity tests pin this).
+///
 /// Thread safety: every const method (log_psi, conditionals, the gradient
-/// evaluations, masked_weights_public) uses only call-local scratch — no
-/// shared mutable state — so concurrent read-only use of one Made instance
+/// evaluations, masked_weights_public) uses only call-local scratch or a
+/// caller-owned Workspace — the one piece of shared mutable state, the
+/// masked-weights cache, is rebuilt under an internal lock at most once per
+/// parameter version — so concurrent read-only use of one Made instance
 /// from multiple threads is safe as long as no thread concurrently writes
 /// parameters() or calls initialize().  The serve subsystem relies on this
 /// (a TSan-covered test hammers one frozen instance from 8 threads).
+/// Mutators must re-acquire parameters() before each round of writes; a
+/// cached mutable span bypasses the version counter and serves stale
+/// masked weights.
 
 #include <cstdint>
+#include <memory>
 
+#include "nn/masked_plan.hpp"
 #include "nn/wavefunction.hpp"
 
 namespace vqmc {
@@ -51,12 +67,43 @@ class Made final : public AutoregressiveModel {
     return Made(n, made_default_hidden(n));
   }
 
+  /// Immutable packed masked weights `M .* W` for one parameter version,
+  /// shared between the cache and any evaluation still holding them.
+  /// Entries outside the mask extents are exactly zero.
+  struct MaskedWeights {
+    Matrix w1m;  ///< h x n
+    Matrix w2m;  ///< n x h
+    std::uint64_t version = 0;
+  };
+
+  /// Caller-owned evaluation scratch (see WavefunctionModel::Workspace):
+  /// the forward activations plus the gradient temporaries.  Matrices are
+  /// reshaped lazily, so one Workspace serves any batch size without
+  /// reallocating once shapes stabilize.
+  struct Workspace final : WavefunctionModel::Workspace {
+    Matrix a1;   ///< bs x h, pre-ReLU
+    Matrix h1;   ///< bs x h, post-ReLU
+    Matrix p;    ///< bs x n, conditionals
+    Matrix g2;   ///< bs x n, output-layer signal
+    Matrix g1;   ///< bs x h, hidden-layer signal
+    Matrix dw1;  ///< h x n, W1 gradient scratch
+    Matrix dw2;  ///< n x h, W2 gradient scratch
+  };
+
+  [[nodiscard]] std::unique_ptr<WavefunctionModel::Workspace> make_workspace()
+      const override {
+    return std::make_unique<Workspace>();
+  }
+
   // WavefunctionModel interface.
   [[nodiscard]] std::size_t num_spins() const override { return n_; }
   [[nodiscard]] std::size_t num_parameters() const override {
     return params_.size();
   }
-  [[nodiscard]] std::span<Real> parameters() override { return params_.span(); }
+  [[nodiscard]] std::span<Real> parameters() override {
+    version_.bump();  // handing out the mutable span is the write path
+    return params_.span();
+  }
   [[nodiscard]] std::span<const Real> parameters() const override {
     return params_.span();
   }
@@ -72,6 +119,27 @@ class Made final : public AutoregressiveModel {
     return std::make_unique<Made>(*this);
   }
 
+  // Workspace-aware variants (identical results, reused scratch).
+  void log_psi_ws(const Matrix& batch, std::span<Real> out,
+                  WavefunctionModel::Workspace* ws) const override;
+  void accumulate_log_psi_gradient_ws(const Matrix& batch,
+                                      std::span<const Real> coeff,
+                                      std::span<Real> grad,
+                                      WavefunctionModel::Workspace* ws)
+      const override;
+  void log_psi_gradient_per_sample_ws(const Matrix& batch, Matrix& out,
+                                      WavefunctionModel::Workspace* ws)
+      const override;
+
+  // Concrete-type overloads for callers that own a Made::Workspace.
+  void log_psi(const Matrix& batch, std::span<Real> out, Workspace& ws) const;
+  void accumulate_log_psi_gradient(const Matrix& batch,
+                                   std::span<const Real> coeff,
+                                   std::span<Real> grad, Workspace& ws) const;
+  void log_psi_gradient_per_sample(const Matrix& batch, Matrix& out,
+                                   Workspace& ws) const;
+  void conditionals(const Matrix& batch, Matrix& out, Workspace& ws) const;
+
   // AutoregressiveModel interface.
   void conditionals(const Matrix& batch, Matrix& out) const override;
 
@@ -81,6 +149,26 @@ class Made final : public AutoregressiveModel {
   [[nodiscard]] const Matrix& mask1() const { return mask1_; }
   [[nodiscard]] const Matrix& mask2() const { return mask2_; }
 
+  // -- Masked compute plan (used by FastMadeSampler, serve, tests) -----------
+
+  /// Per-row extents of mask1 (prefix [0, m_k) per hidden row).
+  [[nodiscard]] const RowExtents& w1_extents() const { return plan_.w1; }
+  /// Per-row extents of mask2 (cyclic prefix intervals per output row).
+  [[nodiscard]] const RowExtents& w2_extents() const { return plan_.w2; }
+
+  /// Packed masked weights for the current parameters, served from the
+  /// version-counter-invalidated cache (rebuilt at most once per parameter
+  /// write, never per call).  Safe to call concurrently with other const
+  /// methods; the returned snapshot stays valid even if the parameters
+  /// change afterwards.
+  [[nodiscard]] std::shared_ptr<const MaskedWeights> masked() const;
+
+  /// Current parameter version (monotone; bumps on every mutable
+  /// parameters() acquisition and on initialize()).
+  [[nodiscard]] std::uint64_t parameter_version() const {
+    return version_.value();
+  }
+
   // -- Incremental-evaluation API (used by FastMadeSampler) ------------------
   // Ancestral sampling only ever *appends* one spin at a time, so the
   // hidden pre-activations can be updated in O(h) per flipped input instead
@@ -88,9 +176,12 @@ class Made final : public AutoregressiveModel {
   // sampler needs; they are part of the public API because writing custom
   // high-throughput samplers is a legitimate downstream use.
 
-  /// Masked weights (M .* W); rebuilt from the current parameters.
+  /// Masked weights (M .* W) copied out of the cache (compatibility
+  /// surface; hot paths should hold the shared masked() snapshot instead).
   void masked_weights_public(Matrix& w1m, Matrix& w2m) const {
-    masked_weights(w1m, w2m);
+    const std::shared_ptr<const MaskedWeights> mw = masked();
+    w1m = mw->w1m;
+    w2m = mw->w2m;
   }
   [[nodiscard]] std::span<const Real> bias1() const {
     return {b1(), h_};
@@ -110,22 +201,20 @@ class Made final : public AutoregressiveModel {
     return params_.data() + h_ * n_ + h_ + n_ * h_;
   }
 
-  /// Masked weight matrices M (.) W, rebuilt from the flat parameters.
-  void masked_weights(Matrix& w1m, Matrix& w2m) const;
-
-  /// Forward pass; fills pre-activations and conditionals.
-  struct Forward {
-    Matrix a1;  ///< bs x h, pre-ReLU
-    Matrix h1;  ///< bs x h, post-ReLU
-    Matrix p;   ///< bs x n, conditionals
-  };
-  void forward(const Matrix& batch, Forward& f) const;
+  /// Forward pass via the packed plan; fills ws.a1 / ws.h1 and writes the
+  /// conditionals into `p` (reshaped as needed; may alias ws.p or a
+  /// caller-visible output).
+  void forward(const Matrix& batch, const MaskedWeights& mw, Workspace& ws,
+               Matrix& p) const;
 
   std::size_t n_;
   std::size_t h_;
   Vector params_;
   Matrix mask1_;  ///< h x n
   Matrix mask2_;  ///< n x h
+  MaskedPlan plan_;
+  ParamVersion version_;
+  VersionedCache<MaskedWeights> cache_;
 };
 
 }  // namespace vqmc

@@ -34,9 +34,31 @@ class WavefunctionModel {
  public:
   virtual ~WavefunctionModel() = default;
 
+  /// Opaque caller-owned evaluation scratch.  Models that allocate
+  /// per-call temporaries (the MADE family's activation and gradient
+  /// matrices) can reuse them across calls when the caller threads one of
+  /// these through the `*_ws` evaluation variants.  A workspace may be used
+  /// by one call at a time; per-thread workspaces keep the const-method
+  /// concurrency contract intact (the scratch moves from the callee's stack
+  /// to the caller, it never becomes shared model state).
+  class Workspace {
+   public:
+    virtual ~Workspace() = default;
+  };
+
+  /// Reusable scratch for the `*_ws` paths; null when the model has none
+  /// (then the `*_ws` variants simply forward to the plain calls).
+  [[nodiscard]] virtual std::unique_ptr<Workspace> make_workspace() const {
+    return nullptr;
+  }
+
   [[nodiscard]] virtual std::size_t num_spins() const = 0;
   [[nodiscard]] virtual std::size_t num_parameters() const = 0;
 
+  /// Mutable parameter access is the write path: models with derived-state
+  /// caches (masked_plan.hpp) treat every call as a potential write.
+  /// Re-acquire the span before each round of writes — do not cache it
+  /// across evaluations.
   [[nodiscard]] virtual std::span<Real> parameters() = 0;
   [[nodiscard]] virtual std::span<const Real> parameters() const = 0;
 
@@ -58,6 +80,30 @@ class WavefunctionModel {
   /// ingredients of the Fisher/SR matrix (Eq. 5).  `out` must be bs x d.
   virtual void log_psi_gradient_per_sample(const Matrix& batch,
                                            Matrix& out) const = 0;
+
+  // -- Workspace-aware variants ----------------------------------------------
+  // Identical results to the plain calls; `ws` (from make_workspace(), may
+  // be null) lets the model reuse its evaluation scratch instead of
+  // allocating it per call.  The trainer and the local-energy engine route
+  // their per-iteration evaluations through these.
+
+  virtual void log_psi_ws(const Matrix& batch, std::span<Real> out,
+                          Workspace* ws) const {
+    (void)ws;
+    log_psi(batch, out);
+  }
+  virtual void accumulate_log_psi_gradient_ws(const Matrix& batch,
+                                              std::span<const Real> coeff,
+                                              std::span<Real> grad,
+                                              Workspace* ws) const {
+    (void)ws;
+    accumulate_log_psi_gradient(batch, coeff, grad);
+  }
+  virtual void log_psi_gradient_per_sample_ws(const Matrix& batch, Matrix& out,
+                                              Workspace* ws) const {
+    (void)ws;
+    log_psi_gradient_per_sample(batch, out);
+  }
 
   /// True if sum_x psi(x)^2 == 1 by construction.
   [[nodiscard]] virtual bool is_normalized() const = 0;

@@ -57,54 +57,71 @@ ShardedMade::ShardedMade(const Made& prototype, Communicator& comm)
   for (std::size_t i = 0; i < n_; ++i)
     for (std::size_t k = 0; k < h_local_; ++k)
       mask2_(i, k) = prototype.mask2()(i, h_begin_ + k);
+  // Extents survive slicing: a sliced prefix mask is still a prefix, a
+  // sliced cyclic-prefix mask is still an interval list per row.
+  plan_.build(mask1_, mask2_);
 }
 
-void ShardedMade::masked_weights(Matrix& w1m, Matrix& w2m) const {
-  w1m = Matrix(h_local_, n_);
-  w2m = Matrix(n_, h_local_);
-  for (std::size_t i = 0; i < h_local_ * n_; ++i)
-    w1m.data()[i] = mask1_.data()[i] * w1()[i];
-  for (std::size_t i = 0; i < n_ * h_local_; ++i)
-    w2m.data()[i] = mask2_.data()[i] * w2()[i];
+std::shared_ptr<const ShardedMade::MaskedWeights> ShardedMade::masked() const {
+  const std::uint64_t v = version_.value();
+  return cache_.fetch(v, [&] {
+    auto mw = std::make_shared<MaskedWeights>();
+    mw->version = v;
+    mw->w1m = Matrix(h_local_, n_);  // zero-initialized
+    mw->w2m = Matrix(n_, h_local_);
+    const RowExtentsView e1 = plan_.w1.view();
+    const RowExtentsView e2 = plan_.w2.view();
+    for (std::size_t r = 0; r < h_local_; ++r) {
+      Real* dst = mw->w1m.row(r).data();
+      const Real* src = w1() + r * n_;
+      for (const ColSpan s : e1.row(r))
+        for (std::size_t j = s.begin; j < s.end; ++j) dst[j] = src[j];
+    }
+    for (std::size_t r = 0; r < n_; ++r) {
+      Real* dst = mw->w2m.row(r).data();
+      const Real* src = w2() + r * h_local_;
+      for (const ColSpan s : e2.row(r))
+        for (std::size_t j = s.begin; j < s.end; ++j) dst[j] = src[j];
+    }
+    return mw;
+  });
 }
 
-void ShardedMade::forward(const Matrix& batch, Forward& f) {
+void ShardedMade::forward(const Matrix& batch, const MaskedWeights& mw,
+                          Scratch& s, Matrix& p) {
   VQMC_REQUIRE(batch.cols() == n_, "ShardedMade: batch has wrong spin count");
   const std::size_t bs = batch.rows();
-  Matrix w1m, w2m;
-  masked_weights(w1m, w2m);
 
-  f.a1 = Matrix(bs, h_local_);
-  gemm_nt(batch, w1m, f.a1);
-  add_row_broadcast(f.a1, std::span<const Real>(b1(), h_local_));
-  f.h1 = f.a1;
-  relu_inplace(f.h1);
+  ensure_shape(s.a1, bs, h_local_);
+  gemm_nt_extents(batch, mw.w1m, plan_.w1.view(), s.a1);
+  add_row_broadcast(s.a1, std::span<const Real>(b1(), h_local_));
+  s.h1 = s.a1;
+  relu_inplace(s.h1);
 
   // Partial pre-sigmoid output from this shard; the allreduce completes the
   // hidden-unit sum across ranks. This is THE model-parallel communication.
-  f.p = Matrix(bs, n_);
-  gemm_nt(f.h1, w2m, f.p);
-  comm_.allreduce_sum(std::span<Real>(f.p.data(), f.p.size()));
+  ensure_shape(p, bs, n_);
+  gemm_nt_extents(s.h1, mw.w2m, plan_.w2.view(), p);
+  comm_.allreduce_sum(std::span<Real>(p.data(), p.size()));
   ++allreduce_count_;
-  add_row_broadcast(f.p, std::span<const Real>(b2(), n_));
-  sigmoid_inplace(f.p);
+  add_row_broadcast(p, std::span<const Real>(b2(), n_));
+  sigmoid_inplace(p);
 }
 
 void ShardedMade::conditionals(const Matrix& batch, Matrix& out) {
-  Forward f;
-  forward(batch, f);
-  out = std::move(f.p);
+  const std::shared_ptr<const MaskedWeights> mw = masked();
+  forward(batch, *mw, scratch_, out);
 }
 
 void ShardedMade::log_psi(const Matrix& batch, std::span<Real> out) {
   VQMC_REQUIRE(out.size() == batch.rows(), "ShardedMade: output size mismatch");
-  Forward f;
-  forward(batch, f);
+  const std::shared_ptr<const MaskedWeights> mw = masked();
+  forward(batch, *mw, scratch_, scratch_.p);
   const std::size_t bs = batch.rows();
   for (std::size_t k = 0; k < bs; ++k) {
     Real log_pi = 0;
     const Real* x = batch.row(k).data();
-    const Real* p = f.p.row(k).data();
+    const Real* p = scratch_.p.row(k).data();
     for (std::size_t i = 0; i < n_; ++i)
       log_pi += x[i] * clamped_log(p[i]) + (1 - x[i]) * clamped_log(1 - p[i]);
     out[k] = log_pi / 2;
@@ -119,18 +136,19 @@ void ShardedMade::accumulate_log_psi_gradient(const Matrix& batch,
   VQMC_REQUIRE(grad.size() == num_local_parameters(),
                "ShardedMade: gradient size mismatch");
 
-  Forward f;
-  forward(batch, f);
-  Matrix w1m, w2m;
-  masked_weights(w1m, w2m);
+  const std::shared_ptr<const MaskedWeights> mw = masked();
+  Scratch& s = scratch_;
+  forward(batch, *mw, s, s.p);
+  const RowExtentsView e1 = plan_.w1.view();
+  const RowExtentsView e2 = plan_.w2.view();
 
   // g2 is identical on every rank (p is fully reduced) — so the output
   // bias gradient is replicated and the shard gradients need no comm.
-  Matrix g2(bs, n_);
+  ensure_shape(s.g2, bs, n_);
   for (std::size_t k = 0; k < bs; ++k) {
     const Real* x = batch.row(k).data();
-    const Real* p = f.p.row(k).data();
-    Real* g = g2.row(k).data();
+    const Real* p = s.p.row(k).data();
+    Real* g = s.g2.row(k).data();
     const Real c = coeff[k] / 2;
     for (std::size_t i = 0; i < n_; ++i) g[i] = c * (x[i] - p[i]);
   }
@@ -139,21 +157,21 @@ void ShardedMade::accumulate_log_psi_gradient(const Matrix& batch,
   const std::size_t off_w2 = off_b1 + h_local_;
   const std::size_t off_b2 = off_w2 + n_ * h_local_;
 
-  Matrix dw2(n_, h_local_);
-  gemm_tn_accumulate(g2, f.h1, dw2);
-  for (std::size_t i = 0; i < n_ * h_local_; ++i)
-    grad[off_w2 + i] += mask2_.data()[i] * dw2.data()[i];
-  column_sum_accumulate(g2, grad.subspan(off_b2, n_));
+  ensure_shape(s.dw2, n_, h_local_);
+  extents_zero(s.dw2, e2);
+  gemm_tn_accumulate_extents(s.g2, s.h1, e2, s.dw2);
+  extents_add_flat(s.dw2, e2, grad.subspan(off_w2, n_ * h_local_));
+  column_sum_accumulate(s.g2, grad.subspan(off_b2, n_));
 
-  Matrix g1(bs, h_local_);
-  gemm_nn(g2, w2m, g1);
-  relu_backward_inplace(f.a1, g1);
+  ensure_shape(s.g1, bs, h_local_);
+  gemm_nn_extents(s.g2, mw->w2m, e2, s.g1);
+  relu_backward_inplace(s.a1, s.g1);
 
-  Matrix dw1(h_local_, n_);
-  gemm_tn_accumulate(g1, batch, dw1);
-  for (std::size_t i = 0; i < h_local_ * n_; ++i)
-    grad[i] += mask1_.data()[i] * dw1.data()[i];
-  column_sum_accumulate(g1, grad.subspan(off_b1, h_local_));
+  ensure_shape(s.dw1, h_local_, n_);
+  extents_zero(s.dw1, e1);
+  gemm_tn_accumulate_extents(s.g1, batch, e1, s.dw1);
+  extents_add_flat(s.dw1, e1, grad.subspan(0, h_local_ * n_));
+  column_sum_accumulate(s.g1, grad.subspan(off_b1, h_local_));
 }
 
 }  // namespace vqmc::parallel

@@ -24,8 +24,10 @@
 /// them in the same order with identical `batch` contents.
 
 #include <cstdint>
+#include <memory>
 
 #include "nn/made.hpp"
+#include "nn/masked_plan.hpp"
 #include "parallel/communicator.hpp"
 
 namespace vqmc::parallel {
@@ -49,7 +51,12 @@ class ShardedMade {
   [[nodiscard]] std::size_t num_local_parameters() const {
     return params_.size();
   }
-  [[nodiscard]] std::span<Real> local_parameters() { return params_.span(); }
+  /// Mutable access is the write path (bumps the masked-weight cache
+  /// version; see masked_plan.hpp). Re-acquire before each round of writes.
+  [[nodiscard]] std::span<Real> local_parameters() {
+    version_.bump();
+    return params_.span();
+  }
   [[nodiscard]] std::span<const Real> local_parameters() const {
     return params_.span();
   }
@@ -84,13 +91,28 @@ class ShardedMade {
     return params_.data() + h_local_ * n_ + h_local_ + n_ * h_local_;
   }
 
-  struct Forward {
-    Matrix a1;  ///< bs x h_local, pre-ReLU
-    Matrix h1;  ///< bs x h_local
-    Matrix p;   ///< bs x n, full conditionals (post-allreduce)
+  /// Packed masked slice weights for one parameter version (cached; see
+  /// masked_plan.hpp).
+  struct MaskedWeights {
+    Matrix w1m;  ///< h_local x n
+    Matrix w2m;  ///< n x h_local
+    std::uint64_t version = 0;
   };
-  void forward(const Matrix& batch, Forward& f);
-  void masked_weights(Matrix& w1m, Matrix& w2m) const;
+  [[nodiscard]] std::shared_ptr<const MaskedWeights> masked() const;
+
+  /// Rank-local evaluation scratch, reused across calls (methods are
+  /// non-collective-reentrant anyway, so member scratch is safe).
+  struct Scratch {
+    Matrix a1;   ///< bs x h_local, pre-ReLU
+    Matrix h1;   ///< bs x h_local
+    Matrix p;    ///< bs x n, full conditionals (post-allreduce)
+    Matrix g2;   ///< bs x n
+    Matrix g1;   ///< bs x h_local
+    Matrix dw1;  ///< h_local x n
+    Matrix dw2;  ///< n x h_local
+  };
+  void forward(const Matrix& batch, const MaskedWeights& mw, Scratch& s,
+               Matrix& p);
 
   Communicator& comm_;
   std::size_t n_;
@@ -100,6 +122,10 @@ class ShardedMade {
   Vector params_;
   Matrix mask1_;  ///< h_local x n
   Matrix mask2_;  ///< n x h_local
+  MaskedPlan plan_;
+  ParamVersion version_;
+  VersionedCache<MaskedWeights> cache_;
+  Scratch scratch_;
   std::uint64_t allreduce_count_ = 0;
 };
 

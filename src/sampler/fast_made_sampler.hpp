@@ -22,13 +22,18 @@
 /// Cost accounting: the statistics still count n "forward passes" per batch
 /// to stay comparable with the baseline sampler's Figure-1 accounting.
 ///
+/// The masked weights come straight from the model's version-counter cache
+/// (Made::masked(), see masked_plan.hpp) — nothing is materialized per
+/// call — and the inner loops iterate only the mask extents, skipping the
+/// structurally zero terms without changing any result bit.
+///
 /// Thread safety: a FastMadeSampler instance is single-threaded — it owns
-/// mutable scratch (the masked-weight copies and running pre-activations)
-/// and an RNG stream.  The borrowed Made, however, is only ever read
-/// through const methods, so any number of sampler instances (one per
-/// thread) may share one frozen model concurrently.  For the serving path,
-/// serve::ModelSnapshot re-implements this exact draw order with
-/// per-request generators (bit-for-bit parity is tested).
+/// mutable scratch (the running pre-activations) and an RNG stream.  The
+/// borrowed Made, however, is only ever read through const methods, so any
+/// number of sampler instances (one per thread) may share one frozen model
+/// concurrently.  For the serving path, serve::ModelSnapshot re-implements
+/// this exact draw order with per-request generators (bit-for-bit parity
+/// is tested).
 
 #include <cstdint>
 
@@ -43,7 +48,7 @@ class FastMadeSampler final : public Sampler {
  public:
   /// \param model the MADE wavefunction (not owned; must outlive the
   ///        sampler). Parameter *values* may change between sample() calls
-  ///        (the masked weights are re-materialized per call).
+  ///        (the masked weights are re-fetched from the model's cache).
   FastMadeSampler(const Made& model, std::uint64_t seed);
 
   void sample(Matrix& out) override;
@@ -71,7 +76,6 @@ class FastMadeSampler final : public Sampler {
   SamplerStatistics stats_;
 
   // Scratch reused across calls.
-  Matrix w1m_, w2m_;
   Matrix a1_;  ///< bs x h running pre-activations
 };
 

@@ -181,6 +181,9 @@ void InferenceEngine::admit(std::unique_ptr<Request> request,
 }
 
 void InferenceEngine::worker_loop() {
+  // Per-worker model workspace: activation scratch stops allocating once
+  // batch shapes stabilize, and stays private to this thread.
+  Made::Workspace ws;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -229,7 +232,7 @@ void InferenceEngine::worker_loop() {
       telemetry::metrics().gauge("serve.queue_rows").set(double(queued_rows_));
     }
     lock.unlock();
-    execute_batch(kind, batch, rows);
+    execute_batch(kind, batch, rows, ws);
     finish_rows(rows);
     lock.lock();
   }
@@ -257,7 +260,7 @@ void InferenceEngine::fail_request(Request& request,
 
 void InferenceEngine::execute_batch(
     Kind kind, std::vector<std::unique_ptr<Request>>& batch,
-    std::size_t rows) {
+    std::size_t rows, Made::Workspace& ws) {
   TELEMETRY_SPAN("serve.batch");
   // Bind the batch to exactly one published version: every response below
   // is attributable to this snapshot and no other.
@@ -345,7 +348,7 @@ void InferenceEngine::execute_batch(
       }
       std::vector<Real> values(live_rows);
       if (kind == Kind::LogPsi) {
-        snapshot.log_psi(all, values);
+        snapshot.log_psi(all, values, ws);
       } else {
         LocalEnergyEngine engine(*config_.hamiltonian, snapshot.model());
         engine.compute(all, values);

@@ -175,7 +175,7 @@ class InferenceEngine {
   void worker_loop();
   void execute_batch(Kind kind,
                      std::vector<std::unique_ptr<Request>>& batch,
-                     std::size_t rows);
+                     std::size_t rows, Made::Workspace& ws);
   void fail_request(Request& request, std::exception_ptr error);
   void finish_rows(std::size_t rows);
 

@@ -1,22 +1,11 @@
 #include "serve/model_snapshot.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "rng/distributions.hpp"
 #include "tensor/kernels.hpp"
 
 namespace vqmc::serve {
-
-namespace {
-
-/// Same clamp as Made::log_psi (made.cpp); the parity tests assert
-/// bit-for-bit equality, which pins the two constants together.
-constexpr Real kProbEps = 1e-12;
-
-Real clamped_log(Real p) { return std::log(std::max(p, kProbEps)); }
-
-}  // namespace
 
 std::shared_ptr<const ModelSnapshot> ModelSnapshot::from_model(
     const Made& model) {
@@ -61,40 +50,17 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::from_training_snapshot(
 }
 
 void ModelSnapshot::log_psi(const Matrix& batch, std::span<Real> out) const {
-  const std::size_t n = model_.num_spins();
-  const std::size_t h = model_.hidden_size();
-  VQMC_REQUIRE(batch.cols() == n, "serve: batch has wrong spin count");
-  VQMC_REQUIRE(out.size() == batch.rows(), "serve: output size mismatch");
-  const std::size_t bs = batch.rows();
+  Made::Workspace ws;
+  log_psi(batch, out, ws);
+}
 
-  // Kernel-for-kernel replay of Made::forward; per-row arithmetic is
-  // independent of the batch composition, so coalescing requests cannot
-  // perturb any row's value.  Materializing the masked weights here is the
-  // per-micro-batch fixed cost the batching window amortizes (see the file
-  // comment in model_snapshot.hpp).
-  Matrix w1m, w2m;
-  model_.masked_weights_public(w1m, w2m);
-  Matrix a1(bs, h);
-  gemm_nt(batch, w1m, a1);
-  add_row_broadcast(a1, model_.bias1());
-  Matrix h1 = a1;
-  relu_inplace(h1);
-  Matrix p(bs, n);
-  gemm_nt(h1, w2m, p);
-  add_row_broadcast(p, model_.bias2());
-  sigmoid_inplace(p);
-
-#pragma omp parallel for schedule(static)
-  for (std::size_t k = 0; k < bs; ++k) {
-    Real log_pi = 0;
-    const Real* x = batch.row(k).data();
-    const Real* pk = p.row(k).data();
-    for (std::size_t i = 0; i < n; ++i) {
-      log_pi +=
-          x[i] * clamped_log(pk[i]) + (1 - x[i]) * clamped_log(1 - pk[i]);
-    }
-    out[k] = log_pi / 2;  // psi = sqrt(pi)
-  }
+void ModelSnapshot::log_psi(const Matrix& batch, std::span<Real> out,
+                            Made::Workspace& ws) const {
+  // Per-row arithmetic is independent of the batch composition, so
+  // coalescing requests cannot perturb any row's value.  The packed masked
+  // weights were built once at snapshot construction; this call touches
+  // only the model's prebuilt plan plus the caller's workspace.
+  model_.log_psi(batch, out, ws);
 }
 
 void ModelSnapshot::sample(Matrix& out,
@@ -110,8 +76,11 @@ void ModelSnapshot::sample(Matrix& out,
                  "serve: invalid sample slice");
   }
 
-  Matrix w1m, w2m;
-  model_.masked_weights_public(w1m, w2m);
+  // Prebuilt packed weights — nothing is materialized per request.
+  const Matrix& w1m = masked_->w1m;
+  const Matrix& w2m = masked_->w2m;
+  const RowExtents& w1_ext = model_.w1_extents();
+  const RowExtentsView w2_ext = model_.w2_extents().view();
   const std::span<const Real> b1 = model_.bias1();
   const std::span<const Real> b2 = model_.bias2();
 
@@ -126,6 +95,7 @@ void ModelSnapshot::sample(Matrix& out,
 
   for (std::size_t i = 0; i < n; ++i) {
     const Real* w2_row = w2m.row(i).data();
+    const std::span<const ColSpan> w2_spans = w2_ext.row(i);
     const Real bias = b2[i];
     for (const SampleSlice& s : slices) {
       rng::Xoshiro256& gen = *s.gen;
@@ -133,16 +103,22 @@ void ModelSnapshot::sample(Matrix& out,
       for (std::size_t k = s.row_begin; k < end; ++k) {
         const Real* a_row = a1.row(k).data();
         Real logit = bias;
-        for (std::size_t l = 0; l < h; ++l) {
-          const Real hl = a_row[l] > 0 ? a_row[l] : 0;  // ReLU on the fly
-          logit += w2_row[l] * hl;
+        // Extent-restricted, same as FastMadeSampler: the skipped entries
+        // are structural zeros in W2m.
+        for (const ColSpan sp : w2_spans) {
+          for (std::size_t l = sp.begin; l < sp.end; ++l) {
+            const Real hl = a_row[l] > 0 ? a_row[l] : 0;  // ReLU on the fly
+            logit += w2_row[l] * hl;
+          }
         }
         const Real p1 = sigmoid(logit);
         if (rng::bernoulli(gen, p1)) {
           out(k, i) = 1;
           Real* a_mut = a1.row(k).data();
           const Real* w1_base = w1m.data();
-          for (std::size_t l = 0; l < h; ++l) a_mut[l] += w1_base[l * n + i];
+          for (std::size_t l = 0; l < h; ++l) {
+            if (i < w1_ext.row_end(l)) a_mut[l] += w1_base[l * n + i];
+          }
         }
       }
     }

@@ -8,27 +8,27 @@
 /// evaluation surface:
 ///
 ///  * **Thread safety.** Every evaluation method is `const` and uses only
-///    call-local scratch, so any number of worker threads can evaluate the
-///    same snapshot concurrently (the TSan-covered serve concurrency test
-///    hammers one snapshot from 8 threads).
-///  * **Lean version retention.** Hot-swap keeps every version alive that
-///    an in-flight batch still references; a trainer publishing each
-///    iteration can pin several at once.  A snapshot therefore stores only
-///    the canonical parameter vector (1x footprint) and materializes the
-///    masked weights W1m = M1 .* W1 and W2m = M2 .* W2 per evaluation call
-///    — i.e. once per micro-batch.  Caching them would double every
-///    retained version (~2x 3.8 MB at n = 1000).
-///  * **Batching economics.** That materialization (2 h n multiplies plus
-///    two matrix allocations, ~1.9 ms at n = 1000) is the dominant *fixed*
-///    cost of a request; the engine's batching window exists precisely to
-///    amortize it across coalesced rows (bench_serve_throughput measures
-///    the resulting throughput gain).
+///    call-local (or caller-owned) scratch, so any number of worker threads
+///    can evaluate the same snapshot concurrently (the TSan-covered serve
+///    concurrency test hammers one snapshot from 8 threads).
+///  * **Prebuilt compute plan.** The snapshot's parameters never change, so
+///    the packed masked weights are built exactly once, at construction,
+///    via the model's version-counter cache (DESIGN.md §5f) and shared by
+///    every request thereafter — zero materialization per request.  This
+///    retains ~2x the canonical parameter footprint per pinned version
+///    (~7.6 MB at n = 1000), the deliberate trade for removing what used to
+///    be a ~1.9 ms fixed cost on every micro-batch.
+///  * **Batching economics.** With the materialization gone, the engine's
+///    batching window amortizes the remaining per-dispatch overheads
+///    (queue handoff, batch assembly, the per-batch kernel-launch fixed
+///    costs) and improves cache reuse of the shared packed weights across
+///    coalesced rows (bench_serve_throughput measures the effect).
 ///
-/// Numerical parity is a hard contract, not an aspiration: `log_psi` runs
-/// the exact kernel sequence of `Made::forward`, and `sample` replays
-/// `FastMadeSampler`'s site-major/row-minor draw order, so results are
-/// bit-for-bit identical to the in-trainer paths under the same seed (tests
-/// pin this).
+/// Numerical parity is a hard contract, not an aspiration: `log_psi` *is*
+/// `Made::log_psi` (same packed kernels, same clamp), and `sample` replays
+/// `FastMadeSampler`'s site-major/row-minor draw order over the same packed
+/// weights, so results are bit-for-bit identical to the in-trainer paths
+/// under the same seed (tests pin this).
 
 #include <cstdint>
 #include <memory>
@@ -41,8 +41,8 @@
 
 namespace vqmc::serve {
 
-/// Frozen MADE weights plus cached masked matrices; shareable across
-/// threads, immutable after construction.
+/// Frozen MADE weights plus the prebuilt packed masked weights; shareable
+/// across threads, immutable after construction.
 class ModelSnapshot {
  public:
   /// Snapshot the current parameters of a live model (deep copy).
@@ -68,6 +68,11 @@ class ModelSnapshot {
   /// Bit-identical to Made::log_psi; safe to call concurrently.
   void log_psi(const Matrix& batch, std::span<Real> out) const;
 
+  /// Same, reusing a caller-owned (per-worker) workspace for the
+  /// activation scratch.  One workspace per concurrent caller.
+  void log_psi(const Matrix& batch, std::span<Real> out,
+               Made::Workspace& ws) const;
+
   /// One coalesced request's slice of a sampling batch: rows
   /// [row_begin, row_begin + row_count) of `out`, drawn from `*gen`.
   struct SampleSlice {
@@ -88,9 +93,13 @@ class ModelSnapshot {
   void sample(Matrix& out, std::uint64_t seed) const;
 
  private:
-  explicit ModelSnapshot(Made model) : model_(std::move(model)) {}
+  explicit ModelSnapshot(Made model)
+      : model_(std::move(model)), masked_(model_.masked()) {}
 
   Made model_;
+  /// Packed masked weights, force-built at construction (the parameters
+  /// are frozen, so this stays the model cache's sole entry forever).
+  std::shared_ptr<const Made::MaskedWeights> masked_;
 };
 
 }  // namespace vqmc::serve

@@ -2,6 +2,10 @@
 
 #include <cmath>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "common/error.hpp"
 
 namespace vqmc {
@@ -90,8 +94,39 @@ void gemv_t(const Matrix& a, std::span<const Real> x, std::span<Real> y) {
                "gemv_t: shape mismatch");
   const std::size_t m = a.rows(), k = a.cols();
   const Real* pa = a.data();
+  // The output dimension is the reduction dimension here, so row-parallel
+  // threads would race on y.  Each thread therefore accumulates its row
+  // range into a private k-vector (row-major traversal keeps A accesses
+  // contiguous) and the partials are merged column-parallel afterwards.
+  // This sits in the SR optimizer's CG inner loop, where m is the batch and
+  // k the parameter count.
+#ifdef _OPENMP
+  const int threads = omp_get_max_threads();
+  if (threads > 1 && m >= 2) {
+    Vector partials(std::size_t(threads) * k);  // zero-initialized
+#pragma omp parallel
+    {
+      Real* local = partials.data() + std::size_t(omp_get_thread_num()) * k;
+#pragma omp for schedule(static)
+      for (std::size_t r = 0; r < m; ++r) {
+        const Real* row = pa + r * k;
+        const Real xr = x[r];
+        for (std::size_t c = 0; c < k; ++c) local[c] += xr * row[c];
+      }
+      // The implicit barrier after the row loop makes every partial visible
+      // before the column-parallel merge below.
+#pragma omp for schedule(static)
+      for (std::size_t c = 0; c < k; ++c) {
+        Real acc = 0;
+        for (int t = 0; t < threads; ++t)
+          acc += partials[std::size_t(t) * k + c];
+        y[c] = acc;
+      }
+    }
+    return;
+  }
+#endif
   for (std::size_t c = 0; c < k; ++c) y[c] = 0;
-  // Row-major traversal keeps A accesses contiguous.
   for (std::size_t r = 0; r < m; ++r) {
     const Real* row = pa + r * k;
     const Real xr = x[r];
@@ -160,6 +195,148 @@ void gemm_tn_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
       const Real* brow = pb + l * n;
       for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
+  }
+}
+
+RowExtents RowExtents::from_mask(const Matrix& mask) {
+  RowExtents ext;
+  const std::size_t rows = mask.rows(), cols = mask.cols();
+  ext.row_ptr_.reserve(rows + 1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const Real* row = mask.data() + r * cols;
+    std::size_t c = 0;
+    while (c < cols) {
+      while (c < cols && row[c] == Real(0)) ++c;
+      if (c == cols) break;
+      const std::size_t begin = c;
+      while (c < cols && row[c] != Real(0)) ++c;
+      ext.spans_.push_back({begin, c});
+      ext.nonzeros_ += c - begin;
+    }
+    ext.row_ptr_.push_back(ext.spans_.size());
+  }
+  return ext;
+}
+
+void gemv_extents(const Matrix& a, RowExtentsView ext, std::span<const Real> x,
+                  std::span<Real> y) {
+  VQMC_REQUIRE(a.cols() == x.size() && a.rows() == y.size(),
+               "gemv_extents: shape mismatch");
+  VQMC_REQUIRE(ext.rows() == a.rows(), "gemv_extents: extent row mismatch");
+  const std::size_t m = a.rows(), k = a.cols();
+  const Real* pa = a.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t r = 0; r < m; ++r) {
+    const Real* row = pa + r * k;
+    Real acc = 0;
+    for (const ColSpan& s : ext.row(r))
+      for (std::size_t c = s.begin; c < s.end; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void gemm_nt_extents(const Matrix& a, const Matrix& b, RowExtentsView ext,
+                     Matrix& c) {
+  VQMC_REQUIRE(a.cols() == b.cols() && c.rows() == a.rows() &&
+                   c.cols() == b.rows(),
+               "gemm_nt_extents: shape mismatch");
+  VQMC_REQUIRE(ext.rows() == b.rows(), "gemm_nt_extents: extent row mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  const Real* pa = a.data();
+  const Real* pb = b.data();
+  Real* pc = c.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t r = 0; r < m; ++r) {
+    const Real* arow = pa + r * k;
+    Real* crow = pc + r * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const Real* brow = pb + j * k;
+      Real acc = 0;
+      for (const ColSpan& s : ext.row(j))
+        for (std::size_t l = s.begin; l < s.end; ++l)
+          acc += arow[l] * brow[l];
+      crow[j] = acc;
+    }
+  }
+}
+
+void gemm_nn_extents(const Matrix& a, const Matrix& b, RowExtentsView ext,
+                     Matrix& c) {
+  VQMC_REQUIRE(a.cols() == b.rows() && c.rows() == a.rows() &&
+                   c.cols() == b.cols(),
+               "gemm_nn_extents: shape mismatch");
+  VQMC_REQUIRE(ext.rows() == b.rows(), "gemm_nn_extents: extent row mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const Real* pa = a.data();
+  const Real* pb = b.data();
+  Real* pc = c.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t r = 0; r < m; ++r) {
+    Real* crow = pc + r * n;
+    for (std::size_t j = 0; j < n; ++j) crow[j] = 0;
+    const Real* arow = pa + r * k;
+    for (std::size_t l = 0; l < k; ++l) {
+      const Real av = arow[l];
+      const Real* brow = pb + l * n;
+      for (const ColSpan& s : ext.row(l))
+        for (std::size_t j = s.begin; j < s.end; ++j)
+          crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_tn_accumulate_extents(const Matrix& a, const Matrix& b,
+                                RowExtentsView ext, Matrix& c) {
+  VQMC_REQUIRE(a.rows() == b.rows() && c.rows() == a.cols() &&
+                   c.cols() == b.cols(),
+               "gemm_tn_accumulate_extents: shape mismatch");
+  VQMC_REQUIRE(ext.rows() == c.rows(),
+               "gemm_tn_accumulate_extents: extent row mismatch");
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  const Real* pa = a.data();
+  const Real* pb = b.data();
+  Real* pc = c.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t r = 0; r < m; ++r) {
+    Real* crow = pc + r * n;
+    const std::span<const ColSpan> spans = ext.row(r);
+    for (std::size_t l = 0; l < k; ++l) {
+      const Real av = pa[l * m + r];
+      if (av == Real(0)) continue;
+      const Real* brow = pb + l * n;
+      for (const ColSpan& s : spans)
+        for (std::size_t j = s.begin; j < s.end; ++j)
+          crow[j] += av * brow[j];
+    }
+  }
+}
+
+void extents_zero(Matrix& a, RowExtentsView ext) {
+  VQMC_REQUIRE(ext.rows() == a.rows(), "extents_zero: extent row mismatch");
+  const std::size_t m = a.rows(), n = a.cols();
+  Real* pa = a.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t r = 0; r < m; ++r) {
+    Real* row = pa + r * n;
+    for (const ColSpan& s : ext.row(r))
+      for (std::size_t c = s.begin; c < s.end; ++c) row[c] = 0;
+  }
+}
+
+void extents_add_flat(const Matrix& src, RowExtentsView ext,
+                      std::span<Real> dst) {
+  VQMC_REQUIRE(ext.rows() == src.rows(),
+               "extents_add_flat: extent row mismatch");
+  VQMC_REQUIRE(dst.size() == src.size(), "extents_add_flat: size mismatch");
+  const std::size_t m = src.rows(), n = src.cols();
+  const Real* ps = src.data();
+  Real* pd = dst.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t r = 0; r < m; ++r) {
+    const Real* srow = ps + r * n;
+    Real* drow = pd + r * n;
+    for (const ColSpan& s : ext.row(r))
+      for (std::size_t c = s.begin; c < s.end; ++c) drow[c] += srow[c];
   }
 }
 

@@ -1,24 +1,92 @@
 #pragma once
 
 /// \file kernels.hpp
-/// \brief BLAS-like dense kernels on Matrix / Vector.
+/// \brief BLAS-like dense and extent-aware structured kernels on
+/// Matrix / Vector.
 ///
 /// Naming follows BLAS transpose conventions: `gemm_nt` computes
 /// C = A * B^T, `gemm_tn` computes C = A^T * B, etc.  All kernels are
-/// OpenMP-parallel over the independent output dimension; they form the
-/// compute substrate that stands in for the paper's GPU matmuls (the MADE /
-/// RBM forward and backward passes are nothing but these calls).
+/// OpenMP-parallel over the independent output dimension (`gemv_t`
+/// parallelizes its reduction with per-thread partial accumulators); they
+/// form the compute substrate that stands in for the paper's GPU matmuls
+/// (the MADE / RBM forward and backward passes are nothing but these
+/// calls).
 ///
 /// Kernels either overwrite (`gemm*`, `gemv*`) or accumulate
 /// (`*_accumulate`); the accumulate forms are used to sum gradients over a
 /// batch without temporaries.
+///
+/// The `*_extents` forms are the masked-compute fast path (DESIGN.md §5f):
+/// they take per-row lists of `[begin, end)` column intervals (RowExtents,
+/// typically built once from a binary mask) and visit only the columns
+/// inside the intervals.  Because skipped entries are structural zeros in
+/// the masked operand, every `*_extents` kernel produces results that
+/// compare exactly equal to its dense counterpart run on the masked matrix
+/// — the nonzero terms are accumulated in the identical order — while
+/// skipping the ~50% of multiply-adds the MADE autoregressive masks zero
+/// out.
 
+#include <cstddef>
 #include <span>
+#include <vector>
 
 #include "tensor/matrix.hpp"
 #include "tensor/vector.hpp"
 
 namespace vqmc {
+
+// ---------------------------------------------------------------------------
+// Structured sparsity descriptors (per-row column extents).
+// ---------------------------------------------------------------------------
+
+/// One half-open column interval [begin, end).
+struct ColSpan {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Non-owning view: row r's nonzero columns are the (sorted, disjoint)
+/// intervals `spans[row_ptr[r] .. row_ptr[r+1])`.
+struct RowExtentsView {
+  std::span<const std::size_t> row_ptr;  ///< size rows()+1
+  std::span<const ColSpan> spans;
+
+  [[nodiscard]] std::size_t rows() const {
+    return row_ptr.empty() ? 0 : row_ptr.size() - 1;
+  }
+  [[nodiscard]] std::span<const ColSpan> row(std::size_t r) const {
+    return spans.subspan(row_ptr[r], row_ptr[r + 1] - row_ptr[r]);
+  }
+};
+
+/// Owning per-row interval list (interval-CSR).  Built once from a binary
+/// mask; the MADE prefix masks yield one interval per row and the suffix
+/// masks a short cyclic list, but any 0/1 pattern is representable (each
+/// maximal run of nonzeros becomes one interval).
+class RowExtents {
+ public:
+  RowExtents() = default;
+
+  /// Scan `mask` (any shape) and record the maximal runs of nonzero
+  /// entries of each row as intervals.
+  [[nodiscard]] static RowExtents from_mask(const Matrix& mask);
+
+  [[nodiscard]] RowExtentsView view() const { return {row_ptr_, spans_}; }
+  [[nodiscard]] std::size_t rows() const { return row_ptr_.size() - 1; }
+  /// Total number of covered (nonzero) positions.
+  [[nodiscard]] std::size_t nonzeros() const { return nonzeros_; }
+  /// One past the last nonzero column of row r (0 when the row is empty).
+  /// For a prefix mask this is exactly the row's degree bound m_r.
+  [[nodiscard]] std::size_t row_end(std::size_t r) const {
+    const std::size_t hi = row_ptr_[r + 1];
+    return hi == row_ptr_[r] ? 0 : spans_[hi - 1].end;
+  }
+
+ private:
+  std::vector<std::size_t> row_ptr_{0};
+  std::vector<ColSpan> spans_;
+  std::size_t nonzeros_ = 0;
+};
 
 // ---------------------------------------------------------------------------
 // Level-1: vector-vector.
@@ -67,6 +135,43 @@ void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c);
 /// C += A^T B   (A: k x m, B: k x n, C: m x n). Accumulating form used for
 /// weight gradients summed over the batch (k = batch) dimension.
 void gemm_tn_accumulate(const Matrix& a, const Matrix& b, Matrix& c);
+
+// ---------------------------------------------------------------------------
+// Extent-aware (masked) forms.  Each takes a RowExtentsView describing the
+// structurally nonzero columns and matches its dense counterpart exactly
+// (bit-for-bit on the masked operand) while skipping the zeroed entries.
+// ---------------------------------------------------------------------------
+
+/// y[r] = sum over r's extents of A(r, c) * x[c]  (A: m x k, extents over
+/// A's rows). Rows with no extents produce 0.
+void gemv_extents(const Matrix& a, RowExtentsView ext, std::span<const Real> x,
+                  std::span<Real> y);
+
+/// C = A B^T with per-B-row extents: C(r, j) reduces only over B row j's
+/// intervals (A: m x k, B: n x k, C: m x n, ext.rows() == n).
+void gemm_nt_extents(const Matrix& a, const Matrix& b, RowExtentsView ext,
+                     Matrix& c);
+
+/// C = A B with per-B-row extents: B row l contributes only its interval
+/// columns (A: m x k, B: k x n, C: m x n, ext.rows() == k).
+void gemm_nn_extents(const Matrix& a, const Matrix& b, RowExtentsView ext,
+                     Matrix& c);
+
+/// C += A^T B restricted to each C row's extents (A: k x m, B: k x n,
+/// C: m x n, ext.rows() == m).  Entries of C outside the extents are left
+/// untouched — pair with extents_zero / extents_add_flat.
+void gemm_tn_accumulate_extents(const Matrix& a, const Matrix& b,
+                                RowExtentsView ext, Matrix& c);
+
+/// a(r, j) = 0 for every j inside row r's extents.
+void extents_zero(Matrix& a, RowExtentsView ext);
+
+/// dst[r * src.cols() + j] += src(r, j) for every j inside row r's extents
+/// (dst is a flat row-major block of the same shape as src).  This replaces
+/// the dense "grad += mask .* dw" mask-apply pass: inside the extents the
+/// mask is identically 1.
+void extents_add_flat(const Matrix& src, RowExtentsView ext,
+                      std::span<Real> dst);
 
 // ---------------------------------------------------------------------------
 // Elementwise / broadcast operations used by the NN layers.

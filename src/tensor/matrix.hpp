@@ -58,4 +58,13 @@ class Matrix {
   AlignedBuffer<Real> storage_;
 };
 
+/// Give `m` the requested shape, reallocating only when it differs.
+/// Contents are unspecified afterwards (a fresh allocation is zero, a
+/// reused one keeps stale values) — callers must fully overwrite.  This is
+/// the workspace-reuse primitive: scratch matrices held across trainer
+/// iterations or serve requests stop allocating once shapes stabilize.
+inline void ensure_shape(Matrix& m, std::size_t rows, std::size_t cols) {
+  if (m.rows() != rows || m.cols() != cols) m = Matrix(rows, cols);
+}
+
 }  // namespace vqmc

@@ -1,0 +1,407 @@
+/// \file test_masked_plan.cpp
+/// \brief Pins the masked compute plan (DESIGN.md §5f): the packed
+/// extent-kernel path must be exactly (bit-for-bit) equal to the dense
+/// masked path it replaced, the autoregressive property must survive the
+/// rewrite, and the version-counter weight cache must invalidate on every
+/// parameter write and tolerate concurrent readers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "nn/made.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "tensor/kernels.hpp"
+
+namespace vqmc {
+namespace {
+
+Matrix random_bits(std::size_t bs, std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  Matrix batch(bs, n);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    batch.data()[i] = rng::bernoulli(gen, 0.5) ? 1 : 0;
+  return batch;
+}
+
+void randomize_parameters(WavefunctionModel& model, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  for (Real& p : model.parameters()) p = rng::uniform(gen, -0.8, 0.8);
+}
+
+/// Dense reference replicating the pre-plan code path: materialize
+/// `M .* W`, run dense gemms, apply the mask elementwise to the weight
+/// gradients.  The packed path must match it bit-for-bit (EXPECT_EQ).
+struct DenseReference {
+  std::size_t n, h;
+  Matrix w1m, w2m;  ///< mask .* W, materialized the old way
+  Vector b1, b2;
+
+  explicit DenseReference(const Made& made)
+      : n(made.num_spins()), h(made.hidden_size()), b1(h), b2(n) {
+    const std::span<const Real> p = std::as_const(made).parameters();
+    const Matrix& m1 = made.mask1();
+    const Matrix& m2 = made.mask2();
+    w1m = Matrix(h, n);
+    w2m = Matrix(n, h);
+    const std::size_t off_b1 = h * n;
+    const std::size_t off_w2 = off_b1 + h;
+    const std::size_t off_b2 = off_w2 + n * h;
+    for (std::size_t i = 0; i < h * n; ++i)
+      w1m.data()[i] = m1.data()[i] * p[i];
+    for (std::size_t i = 0; i < h; ++i) b1[i] = p[off_b1 + i];
+    for (std::size_t i = 0; i < n * h; ++i)
+      w2m.data()[i] = m2.data()[i] * p[off_w2 + i];
+    for (std::size_t i = 0; i < n; ++i) b2[i] = p[off_b2 + i];
+  }
+
+  void forward(const Matrix& batch, Matrix& a1, Matrix& h1, Matrix& p) const {
+    const std::size_t bs = batch.rows();
+    a1 = Matrix(bs, h);
+    gemm_nt(batch, w1m, a1);
+    add_row_broadcast(a1, b1.span());
+    h1 = a1;
+    relu_inplace(h1);
+    p = Matrix(bs, n);
+    gemm_nt(h1, w2m, p);
+    add_row_broadcast(p, b2.span());
+    sigmoid_inplace(p);
+  }
+
+  void log_psi(const Matrix& batch, std::span<Real> out) const {
+    Matrix a1, h1, p;
+    forward(batch, a1, h1, p);
+    const auto clamped_log = [](Real v) {
+      return std::log(std::max(v, Real(1e-12)));  // kProbEps, as in made.cpp
+    };
+    for (std::size_t k = 0; k < batch.rows(); ++k) {
+      Real log_pi = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const Real x = batch(k, i);
+        log_pi += x * clamped_log(p(k, i)) + (1 - x) * clamped_log(1 - p(k, i));
+      }
+      out[k] = log_pi / 2;
+    }
+  }
+
+  void accumulate_gradient(const Made& made, const Matrix& batch,
+                           std::span<const Real> coeff,
+                           std::span<Real> grad) const {
+    const std::size_t bs = batch.rows();
+    Matrix a1, h1, p;
+    forward(batch, a1, h1, p);
+    const std::size_t off_b1 = h * n;
+    const std::size_t off_w2 = off_b1 + h;
+    const std::size_t off_b2 = off_w2 + n * h;
+
+    Matrix g2(bs, n);
+    for (std::size_t k = 0; k < bs; ++k)
+      for (std::size_t i = 0; i < n; ++i)
+        g2(k, i) = coeff[k] / 2 * (batch(k, i) - p(k, i));
+
+    Matrix dw2(n, h);  // zero-initialized
+    gemm_tn_accumulate(g2, h1, dw2);
+    for (std::size_t i = 0; i < n * h; ++i)
+      grad[off_w2 + i] += made.mask2().data()[i] * dw2.data()[i];
+    column_sum_accumulate(g2, grad.subspan(off_b2, n));
+
+    Matrix g1(bs, h);
+    gemm_nn(g2, w2m, g1);
+    relu_backward_inplace(a1, g1);
+
+    Matrix dw1(h, n);
+    gemm_tn_accumulate(g1, batch, dw1);
+    for (std::size_t i = 0; i < h * n; ++i)
+      grad[i] += made.mask1().data()[i] * dw1.data()[i];
+    column_sum_accumulate(g1, grad.subspan(off_b1, h));
+  }
+
+  void per_sample_gradient(const Made& made, const Matrix& batch,
+                           Matrix& out) const {
+    const std::size_t bs = batch.rows();
+    Matrix a1m, h1m, pm;
+    forward(batch, a1m, h1m, pm);
+    const std::size_t off_b1 = h * n;
+    const std::size_t off_w2 = off_b1 + h;
+    const std::size_t off_b2 = off_w2 + n * h;
+    std::vector<Real> g1(h);
+    for (std::size_t k = 0; k < bs; ++k) {
+      Real* o = out.row(k).data();
+      std::fill_n(o, out.cols(), Real(0));
+      std::fill(g1.begin(), g1.end(), Real(0));
+      for (std::size_t i = 0; i < n; ++i) {
+        const Real g2 = (batch(k, i) - pm(k, i)) / 2;
+        o[off_b2 + i] = g2;
+        for (std::size_t l = 0; l < h; ++l) {
+          o[off_w2 + i * h + l] = made.mask2()(i, l) * g2 * h1m(k, l);
+          g1[l] += g2 * w2m(i, l);
+        }
+      }
+      for (std::size_t l = 0; l < h; ++l) {
+        const Real g = (a1m(k, l) > 0) ? g1[l] : 0;
+        o[off_b1 + l] = g;
+        for (std::size_t j = 0; j < n; ++j)
+          o[l * n + j] = made.mask1()(l, j) * g * batch(k, j);
+      }
+    }
+  }
+};
+
+TEST(MaskedPlan, W1ExtentsArePrefixIntervals) {
+  const std::size_t n = 7, h = 15;
+  const Made made(n, h);
+  const RowExtents& e1 = made.w1_extents();
+  ASSERT_EQ(e1.rows(), h);
+  for (std::size_t k = 0; k < h; ++k) {
+    const std::size_t mk = 1 + (k % (n - 1));
+    const auto spans = e1.view().row(k);
+    ASSERT_EQ(spans.size(), 1u) << "hidden row " << k;
+    EXPECT_EQ(spans[0].begin, 0u);
+    EXPECT_EQ(spans[0].end, mk);
+    EXPECT_EQ(e1.row_end(k), mk);
+  }
+}
+
+TEST(MaskedPlan, ExtentsRoundTripBothMasks) {
+  const std::size_t n = 9, h = 14;
+  const Made made(n, h);
+  const auto rebuild = [](const RowExtents& ext, std::size_t cols) {
+    Matrix m(ext.rows(), cols);
+    m.fill(0.0);
+    for (std::size_t r = 0; r < ext.rows(); ++r)
+      for (const ColSpan s : ext.view().row(r))
+        for (std::size_t j = s.begin; j < s.end; ++j) m(r, j) = 1.0;
+    return m;
+  };
+  const Matrix m1 = rebuild(made.w1_extents(), n);
+  const Matrix m2 = rebuild(made.w2_extents(), h);
+  for (std::size_t i = 0; i < m1.size(); ++i)
+    EXPECT_EQ(m1.data()[i], made.mask1().data()[i]);
+  for (std::size_t i = 0; i < m2.size(); ++i)
+    EXPECT_EQ(m2.data()[i], made.mask2().data()[i]);
+}
+
+TEST(MaskedPlan, PackedWeightsMatchMaskedParameters) {
+  Made made(8, 13);
+  randomize_parameters(made, 31);
+  const DenseReference ref(made);
+  const auto mw = made.masked();
+  for (std::size_t i = 0; i < ref.w1m.size(); ++i)
+    EXPECT_EQ(mw->w1m.data()[i], ref.w1m.data()[i]);
+  for (std::size_t i = 0; i < ref.w2m.size(); ++i)
+    EXPECT_EQ(mw->w2m.data()[i], ref.w2m.data()[i]);
+}
+
+TEST(MaskedPlan, ConditionalsBitIdenticalToDenseReference) {
+  for (std::uint64_t seed : {41, 42, 43}) {
+    Made made(10, 17);
+    randomize_parameters(made, seed);
+    const Matrix batch = random_bits(33, 10, seed + 100);
+    const DenseReference ref(made);
+    Matrix a1, h1, want;
+    ref.forward(batch, a1, h1, want);
+    Matrix got;
+    made.conditionals(batch, got);
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_EQ(got.data()[i], want.data()[i]) << "seed " << seed;
+  }
+}
+
+TEST(MaskedPlan, LogPsiBitIdenticalToDenseReference) {
+  for (std::uint64_t seed : {51, 52, 53}) {
+    Made made(11, 16);
+    randomize_parameters(made, seed);
+    const Matrix batch = random_bits(29, 11, seed + 100);
+    const DenseReference ref(made);
+    Vector want(29), got(29);
+    ref.log_psi(batch, want.span());
+    made.log_psi(batch, got.span());
+    for (std::size_t k = 0; k < 29; ++k)
+      EXPECT_EQ(got[k], want[k]) << "seed " << seed << " row " << k;
+  }
+}
+
+TEST(MaskedPlan, BatchGradientBitIdenticalToDenseReference) {
+  Made made(9, 14);
+  randomize_parameters(made, 61);
+  const std::size_t bs = 21;
+  const Matrix batch = random_bits(bs, 9, 62);
+  Vector coeff(bs);
+  rng::Xoshiro256 gen(63);
+  for (std::size_t k = 0; k < bs; ++k) coeff[k] = rng::uniform(gen, -1.0, 1.0);
+
+  const std::size_t d = made.num_parameters();
+  Vector want(d), got(d);
+  const DenseReference ref(made);
+  ref.accumulate_gradient(made, batch, coeff.span(), want.span());
+  made.accumulate_log_psi_gradient(batch, coeff.span(), got.span());
+  for (std::size_t i = 0; i < d; ++i)
+    EXPECT_EQ(got[i], want[i]) << "parameter " << i;
+}
+
+TEST(MaskedPlan, PerSampleGradientBitIdenticalToDenseReference) {
+  Made made(8, 12);
+  randomize_parameters(made, 71);
+  const std::size_t bs = 13;
+  const Matrix batch = random_bits(bs, 8, 72);
+  const std::size_t d = made.num_parameters();
+
+  Matrix want(bs, d), got(bs, d);
+  const DenseReference ref(made);
+  ref.per_sample_gradient(made, batch, want);
+  made.log_psi_gradient_per_sample(batch, got);
+  for (std::size_t i = 0; i < want.size(); ++i)
+    EXPECT_EQ(got.data()[i], want.data()[i]) << "flat index " << i;
+}
+
+TEST(MaskedPlan, AutoregressivePropertySurvivesPackedPath) {
+  // Regression for the rewrite: flipping input j must leave every
+  // conditional i <= j bit-identical (no path from x_j to p_i exists).
+  for (std::uint64_t seed : {81, 82, 83}) {
+    const std::size_t n = 9;
+    Made made(n, 15);
+    randomize_parameters(made, seed);
+    const Matrix base = random_bits(4, n, seed + 100);
+    Matrix cond_base;
+    made.conditionals(base, cond_base);
+    for (std::size_t j = 0; j < n; ++j) {
+      Matrix perturbed = base;
+      for (std::size_t k = 0; k < perturbed.rows(); ++k)
+        perturbed(k, j) = 1 - perturbed(k, j);
+      Matrix cond;
+      made.conditionals(perturbed, cond);
+      for (std::size_t k = 0; k < perturbed.rows(); ++k)
+        for (std::size_t i = 0; i <= j; ++i)
+          EXPECT_EQ(cond(k, i), cond_base(k, i))
+              << "seed " << seed << ": output " << i << " depends on input "
+              << j;
+    }
+  }
+}
+
+TEST(MaskedPlan, CacheReturnsSameSnapshotWhileParametersUnchanged) {
+  Made made(6, 9);
+  randomize_parameters(made, 91);
+  const auto a = made.masked();
+  const auto b = made.masked();
+  EXPECT_EQ(a.get(), b.get());  // no rebuild, no copy
+  EXPECT_EQ(a->version, made.parameter_version());
+}
+
+TEST(MaskedPlan, CacheInvalidatesOnMutableParameterAcquisition) {
+  Made made(6, 9);
+  randomize_parameters(made, 92);
+  const auto before = made.masked();
+  const Real old_w00 = before->w1m(0, 0);
+
+  const std::uint64_t v = made.parameter_version();
+  made.parameters()[0] = old_w00 + 1.5;  // parameter 0 is W1(0,0), in-mask
+  EXPECT_GT(made.parameter_version(), v);
+
+  const auto after = made.masked();
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_EQ(after->w1m(0, 0), old_w00 + 1.5);
+  // The old snapshot is immutable: readers holding it are unaffected.
+  EXPECT_EQ(before->w1m(0, 0), old_w00);
+}
+
+TEST(MaskedPlan, CacheInvalidatesOnInitialize) {
+  Made made(6, 9);
+  const auto before = made.masked();
+  made.initialize(123);
+  const auto after = made.masked();
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_GT(after->version, before->version);
+}
+
+TEST(MaskedPlan, WorkspaceReuseAcrossShapesGivesIdenticalResults) {
+  Made made(10, 13);
+  randomize_parameters(made, 101);
+  const Matrix big = random_bits(37, 10, 102);
+  const Matrix small = random_bits(5, 10, 103);
+
+  Vector fresh_big(37), fresh_small(5);
+  made.log_psi(big, fresh_big.span());
+  made.log_psi(small, fresh_small.span());
+
+  // One workspace driven through shrinking and growing batch shapes.
+  Made::Workspace ws;
+  Vector got(37);
+  made.log_psi(big, got.span(), ws);
+  for (std::size_t k = 0; k < 37; ++k) EXPECT_EQ(got[k], fresh_big[k]);
+  Vector got_small(5);
+  made.log_psi(small, got_small.span(), ws);
+  for (std::size_t k = 0; k < 5; ++k) EXPECT_EQ(got_small[k], fresh_small[k]);
+  made.log_psi(big, got.span(), ws);
+  for (std::size_t k = 0; k < 37; ++k) EXPECT_EQ(got[k], fresh_big[k]);
+
+  // Gradients through the same reused workspace.
+  const std::size_t d = made.num_parameters();
+  Vector coeff(37);
+  coeff.fill(0.25);
+  Vector grad_fresh(d), grad_ws(d);
+  made.accumulate_log_psi_gradient(big, coeff.span(), grad_fresh.span());
+  made.accumulate_log_psi_gradient(big, coeff.span(), grad_ws.span(), ws);
+  for (std::size_t i = 0; i < d; ++i) EXPECT_EQ(grad_ws[i], grad_fresh[i]);
+}
+
+TEST(MaskedPlan, MakeWorkspaceFeedsVirtualWsPath) {
+  Made made(8, 11);
+  randomize_parameters(made, 111);
+  const WavefunctionModel& model = made;
+  const Matrix batch = random_bits(17, 8, 112);
+
+  const auto ws = model.make_workspace();
+  ASSERT_NE(ws, nullptr);
+  Vector plain(17), with_ws(17);
+  model.log_psi(batch, plain.span());
+  model.log_psi_ws(batch, with_ws.span(), ws.get());
+  for (std::size_t k = 0; k < 17; ++k) EXPECT_EQ(with_ws[k], plain[k]);
+
+  // Null workspace falls back to the plain path.
+  Vector null_ws(17);
+  model.log_psi_ws(batch, null_ws.span(), nullptr);
+  for (std::size_t k = 0; k < 17; ++k) EXPECT_EQ(null_ws[k], plain[k]);
+}
+
+TEST(MaskedPlan, ConcurrentReadersShareOneCacheRebuild) {
+  // Frozen parameters, many threads: every reader must observe the same
+  // immutable masked-weight snapshot and identical evaluations.  Run under
+  // TSan in CI.
+  Made made(12, 18);
+  randomize_parameters(made, 121);
+  const Matrix batch = random_bits(24, 12, 122);
+  Vector expected(24);
+  made.log_psi(batch, expected.span());
+  const auto canonical = made.masked();
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<int> ok(kThreads, 0);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      bool good = true;
+      for (int iter = 0; iter < 20; ++iter) {
+        const auto mw = made.masked();
+        good &= mw.get() == canonical.get();
+        Made::Workspace ws;
+        Vector out(24);
+        made.log_psi(batch, out.span(), ws);
+        for (std::size_t k = 0; k < 24; ++k) good &= out[k] == expected[k];
+      }
+      ok[std::size_t(t)] = good ? 1 : 0;
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(ok[std::size_t(t)], 1);
+}
+
+}  // namespace
+}  // namespace vqmc

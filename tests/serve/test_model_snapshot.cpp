@@ -47,6 +47,22 @@ TEST(ModelSnapshot, LogPsiBitIdenticalToModel) {
   for (std::size_t k = 0; k < 64; ++k) EXPECT_EQ(expected[k], got[k]);
 }
 
+TEST(ModelSnapshot, LogPsiWorkspaceOverloadMatchesPlainAndReuses) {
+  Made made(10, 13);
+  randomize_parameters(made, 21);
+  const auto snapshot = ModelSnapshot::from_model(made);
+  const Matrix batch = random_configs(40, 10, 22);
+  Vector plain(40), with_ws(40);
+  snapshot->log_psi(batch, plain.span());
+
+  Made::Workspace ws;
+  snapshot->log_psi(batch, with_ws.span(), ws);
+  for (std::size_t k = 0; k < 40; ++k) EXPECT_EQ(plain[k], with_ws[k]);
+  // Second call through the now-shaped workspace stays identical.
+  snapshot->log_psi(batch, with_ws.span(), ws);
+  for (std::size_t k = 0; k < 40; ++k) EXPECT_EQ(plain[k], with_ws[k]);
+}
+
 TEST(ModelSnapshot, SampleBitIdenticalToFastMadeSampler) {
   Made made(8, 11);
   randomize_parameters(made, 3);

@@ -262,6 +262,203 @@ TEST(Kernels, PairwiseSumMatchesLongDoubleReference) {
   EXPECT_NEAR(variance(v.span()), (Real)var_ref, 1e-9);
 }
 
+TEST(Kernels, GemvTransposedLargeMatchesLongDoubleReference) {
+  // Row counts well past the parallel threshold so the per-thread partial
+  // accumulator path is exercised; compare against a long-double serial
+  // reference since the merge re-associates the sum.
+  const std::size_t m = 1024, k = 37;
+  const Matrix a = random_matrix(m, k, 41);
+  Vector x(m), y(k);
+  rng::Xoshiro256 gen(42);
+  for (std::size_t i = 0; i < m; ++i) x[i] = rng::uniform(gen, -1.0, 1.0);
+  gemv_t(a, x.span(), y.span());
+  for (std::size_t c = 0; c < k; ++c) {
+    long double acc = 0.0L;
+    for (std::size_t r = 0; r < m; ++r)
+      acc += (long double)a(r, c) * (long double)x[r];
+    EXPECT_NEAR(y[c], (Real)acc, 1e-10) << "column " << c;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Extent-aware (masked) kernels.
+// ---------------------------------------------------------------------------
+
+Matrix random_mask(std::size_t r, std::size_t c, std::uint64_t seed,
+                   double density) {
+  rng::Xoshiro256 gen(seed);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = rng::uniform(gen, 0.0, 1.0) < density ? 1.0 : 0.0;
+  return m;
+}
+
+/// w with exact +0.0 written wherever the mask is zero (what Made's packed
+/// weight cache produces).
+Matrix apply_mask(const Matrix& w, const Matrix& mask) {
+  Matrix out(w.rows(), w.cols());
+  for (std::size_t i = 0; i < w.size(); ++i)
+    out.data()[i] = mask.data()[i] != Real(0) ? w.data()[i] : Real(0);
+  return out;
+}
+
+void expect_matrix_bitwise_equal(const Matrix& got, const Matrix& want) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got.data()[i], want.data()[i]) << "flat index " << i;
+}
+
+TEST(RowExtents, FromMaskRecordsMaximalRuns) {
+  Matrix mask(4, 6);
+  mask.fill(0.0);
+  // row 0: empty.  row 1: full.  row 2: [1,3) and [4,6).  row 3: {5}.
+  for (std::size_t j = 0; j < 6; ++j) mask(1, j) = 1;
+  mask(2, 1) = mask(2, 2) = 1;
+  mask(2, 4) = mask(2, 5) = 1;
+  mask(3, 5) = 1;
+
+  const RowExtents ext = RowExtents::from_mask(mask);
+  const RowExtentsView v = ext.view();
+  ASSERT_EQ(ext.rows(), 4u);
+  EXPECT_EQ(ext.nonzeros(), 11u);
+
+  EXPECT_TRUE(v.row(0).empty());
+  EXPECT_EQ(ext.row_end(0), 0u);
+
+  ASSERT_EQ(v.row(1).size(), 1u);
+  EXPECT_EQ(v.row(1)[0].begin, 0u);
+  EXPECT_EQ(v.row(1)[0].end, 6u);
+
+  ASSERT_EQ(v.row(2).size(), 2u);
+  EXPECT_EQ(v.row(2)[0].begin, 1u);
+  EXPECT_EQ(v.row(2)[0].end, 3u);
+  EXPECT_EQ(v.row(2)[1].begin, 4u);
+  EXPECT_EQ(v.row(2)[1].end, 6u);
+  EXPECT_EQ(ext.row_end(2), 6u);
+
+  ASSERT_EQ(v.row(3).size(), 1u);
+  EXPECT_EQ(v.row(3)[0].begin, 5u);
+  EXPECT_EQ(v.row(3)[0].end, 6u);
+  EXPECT_EQ(ext.row_end(3), 6u);
+}
+
+TEST(RowExtents, FromMaskRoundTripsRandomMasks) {
+  for (std::uint64_t seed : {11, 12, 13}) {
+    const Matrix mask = random_mask(9, 13, seed, 0.4);
+    const RowExtents ext = RowExtents::from_mask(mask);
+    Matrix rebuilt(9, 13);
+    rebuilt.fill(0.0);
+    std::size_t nnz = 0;
+    for (std::size_t r = 0; r < 9; ++r)
+      for (const ColSpan s : ext.view().row(r))
+        for (std::size_t j = s.begin; j < s.end; ++j) {
+          rebuilt(r, j) = 1.0;
+          ++nnz;
+        }
+    EXPECT_EQ(nnz, ext.nonzeros());
+    expect_matrix_bitwise_equal(rebuilt, mask);
+  }
+}
+
+TEST(Kernels, GemvExtentsBitwiseMatchesDenseOnMaskedMatrix) {
+  const std::size_t m = 17, k = 23;
+  Matrix mask = random_mask(m, k, 21, 0.5);
+  for (std::size_t j = 0; j < k; ++j) mask(4, j) = 0;  // force an empty row
+  const Matrix a = apply_mask(random_matrix(m, k, 22), mask);
+  const RowExtents ext = RowExtents::from_mask(mask);
+
+  Vector x(k), dense(m), packed(m);
+  rng::Xoshiro256 gen(23);
+  for (std::size_t i = 0; i < k; ++i) x[i] = rng::uniform(gen, -1.0, 1.0);
+  packed.span()[4] = 99.0;  // must be overwritten with 0 (empty row)
+  gemv(a, x.span(), dense.span());
+  gemv_extents(a, ext.view(), x.span(), packed.span());
+  for (std::size_t r = 0; r < m; ++r) EXPECT_EQ(packed[r], dense[r]);
+  EXPECT_EQ(packed[4], 0.0);
+}
+
+TEST(Kernels, GemmNtExtentsBitwiseMatchesDenseOnMaskedMatrix) {
+  const std::size_t m = 7, k = 19, n = 11;
+  const Matrix mask = random_mask(n, k, 31, 0.5);
+  const Matrix a = random_matrix(m, k, 32);
+  const Matrix b = apply_mask(random_matrix(n, k, 33), mask);
+  const RowExtents ext = RowExtents::from_mask(mask);
+
+  Matrix dense(m, n), packed(m, n);
+  gemm_nt(a, b, dense);
+  gemm_nt_extents(a, b, ext.view(), packed);
+  expect_matrix_bitwise_equal(packed, dense);
+}
+
+TEST(Kernels, GemmNnExtentsBitwiseMatchesDenseOnMaskedMatrix) {
+  const std::size_t m = 9, k = 13, n = 15;
+  const Matrix mask = random_mask(k, n, 51, 0.5);
+  const Matrix a = random_matrix(m, k, 52);
+  const Matrix b = apply_mask(random_matrix(k, n, 53), mask);
+  const RowExtents ext = RowExtents::from_mask(mask);
+
+  Matrix dense(m, n), packed(m, n);
+  gemm_nn(a, b, dense);
+  gemm_nn_extents(a, b, ext.view(), packed);
+  expect_matrix_bitwise_equal(packed, dense);
+}
+
+TEST(Kernels, GemmTnAccumulateExtentsMatchesDenseInsideAndPreservesOutside) {
+  const std::size_t k = 12, m = 8, n = 10;
+  const Matrix mask = random_mask(m, n, 61, 0.5);
+  const Matrix a = random_matrix(k, m, 62);
+  const Matrix b = random_matrix(k, n, 63);
+  const RowExtents ext = RowExtents::from_mask(mask);
+
+  const Matrix c0 = random_matrix(m, n, 64);
+  Matrix dense = c0, packed = c0;
+  gemm_tn_accumulate(a, b, dense);
+  gemm_tn_accumulate_extents(a, b, ext.view(), packed);
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (mask(r, j) != Real(0))
+        EXPECT_EQ(packed(r, j), dense(r, j)) << r << "," << j;
+      else
+        EXPECT_EQ(packed(r, j), c0(r, j)) << r << "," << j;
+    }
+}
+
+TEST(Kernels, ExtentsZeroClearsOnlyCoveredEntries) {
+  const std::size_t m = 6, n = 9;
+  const Matrix mask = random_mask(m, n, 71, 0.5);
+  const RowExtents ext = RowExtents::from_mask(mask);
+  const Matrix a0 = random_matrix(m, n, 72);
+  Matrix a = a0;
+  extents_zero(a, ext.view());
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (mask(r, j) != Real(0))
+        EXPECT_EQ(a(r, j), 0.0);
+      else
+        EXPECT_EQ(a(r, j), a0(r, j));
+    }
+}
+
+TEST(Kernels, ExtentsAddFlatAddsOnlyCoveredEntries) {
+  const std::size_t m = 6, n = 9;
+  const Matrix mask = random_mask(m, n, 81, 0.5);
+  const RowExtents ext = RowExtents::from_mask(mask);
+  const Matrix src = random_matrix(m, n, 82);
+  const Matrix dst0 = random_matrix(m, n, 83);
+  Vector dst(m * n);
+  for (std::size_t i = 0; i < m * n; ++i) dst[i] = dst0.data()[i];
+  extents_add_flat(src, ext.view(), dst.span());
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t j = 0; j < n; ++j) {
+      const Real got = dst[r * n + j];
+      if (mask(r, j) != Real(0))
+        EXPECT_EQ(got, dst0(r, j) + src(r, j));
+      else
+        EXPECT_EQ(got, dst0(r, j));
+    }
+}
+
 /// Property sweep: the three gemm variants agree with the naive reference
 /// across a grid of shapes, including degenerate 1-sized extents.
 class GemmShapeSweep
