@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -42,6 +43,7 @@ struct RunResult {
   SweepPoint point{};
   std::uint64_t responses = 0;
   std::uint64_t batches = 0;
+  std::uint64_t max_batch_rows = 0;  ///< high-water batch occupancy
   double seconds = 0;
   double rps = 0;
   double p50_ms = 0, p95_ms = 0, p99_ms = 0;
@@ -122,6 +124,7 @@ RunResult run_point(const Made& model, bool sample_kind,
   result.point = point;
   result.responses = counters.completed;
   result.batches = counters.batches;
+  result.max_batch_rows = counters.max_batch_rows;
   result.seconds = elapsed_s;
   result.rps = double(counters.completed) / elapsed_s;
   result.p50_ms = percentile_of_sorted(all, 0.50) * 1e-3;
@@ -138,6 +141,7 @@ void append_result_json(std::ostringstream& json, const RunResult& result,
        << ", \"seconds\": " << result.seconds
        << ", \"throughput_rps\": " << result.rps
        << ", \"mean_batch_rows\": " << result.mean_batch_rows()
+       << ", \"max_batch_rows_seen\": " << result.max_batch_rows
        << ", \"gain_vs_baseline\": " << gain
        << ", \"latency_ms\": {\"p50\": " << result.p50_ms
        << ", \"p95\": " << result.p95_ms << ", \"p99\": " << result.p99_ms
@@ -152,7 +156,10 @@ int main(int argc, char** argv) {
                     "BENCH_serve.json");
   opts.add_option("spins", "1000", "MADE input dimension");
   opts.add_option("hidden", "0", "hidden width (0 = paper default)");
-  opts.add_option("clients", "64", "closed-loop client threads");
+  // 256 closed-loop clients keep >= 2x max_batch_rows requests in flight at
+  // the widest sweep point (128), so the row budget can actually saturate;
+  // the old default of 64 capped every batch at 64 rows by construction.
+  opts.add_option("clients", "256", "closed-loop client threads");
   opts.add_option("rows", "1", "rows per request");
   opts.add_option("workers", "1", "engine worker threads");
   opts.add_option("seconds", "1.5", "measurement time per configuration");
@@ -189,6 +196,7 @@ int main(int argc, char** argv) {
   json << "  \"kinds\": {\n";
 
   double best_gain = 0;
+  double min_gain = std::numeric_limits<double>::infinity();
   const char* kind_names[] = {"sample", "log_psi"};
   for (int kind = 0; kind < 2; ++kind) {
     const bool sample_kind = kind == 0;
@@ -210,6 +218,7 @@ int main(int argc, char** argv) {
                                          workers, clients, rows, seconds);
       const double gain = base.rps > 0 ? result.rps / base.rps : 0;
       kind_best = std::max(kind_best, gain);
+      min_gain = std::min(min_gain, gain);
       std::cout << "  batch=" << result.point.max_batch_rows << " window="
                 << result.point.max_wait_us
                 << "us: " << format_fixed(result.rps, 1) << " req/s  p50 "
@@ -228,21 +237,26 @@ int main(int argc, char** argv) {
               << format_fixed(kind_best, 2) << "x\n\n";
   }
 
-  // The historical 3x bar assumed per-call weight materialization; with
-  // the packed plan that fixed cost no longer exists to amortize, so the
-  // criterion is "micro-batching must not hurt" (gain >= 1) while the
-  // measured gain is still reported for regression tracking.
+  // Exit criterion: micro-batching must be monotone-safe — no point of the
+  // sweep may fall below the no-coalescing baseline (the adaptive window
+  // close exists precisely so a wide window cannot hurt under closed-loop
+  // load).  The historical 3x bar assumed per-call weight materialization,
+  // which the packed plan removed; the best gain is still reported for
+  // regression tracking.
   const double target_gain = 1.0;
-  const bool achieved = best_gain >= target_gain;
+  const bool achieved = min_gain >= target_gain;
   json << "  },\n  \"gain\": " << best_gain
-       << ",\n  \"target_gain\": " << target_gain << ",\n  \"achieved\": "
-       << (achieved ? "true" : "false") << "\n}\n";
+       << ",\n  \"min_gain\": " << min_gain
+       << ",\n  \"target_min_gain\": " << target_gain
+       << ",\n  \"achieved\": " << (achieved ? "true" : "false") << "\n}\n";
 
   const std::string out = opts.get_string("out");
   std::ofstream file(out);
   file << json.str();
-  std::cout << "headline micro-batching gain " << format_fixed(best_gain, 2)
-            << "x (target >= " << format_fixed(target_gain, 1)
+  std::cout << "micro-batching gain: best " << format_fixed(best_gain, 2)
+            << "x, min across sweep " << format_fixed(min_gain, 2)
+            << "x (monotone-safe target: every point >= "
+            << format_fixed(target_gain, 1)
             << "x: " << (achieved ? "ACHIEVED" : "MISSED") << "); wrote "
             << out << "\n";
   return achieved ? 0 : 1;

@@ -12,7 +12,6 @@ namespace vqmc {
 
 namespace {
 constexpr Real kProbEps = 1e-12;
-Real clamped_log(Real p) { return std::log(std::max(p, kProbEps)); }
 }  // namespace
 
 DeepMade::DeepMade(std::size_t n, std::size_t hidden, std::size_t depth)
@@ -89,6 +88,7 @@ std::shared_ptr<const DeepMade::MaskedWeights> DeepMade::masked() const {
     auto mw = std::make_shared<MaskedWeights>();
     mw->version = v;
     mw->w.resize(depth_);
+    mw->wp.resize(depth_);
     for (std::size_t layer = 0; layer < depth_; ++layer) {
       const std::size_t in_dim = layer == 0 ? n_ : h_;
       const RowExtentsView ext = layer_extents(layer).view();
@@ -101,6 +101,7 @@ std::shared_ptr<const DeepMade::MaskedWeights> DeepMade::masked() const {
         for (const ColSpan span : ext.row(r))
           for (std::size_t j = span.begin; j < span.end; ++j) dst[j] = s[j];
       }
+      mw->wp[layer] = PackedRowPanels::pack(mw->w[layer], ext);
     }
     const RowExtentsView ext = output_ext_.view();
     const Real* src = params_.data() + w_out_offset();
@@ -112,6 +113,7 @@ std::shared_ptr<const DeepMade::MaskedWeights> DeepMade::masked() const {
       for (const ColSpan span : ext.row(r))
         for (std::size_t j = span.begin; j < span.end; ++j) dst[j] = s[j];
     }
+    mw->w_out_p = PackedRowPanels::pack(mw->w_out, ext);
     return mw;
   });
 }
@@ -125,15 +127,15 @@ void DeepMade::forward(const Matrix& batch, const MaskedWeights& mw,
 
   for (std::size_t layer = 0; layer < depth_; ++layer) {
     ensure_shape(ws.pre[layer], bs, h_);
-    gemm_nt_extents(layer == 0 ? batch : ws.post[layer - 1], mw.w[layer],
-                    layer_extents(layer).view(), ws.pre[layer]);
+    gemm_nt_panels(layer == 0 ? batch : ws.post[layer - 1],
+                   layer_extents(layer).view(), mw.wp[layer], ws.pre[layer]);
     add_row_broadcast(ws.pre[layer],
                       std::span<const Real>(params_.data() + b_offset(layer), h_));
     ws.post[layer] = ws.pre[layer];
     relu_inplace(ws.post[layer]);
   }
   ensure_shape(p, bs, n_);
-  gemm_nt_extents(ws.post[depth_ - 1], mw.w_out, output_ext_.view(), p);
+  gemm_nt_panels(ws.post[depth_ - 1], output_ext_.view(), mw.w_out_p, p);
   add_row_broadcast(p,
                     std::span<const Real>(params_.data() + b_out_offset(), n_));
   sigmoid_inplace(p);
@@ -153,12 +155,8 @@ void DeepMade::log_psi(const Matrix& batch, std::span<Real> out,
   const std::size_t bs = batch.rows();
 #pragma omp parallel for schedule(static)
   for (std::size_t k = 0; k < bs; ++k) {
-    Real log_pi = 0;
-    const Real* x = batch.row(k).data();
-    const Real* p = ws.p.row(k).data();
-    for (std::size_t i = 0; i < n_; ++i)
-      log_pi += x[i] * clamped_log(p[i]) + (1 - x[i]) * clamped_log(1 - p[i]);
-    out[k] = log_pi / 2;
+    out[k] = bernoulli_log_likelihood(batch.row(k), ws.p.row(k).data(),
+                                      kProbEps) / 2;
   }
 }
 

@@ -39,10 +39,14 @@ class DeepMade final : public AutoregressiveModel {
   /// \param depth number of hidden layers (>= 1; depth 1 == Made)
   DeepMade(std::size_t n, std::size_t hidden, std::size_t depth);
 
-  /// Immutable packed masked weights for one parameter version.
+  /// Immutable packed masked weights for one parameter version, plus the
+  /// row panels the forward's gemm_nt_panels streams over (packed once per
+  /// parameter write alongside the matrices).
   struct MaskedWeights {
     std::vector<Matrix> w;  ///< per hidden layer: h x n (layer 0) or h x h
     Matrix w_out;           ///< n x h
+    std::vector<PackedRowPanels> wp;  ///< per hidden layer, row-packed
+    PackedRowPanels w_out_p;          ///< output layer, row-packed
     std::uint64_t version = 0;
   };
 

@@ -17,8 +17,6 @@ namespace {
 /// the (x - p) form which needs no clamping.
 constexpr Real kProbEps = 1e-12;
 
-Real clamped_log(Real p) { return std::log(std::max(p, kProbEps)); }
-
 }  // namespace
 
 std::size_t made_default_hidden(std::size_t n) {
@@ -87,6 +85,20 @@ std::shared_ptr<const Made::MaskedWeights> Made::masked() const {
       for (const ColSpan s : e2.row(r))
         for (std::size_t j = s.begin; j < s.end; ++j) dst[j] = src[j];
     }
+    // Row panels for the forward gemms and the samplers' logit dots.
+    mw->w1p = PackedRowPanels::pack(mw->w1m, e1);
+    mw->w2p = PackedRowPanels::pack(mw->w2m, e2);
+    // Column-packed W1 for the samplers' rank-1 update (geometry is the
+    // construction-time plan_.w1_cols; only the values depend on the
+    // parameter version).
+    const ColPanelGeometry& cg = plan_.w1_cols;
+    mw->w1_col_values = AlignedBuffer<Real>(cg.rows.size());
+    Real* cv = mw->w1_col_values.data();
+    const Real* w1base = mw->w1m.data();
+    for (std::size_t j = 0; j < n_; ++j) {
+      for (std::size_t t = cg.offsets[j]; t < cg.offsets[j + 1]; ++t)
+        cv[t] = w1base[std::size_t(cg.rows[t]) * n_ + j];
+    }
     return mw;
   });
 }
@@ -96,14 +108,18 @@ void Made::forward(const Matrix& batch, const MaskedWeights& mw, Workspace& ws,
   VQMC_REQUIRE(batch.cols() == n_, "MADE: batch has wrong spin count");
   const std::size_t bs = batch.rows();
 
+  // The packed-panel gemms stream the same in-extent values the extent
+  // forms would read from the dense masked matrices, through the identical
+  // canonical dots — but over unit-stride panels packed once per parameter
+  // version.
   ensure_shape(ws.a1, bs, h_);
-  gemm_nt_extents(batch, mw.w1m, plan_.w1.view(), ws.a1);
+  gemm_nt_panels(batch, plan_.w1.view(), mw.w1p, ws.a1);
   add_row_broadcast(ws.a1, bias1());
   ws.h1 = ws.a1;
   relu_inplace(ws.h1);
 
   ensure_shape(p, bs, n_);
-  gemm_nt_extents(ws.h1, mw.w2m, plan_.w2.view(), p);
+  gemm_nt_panels(ws.h1, plan_.w2.view(), mw.w2p, p);
   add_row_broadcast(p, bias2());
   sigmoid_inplace(p);
 }
@@ -126,13 +142,10 @@ void Made::log_psi(const Matrix& batch, std::span<Real> out,
   const std::size_t bs = batch.rows();
 #pragma omp parallel for schedule(static)
   for (std::size_t k = 0; k < bs; ++k) {
-    Real log_pi = 0;
-    const Real* x = batch.row(k).data();
-    const Real* p = ws.p.row(k).data();
-    for (std::size_t i = 0; i < n_; ++i) {
-      log_pi += x[i] * clamped_log(p[i]) + (1 - x[i]) * clamped_log(1 - p[i]);
-    }
-    out[k] = log_pi / 2;  // psi = sqrt(pi)
+    // psi = sqrt(pi); for binary x the Bernoulli likelihood selects the
+    // same clamped-log terms the textbook x log p + (1-x) log(1-p) adds.
+    out[k] = bernoulli_log_likelihood(batch.row(k), ws.p.row(k).data(),
+                                      kProbEps) / 2;
   }
 }
 

@@ -23,14 +23,17 @@
 /// M2[i][k] = 1 iff i + 1 > m_k.  Output 0 has no incoming connections, so
 /// p(x_1 = 1) = sigmoid(b2[0]) is a learned scalar, as it must be.
 ///
-/// Masked compute plan (DESIGN.md §5f): the masks are exact prefix /
+/// Masked compute plan (DESIGN.md §5f/§5g): the masks are exact prefix /
 /// cyclic-prefix patterns, so every evaluation runs the extent-aware
-/// kernels over a MaskedPlan built once at construction, skipping the
+/// SIMD kernels over a MaskedPlan built once at construction, skipping the
 /// ~50% of multiply-adds the masks zero out.  The masked weight matrices
-/// `M .* W` are cached behind a parameter version counter (bumped whenever
-/// the mutable parameters() span is handed out) instead of being
-/// re-materialized per call; results are exactly equal to the dense masked
-/// path (the packed-vs-dense parity tests pin this).
+/// `M .* W` — plus their packed row panels (PackedRowPanels, fed to
+/// gemm_nt_panels in the forward) and the W1 column-value packing (fed to
+/// the samplers' rank-1 update) — are cached behind a parameter version
+/// counter (bumped whenever the mutable parameters() span is handed out)
+/// instead of being re-materialized per call; results agree with the dense
+/// masked path within the accumulation-order contract of kernels.hpp
+/// (tolerance-based parity tests pin this against the scalar references).
 ///
 /// Thread safety: every const method (log_psi, conditionals, the gradient
 /// evaluations, masked_weights_public) uses only call-local scratch or a
@@ -69,10 +72,18 @@ class Made final : public AutoregressiveModel {
 
   /// Immutable packed masked weights `M .* W` for one parameter version,
   /// shared between the cache and any evaluation still holding them.
-  /// Entries outside the mask extents are exactly zero.
+  /// Entries outside the mask extents are exactly zero.  The panel forms
+  /// repack exactly the in-extent values: `w1p`/`w2p` are the row panels
+  /// the forward's gemm_nt_panels streams over, and `w1_col_values` packs
+  /// W1 column-by-column (geometry: MaskedPlan::w1_cols) for the ancestral
+  /// samplers' rank-1 hidden-state update.  Packing amortizes to zero: it
+  /// happens at most once per parameter write, never per call.
   struct MaskedWeights {
-    Matrix w1m;  ///< h x n
-    Matrix w2m;  ///< n x h
+    Matrix w1m;           ///< h x n
+    Matrix w2m;           ///< n x h
+    PackedRowPanels w1p;  ///< W1 in-extent values, row-packed
+    PackedRowPanels w2p;  ///< W2 in-extent values, row-packed
+    AlignedBuffer<Real> w1_col_values;  ///< W1 in-extent values, column-packed
     std::uint64_t version = 0;
   };
 
@@ -155,6 +166,11 @@ class Made final : public AutoregressiveModel {
   [[nodiscard]] const RowExtents& w1_extents() const { return plan_.w1; }
   /// Per-row extents of mask2 (cyclic prefix intervals per output row).
   [[nodiscard]] const RowExtents& w2_extents() const { return plan_.w2; }
+  /// Per-column active-row panels of mask1 (the rank-1 update geometry;
+  /// values for the current parameters: MaskedWeights::w1_col_values).
+  [[nodiscard]] const ColPanelGeometry& w1_col_panels() const {
+    return plan_.w1_cols;
+  }
 
   /// Packed masked weights for the current parameters, served from the
   /// version-counter-invalidated cache (rebuilt at most once per parameter

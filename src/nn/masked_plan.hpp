@@ -10,7 +10,11 @@
 ///    weight matrix (RowExtents).  The extent-aware kernels in
 ///    tensor/kernels.hpp use them to skip the ~50% of multiply-adds the
 ///    masks zero out, and the gradient paths use them to accumulate weight
-///    gradients without a separate mask-apply pass.
+///    gradients without a separate mask-apply pass.  Since PR 6 the plan
+///    also records the W1 **column-panel geometry** (ColPanelGeometry): the
+///    ancestral samplers' rank-1 update walks the active rows of one W1
+///    column per accepted spin, and the packed row lists turn that walk
+///    into a contiguous stream instead of a strided masked column scan.
 ///  * **ParamVersion / VersionedCache** — the masked weight matrices
 ///    `M .* W` depend on the parameters, which do change during training.
 ///    Every model in the family bumps a version counter whenever its
@@ -36,7 +40,9 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "tensor/kernels.hpp"
 
@@ -103,15 +109,57 @@ class VersionedCache {
   mutable std::shared_ptr<const T> ptr_;
 };
 
+/// Column-panel geometry of a row-extent mask: for each column j, the
+/// packed ascending list of rows whose extents contain j.  This is the
+/// transpose view the ancestral samplers need — accepting spin i adds
+/// column i of W1m to the hidden pre-activations, touching exactly the
+/// rows listed for that column.  Pairing the geometry with per-version
+/// packed column values (built alongside the masked weights) makes the
+/// rank-1 update a unit-stride gather-add.  Each row appears at most once
+/// per column, so the update order is unique and the result is bitwise
+/// identical to the strided masked column walk it replaces.
+struct ColPanelGeometry {
+  std::vector<std::size_t> offsets;  ///< size cols()+1, into `rows`
+  std::vector<std::uint32_t> rows;   ///< active row ids, packed per column
+
+  [[nodiscard]] std::size_t cols() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  /// Active rows of column j (ascending).
+  [[nodiscard]] std::span<const std::uint32_t> col(std::size_t j) const {
+    return {rows.data() + offsets[j], offsets[j + 1] - offsets[j]};
+  }
+
+  /// Invert a row-extent list into per-column row panels.
+  void build(RowExtentsView ext, std::size_t ncols) {
+    offsets.assign(ncols + 1, 0);
+    for (std::size_t r = 0; r < ext.rows(); ++r)
+      for (const ColSpan s : ext.row(r))
+        for (std::size_t j = s.begin; j < s.end; ++j) ++offsets[j + 1];
+    for (std::size_t j = 0; j < ncols; ++j) offsets[j + 1] += offsets[j];
+    rows.resize(offsets[ncols]);
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t r = 0; r < ext.rows(); ++r)
+      for (const ColSpan s : ext.row(r))
+        for (std::size_t j = s.begin; j < s.end; ++j)
+          rows[cursor[j]++] = std::uint32_t(r);
+  }
+};
+
 /// The per-model mask geometry: extents of the first-layer (prefix) and
-/// output-layer (cyclic-prefix) masks.  Computed once at construction.
+/// output-layer (cyclic-prefix) masks, plus the W1 column panels for the
+/// samplers' rank-1 updates.  Computed once at construction; the
+/// per-parameter-version value packings (PackedRowPanels, column values)
+/// live in the models' MaskedWeights so they rebuild with the weights.
 struct MaskedPlan {
-  RowExtents w1;  ///< per W1 row: [0, m_k) prefix
-  RowExtents w2;  ///< per W2 row: cyclic prefix interval list
+  RowExtents w1;            ///< per W1 row: [0, m_k) prefix
+  RowExtents w2;            ///< per W2 row: cyclic prefix interval list
+  ColPanelGeometry w1_cols; ///< per W1 column: active hidden rows
 
   void build(const Matrix& mask1, const Matrix& mask2) {
     w1 = RowExtents::from_mask(mask1);
     w2 = RowExtents::from_mask(mask2);
+    w1_cols.build(w1.view(), mask1.cols());
   }
 };
 

@@ -10,7 +10,6 @@ namespace vqmc::parallel {
 
 namespace {
 constexpr Real kProbEps = 1e-12;
-Real clamped_log(Real p) { return std::log(std::max(p, kProbEps)); }
 }  // namespace
 
 ShardedMade::ShardedMade(const Made& prototype, Communicator& comm)
@@ -83,6 +82,8 @@ std::shared_ptr<const ShardedMade::MaskedWeights> ShardedMade::masked() const {
       for (const ColSpan s : e2.row(r))
         for (std::size_t j = s.begin; j < s.end; ++j) dst[j] = src[j];
     }
+    mw->w1p = PackedRowPanels::pack(mw->w1m, e1);
+    mw->w2p = PackedRowPanels::pack(mw->w2m, e2);
     return mw;
   });
 }
@@ -93,7 +94,7 @@ void ShardedMade::forward(const Matrix& batch, const MaskedWeights& mw,
   const std::size_t bs = batch.rows();
 
   ensure_shape(s.a1, bs, h_local_);
-  gemm_nt_extents(batch, mw.w1m, plan_.w1.view(), s.a1);
+  gemm_nt_panels(batch, plan_.w1.view(), mw.w1p, s.a1);
   add_row_broadcast(s.a1, std::span<const Real>(b1(), h_local_));
   s.h1 = s.a1;
   relu_inplace(s.h1);
@@ -101,7 +102,7 @@ void ShardedMade::forward(const Matrix& batch, const MaskedWeights& mw,
   // Partial pre-sigmoid output from this shard; the allreduce completes the
   // hidden-unit sum across ranks. This is THE model-parallel communication.
   ensure_shape(p, bs, n_);
-  gemm_nt_extents(s.h1, mw.w2m, plan_.w2.view(), p);
+  gemm_nt_panels(s.h1, plan_.w2.view(), mw.w2p, p);
   comm_.allreduce_sum(std::span<Real>(p.data(), p.size()));
   ++allreduce_count_;
   add_row_broadcast(p, std::span<const Real>(b2(), n_));
@@ -119,12 +120,8 @@ void ShardedMade::log_psi(const Matrix& batch, std::span<Real> out) {
   forward(batch, *mw, scratch_, scratch_.p);
   const std::size_t bs = batch.rows();
   for (std::size_t k = 0; k < bs; ++k) {
-    Real log_pi = 0;
-    const Real* x = batch.row(k).data();
-    const Real* p = scratch_.p.row(k).data();
-    for (std::size_t i = 0; i < n_; ++i)
-      log_pi += x[i] * clamped_log(p[i]) + (1 - x[i]) * clamped_log(1 - p[i]);
-    out[k] = log_pi / 2;
+    out[k] = bernoulli_log_likelihood(batch.row(k), scratch_.p.row(k).data(),
+                                      kProbEps) / 2;
   }
 }
 

@@ -92,10 +92,12 @@ class ShardedMade {
   }
 
   /// Packed masked slice weights for one parameter version (cached; see
-  /// masked_plan.hpp).
+  /// masked_plan.hpp), with the row panels the forward streams over.
   struct MaskedWeights {
-    Matrix w1m;  ///< h_local x n
-    Matrix w2m;  ///< n x h_local
+    Matrix w1m;           ///< h_local x n
+    Matrix w2m;           ///< n x h_local
+    PackedRowPanels w1p;  ///< W1 slice, row-packed over extents
+    PackedRowPanels w2p;  ///< W2 slice, row-packed over extents
     std::uint64_t version = 0;
   };
   [[nodiscard]] std::shared_ptr<const MaskedWeights> masked() const;

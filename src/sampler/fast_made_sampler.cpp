@@ -22,7 +22,8 @@ void FastMadeSampler::sample(Matrix& out) {
   // Fetch the packed masked weights from the model's version-counter cache
   // (rebuilt only when the parameters actually moved since the last call).
   const std::shared_ptr<const Made::MaskedWeights> mw = model_.masked();
-  const RowExtents& w1_ext = model_.w1_extents();
+  const ColPanelGeometry& w1_cols = model_.w1_col_panels();
+  const Real* w1_col_values = mw->w1_col_values.data();
   const RowExtentsView w2_ext = model_.w2_extents().view();
   const std::span<const Real> b1 = model_.bias1();
   const std::span<const Real> b2 = model_.bias2();
@@ -38,8 +39,10 @@ void FastMadeSampler::sample(Matrix& out) {
 
   for (std::size_t i = 0; i < n; ++i) {
     ++stats_.forward_passes;  // comparable accounting with Algorithm 1
-    const Real* w2_row = mw->w2m.row(i).data();
+    const Real* w2_panel = mw->w2p.row(i);
     const std::span<const ColSpan> w2_spans = w2_ext.row(i);
+    const std::span<const std::uint32_t> upd_rows = w1_cols.col(i);
+    const Real* upd_vals = w1_col_values + w1_cols.offsets[i];
     const Real bias = b2[i];
     // Sequential over the batch: each row consumes exactly one Bernoulli
     // draw per site, in the same (site-major, row-minor) order as the
@@ -47,26 +50,20 @@ void FastMadeSampler::sample(Matrix& out) {
     // bit-identical under the same seed.
     for (std::size_t k = 0; k < bs; ++k) {
       const Real* a_row = a1_.row(k).data();
-      Real logit = bias;
-      // Only the in-extent hidden units feed output i; the rest are
-      // structural zeros in W2m and contribute nothing.
-      for (const ColSpan s : w2_spans) {
-        for (std::size_t l = s.begin; l < s.end; ++l) {
-          const Real hl = a_row[l] > 0 ? a_row[l] : 0;  // ReLU on the fly
-          logit += w2_row[l] * hl;
-        }
-      }
+      // Only the in-extent hidden units feed output i; relu_dot_panels is
+      // the shared serve/sampler logit primitive (ModelSnapshot::sample
+      // calls the same one, keeping the two paths mutually bit-identical).
+      const Real logit = bias + relu_dot_panels(w2_spans, a_row, w2_panel);
       const Real p1 = sigmoid(logit);
       if (rng::bernoulli(gen_, p1)) {
         out(k, i) = 1;
         // Rank-1 update: input i flipped 0 -> 1 adds column i of W1m.
-        // Hidden unit l sees input i only when i < m_l, i.e. i lies inside
-        // the prefix extent of W1 row l; entries beyond it are zeros.
+        // The column panel lists exactly the hidden rows whose prefix
+        // extent covers i; each row is touched once, so this is bitwise
+        // identical to the strided masked column walk it replaces.
         Real* a_mut = a1_.row(k).data();
-        const Real* w1_base = mw->w1m.data();
-        for (std::size_t l = 0; l < h; ++l) {
-          if (i < w1_ext.row_end(l)) a_mut[l] += w1_base[l * n + i];
-        }
+        for (std::size_t t = 0; t < upd_rows.size(); ++t)
+          a_mut[upd_rows[t]] += upd_vals[t];
       }
     }
   }

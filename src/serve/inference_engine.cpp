@@ -14,6 +14,13 @@ namespace vqmc::serve {
 
 namespace {
 
+/// The batching window is consumed in slices of max_wait_us / kWindowSlices
+/// so the adaptive close (see worker_loop) can detect a stalled window
+/// without turning every lone request into its own batch: open-loop bursts
+/// arriving within a slice still coalesce, while a closed-loop stall costs
+/// at most one slice of idle wait instead of the whole window.
+constexpr std::size_t kWindowSlices = 8;
+
 const char* kind_name(int kind) {
   switch (kind) {
     case 0:
@@ -186,8 +193,10 @@ void InferenceEngine::worker_loop() {
   Made::Workspace ws;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) {
+    work_cv_.wait(lock, [this] {
+      return stopping_ || (!queue_.empty() && !paused_);
+    });
+    if (queue_.empty() || (paused_ && !stopping_)) {
       if (stopping_) return;
       continue;
     }
@@ -219,19 +228,33 @@ void InferenceEngine::worker_loop() {
 
     // Hold the batch open for late co-batchable arrivals until the window
     // closes or the row budget fills.  Shutdown collapses the window so the
-    // backlog drains promptly.
+    // backlog drains promptly.  The wait is sliced: a slice that elapses
+    // with no growth while every outstanding row is already in this batch
+    // means every producer is blocked on this very dispatch (closed-loop
+    // traffic), so the rest of the window cannot fill and is forfeited.
+    // Waiting the window out regardless used to cap the coalescing gain
+    // below 1 at max_batch_rows=128 / max_wait_us=4000 in the serve bench.
+    const double slice_us = config_.max_wait_us / double(kWindowSlices);
     while (!stopping_ && rows < config_.max_batch_rows) {
       const double now = telemetry::now_us();
       if (now >= window_end) break;
+      const std::size_t rows_before = rows;
       work_cv_.wait_for(lock, std::chrono::duration<double, std::micro>(
-                                  window_end - now));
+                                  std::min(slice_us, window_end - now)));
       harvest();
+      if (rows == rows_before && pending_rows_ == rows) break;
     }
 
     if (telemetry::enabled()) {
       telemetry::metrics().gauge("serve.queue_rows").set(double(queued_rows_));
     }
     lock.unlock();
+    // Record the high-water batch occupancy (the saturation tests pin that
+    // a backed-up queue actually fills max_batch_rows-row batches).
+    std::uint64_t seen = max_batch_rows_.load(std::memory_order_relaxed);
+    while (seen < rows && !max_batch_rows_.compare_exchange_weak(
+                              seen, rows, std::memory_order_relaxed)) {
+    }
     execute_batch(kind, batch, rows, ws);
     finish_rows(rows);
     lock.lock();
@@ -390,6 +413,19 @@ void InferenceEngine::drain() {
   drain_cv_.wait(lock, [this] { return pending_rows_ == 0; });
 }
 
+void InferenceEngine::pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void InferenceEngine::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
 void InferenceEngine::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -415,6 +451,7 @@ EngineCounters InferenceEngine::counters() const {
   counters.shed = shed_.load(std::memory_order_relaxed);
   counters.batches = batches_.load(std::memory_order_relaxed);
   counters.publishes = publishes_.load(std::memory_order_relaxed);
+  counters.max_batch_rows = max_batch_rows_.load(std::memory_order_relaxed);
   return counters;
 }
 

@@ -55,8 +55,15 @@ struct ServeConfig {
   /// Micro-batch row budget: a batch closes as soon as it holds this many
   /// rows.  1 disables coalescing (every request is its own batch).
   std::size_t max_batch_rows = 64;
-  /// Batching window: a batch stays open this long after its oldest request
-  /// arrived, waiting for co-batchable traffic.  0 dispatches immediately.
+  /// Batching window: a batch stays open at most this long after its oldest
+  /// request arrived, waiting for co-batchable traffic.  0 dispatches
+  /// immediately.  The effective wait is load-proportional: the window is
+  /// consumed in slices, and a slice that elapses with no admitted growth
+  /// while every outstanding row already sits in the open batch closes it —
+  /// under closed-loop traffic every producer is blocked on this very
+  /// batch, so idling out the rest of the window would only add latency
+  /// (the serve bench exposed exactly that regression at max_batch_rows
+  /// = 128, max_wait_us = 4000).
   double max_wait_us = 200;
   /// Admission bound on outstanding rows (queued + executing).  Requests
   /// beyond it are shed with ServeOverloadError.
@@ -88,6 +95,7 @@ struct EngineCounters {
   std::uint64_t shed = 0;       ///< rejected at admission (overload)
   std::uint64_t batches = 0;    ///< micro-batches executed
   std::uint64_t publishes = 0;  ///< snapshot versions published
+  std::uint64_t max_batch_rows = 0;  ///< largest micro-batch executed (rows)
 };
 
 /// Concurrent inference engine.  Thread-safe: any thread may submit or
@@ -139,6 +147,16 @@ class InferenceEngine {
   /// exception).  New requests may still arrive while draining.
   void drain();
 
+  /// Stop the workers from opening new micro-batches; admission continues,
+  /// so the queue accumulates.  Deterministic-saturation hook for tests and
+  /// operational drills (pause, let traffic pile up, resume, observe one
+  /// full batch).  Batches already being assembled or executed finish
+  /// normally, and shutdown() overrides a pause so the backlog drains.
+  void pause();
+
+  /// Undo pause(): workers resume harvesting the accumulated queue.
+  void resume();
+
   /// Stop admission (further submits throw ServeShutdownError), fulfil
   /// every queued request, and join the workers.  Idempotent; also run by
   /// the destructor.
@@ -189,6 +207,7 @@ class InferenceEngine {
   std::size_t queued_rows_ = 0;   ///< rows waiting in queue_
   std::size_t pending_rows_ = 0;  ///< rows admitted but not yet fulfilled
   bool stopping_ = false;
+  bool paused_ = false;  ///< workers hold off opening batches (pause())
   std::vector<std::thread> workers_;
 
   std::atomic<std::uint64_t> next_version_{0};
@@ -198,6 +217,7 @@ class InferenceEngine {
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> publishes_{0};
+  std::atomic<std::uint64_t> max_batch_rows_{0};
 };
 
 }  // namespace vqmc::serve

@@ -77,9 +77,8 @@ void ModelSnapshot::sample(Matrix& out,
   }
 
   // Prebuilt packed weights — nothing is materialized per request.
-  const Matrix& w1m = masked_->w1m;
-  const Matrix& w2m = masked_->w2m;
-  const RowExtents& w1_ext = model_.w1_extents();
+  const ColPanelGeometry& w1_cols = model_.w1_col_panels();
+  const Real* w1_col_values = masked_->w1_col_values.data();
   const RowExtentsView w2_ext = model_.w2_extents().view();
   const std::span<const Real> b1 = model_.bias1();
   const std::span<const Real> b2 = model_.bias2();
@@ -94,31 +93,25 @@ void ModelSnapshot::sample(Matrix& out,
   out.fill(0);
 
   for (std::size_t i = 0; i < n; ++i) {
-    const Real* w2_row = w2m.row(i).data();
+    const Real* w2_panel = masked_->w2p.row(i);
     const std::span<const ColSpan> w2_spans = w2_ext.row(i);
+    const std::span<const std::uint32_t> upd_rows = w1_cols.col(i);
+    const Real* upd_vals = w1_col_values + w1_cols.offsets[i];
     const Real bias = b2[i];
     for (const SampleSlice& s : slices) {
       rng::Xoshiro256& gen = *s.gen;
       const std::size_t end = s.row_begin + s.row_count;
       for (std::size_t k = s.row_begin; k < end; ++k) {
         const Real* a_row = a1.row(k).data();
-        Real logit = bias;
-        // Extent-restricted, same as FastMadeSampler: the skipped entries
-        // are structural zeros in W2m.
-        for (const ColSpan sp : w2_spans) {
-          for (std::size_t l = sp.begin; l < sp.end; ++l) {
-            const Real hl = a_row[l] > 0 ? a_row[l] : 0;  // ReLU on the fly
-            logit += w2_row[l] * hl;
-          }
-        }
+        // relu_dot_panels is the exact primitive FastMadeSampler calls, so
+        // the two paths stay mutually bit-identical under the same stream.
+        const Real logit = bias + relu_dot_panels(w2_spans, a_row, w2_panel);
         const Real p1 = sigmoid(logit);
         if (rng::bernoulli(gen, p1)) {
           out(k, i) = 1;
           Real* a_mut = a1.row(k).data();
-          const Real* w1_base = w1m.data();
-          for (std::size_t l = 0; l < h; ++l) {
-            if (i < w1_ext.row_end(l)) a_mut[l] += w1_base[l * n + i];
-          }
+          for (std::size_t t = 0; t < upd_rows.size(); ++t)
+            a_mut[upd_rows[t]] += upd_vals[t];
         }
       }
     }

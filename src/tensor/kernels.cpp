@@ -2,24 +2,50 @@
 
 #include <cmath>
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
 #include "common/error.hpp"
+#include "tensor/kernels_arch.hpp"
+#include "tensor/simd.hpp"
 
 namespace vqmc {
 
+// ---------------------------------------------------------------------------
+// Runtime dispatch: shape validation happens once here, then the call is
+// forwarded to the ISA implementation selected by simd::active_level()
+// (kernels_arch.inc compiled per tier).  Tiers that were not compiled in
+// cannot be active (the level is clamped to the compiled cap), so the
+// default case is always the generic build.
+// ---------------------------------------------------------------------------
+
+#if VQMC_SIMD_AVX512
+#define VQMC_CASE_AVX512(call) \
+  case simd::Level::kAvx512:   \
+    return arch_avx512::call;
+#else
+#define VQMC_CASE_AVX512(call)
+#endif
+#if VQMC_SIMD_AVX2
+#define VQMC_CASE_AVX2(call) \
+  case simd::Level::kAvx2:   \
+    return arch_avx2::call;
+#else
+#define VQMC_CASE_AVX2(call)
+#endif
+#define VQMC_DISPATCH(call)       \
+  switch (simd::active_level()) { \
+    VQMC_CASE_AVX512(call)        \
+    VQMC_CASE_AVX2(call)          \
+    default:                      \
+      return arch_generic::call;  \
+  }
+
 Real dot(std::span<const Real> x, std::span<const Real> y) {
   VQMC_REQUIRE(x.size() == y.size(), "dot: size mismatch");
-  Real acc = 0;
-  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
-  return acc;
+  VQMC_DISPATCH(dot(x, y))
 }
 
 void axpy(Real alpha, std::span<const Real> x, std::span<Real> y) {
   VQMC_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  VQMC_DISPATCH(axpy(alpha, x, y))
 }
 
 void scale(std::span<Real> x, Real alpha) {
@@ -78,124 +104,34 @@ Real variance(std::span<const Real> x) {
 void gemv(const Matrix& a, std::span<const Real> x, std::span<Real> y) {
   VQMC_REQUIRE(a.cols() == x.size() && a.rows() == y.size(),
                "gemv: shape mismatch");
-  const std::size_t m = a.rows(), k = a.cols();
-  const Real* pa = a.data();
-#pragma omp parallel for schedule(static)
-  for (std::size_t r = 0; r < m; ++r) {
-    const Real* row = pa + r * k;
-    Real acc = 0;
-    for (std::size_t c = 0; c < k; ++c) acc += row[c] * x[c];
-    y[r] = acc;
-  }
+  VQMC_DISPATCH(gemv(a, x, y))
 }
 
 void gemv_t(const Matrix& a, std::span<const Real> x, std::span<Real> y) {
   VQMC_REQUIRE(a.rows() == x.size() && a.cols() == y.size(),
                "gemv_t: shape mismatch");
-  const std::size_t m = a.rows(), k = a.cols();
-  const Real* pa = a.data();
-  // The output dimension is the reduction dimension here, so row-parallel
-  // threads would race on y.  Each thread therefore accumulates its row
-  // range into a private k-vector (row-major traversal keeps A accesses
-  // contiguous) and the partials are merged column-parallel afterwards.
-  // This sits in the SR optimizer's CG inner loop, where m is the batch and
-  // k the parameter count.
-#ifdef _OPENMP
-  const int threads = omp_get_max_threads();
-  if (threads > 1 && m >= 2) {
-    Vector partials(std::size_t(threads) * k);  // zero-initialized
-#pragma omp parallel
-    {
-      Real* local = partials.data() + std::size_t(omp_get_thread_num()) * k;
-#pragma omp for schedule(static)
-      for (std::size_t r = 0; r < m; ++r) {
-        const Real* row = pa + r * k;
-        const Real xr = x[r];
-        for (std::size_t c = 0; c < k; ++c) local[c] += xr * row[c];
-      }
-      // The implicit barrier after the row loop makes every partial visible
-      // before the column-parallel merge below.
-#pragma omp for schedule(static)
-      for (std::size_t c = 0; c < k; ++c) {
-        Real acc = 0;
-        for (int t = 0; t < threads; ++t)
-          acc += partials[std::size_t(t) * k + c];
-        y[c] = acc;
-      }
-    }
-    return;
-  }
-#endif
-  for (std::size_t c = 0; c < k; ++c) y[c] = 0;
-  for (std::size_t r = 0; r < m; ++r) {
-    const Real* row = pa + r * k;
-    const Real xr = x[r];
-    for (std::size_t c = 0; c < k; ++c) y[c] += xr * row[c];
-  }
+  VQMC_DISPATCH(gemv_t(a, x, y))
 }
 
 void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c) {
   VQMC_REQUIRE(a.cols() == b.rows() && c.rows() == a.rows() &&
                    c.cols() == b.cols(),
                "gemm_nn: shape mismatch");
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  const Real* pa = a.data();
-  const Real* pb = b.data();
-  Real* pc = c.data();
-#pragma omp parallel for schedule(static)
-  for (std::size_t r = 0; r < m; ++r) {
-    Real* crow = pc + r * n;
-    for (std::size_t j = 0; j < n; ++j) crow[j] = 0;
-    const Real* arow = pa + r * k;
-    for (std::size_t l = 0; l < k; ++l) {
-      const Real av = arow[l];
-      const Real* brow = pb + l * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  VQMC_DISPATCH(gemm_nn(a, b, c))
 }
 
 void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c) {
   VQMC_REQUIRE(a.cols() == b.cols() && c.rows() == a.rows() &&
                    c.cols() == b.rows(),
                "gemm_nt: shape mismatch");
-  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  const Real* pa = a.data();
-  const Real* pb = b.data();
-  Real* pc = c.data();
-#pragma omp parallel for schedule(static)
-  for (std::size_t r = 0; r < m; ++r) {
-    const Real* arow = pa + r * k;
-    Real* crow = pc + r * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const Real* brow = pb + j * k;
-      Real acc = 0;
-      for (std::size_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
-      crow[j] = acc;
-    }
-  }
+  VQMC_DISPATCH(gemm_nt(a, b, c))
 }
 
 void gemm_tn_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
   VQMC_REQUIRE(a.rows() == b.rows() && c.rows() == a.cols() &&
                    c.cols() == b.cols(),
                "gemm_tn_accumulate: shape mismatch");
-  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  const Real* pa = a.data();
-  const Real* pb = b.data();
-  Real* pc = c.data();
-  // Parallelize over output rows; each output row c(r, :) is a weighted sum
-  // of rows of B with weights from column r of A.
-#pragma omp parallel for schedule(static)
-  for (std::size_t r = 0; r < m; ++r) {
-    Real* crow = pc + r * n;
-    for (std::size_t l = 0; l < k; ++l) {
-      const Real av = pa[l * m + r];
-      if (av == Real(0)) continue;
-      const Real* brow = pb + l * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  VQMC_DISPATCH(gemm_tn_accumulate(a, b, c))
 }
 
 RowExtents RowExtents::from_mask(const Matrix& mask) {
@@ -218,21 +154,43 @@ RowExtents RowExtents::from_mask(const Matrix& mask) {
   return ext;
 }
 
+PackedRowPanels PackedRowPanels::pack(const Matrix& b, RowExtentsView ext) {
+  VQMC_REQUIRE(ext.rows() == b.rows(),
+               "PackedRowPanels::pack: extent row mismatch");
+  PackedRowPanels p;
+  const std::size_t rows = ext.rows();
+  p.offsets_.resize(rows + 1);
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    p.offsets_[r] = total;
+    for (const ColSpan& s : ext.row(r)) total += s.end - s.begin;
+  }
+  p.offsets_[rows] = total;
+  p.values_ = AlignedBuffer<Real>(total);
+  p.refill(b, ext);
+  return p;
+}
+
+void PackedRowPanels::refill(const Matrix& b, RowExtentsView ext) {
+  VQMC_REQUIRE(ext.rows() == rows() && b.rows() == rows(),
+               "PackedRowPanels::refill: row mismatch");
+  const std::size_t nrows = rows();
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const Real* brow = b.data() + r * b.cols();
+    Real* dst = values_.data() + offsets_[r];
+    for (const ColSpan& s : ext.row(r))
+      for (std::size_t c = s.begin; c < s.end; ++c) *dst++ = brow[c];
+    VQMC_REQUIRE(dst == values_.data() + offsets_[r + 1],
+                 "PackedRowPanels::refill: extent geometry changed");
+  }
+}
+
 void gemv_extents(const Matrix& a, RowExtentsView ext, std::span<const Real> x,
                   std::span<Real> y) {
   VQMC_REQUIRE(a.cols() == x.size() && a.rows() == y.size(),
                "gemv_extents: shape mismatch");
   VQMC_REQUIRE(ext.rows() == a.rows(), "gemv_extents: extent row mismatch");
-  const std::size_t m = a.rows(), k = a.cols();
-  const Real* pa = a.data();
-#pragma omp parallel for schedule(static)
-  for (std::size_t r = 0; r < m; ++r) {
-    const Real* row = pa + r * k;
-    Real acc = 0;
-    for (const ColSpan& s : ext.row(r))
-      for (std::size_t c = s.begin; c < s.end; ++c) acc += row[c] * x[c];
-    y[r] = acc;
-  }
+  VQMC_DISPATCH(gemv_extents(a, ext, x, y))
 }
 
 void gemm_nt_extents(const Matrix& a, const Matrix& b, RowExtentsView ext,
@@ -241,23 +199,15 @@ void gemm_nt_extents(const Matrix& a, const Matrix& b, RowExtentsView ext,
                    c.cols() == b.rows(),
                "gemm_nt_extents: shape mismatch");
   VQMC_REQUIRE(ext.rows() == b.rows(), "gemm_nt_extents: extent row mismatch");
-  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  const Real* pa = a.data();
-  const Real* pb = b.data();
-  Real* pc = c.data();
-#pragma omp parallel for schedule(static)
-  for (std::size_t r = 0; r < m; ++r) {
-    const Real* arow = pa + r * k;
-    Real* crow = pc + r * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const Real* brow = pb + j * k;
-      Real acc = 0;
-      for (const ColSpan& s : ext.row(j))
-        for (std::size_t l = s.begin; l < s.end; ++l)
-          acc += arow[l] * brow[l];
-      crow[j] = acc;
-    }
-  }
+  VQMC_DISPATCH(gemm_nt_extents(a, b, ext, c))
+}
+
+void gemm_nt_panels(const Matrix& a, RowExtentsView ext,
+                    const PackedRowPanels& b, Matrix& c) {
+  VQMC_REQUIRE(c.rows() == a.rows() && c.cols() == b.rows(),
+               "gemm_nt_panels: shape mismatch");
+  VQMC_REQUIRE(ext.rows() == b.rows(), "gemm_nt_panels: extent row mismatch");
+  VQMC_DISPATCH(gemm_nt_panels(a, ext, b, c))
 }
 
 void gemm_nn_extents(const Matrix& a, const Matrix& b, RowExtentsView ext,
@@ -266,23 +216,7 @@ void gemm_nn_extents(const Matrix& a, const Matrix& b, RowExtentsView ext,
                    c.cols() == b.cols(),
                "gemm_nn_extents: shape mismatch");
   VQMC_REQUIRE(ext.rows() == b.rows(), "gemm_nn_extents: extent row mismatch");
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  const Real* pa = a.data();
-  const Real* pb = b.data();
-  Real* pc = c.data();
-#pragma omp parallel for schedule(static)
-  for (std::size_t r = 0; r < m; ++r) {
-    Real* crow = pc + r * n;
-    for (std::size_t j = 0; j < n; ++j) crow[j] = 0;
-    const Real* arow = pa + r * k;
-    for (std::size_t l = 0; l < k; ++l) {
-      const Real av = arow[l];
-      const Real* brow = pb + l * n;
-      for (const ColSpan& s : ext.row(l))
-        for (std::size_t j = s.begin; j < s.end; ++j)
-          crow[j] += av * brow[j];
-    }
-  }
+  VQMC_DISPATCH(gemm_nn_extents(a, b, ext, c))
 }
 
 void gemm_tn_accumulate_extents(const Matrix& a, const Matrix& b,
@@ -292,23 +226,17 @@ void gemm_tn_accumulate_extents(const Matrix& a, const Matrix& b,
                "gemm_tn_accumulate_extents: shape mismatch");
   VQMC_REQUIRE(ext.rows() == c.rows(),
                "gemm_tn_accumulate_extents: extent row mismatch");
-  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  const Real* pa = a.data();
-  const Real* pb = b.data();
-  Real* pc = c.data();
-#pragma omp parallel for schedule(static)
-  for (std::size_t r = 0; r < m; ++r) {
-    Real* crow = pc + r * n;
-    const std::span<const ColSpan> spans = ext.row(r);
-    for (std::size_t l = 0; l < k; ++l) {
-      const Real av = pa[l * m + r];
-      if (av == Real(0)) continue;
-      const Real* brow = pb + l * n;
-      for (const ColSpan& s : spans)
-        for (std::size_t j = s.begin; j < s.end; ++j)
-          crow[j] += av * brow[j];
-    }
-  }
+  VQMC_DISPATCH(gemm_tn_accumulate_extents(a, b, ext, c))
+}
+
+Real relu_dot_panels(std::span<const ColSpan> spans, const Real* a,
+                     const Real* packed_row) {
+  VQMC_DISPATCH(relu_dot_panels(spans, a, packed_row))
+}
+
+Real bernoulli_log_likelihood(std::span<const Real> x, const Real* p,
+                              Real eps) {
+  VQMC_DISPATCH(bernoulli_log_likelihood(x, p, eps))
 }
 
 void extents_zero(Matrix& a, RowExtentsView ext) {
@@ -370,12 +298,7 @@ void relu_backward_inplace(const Matrix& pre, Matrix& grad) {
   }
 }
 
-void sigmoid_inplace(Matrix& a) {
-  Real* p = a.data();
-  const std::size_t total = a.size();
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < total; ++i) p[i] = sigmoid(p[i]);
-}
+void sigmoid_inplace(Matrix& a) { VQMC_DISPATCH(sigmoid_inplace(a)) }
 
 void hadamard(const Matrix& a, const Matrix& b, Matrix& c) {
   VQMC_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols() &&

@@ -19,12 +19,34 @@
 /// The `*_extents` forms are the masked-compute fast path (DESIGN.md §5f):
 /// they take per-row lists of `[begin, end)` column intervals (RowExtents,
 /// typically built once from a binary mask) and visit only the columns
-/// inside the intervals.  Because skipped entries are structural zeros in
-/// the masked operand, every `*_extents` kernel produces results that
-/// compare exactly equal to its dense counterpart run on the masked matrix
-/// — the nonzero terms are accumulated in the identical order — while
-/// skipping the ~50% of multiply-adds the MADE autoregressive masks zero
-/// out.
+/// inside the intervals, skipping the ~50% of multiply-adds the MADE
+/// autoregressive masks zero out.
+///
+/// Accumulation-order contract (DESIGN.md §5g).  Since PR 6 the kernels
+/// are SIMD-blocked (runtime-dispatched generic / AVX2 / AVX-512
+/// implementations, see simd.hpp), which re-associates dot-type
+/// reductions; the PR 5 "bit-for-bit equal to dense-on-masked" promise is
+/// replaced by:
+///
+///  1. *Reference parity within a ULP bound.*  Scalar reference kernels
+///     live in kernels_ref.hpp (namespace vqmc::ref); for any dot-form
+///     kernel, each output element e with reduction terms t_i satisfies
+///     |e_simd - e_ref| <= 2 * L * eps * sum_i |t_i| for reduction length
+///     L and eps = DBL_EPSILON (in practice a handful of ulps — the bound
+///     is the worst case over any re-association).  Accumulating
+///     (axpy-form) kernels preserve the reference term order exactly.
+///  2. *Run-to-run bitwise determinism.*  Blocking, lane order, and the
+///     combination tree are fixed per build + dispatch level, and no
+///     kernel's element values depend on thread count, so repeated runs on
+///     one machine reproduce results bit-for-bit.
+///  3. *Batch-position independence.*  A row's output is computed with the
+///     same canonical per-row accumulation pattern whether it sits in a
+///     row block, a block tail, or alone — coalescing rows into a batch
+///     (the serving path) can never perturb any row's value.
+///
+/// Vectorized transcendentals (sigmoid_inplace, bernoulli_log_likelihood)
+/// use polynomial exp/log accurate to a few ulp; they vectorize per row so
+/// property 3 holds for them too.
 
 #include <cstddef>
 #include <span>
@@ -88,6 +110,39 @@ class RowExtents {
   std::size_t nonzeros_ = 0;
 };
 
+/// CSR-like packing of the in-extent entries of a row-extent matrix: row
+/// r's in-extent values, concatenated span by span, stored contiguously at
+/// values[offset[r] .. offset[r+1]).  Packing the masked weights once per
+/// parameter version turns the gemm_nt inner loops into unit-stride
+/// streams over exactly the touched entries (no dead columns fetched, no
+/// span-relative addressing on the B side).  64-byte aligned storage.
+class PackedRowPanels {
+ public:
+  PackedRowPanels() = default;
+
+  /// Build geometry and values from `b` and its extents
+  /// (ext.rows() == b.rows()).
+  [[nodiscard]] static PackedRowPanels pack(const Matrix& b,
+                                            RowExtentsView ext);
+
+  /// Overwrite the values from `b`, reusing the existing geometry; `b` and
+  /// `ext` must match the shapes given to pack().
+  void refill(const Matrix& b, RowExtentsView ext);
+
+  [[nodiscard]] const Real* row(std::size_t r) const {
+    return values_.data() + offsets_[r];
+  }
+  [[nodiscard]] std::size_t rows() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t nonzeros() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return offsets_.empty(); }
+
+ private:
+  std::vector<std::size_t> offsets_;  ///< size rows()+1
+  AlignedBuffer<Real> values_;
+};
+
 // ---------------------------------------------------------------------------
 // Level-1: vector-vector.
 // ---------------------------------------------------------------------------
@@ -138,8 +193,9 @@ void gemm_tn_accumulate(const Matrix& a, const Matrix& b, Matrix& c);
 
 // ---------------------------------------------------------------------------
 // Extent-aware (masked) forms.  Each takes a RowExtentsView describing the
-// structurally nonzero columns and matches its dense counterpart exactly
-// (bit-for-bit on the masked operand) while skipping the zeroed entries.
+// structurally nonzero columns and agrees with its dense counterpart run on
+// the masked operand within the accumulation-order contract above (the
+// scalar references in kernels_ref.hpp are the exact ground truth).
 // ---------------------------------------------------------------------------
 
 /// y[r] = sum over r's extents of A(r, c) * x[c]  (A: m x k, extents over
@@ -172,6 +228,33 @@ void extents_zero(Matrix& a, RowExtentsView ext);
 /// mask is identically 1.
 void extents_add_flat(const Matrix& src, RowExtentsView ext,
                       std::span<Real> dst);
+
+// ---------------------------------------------------------------------------
+// Packed-panel forms: the B operand pre-packed per parameter version.
+// ---------------------------------------------------------------------------
+
+/// C = A B^T with B's in-extent entries given as packed panels; bitwise
+/// identical to gemm_nt_extents on the unpacked matrix (identical values
+/// stream through the identical canonical dots).  `ext` must be the extents
+/// the panels were packed with.
+void gemm_nt_panels(const Matrix& a, RowExtentsView ext,
+                    const PackedRowPanels& b, Matrix& c);
+
+/// Fused extent-restricted dot with ReLU applied to `a` on the fly:
+/// sum over spans of max(a[c], 0) * packed value.  `packed_row` points at
+/// one panel row (PackedRowPanels::row).  This is the ancestral samplers'
+/// logit primitive — FastMadeSampler and ModelSnapshot::sample share it so
+/// their draws stay mutually bit-identical.
+Real relu_dot_panels(std::span<const ColSpan> spans, const Real* a,
+                     const Real* packed_row);
+
+/// sum_i log(max(x_i != 0 ? p_i : 1 - p_i, eps)) — the Bernoulli
+/// log-likelihood of binary configuration x under conditionals p (length
+/// x.size()).  For x in {0,1}^n this equals the textbook
+/// x log p + (1-x) log(1-p) with both logs clamped at eps.  Vectorized
+/// with the polynomial log; per-row primitive (batch-position independent).
+Real bernoulli_log_likelihood(std::span<const Real> x, const Real* p,
+                              Real eps);
 
 // ---------------------------------------------------------------------------
 // Elementwise / broadcast operations used by the NN layers.

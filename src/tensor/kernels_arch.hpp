@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file kernels_arch.hpp
+/// \brief Internal declarations of the per-ISA kernel implementations.
+///
+/// kernels_arch.inc is compiled once per instruction-set tier (generic /
+/// AVX2+FMA / AVX-512) into the namespaces declared here; kernels.cpp
+/// selects among them at runtime via simd::active_level().  This header is
+/// private to the tensor library — everything public goes through
+/// kernels.hpp.
+///
+/// Implementations assume shapes already validated by the dispatcher and
+/// must follow the canonical accumulation pattern documented in
+/// kernels_arch.inc (per-output-row rounding independent of blocking, so
+/// batching never perturbs a row's value).
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/kernels.hpp"
+
+namespace vqmc {
+
+#define VQMC_DECLARE_ARCH_KERNELS(ns)                                         \
+  namespace ns {                                                              \
+  Real dot(std::span<const Real> x, std::span<const Real> y);                 \
+  void axpy(Real alpha, std::span<const Real> x, std::span<Real> y);          \
+  void gemv(const Matrix& a, std::span<const Real> x, std::span<Real> y);     \
+  void gemv_t(const Matrix& a, std::span<const Real> x, std::span<Real> y);   \
+  void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c);                  \
+  void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c);                  \
+  void gemm_tn_accumulate(const Matrix& a, const Matrix& b, Matrix& c);       \
+  void gemv_extents(const Matrix& a, RowExtentsView ext,                      \
+                    std::span<const Real> x, std::span<Real> y);              \
+  void gemm_nt_extents(const Matrix& a, const Matrix& b, RowExtentsView ext,  \
+                       Matrix& c);                                            \
+  void gemm_nt_panels(const Matrix& a, RowExtentsView ext,                    \
+                      const PackedRowPanels& b, Matrix& c);                   \
+  void gemm_nn_extents(const Matrix& a, const Matrix& b, RowExtentsView ext,  \
+                       Matrix& c);                                            \
+  void gemm_tn_accumulate_extents(const Matrix& a, const Matrix& b,           \
+                                  RowExtentsView ext, Matrix& c);             \
+  Real relu_dot_panels(std::span<const ColSpan> spans, const Real* a,         \
+                       const Real* packed_row);                               \
+  Real bernoulli_log_likelihood(std::span<const Real> x, const Real* p,       \
+                                Real eps);                                    \
+  void sigmoid_inplace(Matrix& a);                                            \
+  }
+
+VQMC_DECLARE_ARCH_KERNELS(arch_generic)
+#if VQMC_SIMD_AVX2
+VQMC_DECLARE_ARCH_KERNELS(arch_avx2)
+#endif
+#if VQMC_SIMD_AVX512
+VQMC_DECLARE_ARCH_KERNELS(arch_avx512)
+#endif
+
+#undef VQMC_DECLARE_ARCH_KERNELS
+
+}  // namespace vqmc

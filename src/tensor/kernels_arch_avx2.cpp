@@ -1,0 +1,5 @@
+// AVX2+FMA instantiation; compiled with -mavx2 -mfma (see
+// src/tensor/CMakeLists.txt) and only dispatched to after a runtime CPU
+// check, so the TU may freely use 256-bit intrinsics.
+#define VQMC_ARCH_NS arch_avx2
+#include "tensor/kernels_arch.inc"

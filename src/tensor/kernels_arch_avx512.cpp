@@ -1,0 +1,4 @@
+// AVX-512 (F/DQ/VL) instantiation; compiled with the matching -m flags and
+// only dispatched to after a runtime CPU check.
+#define VQMC_ARCH_NS arch_avx512
+#include "tensor/kernels_arch.inc"

@@ -1,0 +1,4 @@
+// Baseline-ISA instantiation of the blocked kernels (no extra compile
+// flags); always built, and the only implementation when VQMC_SIMD=OFF.
+#define VQMC_ARCH_NS arch_generic
+#include "tensor/kernels_arch.inc"

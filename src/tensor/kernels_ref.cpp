@@ -1,0 +1,216 @@
+#include "tensor/kernels_ref.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vqmc::ref {
+
+Real dot(std::span<const Real> x, std::span<const Real> y) {
+  VQMC_REQUIRE(x.size() == y.size(), "ref::dot: size mismatch");
+  Real acc = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void gemv(const Matrix& a, std::span<const Real> x, std::span<Real> y) {
+  VQMC_REQUIRE(a.cols() == x.size() && a.rows() == y.size(),
+               "ref::gemv: shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols();
+  const Real* pa = a.data();
+  for (std::size_t r = 0; r < m; ++r) {
+    const Real* row = pa + r * k;
+    Real acc = 0;
+    for (std::size_t c = 0; c < k; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void gemv_t(const Matrix& a, std::span<const Real> x, std::span<Real> y) {
+  VQMC_REQUIRE(a.rows() == x.size() && a.cols() == y.size(),
+               "ref::gemv_t: shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols();
+  const Real* pa = a.data();
+  for (std::size_t c = 0; c < k; ++c) y[c] = 0;
+  for (std::size_t r = 0; r < m; ++r) {
+    const Real* row = pa + r * k;
+    const Real xr = x[r];
+    for (std::size_t c = 0; c < k; ++c) y[c] += xr * row[c];
+  }
+}
+
+void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c) {
+  VQMC_REQUIRE(a.cols() == b.rows() && c.rows() == a.rows() &&
+                   c.cols() == b.cols(),
+               "ref::gemm_nn: shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const Real* pa = a.data();
+  const Real* pb = b.data();
+  Real* pc = c.data();
+  for (std::size_t r = 0; r < m; ++r) {
+    Real* crow = pc + r * n;
+    for (std::size_t j = 0; j < n; ++j) crow[j] = 0;
+    const Real* arow = pa + r * k;
+    for (std::size_t l = 0; l < k; ++l) {
+      const Real av = arow[l];
+      const Real* brow = pb + l * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c) {
+  VQMC_REQUIRE(a.cols() == b.cols() && c.rows() == a.rows() &&
+                   c.cols() == b.rows(),
+               "ref::gemm_nt: shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  const Real* pa = a.data();
+  const Real* pb = b.data();
+  Real* pc = c.data();
+  for (std::size_t r = 0; r < m; ++r) {
+    const Real* arow = pa + r * k;
+    Real* crow = pc + r * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const Real* brow = pb + j * k;
+      Real acc = 0;
+      for (std::size_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
+      crow[j] = acc;
+    }
+  }
+}
+
+void gemm_tn_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
+  VQMC_REQUIRE(a.rows() == b.rows() && c.rows() == a.cols() &&
+                   c.cols() == b.cols(),
+               "ref::gemm_tn_accumulate: shape mismatch");
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  const Real* pa = a.data();
+  const Real* pb = b.data();
+  Real* pc = c.data();
+  for (std::size_t r = 0; r < m; ++r) {
+    Real* crow = pc + r * n;
+    for (std::size_t l = 0; l < k; ++l) {
+      const Real av = pa[l * m + r];
+      if (av == Real(0)) continue;
+      const Real* brow = pb + l * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemv_extents(const Matrix& a, RowExtentsView ext, std::span<const Real> x,
+                  std::span<Real> y) {
+  VQMC_REQUIRE(a.cols() == x.size() && a.rows() == y.size(),
+               "ref::gemv_extents: shape mismatch");
+  VQMC_REQUIRE(ext.rows() == a.rows(),
+               "ref::gemv_extents: extent row mismatch");
+  const std::size_t m = a.rows(), k = a.cols();
+  const Real* pa = a.data();
+  for (std::size_t r = 0; r < m; ++r) {
+    const Real* row = pa + r * k;
+    Real acc = 0;
+    for (const ColSpan& s : ext.row(r))
+      for (std::size_t c = s.begin; c < s.end; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void gemm_nt_extents(const Matrix& a, const Matrix& b, RowExtentsView ext,
+                     Matrix& c) {
+  VQMC_REQUIRE(a.cols() == b.cols() && c.rows() == a.rows() &&
+                   c.cols() == b.rows(),
+               "ref::gemm_nt_extents: shape mismatch");
+  VQMC_REQUIRE(ext.rows() == b.rows(),
+               "ref::gemm_nt_extents: extent row mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  const Real* pa = a.data();
+  const Real* pb = b.data();
+  Real* pc = c.data();
+  for (std::size_t r = 0; r < m; ++r) {
+    const Real* arow = pa + r * k;
+    Real* crow = pc + r * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const Real* brow = pb + j * k;
+      Real acc = 0;
+      for (const ColSpan& s : ext.row(j))
+        for (std::size_t l = s.begin; l < s.end; ++l) acc += arow[l] * brow[l];
+      crow[j] = acc;
+    }
+  }
+}
+
+void gemm_nn_extents(const Matrix& a, const Matrix& b, RowExtentsView ext,
+                     Matrix& c) {
+  VQMC_REQUIRE(a.cols() == b.rows() && c.rows() == a.rows() &&
+                   c.cols() == b.cols(),
+               "ref::gemm_nn_extents: shape mismatch");
+  VQMC_REQUIRE(ext.rows() == b.rows(),
+               "ref::gemm_nn_extents: extent row mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const Real* pa = a.data();
+  const Real* pb = b.data();
+  Real* pc = c.data();
+  for (std::size_t r = 0; r < m; ++r) {
+    Real* crow = pc + r * n;
+    for (std::size_t j = 0; j < n; ++j) crow[j] = 0;
+    const Real* arow = pa + r * k;
+    for (std::size_t l = 0; l < k; ++l) {
+      const Real av = arow[l];
+      const Real* brow = pb + l * n;
+      for (const ColSpan& s : ext.row(l))
+        for (std::size_t j = s.begin; j < s.end; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_tn_accumulate_extents(const Matrix& a, const Matrix& b,
+                                RowExtentsView ext, Matrix& c) {
+  VQMC_REQUIRE(a.rows() == b.rows() && c.rows() == a.cols() &&
+                   c.cols() == b.cols(),
+               "ref::gemm_tn_accumulate_extents: shape mismatch");
+  VQMC_REQUIRE(ext.rows() == c.rows(),
+               "ref::gemm_tn_accumulate_extents: extent row mismatch");
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  const Real* pa = a.data();
+  const Real* pb = b.data();
+  Real* pc = c.data();
+  for (std::size_t r = 0; r < m; ++r) {
+    Real* crow = pc + r * n;
+    const std::span<const ColSpan> spans = ext.row(r);
+    for (std::size_t l = 0; l < k; ++l) {
+      const Real av = pa[l * m + r];
+      if (av == Real(0)) continue;
+      const Real* brow = pb + l * n;
+      for (const ColSpan& s : spans)
+        for (std::size_t j = s.begin; j < s.end; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Real relu_dot_panels(std::span<const ColSpan> spans, const Real* a,
+                     const Real* packed_row) {
+  Real acc = 0;
+  const Real* bp = packed_row;
+  for (const ColSpan& s : spans)
+    for (std::size_t c = s.begin; c < s.end; ++c)
+      acc += (a[c] > 0 ? a[c] : Real(0)) * *bp++;
+  return acc;
+}
+
+Real bernoulli_log_likelihood(std::span<const Real> x, const Real* p,
+                              Real eps) {
+  Real acc = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const Real sel = x[i] != 0 ? p[i] : 1 - p[i];
+    acc += std::log(sel < eps ? eps : sel);
+  }
+  return acc;
+}
+
+void sigmoid_inplace(Matrix& a) {
+  Real* p = a.data();
+  const std::size_t total = a.size();
+  for (std::size_t i = 0; i < total; ++i) p[i] = sigmoid(p[i]);
+}
+
+}  // namespace vqmc::ref

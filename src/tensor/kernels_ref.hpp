@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file kernels_ref.hpp
+/// \brief Scalar reference kernels (namespace vqmc::ref).
+///
+/// These are the PR 5 scalar loops, kept verbatim: one running accumulator
+/// per output element, no blocking, no vector math.  They define the
+/// ground truth for the SIMD parity tests and the historical baseline the
+/// benchmarks measure speedups against — the dispatched kernels in
+/// kernels.hpp must agree with them within the documented ULP bound
+/// (tolerance contract, see kernels.hpp), and `ref::bernoulli_log_likelihood`
+/// / `ref::sigmoid_inplace` reproduce the pre-SIMD `Made` transcendental
+/// loops bit-for-bit.
+///
+/// Not OpenMP-parallel and not performance-tuned on purpose: a reference
+/// you can read is a reference you can trust.
+
+#include <span>
+
+#include "tensor/kernels.hpp"
+
+namespace vqmc::ref {
+
+Real dot(std::span<const Real> x, std::span<const Real> y);
+void gemv(const Matrix& a, std::span<const Real> x, std::span<Real> y);
+void gemv_t(const Matrix& a, std::span<const Real> x, std::span<Real> y);
+void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm_tn_accumulate(const Matrix& a, const Matrix& b, Matrix& c);
+void gemv_extents(const Matrix& a, RowExtentsView ext, std::span<const Real> x,
+                  std::span<Real> y);
+void gemm_nt_extents(const Matrix& a, const Matrix& b, RowExtentsView ext,
+                     Matrix& c);
+void gemm_nn_extents(const Matrix& a, const Matrix& b, RowExtentsView ext,
+                     Matrix& c);
+void gemm_tn_accumulate_extents(const Matrix& a, const Matrix& b,
+                                RowExtentsView ext, Matrix& c);
+Real relu_dot_panels(std::span<const ColSpan> spans, const Real* a,
+                     const Real* packed_row);
+Real bernoulli_log_likelihood(std::span<const Real> x, const Real* p,
+                              Real eps);
+void sigmoid_inplace(Matrix& a);
+
+}  // namespace vqmc::ref

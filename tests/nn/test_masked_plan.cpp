@@ -1,9 +1,12 @@
 /// \file test_masked_plan.cpp
-/// \brief Pins the masked compute plan (DESIGN.md §5f): the packed
-/// extent-kernel path must be exactly (bit-for-bit) equal to the dense
-/// masked path it replaced, the autoregressive property must survive the
-/// rewrite, and the version-counter weight cache must invalidate on every
-/// parameter write and tolerate concurrent readers.
+/// \brief Pins the masked compute plan (DESIGN.md §5f/§5g): the packed
+/// extent-kernel path must match the dense masked path it replaced within
+/// the accumulation-order tolerance contract of kernels.hpp (the SIMD
+/// kernels re-associate sums, so bit-for-bit equality against the dense
+/// path no longer holds — but results stay deterministic and
+/// batch-position independent), the autoregressive property must survive
+/// the rewrite, and the version-counter weight cache must invalidate on
+/// every parameter write and tolerate concurrent readers.
 
 #include <gtest/gtest.h>
 
@@ -35,7 +38,9 @@ void randomize_parameters(WavefunctionModel& model, std::uint64_t seed) {
 
 /// Dense reference replicating the pre-plan code path: materialize
 /// `M .* W`, run dense gemms, apply the mask elementwise to the weight
-/// gradients.  The packed path must match it bit-for-bit (EXPECT_EQ).
+/// gradients.  The packed path must match it within the tolerance contract
+/// (dense and extent kernels split accumulations differently under SIMD);
+/// the packed weight values themselves are still copied bit-for-bit.
 struct DenseReference {
   std::size_t n, h;
   Matrix w1m, w2m;  ///< mask .* W, materialized the old way
@@ -196,7 +201,17 @@ TEST(MaskedPlan, PackedWeightsMatchMaskedParameters) {
     EXPECT_EQ(mw->w2m.data()[i], ref.w2m.data()[i]);
 }
 
-TEST(MaskedPlan, ConditionalsBitIdenticalToDenseReference) {
+// Tolerances for packed-vs-dense comparisons.  Activations and gradients
+// are O(1) sums of at most max(n, h) ~ 20 O(1) terms, so the
+// accumulation-order bound 2*L*eps*sum|t| sits around 1e-14; log_psi adds
+// the vector-log's ~4-ulp core on values as large as |log eps| ~ 28.  The
+// 1e-10 margins below are ~1e4 above both bounds while still catching any
+// real kernel defect (which perturbs results at the 1e-2+ level).
+constexpr Real kForwardTol = 1e-12;
+constexpr Real kLogPsiTol = 1e-10;
+constexpr Real kGradTol = 1e-10;
+
+TEST(MaskedPlan, ConditionalsMatchDenseReference) {
   for (std::uint64_t seed : {41, 42, 43}) {
     Made made(10, 17);
     randomize_parameters(made, seed);
@@ -209,25 +224,35 @@ TEST(MaskedPlan, ConditionalsBitIdenticalToDenseReference) {
     ASSERT_EQ(got.rows(), want.rows());
     ASSERT_EQ(got.cols(), want.cols());
     for (std::size_t i = 0; i < want.size(); ++i)
-      EXPECT_EQ(got.data()[i], want.data()[i]) << "seed " << seed;
+      EXPECT_NEAR(got.data()[i], want.data()[i], kForwardTol)
+          << "seed " << seed;
+
+    Matrix again;  // same path, same input: bitwise deterministic
+    made.conditionals(batch, again);
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_EQ(got.data()[i], again.data()[i]) << "seed " << seed;
   }
 }
 
-TEST(MaskedPlan, LogPsiBitIdenticalToDenseReference) {
+TEST(MaskedPlan, LogPsiMatchesDenseReference) {
   for (std::uint64_t seed : {51, 52, 53}) {
     Made made(11, 16);
     randomize_parameters(made, seed);
     const Matrix batch = random_bits(29, 11, seed + 100);
     const DenseReference ref(made);
-    Vector want(29), got(29);
+    Vector want(29), got(29), again(29);
     ref.log_psi(batch, want.span());
     made.log_psi(batch, got.span());
     for (std::size_t k = 0; k < 29; ++k)
-      EXPECT_EQ(got[k], want[k]) << "seed " << seed << " row " << k;
+      EXPECT_NEAR(got[k], want[k], kLogPsiTol)
+          << "seed " << seed << " row " << k;
+    made.log_psi(batch, again.span());  // deterministic
+    for (std::size_t k = 0; k < 29; ++k)
+      EXPECT_EQ(got[k], again[k]) << "seed " << seed << " row " << k;
   }
 }
 
-TEST(MaskedPlan, BatchGradientBitIdenticalToDenseReference) {
+TEST(MaskedPlan, BatchGradientMatchesDenseReference) {
   Made made(9, 14);
   randomize_parameters(made, 61);
   const std::size_t bs = 21;
@@ -242,10 +267,10 @@ TEST(MaskedPlan, BatchGradientBitIdenticalToDenseReference) {
   ref.accumulate_gradient(made, batch, coeff.span(), want.span());
   made.accumulate_log_psi_gradient(batch, coeff.span(), got.span());
   for (std::size_t i = 0; i < d; ++i)
-    EXPECT_EQ(got[i], want[i]) << "parameter " << i;
+    EXPECT_NEAR(got[i], want[i], kGradTol) << "parameter " << i;
 }
 
-TEST(MaskedPlan, PerSampleGradientBitIdenticalToDenseReference) {
+TEST(MaskedPlan, PerSampleGradientMatchesDenseReference) {
   Made made(8, 12);
   randomize_parameters(made, 71);
   const std::size_t bs = 13;
@@ -257,7 +282,8 @@ TEST(MaskedPlan, PerSampleGradientBitIdenticalToDenseReference) {
   ref.per_sample_gradient(made, batch, want);
   made.log_psi_gradient_per_sample(batch, got);
   for (std::size_t i = 0; i < want.size(); ++i)
-    EXPECT_EQ(got.data()[i], want.data()[i]) << "flat index " << i;
+    EXPECT_NEAR(got.data()[i], want.data()[i], kGradTol)
+        << "flat index " << i;
 }
 
 TEST(MaskedPlan, AutoregressivePropertySurvivesPackedPath) {

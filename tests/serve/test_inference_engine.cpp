@@ -10,6 +10,7 @@
 #include "rng/distributions.hpp"
 #include "rng/xoshiro.hpp"
 #include "sampler/fast_made_sampler.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vqmc::serve {
 namespace {
@@ -150,6 +151,58 @@ TEST(InferenceEngine, WindowCoalescesConcurrentRequestsIntoOneBatch) {
   // All eight row-1 requests fit one micro-batch; allow a second in case
   // the worker dispatched before the budget filled.
   EXPECT_LE(counters.batches, 2u);
+}
+
+TEST(InferenceEngine, SaturatedQueueFillsAFull128RowBatch) {
+  // Regression: the batch builder must be able to coalesce all the way up
+  // to max_batch_rows — the serve bench used to top out at 64-row batches
+  // at the 128-row config because the closed-loop producers could never
+  // outrun the window.  pause() lets the queue saturate deterministically;
+  // on resume() the single worker must harvest one full 128-row batch.
+  Made made(6, 8);
+  randomize_parameters(made, 21);
+  ServeConfig config;
+  config.workers = 1;
+  config.max_batch_rows = 128;
+  config.max_wait_us = 4000;
+  config.max_pending_rows = 256;
+  InferenceEngine engine(config);
+  engine.publish_model(made);
+
+  engine.pause();
+  std::vector<std::future<SampleResult>> futures;
+  for (int i = 0; i < 128; ++i)
+    futures.push_back(engine.submit_sample(1, std::uint64_t(i)));
+  engine.resume();
+  for (auto& future : futures) (void)future.get();
+
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.submitted, 128u);
+  EXPECT_EQ(counters.completed, 128u);
+  EXPECT_EQ(counters.batches, 1u);
+  EXPECT_EQ(counters.max_batch_rows, 128u);
+}
+
+TEST(InferenceEngine, AdaptiveWindowClosesWhenAllPendingRowsAreBatched) {
+  // Closed-loop regression: one lone client must not pay the full batching
+  // window when every admitted row is already in the open batch (nothing
+  // else can arrive until this batch completes).  With a 0.5 s window the
+  // request must still round-trip in a small fraction of it.
+  Made made(6, 8);
+  randomize_parameters(made, 23);
+  ServeConfig config;
+  config.workers = 1;
+  config.max_batch_rows = 128;
+  config.max_wait_us = 500000;
+  InferenceEngine engine(config);
+  engine.publish_model(made);
+
+  const double t0 = telemetry::now_us();
+  (void)engine.submit_sample(1, 7).get();
+  const double elapsed_us = telemetry::now_us() - t0;
+  // One wait slice is max_wait_us / 8 = 62.5 ms; anything close to the
+  // full 500 ms window means the adaptive close regressed.
+  EXPECT_LT(elapsed_us, 250000.0);
 }
 
 TEST(InferenceEngine, OverloadShedsWithTypedError) {

@@ -1,0 +1,445 @@
+/// \file test_simd_kernels.cpp
+/// \brief Pins the SIMD kernel rewrite (DESIGN.md §5g) against the scalar
+/// references in kernels_ref.hpp.
+///
+/// Three properties of the accumulation-order contract are exercised at
+/// every compiled-in dispatch level (generic / AVX2 / AVX-512, via
+/// simd::force_level):
+///
+///  1. Parity within the documented ULP bound: for every dot-form output
+///     element e with reduction terms t_i,
+///     |e_simd - e_ref| <= 2 * L * eps * sum_i |t_i|  (L = reduction
+///     length, eps = DBL_EPSILON) — the worst case over any
+///     re-association of the sum.
+///  2. Run-to-run bitwise determinism, including independence from the
+///     OpenMP thread count.
+///  3. Batch-position independence: a row's value is bitwise the same
+///     whether it is computed alone or inside any larger batch.
+///
+/// Edge cases the blocking must survive (exercised at every level, and by
+/// the sanitizer CI leg): empty extents (rows with no intervals),
+/// single-column rows, spans shorter than a vector, and sub-vector tails
+/// at every length around the register width.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/kernels_ref.hpp"
+#include "tensor/simd.hpp"
+
+namespace vqmc {
+namespace {
+
+constexpr Real kEps = std::numeric_limits<Real>::epsilon();
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = rng::uniform(gen, -1.0, 1.0);
+  return m;
+}
+
+Matrix random_mask(std::size_t r, std::size_t c, std::uint64_t seed,
+                   double density) {
+  rng::Xoshiro256 gen(seed);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = rng::uniform(gen, 0.0, 1.0) < density ? 1.0 : 0.0;
+  return m;
+}
+
+Matrix apply_mask(const Matrix& w, const Matrix& mask) {
+  Matrix out(w.rows(), w.cols());
+  for (std::size_t i = 0; i < w.size(); ++i)
+    out.data()[i] = mask.data()[i] != Real(0) ? w.data()[i] : Real(0);
+  return out;
+}
+
+/// The contract's worst-case re-association bound for one reduction.
+Real ulp_bound(std::size_t terms, Real abs_sum) {
+  return 2 * Real(terms) * kEps * abs_sum;
+}
+
+/// Restores full dispatch when a test that forces a level exits.
+struct LevelGuard {
+  ~LevelGuard() { simd::force_level(simd::detected_level()); }
+};
+
+/// Levels to test: everything the CPU and build support, lowest first.
+std::vector<simd::Level> testable_levels() {
+  std::vector<simd::Level> levels = {simd::Level::kGeneric};
+  if (simd::detected_level() >= simd::Level::kAvx2)
+    levels.push_back(simd::Level::kAvx2);
+  if (simd::detected_level() >= simd::Level::kAvx512)
+    levels.push_back(simd::Level::kAvx512);
+  return levels;
+}
+
+/// One masked problem instance: a (m x k), b (n x k) masked, extents over
+/// b's rows — shapes chosen per test.
+struct MaskedCase {
+  Matrix mask, a, b;
+  RowExtents ext;
+
+  MaskedCase(std::size_t m, std::size_t n, std::size_t k, std::uint64_t seed,
+             double density) {
+    mask = random_mask(n, k, seed, density);
+    if (n > 2) {
+      for (std::size_t j = 0; j < k; ++j) mask(1, j) = 0;  // empty row
+      for (std::size_t j = 0; j < k; ++j) mask(2, j) = 0;  // single column
+      mask(2, k / 2) = 1;
+    }
+    a = random_matrix(m, k, seed + 1);
+    b = apply_mask(random_matrix(n, k, seed + 2), mask);
+    ext = RowExtents::from_mask(mask);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Parity sweep: every dispatch level vs the scalar reference, sizes from
+// single elements through n = 1000, random masks, empty and single-column
+// rows, thread counts 1 and 8.
+// ---------------------------------------------------------------------------
+
+void expect_gemm_parity_at_current_level(const MaskedCase& mc,
+                                         const char* label) {
+  const std::size_t m = mc.a.rows(), n = mc.b.rows();
+  Matrix want(m, n), got(m, n);
+  ref::gemm_nt_extents(mc.a, mc.b, mc.ext.view(), want);
+  gemm_nt_extents(mc.a, mc.b, mc.ext.view(), got);
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t j = 0; j < n; ++j) {
+      Real abs_sum = 0;
+      std::size_t terms = 0;
+      for (const ColSpan s : mc.ext.view().row(j))
+        for (std::size_t c = s.begin; c < s.end; ++c) {
+          abs_sum += std::abs(mc.a(r, c) * mc.b(j, c));
+          ++terms;
+        }
+      EXPECT_NEAR(got(r, j), want(r, j), ulp_bound(terms, abs_sum))
+          << label << " C(" << r << "," << j << ") L=" << terms;
+    }
+
+  // The packed-panel form is bitwise identical to the extents form.
+  const PackedRowPanels panels = PackedRowPanels::pack(mc.b, mc.ext.view());
+  Matrix via_panels(m, n);
+  gemm_nt_panels(mc.a, mc.ext.view(), panels, via_panels);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(via_panels.data()[i], got.data()[i]) << label << " flat " << i;
+}
+
+TEST(SimdKernels, GemmNtExtentsParitySweepAcrossLevelsSizesAndThreads) {
+  LevelGuard guard;
+  const std::size_t sizes[] = {1, 7, 100, 300, 1000};
+  for (const simd::Level level : testable_levels()) {
+    simd::force_level(level);
+    for (const std::size_t n : sizes) {
+      const MaskedCase mc(3, n, n, 1000 + n, 0.5);
+#ifdef _OPENMP
+      for (const int threads : {1, 8}) {
+        omp_set_num_threads(threads);
+#endif
+        expect_gemm_parity_at_current_level(mc, simd::level_name(level));
+#ifdef _OPENMP
+      }
+#endif
+    }
+  }
+}
+
+TEST(SimdKernels, GemvExtentsParityAcrossLevels) {
+  LevelGuard guard;
+  for (const simd::Level level : testable_levels()) {
+    simd::force_level(level);
+    for (const std::size_t n : {1ul, 7ul, 100ul, 300ul, 1000ul}) {
+      const MaskedCase mc(1, n, n, 2000 + n, 0.5);
+      Vector x(n), want(n), got(n);
+      rng::Xoshiro256 gen(7 + n);
+      for (std::size_t i = 0; i < n; ++i) x[i] = rng::uniform(gen, -1.0, 1.0);
+      ref::gemv_extents(mc.b, mc.ext.view(), x.span(), want.span());
+      gemv_extents(mc.b, mc.ext.view(), x.span(), got.span());
+      for (std::size_t r = 0; r < n; ++r) {
+        Real abs_sum = 0;
+        std::size_t terms = 0;
+        for (const ColSpan s : mc.ext.view().row(r))
+          for (std::size_t c = s.begin; c < s.end; ++c) {
+            abs_sum += std::abs(mc.b(r, c) * x[c]);
+            ++terms;
+          }
+        EXPECT_NEAR(got[r], want[r], ulp_bound(terms, abs_sum))
+            << simd::level_name(level) << " n=" << n << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, AxpyFormExtentsKernelsMatchReferenceAcrossLevels) {
+  LevelGuard guard;
+  for (const simd::Level level : testable_levels()) {
+    simd::force_level(level);
+    for (const std::size_t n : {7ul, 100ul, 300ul}) {
+      // gemm_nn_extents: a (m x k), b (k x n) masked, ext over b's rows.
+      const std::size_t m = 3, k = n;
+      const Matrix mask = random_mask(k, n, 3000 + n, 0.5);
+      const Matrix a = random_matrix(m, k, 3001 + n);
+      const Matrix b = apply_mask(random_matrix(k, n, 3002 + n), mask);
+      const RowExtents ext = RowExtents::from_mask(mask);
+      Matrix want(m, n), got(m, n);
+      ref::gemm_nn_extents(a, b, ext.view(), want);
+      gemm_nn_extents(a, b, ext.view(), got);
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        // Axpy chains add k O(1) terms; reuse the same re-association bound
+        // with a conservative |t| <= 1 per term.
+        EXPECT_NEAR(got.data()[i], want.data()[i], ulp_bound(k, Real(k)))
+            << simd::level_name(level) << " nn flat " << i;
+      }
+
+      // gemm_tn_accumulate_extents: a (k2 x m2), b (k2 x n), ext over c rows.
+      const std::size_t k2 = 5, m2 = n;
+      const Matrix mask2 = random_mask(m2, n, 3100 + n, 0.5);
+      const Matrix a2 = random_matrix(k2, m2, 3101 + n);
+      const Matrix b2 = random_matrix(k2, n, 3102 + n);
+      const RowExtents ext2 = RowExtents::from_mask(mask2);
+      const Matrix c0 = random_matrix(m2, n, 3103 + n);
+      Matrix want2 = c0, got2 = c0;
+      ref::gemm_tn_accumulate_extents(a2, b2, ext2.view(), want2);
+      gemm_tn_accumulate_extents(a2, b2, ext2.view(), got2);
+      for (std::size_t r = 0; r < m2; ++r)
+        for (std::size_t j = 0; j < n; ++j) {
+          if (mask2(r, j) != Real(0))
+            EXPECT_NEAR(got2(r, j), want2(r, j), ulp_bound(k2 + 1, Real(k2 + 2)))
+                << simd::level_name(level) << " tn " << r << "," << j;
+          else
+            EXPECT_EQ(got2(r, j), c0(r, j)) << "outside-mask touched";
+        }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases: all-empty extents, spans shorter than a vector, and every
+// tail length around the widest register (8 doubles).
+// ---------------------------------------------------------------------------
+
+TEST(SimdKernels, AllEmptyExtentsZeroOutputsAndTouchNothing) {
+  LevelGuard guard;
+  for (const simd::Level level : testable_levels()) {
+    simd::force_level(level);
+    const std::size_t m = 4, n = 6, k = 9;
+    Matrix mask(n, k);
+    mask.fill(0.0);
+    const Matrix a = random_matrix(m, k, 41);
+    Matrix b(n, k);
+    b.fill(0.0);
+    const RowExtents ext = RowExtents::from_mask(mask);
+
+    Matrix c(m, n);
+    c.fill(123.0);
+    gemm_nt_extents(a, b, ext.view(), c);
+    for (std::size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c.data()[i], 0.0);
+
+    Vector y(n);
+    y.span()[0] = 55.0;
+    Vector x(k);
+    x.fill(1.0);
+    gemv_extents(b, ext.view(), x.span(), y.span());
+    for (std::size_t r = 0; r < n; ++r) EXPECT_EQ(y[r], 0.0);
+
+    const Matrix c1 = random_matrix(n, k, 42);
+    Matrix acc = c1;
+    gemm_tn_accumulate_extents(random_matrix(3, n, 43), random_matrix(3, k, 44),
+                               ext.view(), acc);
+    for (std::size_t i = 0; i < acc.size(); ++i)
+      EXPECT_EQ(acc.data()[i], c1.data()[i]);  // accumulator untouched
+
+    const PackedRowPanels panels = PackedRowPanels::pack(b, ext.view());
+    EXPECT_EQ(panels.nonzeros(), 0u);
+    Matrix cp(m, n);
+    cp.fill(9.0);
+    gemm_nt_panels(a, ext.view(), panels, cp);
+    for (std::size_t i = 0; i < cp.size(); ++i) EXPECT_EQ(cp.data()[i], 0.0);
+  }
+}
+
+TEST(SimdKernels, EveryTailLengthAroundTheVectorWidthMatchesReference) {
+  LevelGuard guard;
+  for (const simd::Level level : testable_levels()) {
+    simd::force_level(level);
+    // k sweeps through every sub-vector tail: shorter than one AVX2 lane
+    // set, exact multiples, one over, and past the unrolled 2x width.
+    for (std::size_t k = 1; k <= 36; ++k) {
+      Matrix mask(1, k);
+      for (std::size_t j = 0; j < k; ++j) mask(0, j) = 1.0;
+      const Matrix a = random_matrix(2, k, 500 + k);
+      const Matrix b = apply_mask(random_matrix(1, k, 600 + k), mask);
+      const RowExtents ext = RowExtents::from_mask(mask);
+      Matrix want(2, 1), got(2, 1);
+      ref::gemm_nt_extents(a, b, ext.view(), want);
+      gemm_nt_extents(a, b, ext.view(), got);
+      for (std::size_t r = 0; r < 2; ++r) {
+        Real abs_sum = 0;
+        for (std::size_t c = 0; c < k; ++c)
+          abs_sum += std::abs(a(r, c) * b(0, c));
+        EXPECT_NEAR(got(r, 0), want(r, 0), ulp_bound(k, abs_sum))
+            << simd::level_name(level) << " k=" << k << " row " << r;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and batch-position independence.
+// ---------------------------------------------------------------------------
+
+TEST(SimdKernels, RepeatedRunsAreBitwiseIdenticalIncludingAcrossThreadCounts) {
+  const MaskedCase mc(16, 300, 300, 77, 0.5);
+  Matrix first(16, 300), repeat(16, 300);
+  gemm_nt_extents(mc.a, mc.b, mc.ext.view(), first);
+  for (int run = 0; run < 3; ++run) {
+#ifdef _OPENMP
+    omp_set_num_threads(run % 2 == 0 ? 1 : 8);
+#endif
+    gemm_nt_extents(mc.a, mc.b, mc.ext.view(), repeat);
+    for (std::size_t i = 0; i < first.size(); ++i)
+      ASSERT_EQ(first.data()[i], repeat.data()[i])
+          << "run " << run << " flat " << i;
+  }
+#ifdef _OPENMP
+  omp_set_num_threads(omp_get_num_procs());
+#endif
+}
+
+TEST(SimdKernels, RowValuesAreIndependentOfBatchPosition) {
+  // Contract property 3: compute a 9-row batch, then each row alone; every
+  // row must be bitwise identical either way (the serving path coalesces
+  // rows into batches and must never perturb a value).
+  const MaskedCase mc(9, 100, 100, 88, 0.5);
+  Matrix full(9, 100);
+  gemm_nt_extents(mc.a, mc.b, mc.ext.view(), full);
+  for (std::size_t r = 0; r < 9; ++r) {
+    Matrix one(1, 100), out(1, 100);
+    for (std::size_t c = 0; c < 100; ++c) one(0, c) = mc.a(r, c);
+    gemm_nt_extents(one, mc.b, mc.ext.view(), out);
+    for (std::size_t j = 0; j < 100; ++j)
+      ASSERT_EQ(out(0, j), full(r, j)) << "row " << r << " col " << j;
+  }
+
+  // Same property for the row-vectorized transcendental.
+  Matrix logits = random_matrix(9, 100, 89);
+  Matrix batch_sig = logits;
+  sigmoid_inplace(batch_sig);
+  for (std::size_t r = 0; r < 9; ++r) {
+    Matrix row(1, 100);
+    for (std::size_t c = 0; c < 100; ++c) row(0, c) = logits(r, c);
+    sigmoid_inplace(row);
+    for (std::size_t c = 0; c < 100; ++c)
+      ASSERT_EQ(row(0, c), batch_sig(r, c)) << "row " << r << " col " << c;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Packed panels: geometry, refill, and the fused sampler primitives.
+// ---------------------------------------------------------------------------
+
+TEST(SimdKernels, PackedRowPanelsRoundTripAndRefill) {
+  const Matrix mask = random_mask(11, 17, 91, 0.4);
+  const Matrix b = apply_mask(random_matrix(11, 17, 92), mask);
+  const RowExtents ext = RowExtents::from_mask(mask);
+
+  PackedRowPanels panels = PackedRowPanels::pack(b, ext.view());
+  ASSERT_EQ(panels.rows(), 11u);
+  EXPECT_EQ(panels.nonzeros(), ext.nonzeros());
+  for (std::size_t r = 0; r < 11; ++r) {
+    const Real* p = panels.row(r);
+    std::size_t t = 0;
+    for (const ColSpan s : ext.view().row(r))
+      for (std::size_t j = s.begin; j < s.end; ++j)
+        EXPECT_EQ(p[t++], b(r, j)) << "row " << r << " col " << j;
+  }
+
+  const Matrix b2 = apply_mask(random_matrix(11, 17, 93), mask);
+  panels.refill(b2, ext.view());
+  for (std::size_t r = 0; r < 11; ++r) {
+    const Real* p = panels.row(r);
+    std::size_t t = 0;
+    for (const ColSpan s : ext.view().row(r))
+      for (std::size_t j = s.begin; j < s.end; ++j)
+        EXPECT_EQ(p[t++], b2(r, j)) << "refilled row " << r;
+  }
+}
+
+TEST(SimdKernels, ReluDotPanelsMatchesReferenceAcrossLevels) {
+  LevelGuard guard;
+  const Matrix mask = random_mask(5, 29, 95, 0.6);
+  const Matrix b = apply_mask(random_matrix(5, 29, 96), mask);
+  const RowExtents ext = RowExtents::from_mask(mask);
+  const PackedRowPanels panels = PackedRowPanels::pack(b, ext.view());
+  const Matrix a = random_matrix(1, 29, 97);
+  for (const simd::Level level : testable_levels()) {
+    simd::force_level(level);
+    for (std::size_t r = 0; r < 5; ++r) {
+      const Real want =
+          ref::relu_dot_panels(ext.view().row(r), a.row(0).data(),
+                               panels.row(r));
+      const Real got =
+          relu_dot_panels(ext.view().row(r), a.row(0).data(), panels.row(r));
+      Real abs_sum = 0;
+      std::size_t terms = 0;
+      const Real* pv = panels.row(r);
+      for (const ColSpan s : ext.view().row(r))
+        for (std::size_t j = s.begin; j < s.end; ++j) {
+          abs_sum += std::abs(std::max(a(0, j), Real(0)) * *pv++);
+          ++terms;
+        }
+      EXPECT_NEAR(got, want, ulp_bound(terms, abs_sum))
+          << simd::level_name(level) << " row " << r;
+    }
+  }
+}
+
+TEST(SimdKernels, BernoulliLogLikelihoodMatchesReferenceAcrossLevels) {
+  LevelGuard guard;
+  constexpr Real kProbEps = 1e-12;
+  for (const simd::Level level : testable_levels()) {
+    simd::force_level(level);
+    for (const std::size_t n : {1ul, 7ul, 100ul, 1000ul}) {
+      rng::Xoshiro256 gen(701 + n);
+      Matrix x(1, n), p(1, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        x(0, i) = rng::bernoulli(gen, 0.5) ? 1 : 0;
+        p(0, i) = rng::uniform(gen, 0.0, 1.0);
+      }
+      p(0, 0) = 0.0;  // clamp path: log(max(., eps))
+      if (n > 2) p(0, 2) = 1.0;
+      const Real want =
+          ref::bernoulli_log_likelihood(x.row(0), p.row(0).data(), kProbEps);
+      const Real got =
+          bernoulli_log_likelihood(x.row(0), p.row(0).data(), kProbEps);
+      // Each term is a log in [log eps, 0] (|.| <= ~27.7), the vector log
+      // itself is accurate to a few ulp, and the sum re-associates — the
+      // contract bound with |t_i| <= |log eps| covers both.
+      const Real bound = ulp_bound(n + 4, Real(n) * Real(28));
+      EXPECT_NEAR(got, want, bound)
+          << simd::level_name(level) << " n=" << n;
+
+      const Real again =
+          bernoulli_log_likelihood(x.row(0), p.row(0).data(), kProbEps);
+      EXPECT_EQ(got, again);  // deterministic
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vqmc
