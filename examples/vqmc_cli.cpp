@@ -102,7 +102,12 @@ int main(int argc, char** argv) {
                   "append structured JSONL events (one object per line) here");
   opts.add_flag("telemetry-off",
                 "disable all telemetry (metrics, spans) at runtime");
-  if (!opts.parse(argc, argv)) return 0;
+  try {
+    if (!opts.parse(argc, argv)) return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 
   try {
     if (opts.get_flag("telemetry-off")) telemetry::set_enabled(false);

@@ -1,5 +1,6 @@
 #include "core/checkpoint.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -14,6 +15,23 @@
 #include "common/error.hpp"
 
 namespace vqmc {
+
+bool fsync_parent_directory(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, std::max<std::size_t>(slash, 1));
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  return synced;
+#else
+  (void)path;
+  return true;  // no portable directory sync; the data fsync already ran
+#endif
+}
 
 namespace {
 
@@ -30,8 +48,11 @@ struct Header {
 
 /// Write `bytes` of `data` to `path` crash-safely: serialize to
 /// `<path>.tmp`, flush to stable storage, then atomically rename over
-/// `path`. A crash at any point leaves either the old file or the new one —
-/// never a torn mix.
+/// `path` and fsync the parent directory. A crash at any point leaves
+/// either the old file or the new one — never a torn mix — and the rename
+/// itself is durable: without the directory fsync, a power loss right after
+/// rename() can roll the directory entry back to the old file (or to
+/// nothing, for a first-ever checkpoint) on journaled filesystems.
 void write_file_atomic(const std::string& path, const void* data,
                        std::size_t bytes) {
   const std::string tmp = path + ".tmp";
@@ -74,6 +95,8 @@ void write_file_atomic(const std::string& path, const void* data,
     std::remove(tmp.c_str());
     throw Error("checkpoint: cannot rename '" + tmp + "' to '" + path + "'");
   }
+  VQMC_REQUIRE(fsync_parent_directory(path),
+               "checkpoint: cannot fsync the directory of '" + path + "'");
 }
 
 /// Read all of `path` into a byte buffer; throws on a missing file.

@@ -44,6 +44,13 @@ void load_checkpoint(const std::string& path, WavefunctionModel& model);
 /// FNV-1a 64-bit hash of a byte range (exposed for tests).
 std::uint64_t fnv1a64(const void* data, std::size_t bytes);
 
+/// Fsync the directory containing `path`, making a just-renamed file's
+/// directory entry durable (on journaled filesystems a rename alone can be
+/// rolled back by a power loss until its directory is synced). Returns
+/// false when the directory cannot be opened or synced. Every checkpoint
+/// writer calls this after its atomic rename; exposed for tests.
+bool fsync_parent_directory(const std::string& path);
+
 /// The complete mutable state of a training run at an iteration boundary.
 /// The identity fields (names and sizes) are verified on restore; the state
 /// vectors use each component's own serialization layout (see

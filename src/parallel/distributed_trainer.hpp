@@ -26,6 +26,7 @@
 /// DistributedResult::shrink_events.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,17 @@ struct DistributedConfig {
   /// fault-free). Test hook: every recovery path is exercised
   /// deterministically through these plans.
   std::vector<FaultPlan> fault_plans;
+  /// Checkpoint/restart (DESIGN.md §5h). When non-empty, every rank keeps a
+  /// TrainingSnapshot under "<checkpoint_base>.rank<r>" so a killed run can
+  /// resume bit-identically. Snapshots are written at the *top* of every
+  /// `checkpoint_every`-th iteration, before any work of that iteration.
+  std::string checkpoint_base;
+  int checkpoint_every = 0;  ///< snapshot cadence in iterations; 0 disables
+  /// Load "<checkpoint_base>.rank<r>" before training and continue from the
+  /// recorded iteration. The replayed tail is bit-identical to the original
+  /// run (parameters, optimizer moments, sampler RNG and guard state are all
+  /// restored); energy_history slots before the resume point read 0.
+  bool resume = false;
 };
 
 /// One elastic-shrink event: `rank` was detected dead at `iteration`,
@@ -116,5 +128,28 @@ DistributedResult train_distributed(const Hamiltonian& hamiltonian,
                                     const AutoregressiveModel& prototype,
                                     const DistributedConfig& config,
                                     const DeviceCostModel& device = {});
+
+/// Run ONE rank of the same data-parallel training on an already-connected
+/// communicator endpoint — any backend (thread, socket, self). This is what
+/// a vqmc_launch worker process calls after its socket rendezvous; the
+/// training loop, elastic shrink, guards and checkpointing are byte-for-byte
+/// the code the thread-backed driver runs.
+///
+/// Returns this endpoint's complete view of the run. Global fields
+/// (energy_history, converged stats, shrink_events, final_parameters,
+/// replicas_identical) are identical on every surviving rank because they
+/// derive from allreduced data only. The per-rank vectors are gathered
+/// through one trailing allreduce, so slots of ranks that died before the
+/// end read 0.
+///
+/// `iteration_hook`, when set, runs at the top of every training iteration
+/// before any collective — the seam where vqmc_launch applies scripted
+/// real-process faults (see process_faults.hpp). `config.shape.total()`
+/// must equal `comm.size()`.
+DistributedResult train_distributed_on(
+    const Hamiltonian& hamiltonian, const AutoregressiveModel& prototype,
+    const DistributedConfig& config, Communicator& comm,
+    const DeviceCostModel& device = {},
+    const std::function<void(long long)>& iteration_hook = {});
 
 }  // namespace vqmc::parallel

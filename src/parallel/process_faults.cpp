@@ -1,0 +1,164 @@
+#include "parallel/process_faults.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace vqmc::parallel {
+
+namespace {
+
+/// Split `text` on `sep`, keeping empty pieces out of the result.
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string piece;
+  std::istringstream in(text);
+  while (std::getline(in, piece, sep)) {
+    if (!piece.empty()) out.push_back(piece);
+  }
+  return out;
+}
+
+long long parse_ll(const std::string& value, const std::string& spec) {
+  try {
+    std::size_t used = 0;
+    const long long parsed = std::stoll(value, &used);
+    VQMC_REQUIRE(used == value.size(), "trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    throw Error("process fault spec '" + spec + "': bad integer '" + value +
+                "'");
+  }
+}
+
+double parse_double(const std::string& value, const std::string& spec) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    VQMC_REQUIRE(used == value.size(), "trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    throw Error("process fault spec '" + spec + "': bad number '" + value +
+                "'");
+  }
+}
+
+}  // namespace
+
+ProcessFaultPlan parse_process_fault_spec(const std::string& spec, int world,
+                                          int* rank) {
+  const auto colon = spec.find(':');
+  VQMC_REQUIRE(colon != std::string::npos,
+               "process fault spec '" + spec + "': expected kind:key=value,...");
+  const std::string kind = spec.substr(0, colon);
+  VQMC_REQUIRE(kind == "kill" || kind == "leave" || kind == "stop",
+               "process fault spec '" + spec + "': unknown kind '" + kind +
+                   "' (want kill|leave|stop)");
+
+  long long target_rank = -1;
+  long long iter = -1;
+  double secs = 1.0;
+  bool have_secs = false;
+  for (const std::string& field : split(spec.substr(colon + 1), ',')) {
+    const auto eq = field.find('=');
+    VQMC_REQUIRE(eq != std::string::npos, "process fault spec '" + spec +
+                                              "': field '" + field +
+                                              "' is not key=value");
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "rank") {
+      target_rank = parse_ll(value, spec);
+    } else if (key == "iter") {
+      iter = parse_ll(value, spec);
+    } else if (key == "secs") {
+      secs = parse_double(value, spec);
+      have_secs = true;
+    } else {
+      throw Error("process fault spec '" + spec + "': unknown key '" + key +
+                  "'");
+    }
+  }
+  VQMC_REQUIRE(target_rank >= 0 && target_rank < world,
+               "process fault spec '" + spec + "': rank out of [0, " +
+                   std::to_string(world) + ")");
+  VQMC_REQUIRE(iter >= 0,
+               "process fault spec '" + spec + "': iter is required");
+  VQMC_REQUIRE(!have_secs || kind == "stop",
+               "process fault spec '" + spec + "': secs only applies to stop");
+
+  ProcessFaultPlan plan;
+  if (kind == "kill") plan.kill_at_iteration = iter;
+  if (kind == "leave") plan.leave_at_iteration = iter;
+  if (kind == "stop") {
+    plan.stop_at_iteration = iter;
+    plan.stop_seconds = secs;
+  }
+  if (rank != nullptr) *rank = static_cast<int>(target_rank);
+  return plan;
+}
+
+std::vector<ProcessFaultPlan> parse_process_fault_specs(
+    const std::vector<std::string>& specs, int world) {
+  VQMC_REQUIRE(world > 0, "parse_process_fault_specs: world must be positive");
+  std::vector<ProcessFaultPlan> plans(static_cast<std::size_t>(world));
+  for (const std::string& spec : specs) {
+    int rank = -1;
+    const ProcessFaultPlan parsed = parse_process_fault_spec(spec, world,
+                                                             &rank);
+    ProcessFaultPlan& merged = plans[static_cast<std::size_t>(rank)];
+    if (parsed.kill_at_iteration >= 0)
+      merged.kill_at_iteration = parsed.kill_at_iteration;
+    if (parsed.leave_at_iteration >= 0)
+      merged.leave_at_iteration = parsed.leave_at_iteration;
+    if (parsed.stop_at_iteration >= 0) {
+      merged.stop_at_iteration = parsed.stop_at_iteration;
+      merged.stop_seconds = parsed.stop_seconds;
+    }
+  }
+  return plans;
+}
+
+std::string format_process_fault_spec(const ProcessFaultPlan& plan, int rank) {
+  std::ostringstream out;
+  const char* sep = "";
+  if (plan.kill_at_iteration >= 0) {
+    out << sep << "kill:rank=" << rank << ",iter=" << plan.kill_at_iteration;
+    sep = ";";
+  }
+  if (plan.leave_at_iteration >= 0) {
+    out << sep << "leave:rank=" << rank << ",iter=" << plan.leave_at_iteration;
+    sep = ";";
+  }
+  if (plan.stop_at_iteration >= 0) {
+    out << sep << "stop:rank=" << rank << ",iter=" << plan.stop_at_iteration
+        << ",secs=" << plan.stop_seconds;
+    sep = ";";
+  }
+  return out.str();
+}
+
+void apply_process_faults_at_iteration(const ProcessFaultPlan& plan,
+                                       long long iteration,
+                                       Communicator& comm) {
+  if (plan.stop_at_iteration == iteration) {
+    // Wedge this process: blocks until the launcher sends SIGCONT, then the
+    // rank resumes mid-collective exactly like a long GC pause would.
+    std::raise(SIGSTOP);
+  }
+  if (plan.kill_at_iteration == iteration) {
+    // Un-announced death at a collective boundary. SIGKILL cannot be caught,
+    // so no LEAVE frame goes out — survivors must detect the EOF.
+    std::raise(SIGKILL);
+    std::abort();  // unreachable; SIGKILL is not deliverable to a handler
+  }
+  if (plan.leave_at_iteration == iteration) {
+    comm.leave();
+    throw RankDeadError("rank " + std::to_string(comm.rank()) +
+                        " left by scripted process fault at iteration " +
+                        std::to_string(iteration));
+  }
+}
+
+}  // namespace vqmc::parallel

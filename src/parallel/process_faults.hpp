@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file process_faults.hpp
+/// \brief Scripted faults against *real processes* (DESIGN.md §5h).
+///
+/// `FaultPlan` (fault_injection.hpp) scripts faults inside a thread-backed
+/// rank. `ProcessFaultPlan` extends the same plan idea to the process
+/// fault matrix that `vqmc_launch` executes against socket-backed ranks:
+///
+///  * kill  — the rank raises SIGKILL on itself at the top of the given
+///            training iteration: an un-announced, real process death.
+///            Survivors detect it through EOF on its connections and fold
+///            it out (or abort, per PeerDeathPolicy). Raising at the
+///            iteration boundary makes detection — and therefore the shrink
+///            trajectory — deterministic and bitwise reproducible.
+///  * leave — the rank departs gracefully (Communicator::leave()) at the
+///            top of the iteration and exits: the cooperative-departure
+///            path, also deterministic.
+///  * stop  — the rank raises SIGSTOP on itself at the top of the
+///            iteration: a connected-but-silent (wedged) peer. The launcher
+///            sends SIGCONT after `stop_seconds`. With a collective
+///            deadline shorter than the stop, the group aborts with
+///            CommTimeoutError — the hang path against a real process.
+///
+/// Plans are scripted as compact spec strings (CLI / env friendly):
+///
+///   kill:rank=2,iter=10
+///   leave:rank=1,iter=4
+///   stop:rank=3,iter=5,secs=1.5
+
+#include <string>
+#include <vector>
+
+#include "parallel/communicator.hpp"
+
+namespace vqmc::parallel {
+
+/// Scripted real-process faults for one rank; -1 disables a trigger.
+struct ProcessFaultPlan {
+  long long kill_at_iteration = -1;   ///< raise(SIGKILL): hard death
+  long long leave_at_iteration = -1;  ///< graceful leave() + clean exit
+  long long stop_at_iteration = -1;   ///< raise(SIGSTOP): wedged peer
+  double stop_seconds = 1.0;          ///< launcher sends SIGCONT after this
+
+  [[nodiscard]] bool empty() const {
+    return kill_at_iteration < 0 && leave_at_iteration < 0 &&
+           stop_at_iteration < 0;
+  }
+};
+
+/// Parse one `kind:key=value,...` spec. Throws vqmc::Error on an unknown
+/// kind/key, a missing rank/iter, or a rank outside [0, world).
+/// Returns the target rank through `*rank`.
+ProcessFaultPlan parse_process_fault_spec(const std::string& spec, int world,
+                                          int* rank);
+
+/// Parse a batch of specs into a per-rank plan vector of length `world`
+/// (at most one fault kind per rank per spec; later specs for the same rank
+/// merge field-wise).
+std::vector<ProcessFaultPlan> parse_process_fault_specs(
+    const std::vector<std::string>& specs, int world);
+
+/// Render `plan` back into the spec format (for handing a child its own
+/// plan through the environment). Empty string for an empty plan.
+std::string format_process_fault_spec(const ProcessFaultPlan& plan, int rank);
+
+/// Child-side hook: run at the top of training iteration `iteration`,
+/// before any collective. Executes whichever fault is scheduled now:
+/// kill never returns; leave() throws vqmc::RankDeadError after leaving the
+/// group (the caller unwinds and exits cleanly); stop blocks until SIGCONT
+/// and then returns normally.
+void apply_process_faults_at_iteration(const ProcessFaultPlan& plan,
+                                       long long iteration,
+                                       Communicator& comm);
+
+}  // namespace vqmc::parallel

@@ -1,0 +1,404 @@
+#include "parallel/wire_protocol.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "core/checkpoint.hpp"  // fnv1a64
+#include "rng/splitmix.hpp"
+
+namespace vqmc::parallel::wire {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x56515750u;  // "VQWP"
+
+struct FrameHeader {
+  std::uint32_t magic = kMagic;
+  std::uint32_t type = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  VQMC_REQUIRE(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+               "wire: cannot set O_NONBLOCK");
+}
+
+/// Parse `spec` into either a unix path or a host/port pair.
+struct ParsedSpec {
+  bool is_unix = false;
+  std::string path;  // unix
+  std::string host;  // tcp
+  int port = 0;      // tcp
+};
+
+ParsedSpec parse_spec(const std::string& spec) {
+  ParsedSpec parsed;
+  if (spec.rfind("unix://", 0) == 0) {
+    parsed.is_unix = true;
+    parsed.path = spec.substr(7);
+    VQMC_REQUIRE(!parsed.path.empty(), "wire: empty unix socket path in '" +
+                                           spec + "'");
+    VQMC_REQUIRE(parsed.path.size() < sizeof(sockaddr_un{}.sun_path),
+                 "wire: unix socket path too long: '" + parsed.path + "'");
+    return parsed;
+  }
+  if (spec.rfind("tcp://", 0) == 0) {
+    const std::string rest = spec.substr(6);
+    const std::size_t colon = rest.rfind(':');
+    VQMC_REQUIRE(colon != std::string::npos && colon > 0,
+                 "wire: expected tcp://host:port, got '" + spec + "'");
+    parsed.host = rest.substr(0, colon);
+    try {
+      parsed.port = std::stoi(rest.substr(colon + 1));
+    } catch (...) {
+      throw Error("wire: bad port in endpoint '" + spec + "'");
+    }
+    VQMC_REQUIRE(parsed.port >= 0 && parsed.port <= 65535,
+                 "wire: port out of range in '" + spec + "'");
+    return parsed;
+  }
+  throw Error("wire: endpoint '" + spec +
+              "' must start with unix:// or tcp://");
+}
+
+sockaddr_in tcp_address(const ParsedSpec& spec) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(std::uint16_t(spec.port));
+  VQMC_REQUIRE(::inet_pton(AF_INET, spec.host.c_str(), &addr.sin_addr) == 1,
+               "wire: cannot parse IPv4 address '" + spec.host +
+                   "' (use a numeric address, e.g. 127.0.0.1)");
+  return addr;
+}
+
+sockaddr_un unix_address(const ParsedSpec& spec) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, spec.path.c_str(), spec.path.size() + 1);
+  return addr;
+}
+
+/// poll() one fd for `events`, honoring the absolute deadline. Returns true
+/// when the fd is ready (or hung up), false when the deadline expired.
+bool poll_fd(int fd, short events, double deadline_at) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline_at > 0) {
+      const double left = deadline_at - monotonic_seconds();
+      if (left <= 0) return false;
+      timeout_ms = int(left * 1000) + 1;
+    }
+    pollfd pfd{fd, events, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready > 0) return true;
+    if (ready == 0) {
+      if (deadline_at <= 0) continue;  // spurious zero without a deadline
+      return false;
+    }
+    if (errno == EINTR) continue;
+    throw Error("wire: poll failed: " + std::string(std::strerror(errno)));
+  }
+}
+
+double deadline_at_from(double deadline_seconds) {
+  return deadline_seconds > 0 ? monotonic_seconds() + deadline_seconds : 0;
+}
+
+/// Write exactly `bytes`; returns false on EPIPE/ECONNRESET, throws
+/// CommTimeoutError past the deadline.
+bool send_all(int fd, const void* data, std::size_t bytes,
+              double deadline_at) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t sent = 0;
+  while (sent < bytes) {
+    // Wait for writability up front so the deadline also holds for fds that
+    // were never switched to O_NONBLOCK (e.g. adopted socketpairs).
+    if (!poll_fd(fd, POLLOUT, deadline_at))
+      throw CommTimeoutError("wire: send deadline expired (peer not draining)");
+    const ::ssize_t w =
+        ::send(fd, p + sent, bytes - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += std::size_t(w);
+      continue;
+    }
+    if (w < 0 && (errno == EPIPE || errno == ECONNRESET)) return false;
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!poll_fd(fd, POLLOUT, deadline_at))
+        throw CommTimeoutError(
+            "wire: send deadline expired (peer not draining)");
+      continue;
+    }
+    return false;  // any other hard error counts as a dead peer
+  }
+  return true;
+}
+
+/// Read exactly `bytes`. Returns the number read; a short return means the
+/// peer closed (EOF/reset) mid-read. Throws CommTimeoutError past the
+/// deadline.
+std::size_t recv_all(int fd, void* data, std::size_t bytes,
+                     double deadline_at) {
+  auto* p = static_cast<unsigned char*>(data);
+  std::size_t got = 0;
+  while (got < bytes) {
+    // As in send_all: poll first so deadlines hold even on blocking fds.
+    if (!poll_fd(fd, POLLIN, deadline_at))
+      throw CommTimeoutError("wire: recv deadline expired (peer silent)");
+    const ::ssize_t r = ::recv(fd, p + got, bytes - got, 0);
+    if (r > 0) {
+      got += std::size_t(r);
+      continue;
+    }
+    if (r == 0) return got;  // EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!poll_fd(fd, POLLIN, deadline_at))
+        throw CommTimeoutError("wire: recv deadline expired (peer silent)");
+      continue;
+    }
+    if (errno == ECONNRESET) return got;
+    throw Error("wire: recv failed: " + std::string(std::strerror(errno)));
+  }
+  return got;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener listen_on(const std::string& spec, int backlog) {
+  const ParsedSpec parsed = parse_spec(spec);
+  const int fd = ::socket(parsed.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  VQMC_REQUIRE(fd >= 0, "wire: cannot create socket for '" + spec + "'");
+  Socket socket(fd);
+
+  if (parsed.is_unix) {
+    ::unlink(parsed.path.c_str());  // stale socket file from a dead run
+    const sockaddr_un addr = unix_address(parsed);
+    VQMC_REQUIRE(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)) == 0,
+                 "wire: cannot bind '" + spec +
+                     "': " + std::strerror(errno));
+  } else {
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    const sockaddr_in addr = tcp_address(parsed);
+    VQMC_REQUIRE(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)) == 0,
+                 "wire: cannot bind '" + spec +
+                     "': " + std::strerror(errno));
+  }
+  VQMC_REQUIRE(::listen(fd, backlog) == 0,
+               "wire: cannot listen on '" + spec + "'");
+  set_nonblocking(fd);
+
+  Listener listener;
+  listener.endpoint = spec;
+  if (!parsed.is_unix && parsed.port == 0) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    VQMC_REQUIRE(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
+                               &len) == 0,
+                 "wire: getsockname failed for '" + spec + "'");
+    listener.endpoint = "tcp://" + parsed.host + ":" +
+                        std::to_string(ntohs(bound.sin_port));
+  }
+  listener.socket = std::move(socket);
+  return listener;
+}
+
+Socket connect_to(const std::string& spec, double deadline_seconds,
+                  std::uint64_t jitter_seed, long long* attempts,
+                  double backoff_base_seconds, double backoff_max_seconds) {
+  const ParsedSpec parsed = parse_spec(spec);
+  const double deadline_at = deadline_at_from(deadline_seconds);
+  double backoff = backoff_base_seconds;
+  std::uint64_t jitter_state = jitter_seed;
+  long long tries = 0;
+  for (;;) {
+    const int fd =
+        ::socket(parsed.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+    VQMC_REQUIRE(fd >= 0, "wire: cannot create socket for '" + spec + "'");
+    Socket socket(fd);
+    int rc;
+    if (parsed.is_unix) {
+      const sockaddr_un addr = unix_address(parsed);
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } else {
+      const sockaddr_in addr = tcp_address(parsed);
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    }
+    if (rc == 0) {
+      if (!parsed.is_unix) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      }
+      set_nonblocking(fd);
+      if (attempts) *attempts = tries;
+      return socket;
+    }
+    ++tries;
+    socket.close();
+    if (deadline_at > 0 && monotonic_seconds() >= deadline_at)
+      throw CommTimeoutError("wire: rendezvous with '" + spec +
+                             "' timed out after " + std::to_string(tries) +
+                             " attempt(s): " + std::strerror(errno));
+    // Exponential backoff with deterministic jitter in [0, backoff/2): many
+    // ranks dialing the same just-started listener spread out instead of
+    // stampeding in lockstep.
+    jitter_state = rng::splitmix64_once(jitter_state);
+    const double jitter =
+        backoff * 0.5 * (double(jitter_state >> 11) / double(1ull << 53));
+    double sleep_for = backoff + jitter;
+    if (deadline_at > 0)
+      sleep_for = std::min(sleep_for, deadline_at - monotonic_seconds());
+    if (sleep_for > 0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_for));
+    backoff = std::min(backoff * 2, backoff_max_seconds);
+  }
+}
+
+Socket accept_from(Socket& listener, double deadline_seconds) {
+  const double deadline_at = deadline_at_from(deadline_seconds);
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      set_nonblocking(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!poll_fd(listener.fd(), POLLIN, deadline_at))
+        throw CommTimeoutError(
+            "wire: accept deadline expired (a rank never connected)");
+      continue;
+    }
+    throw Error("wire: accept failed: " + std::string(std::strerror(errno)));
+  }
+}
+
+bool send_frame(Socket& socket, FrameType type, std::uint64_t seq,
+                const void* payload, std::size_t payload_bytes,
+                double deadline_seconds) {
+  const double deadline_at = deadline_at_from(deadline_seconds);
+  FrameHeader header;
+  header.type = std::uint32_t(type);
+  header.seq = seq;
+  header.payload_bytes = payload_bytes;
+  // Checksum covers header and payload, so a frame delivered against the
+  // wrong sequence or with flipped payload bits is rejected before any fold.
+  std::uint64_t checksum = fnv1a64(&header, sizeof(header));
+  if (payload_bytes > 0) {
+    // Continue the FNV stream over the payload.
+    const auto* p = static_cast<const unsigned char*>(payload);
+    for (std::size_t i = 0; i < payload_bytes; ++i) {
+      checksum ^= p[i];
+      checksum *= 0x100000001b3ULL;
+    }
+  }
+  if (!send_all(socket.fd(), &header, sizeof(header), deadline_at))
+    return false;
+  if (payload_bytes > 0 &&
+      !send_all(socket.fd(), payload, payload_bytes, deadline_at))
+    return false;
+  return send_all(socket.fd(), &checksum, sizeof(checksum), deadline_at);
+}
+
+bool recv_frame(Socket& socket, Frame& out, double deadline_seconds) {
+  const double deadline_at = deadline_at_from(deadline_seconds);
+  FrameHeader header;
+  const std::size_t header_got =
+      recv_all(socket.fd(), &header, sizeof(header), deadline_at);
+  if (header_got == 0) return false;  // clean EOF at a frame boundary
+  VQMC_REQUIRE(header_got == sizeof(header),
+               "wire: connection closed inside a frame header");
+  VQMC_REQUIRE(header.magic == kMagic, "wire: bad frame magic (corrupt "
+                                       "stream or non-vqmc peer)");
+  VQMC_REQUIRE(header.payload_bytes <= (std::uint64_t(1) << 32),
+               "wire: implausible frame payload size (corrupt header)");
+  out.type = FrameType(header.type);
+  out.seq = header.seq;
+  out.payload.resize(std::size_t(header.payload_bytes));
+  if (header.payload_bytes > 0) {
+    const std::size_t got = recv_all(socket.fd(), out.payload.data(),
+                                     out.payload.size(), deadline_at);
+    VQMC_REQUIRE(got == out.payload.size(),
+                 "wire: connection closed inside a frame payload");
+  }
+  std::uint64_t wire_checksum = 0;
+  const std::size_t trailer_got = recv_all(socket.fd(), &wire_checksum,
+                                           sizeof(wire_checksum), deadline_at);
+  VQMC_REQUIRE(trailer_got == sizeof(wire_checksum),
+               "wire: connection closed inside a frame trailer");
+  std::uint64_t checksum = fnv1a64(&header, sizeof(header));
+  for (const unsigned char byte : out.payload) {
+    checksum ^= byte;
+    checksum *= 0x100000001b3ULL;
+  }
+  VQMC_REQUIRE(checksum == wire_checksum,
+               "wire: frame checksum mismatch (corrupt stream)");
+  return true;
+}
+
+bool poll_readable(const Socket& socket, double deadline_seconds) {
+  return poll_fd(socket.fd(), POLLIN, deadline_at_from(deadline_seconds));
+}
+
+void encode_reals(std::vector<unsigned char>& out, const Real* data,
+                  std::size_t count) {
+  const std::size_t offset = out.size();
+  out.resize(offset + count * sizeof(Real));
+  if (count > 0) std::memcpy(out.data() + offset, data, count * sizeof(Real));
+}
+
+void decode_reals(const std::vector<unsigned char>& in, std::size_t offset,
+                  Real* data, std::size_t count) {
+  VQMC_REQUIRE(offset + count * sizeof(Real) <= in.size(),
+               "wire: payload shorter than the expected Real span");
+  if (count > 0) std::memcpy(data, in.data() + offset, count * sizeof(Real));
+}
+
+}  // namespace vqmc::parallel::wire

@@ -14,10 +14,19 @@
 namespace vqmc {
 namespace {
 
-constexpr const char* kPath = "/tmp/vqmc_checkpoint_test.bin";
+// Each test writes its own file: under `ctest -j` every TEST runs as a
+// separate concurrent process, so a path shared across tests races (one
+// test's save replaces the file another test just corrupted).
+std::string current_test_path() {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  return std::string("/tmp/vqmc_checkpoint_") + info->test_suite_name() +
+         "_" + info->name() + ".bin";
+}
+#define kPath current_test_path()
 
 struct CheckpointCleanup {
-  ~CheckpointCleanup() { std::remove(kPath); }
+  ~CheckpointCleanup() { std::remove(kPath.c_str()); }
 };
 
 void randomize(WavefunctionModel& model, std::uint64_t seed) {
@@ -278,6 +287,26 @@ TEST(TrainingCheckpoint, KeeperRetainsOnlyTheNewestHistory) {
   EXPECT_EQ(load_training_checkpoint(base + ".iter4").iteration, 4);
   for (const std::string& path : keeper.retained()) std::remove(path.c_str());
   std::remove(base.c_str());
+}
+
+TEST(Checkpoint, FsyncParentDirectoryCoversEveryPathShape) {
+  // The directory-entry sync after the atomic rename (a rename alone is not
+  // durable across power loss on journaled filesystems). Exercise each way
+  // a path can name its parent: explicit directory, root-adjacent, and
+  // bare filename (parent = cwd).
+  EXPECT_TRUE(fsync_parent_directory("/tmp/vqmc_any_file_name"));
+  EXPECT_TRUE(fsync_parent_directory("/vqmc_root_adjacent"));
+  EXPECT_TRUE(fsync_parent_directory("bare_filename_in_cwd"));
+  // A missing parent directory is reported, not ignored.
+  EXPECT_FALSE(
+      fsync_parent_directory("/tmp/vqmc_no_such_dir_xyzzy/checkpoint.bin"));
+}
+
+TEST(Checkpoint, SaveIntoMissingDirectoryFailsCleanly) {
+  Made made(4, 3);
+  EXPECT_THROW(
+      save_checkpoint("/tmp/vqmc_no_such_dir_xyzzy/checkpoint.bin", made),
+      Error);
 }
 
 }  // namespace

@@ -279,14 +279,21 @@ TEST(HittingTime, UnreachableTargetExhaustsBudget) {
 // must be bit-identical to one that was never interrupted.
 // ---------------------------------------------------------------------------
 
-constexpr const char* kCkptBase = "/tmp/vqmc_trainer_ckpt_test.bin";
+// Each test writes its own base path: under `ctest -j` every TEST runs as
+// a separate concurrent process, so a shared path races.
+std::string current_ckpt_base() {
+  return std::string("/tmp/vqmc_trainer_ckpt_") +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+         ".bin";
+}
+#define kCkptBase current_ckpt_base()
 
 struct CkptCleanup {
   ~CkptCleanup() {
     for (int iter = 0; iter <= 40; ++iter)
       std::remove((std::string(kCkptBase) + ".iter" + std::to_string(iter))
                       .c_str());
-    std::remove(kCkptBase);
+    std::remove(kCkptBase.c_str());
   }
 };
 

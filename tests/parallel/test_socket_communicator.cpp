@@ -1,0 +1,463 @@
+// Tests for the socket-backed multi-process communicator: wire protocol
+// framing, rendezvous, collectives, hierarchical reduction, graceful leave,
+// real process death (fork + SIGKILL) and the shrink-vs-abort policy.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "parallel/process_faults.hpp"
+#include "parallel/socket_communicator.hpp"
+#include "parallel/wire_protocol.hpp"
+
+namespace vqmc::parallel {
+namespace {
+
+std::string fresh_unix_endpoint(const char* tag) {
+  static std::atomic<unsigned> counter{0};
+  const char* tmpdir = std::getenv("TMPDIR");
+  return std::string("unix://") + (tmpdir ? tmpdir : "/tmp") + "/vqmc_test_" +
+         tag + "_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+
+TEST(WireProtocol, FrameRoundTripOverSocketPair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  wire::Socket a(fds[0]);
+  wire::Socket b(fds[1]);
+
+  const std::vector<Real> payload = {1.5, -2.25, 3.0e17, 0.0};
+  std::vector<unsigned char> bytes;
+  wire::encode_reals(bytes, payload.data(), payload.size());
+  ASSERT_TRUE(wire::send_frame(a, wire::FrameType::kContrib, 42, bytes.data(),
+                               bytes.size(), 5.0));
+
+  wire::Frame frame;
+  ASSERT_TRUE(wire::recv_frame(b, frame, 5.0));
+  EXPECT_EQ(frame.type, wire::FrameType::kContrib);
+  EXPECT_EQ(frame.seq, 42u);
+  std::vector<Real> decoded(payload.size());
+  std::size_t offset = 0;
+  wire::decode_reals(frame.payload, offset, decoded.data(), decoded.size());
+  EXPECT_EQ(decoded, payload);
+}
+
+TEST(WireProtocol, EofReportsPeerDeathNotError) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  wire::Socket a(fds[0]);
+  wire::Socket b(fds[1]);
+  a.close();
+  wire::Frame frame;
+  EXPECT_FALSE(wire::recv_frame(b, frame, 5.0));
+}
+
+TEST(WireProtocol, RecvDeadlineThrowsCommTimeout) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  wire::Socket a(fds[0]);
+  wire::Socket b(fds[1]);
+  wire::Frame frame;
+  EXPECT_THROW((void)wire::recv_frame(b, frame, 0.05), CommTimeoutError);
+}
+
+TEST(WireProtocol, CorruptChecksumIsAProtocolError) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  wire::Socket a(fds[0]);
+  wire::Socket b(fds[1]);
+  const double payload = 7.0;
+  ASSERT_TRUE(wire::send_frame(a, wire::FrameType::kContrib, 0, &payload,
+                               sizeof(payload), 5.0));
+  // Flip one payload byte in flight by re-reading raw and rewriting: simpler
+  // here — send a raw garbage frame directly through the fd.
+  a.close();
+  // Read the intact frame first to prove the channel works, then check that
+  // garbage fails loudly rather than decoding to nonsense.
+  wire::Frame frame;
+  ASSERT_TRUE(wire::recv_frame(b, frame, 5.0));
+  EXPECT_EQ(frame.payload.size(), sizeof(payload));
+
+  int fds2[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds2), 0);
+  wire::Socket c(fds2[0]);
+  wire::Socket d(fds2[1]);
+  // Valid header for an 8-byte payload, then garbage payload + checksum.
+  std::vector<unsigned char> raw;
+  const auto put32 = [&raw](std::uint32_t v) {
+    raw.insert(raw.end(), reinterpret_cast<unsigned char*>(&v),
+               reinterpret_cast<unsigned char*>(&v) + 4);
+  };
+  const auto put64 = [&raw](std::uint64_t v) {
+    raw.insert(raw.end(), reinterpret_cast<unsigned char*>(&v),
+               reinterpret_cast<unsigned char*>(&v) + 8);
+  };
+  put32(0x50575156u);  // "VQWP" little-endian
+  put32(std::uint32_t(wire::FrameType::kContrib));
+  put64(0);
+  put64(8);
+  for (int i = 0; i < 16; ++i) raw.push_back(0xAB);  // payload + bad checksum
+  ASSERT_EQ(::send(c.fd(), raw.data(), raw.size(), 0), ssize_t(raw.size()));
+  wire::Frame bad;
+  EXPECT_THROW((void)wire::recv_frame(d, bad, 5.0), Error);
+}
+
+TEST(WireProtocol, ConnectRetriesWithBackoffUntilListenerAppears) {
+  const std::string endpoint = fresh_unix_endpoint("latebind");
+  long long attempts = 0;
+  std::thread late_listener([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    wire::Listener listener = wire::listen_on(endpoint);
+    wire::Socket conn = wire::accept_from(listener.socket, 5.0);
+    wire::Frame frame;
+    (void)wire::recv_frame(conn, frame, 5.0);
+  });
+  wire::Socket conn = wire::connect_to(endpoint, 10.0, /*jitter_seed=*/7,
+                                       &attempts);
+  EXPECT_TRUE(conn.valid());
+  EXPECT_GE(attempts, 1);  // the listener was late, so at least one retry
+  ASSERT_TRUE(wire::send_frame(conn, wire::FrameType::kHello, 0, nullptr, 0,
+                               5.0));
+  late_listener.join();
+}
+
+TEST(WireProtocol, ConnectDeadlineExpiresAsCommTimeout) {
+  const std::string endpoint = fresh_unix_endpoint("nolistener");
+  EXPECT_THROW((void)wire::connect_to(endpoint, 0.2, 1), CommTimeoutError);
+}
+
+// ---------------------------------------------------------------------------
+// Socket group collectives (threads hosting real sockets over loopback)
+
+TEST(SocketCommunicator, AllreduceSumMatchesRankArithmetic) {
+  constexpr int kRanks = 4;
+  run_socket_group(kRanks, [](Communicator& comm) {
+    std::vector<Real> data = {Real(comm.rank() + 1), Real(10 * comm.rank())};
+    comm.allreduce_sum(data);
+    EXPECT_DOUBLE_EQ(data[0], 1 + 2 + 3 + 4);
+    EXPECT_DOUBLE_EQ(data[1], 0 + 10 + 20 + 30);
+  });
+}
+
+TEST(SocketCommunicator, AllreduceMaxAndBroadcastAndBarrier) {
+  run_socket_group(3, [](Communicator& comm) {
+    Real max_value = Real(comm.rank() * comm.rank());
+    max_value = comm.allreduce_max(max_value);
+    EXPECT_DOUBLE_EQ(max_value, 4.0);
+
+    std::vector<Real> payload = {Real(comm.rank()), Real(-comm.rank())};
+    if (comm.rank() == 1) payload = {123.0, -7.5};
+    comm.broadcast(payload, /*root=*/1);
+    EXPECT_DOUBLE_EQ(payload[0], 123.0);
+    EXPECT_DOUBLE_EQ(payload[1], -7.5);
+
+    comm.barrier();  // and the group dissolves cleanly afterwards
+  });
+}
+
+TEST(SocketCommunicator, SingleRankGroupIsSelfContained) {
+  run_socket_group(1, [](Communicator& comm) {
+    EXPECT_EQ(comm.size(), 1);
+    Real value = 5.0;
+    value = comm.allreduce_sum(value);
+    EXPECT_DOUBLE_EQ(value, 5.0);
+    comm.barrier();
+  });
+}
+
+TEST(SocketCommunicator, HierarchicalTreeReducesCorrectlyAndDeterministically) {
+  // node_size 2 over 5 ranks: nodes {0,1}, {2,3}, {4}. Partial folds at the
+  // leaders change the float association relative to the flat star, so the
+  // contract is (a) exact agreement for exactly-representable inputs and
+  // (b) bit-identical results for the *same* topology across runs, even with
+  // order-sensitive inputs.
+  constexpr int kRanks = 5;
+  SocketGroupOptions hier;
+  hier.node_size = 2;
+
+  const std::vector<Real> exact = {0.25, 0.5, 1.0, 2.0, 4.75};
+  run_socket_group(kRanks, [&](Communicator& comm) {
+    std::vector<Real> data = {exact[std::size_t(comm.rank())]};
+    comm.allreduce_sum(data);
+    EXPECT_EQ(data[0], 8.5);
+  }, hier);
+
+  const std::vector<Real> touchy = {0.1, 1e16, 0.2, -1e16, 0.7};
+  std::vector<Real> first(kRanks, 0), second(kRanks, 0);
+  for (std::vector<Real>* out : {&first, &second}) {
+    run_socket_group(kRanks, [&](Communicator& comm) {
+      std::vector<Real> data = {touchy[std::size_t(comm.rank())]};
+      comm.allreduce_sum(data);
+      (*out)[std::size_t(comm.rank())] = data[0];
+    }, hier);
+  }
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(first[std::size_t(r)], second[std::size_t(r)]) << "rank " << r;
+    EXPECT_EQ(first[0], first[std::size_t(r)]) << "rank " << r;
+  }
+}
+
+TEST(SocketCommunicator, GracefulLeaveShrinksDeterministically) {
+  constexpr int kRanks = 4;
+  std::vector<int> live_after(kRanks, -1);
+  run_socket_group(kRanks, [&](Communicator& comm) {
+    Real value = 1.0;
+    value = comm.allreduce_sum(value);
+    EXPECT_DOUBLE_EQ(value, 4.0);
+    if (comm.rank() == 2) {
+      comm.leave();
+      return;
+    }
+    value = 1.0;
+    value = comm.allreduce_sum(value);
+    EXPECT_DOUBLE_EQ(value, 3.0);
+    EXPECT_FALSE(comm.is_alive(2));
+    live_after[std::size_t(comm.rank())] = comm.live_count();
+  });
+  EXPECT_EQ(live_after[0], 3);
+  EXPECT_EQ(live_after[1], 3);
+  EXPECT_EQ(live_after[3], 3);
+}
+
+TEST(SocketCommunicator, LeaderCannotLeave) {
+  SocketGroupOptions options;
+  options.node_size = 2;
+  run_socket_group(4, [](Communicator& comm) {
+    Real value = 1.0;
+    value = comm.allreduce_sum(value);
+    if (comm.rank() == 2) {
+      // Rank 2 leads node {2, 3}: leaving would orphan rank 3.
+      EXPECT_THROW(comm.leave(), Error);
+    }
+    comm.barrier();
+  }, options);
+}
+
+TEST(SocketCommunicator, HungPeerTripsCollectiveDeadlineEverywhere) {
+  SocketGroupOptions options;
+  options.timeout_seconds = 0.3;
+  std::atomic<int> timeouts{0};
+  try {
+    run_socket_group(3, [&](Communicator& comm) {
+      try {
+        if (comm.rank() == 2) {
+          // Silent, connected, not contributing: the deadline is the only
+          // liveness check that can catch this.
+          comm.interruptible_sleep(20.0);
+          return;
+        }
+        Real value = 1.0;
+        value = comm.allreduce_sum(value);
+      } catch (const CommTimeoutError&) {
+        timeouts.fetch_add(1);
+        throw;
+      }
+    }, options);
+    FAIL() << "expected CommTimeoutError to propagate";
+  } catch (const CommTimeoutError&) {
+  }
+  // Both blocked ranks observe the timeout; the sleeper wakes via the abort.
+  EXPECT_GE(timeouts.load(), 2);
+}
+
+TEST(SocketCommunicator, EnvRendezvousMatchesExplicitArguments) {
+  const std::string endpoint = fresh_unix_endpoint("env");
+  ::setenv("VQMC_ENDPOINT", endpoint.c_str(), 1);
+  ::setenv("VQMC_RANKS", "2", 1);
+  std::thread peer([&] {
+    auto comm = connect_socket_group(endpoint, 1, 2);
+    Real value = 10.0;
+    value = comm->allreduce_sum(value);
+    EXPECT_DOUBLE_EQ(value, 11.0);
+  });
+  ::setenv("VQMC_RANK", "0", 1);
+  auto comm = connect_socket_group_from_env();
+  EXPECT_EQ(comm->rank(), 0);
+  EXPECT_EQ(comm->size(), 2);
+  Real value = 1.0;
+  value = comm->allreduce_sum(value);
+  EXPECT_DOUBLE_EQ(value, 11.0);
+  peer.join();
+  ::unsetenv("VQMC_ENDPOINT");
+  ::unsetenv("VQMC_RANK");
+  ::unsetenv("VQMC_RANKS");
+}
+
+// ---------------------------------------------------------------------------
+// Real process death (fork + SIGKILL)
+
+// Forks a child that joins the group as `rank` and runs `child_body`; the
+// parent returns the child pid. The child NEVER returns: it _exit()s (or is
+// killed) so gtest state is not duplicated.
+template <typename Body>
+pid_t fork_rank(Body child_body) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  int status = 0;
+  try {
+    child_body();
+  } catch (...) {
+    status = 1;
+  }
+  ::_exit(status);
+}
+
+TEST(SocketCommunicatorProcess, RealProcessDeathShrinksSurvivors) {
+  const std::string endpoint = fresh_unix_endpoint("death");
+  SocketGroupOptions options;
+  options.timeout_seconds = 5.0;
+
+  // Rank 2 (child process) dies hard after the first collective.
+  const pid_t victim = fork_rank([&] {
+    auto comm = connect_socket_group(endpoint, 2, 3, options);
+    Real value = 1.0;
+    value = comm->allreduce_sum(value);
+    std::raise(SIGKILL);
+  });
+  const pid_t peer = fork_rank([&] {
+    auto comm = connect_socket_group(endpoint, 1, 3, options);
+    Real value = 1.0;
+    value = comm->allreduce_sum(value);
+    if (value != 3.0) ::_exit(2);
+    value = 1.0;
+    value = comm->allreduce_sum(value);
+    if (value != 2.0) ::_exit(3);
+    if (comm->is_alive(2) || comm->live_count() != 2) ::_exit(4);
+    ::_exit(0);
+  });
+
+  auto comm = connect_socket_group(endpoint, 0, 3, options);
+  Real value = 1.0;
+  value = comm->allreduce_sum(value);
+  EXPECT_DOUBLE_EQ(value, 3.0);
+  // Give the kernel a moment to deliver the victim's FIN, then fold it out.
+  int status = 0;
+  ASSERT_EQ(::waitpid(victim, &status, 0), victim);
+  EXPECT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+  value = 1.0;
+  value = comm->allreduce_sum(value);
+  EXPECT_DOUBLE_EQ(value, 2.0);
+  EXPECT_FALSE(comm->is_alive(2));
+  EXPECT_EQ(comm->live_count(), 2);
+  ASSERT_EQ(comm->observed_deaths().size(), 1u);
+  EXPECT_EQ(comm->observed_deaths()[0], 2);
+
+  ASSERT_EQ(::waitpid(peer, &status, 0), peer);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(SocketCommunicatorProcess, AbortPolicyTurnsDeathIntoGroupTimeout) {
+  const std::string endpoint = fresh_unix_endpoint("abortpolicy");
+  SocketGroupOptions options;
+  options.timeout_seconds = 5.0;
+  options.on_peer_death = PeerDeathPolicy::kAbort;
+
+  const pid_t victim = fork_rank([&] {
+    auto comm = connect_socket_group(endpoint, 1, 2, options);
+    Real value = 1.0;
+    value = comm->allreduce_sum(value);
+    std::raise(SIGKILL);
+  });
+
+  auto comm = connect_socket_group(endpoint, 0, 2, options);
+  Real value = 1.0;
+  value = comm->allreduce_sum(value);
+  EXPECT_DOUBLE_EQ(value, 2.0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(victim, &status, 0), victim);
+
+  value = 1.0;
+  EXPECT_THROW(comm->allreduce_sum(std::span<Real>(&value, 1)),
+               CommTimeoutError);
+}
+
+TEST(SocketCommunicatorProcess, ScriptedBoundaryKillViaProcessFaultPlan) {
+  const std::string endpoint = fresh_unix_endpoint("plan");
+  SocketGroupOptions options;
+  options.timeout_seconds = 5.0;
+  const auto plans = parse_process_fault_specs({"kill:rank=1,iter=2"}, 2);
+
+  const pid_t victim = fork_rank([&] {
+    auto comm = connect_socket_group(endpoint, 1, 2, options);
+    for (long long iter = 0;; ++iter) {
+      apply_process_faults_at_iteration(plans[1], iter, *comm);
+      Real value = 1.0;
+      value = comm->allreduce_sum(value);
+    }
+  });
+
+  auto comm = connect_socket_group(endpoint, 0, 2, options);
+  std::vector<Real> history;
+  for (long long iter = 0; iter < 4; ++iter) {
+    Real value = 1.0;
+    value = comm->allreduce_sum(value);
+    history.push_back(value);
+    if (iter == 1) {
+      int status = 0;
+      ASSERT_EQ(::waitpid(victim, &status, 0), victim);
+      ASSERT_TRUE(WIFSIGNALED(status));
+      ASSERT_EQ(WTERMSIG(status), SIGKILL);
+    }
+  }
+  // Iterations 0 and 1 see both ranks; the boundary kill before iteration 2
+  // shrinks every later collective deterministically.
+  const std::vector<Real> expected = {2.0, 2.0, 1.0, 1.0};
+  EXPECT_EQ(history, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Process fault plan parsing
+
+TEST(ProcessFaultPlan, ParsesKillLeaveStopSpecs) {
+  const auto plans = parse_process_fault_specs(
+      {"kill:rank=2,iter=10", "leave:rank=1,iter=4",
+       "stop:rank=3,iter=5,secs=1.5"},
+      4);
+  ASSERT_EQ(plans.size(), 4u);
+  EXPECT_TRUE(plans[0].empty());
+  EXPECT_EQ(plans[1].leave_at_iteration, 4);
+  EXPECT_EQ(plans[2].kill_at_iteration, 10);
+  EXPECT_EQ(plans[3].stop_at_iteration, 5);
+  EXPECT_DOUBLE_EQ(plans[3].stop_seconds, 1.5);
+}
+
+TEST(ProcessFaultPlan, RoundTripsThroughSpecFormat) {
+  ProcessFaultPlan plan;
+  plan.kill_at_iteration = 7;
+  const std::string spec = format_process_fault_spec(plan, 3);
+  int rank = -1;
+  const ProcessFaultPlan parsed = parse_process_fault_spec(spec, 4, &rank);
+  EXPECT_EQ(rank, 3);
+  EXPECT_EQ(parsed.kill_at_iteration, 7);
+}
+
+TEST(ProcessFaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_process_fault_specs({"explode:rank=0,iter=1"}, 2),
+               Error);
+  EXPECT_THROW((void)parse_process_fault_specs({"kill:rank=9,iter=1"}, 2),
+               Error);
+  EXPECT_THROW((void)parse_process_fault_specs({"kill:rank=0"}, 2), Error);
+  EXPECT_THROW((void)parse_process_fault_specs({"kill:rank=0,iter=1,secs=2"},
+                                               2),
+               Error);
+}
+
+}  // namespace
+}  // namespace vqmc::parallel

@@ -1,0 +1,168 @@
+// Edge cases of the thread-backed group machinery: zero/negative deadlines,
+// aborts that land before a rank ever reaches a collective, wakeups that
+// must not complete a phase early, and interruptible_sleep boundaries.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "parallel/thread_communicator.hpp"
+
+namespace vqmc::parallel {
+namespace {
+
+TEST(ThreadCommEdges, ZeroTimeoutMeansNoDeadline) {
+  // timeout_seconds == 0 disables the deadline: a slow rank must NOT abort
+  // the group even when it takes far longer than any default would allow.
+  GroupOptions options;
+  options.timeout_seconds = 0;
+  run_thread_group(2, [](Communicator& comm) {
+    if (comm.rank() == 1)
+      std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    const Real value = comm.allreduce_sum(Real(1));
+    EXPECT_DOUBLE_EQ(value, 2.0);
+  }, options);
+}
+
+TEST(ThreadCommEdges, NegativeTimeoutMeansNoDeadline) {
+  GroupOptions options;
+  options.timeout_seconds = -3.5;
+  run_thread_group(2, [](Communicator& comm) {
+    if (comm.rank() == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    comm.barrier();
+  }, options);
+}
+
+TEST(ThreadCommEdges, AbortBeforePeerEntersCollective) {
+  // Rank 1 fails before rank 0 ever reaches the barrier: the abort must be
+  // observed on *entry* to the collective, not only by ranks already waiting
+  // inside one.
+  std::atomic<bool> rank1_failed{false};
+  try {
+    run_thread_group(2, [&](Communicator& comm) {
+      if (comm.rank() == 1) {
+        rank1_failed.store(true);
+        throw Error("scripted failure before any collective");
+      }
+      while (!rank1_failed.load()) std::this_thread::yield();
+      // Give run_thread_group's catch handler time to mark the abort.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      EXPECT_THROW(comm.barrier(), CommTimeoutError);
+    });
+    FAIL() << "expected the scripted failure to propagate";
+  } catch (const Error& e) {
+    // The non-timeout root cause must win over consequent timeouts.
+    EXPECT_NE(std::string(e.what()).find("scripted failure"),
+              std::string::npos);
+  }
+}
+
+TEST(ThreadCommEdges, LeaveCompletesAPhaseThePeersAlreadyArrivedAt) {
+  // Rank 2 leaves while ranks 0 and 1 are already blocked in the barrier:
+  // the departure must complete the phase (threshold drops to the number of
+  // arrived ranks), not strand them until the deadline.
+  GroupOptions options;
+  options.timeout_seconds = 10.0;  // far above what the test should take
+  Timer timer;
+  run_thread_group(3, [](Communicator& comm) {
+    if (comm.rank() == 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(60));
+      comm.leave();
+      return;
+    }
+    comm.barrier();
+    EXPECT_EQ(comm.live_count(), 2);
+  }, options);
+  EXPECT_LT(timer.seconds(), 5.0);
+}
+
+TEST(ThreadCommEdges, NotifyFromLeaveDoesNotCompleteForeignPhase) {
+  // A leave() wakes every waiter (notify_all). Waiters whose phase is NOT
+  // complete must re-check their predicate and keep waiting — a spurious or
+  // foreign wakeup cannot release a barrier early.
+  GroupOptions options;
+  options.timeout_seconds = 5.0;
+  run_thread_group(4, [](Communicator& comm) {
+    if (comm.rank() == 3) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+      comm.leave();  // wakes ranks 0..2 blocked in the barrier below
+      return;
+    }
+    if (comm.rank() == 2) {
+      // Arrive last among the survivors so the other two must absorb the
+      // leave-notify without completing the phase.
+      std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    }
+    comm.barrier();
+    const Real value = comm.allreduce_sum(Real(1));
+    EXPECT_DOUBLE_EQ(value, 3.0);
+  }, options);
+}
+
+TEST(ThreadCommEdges, InterruptibleSleepZeroAndNegativeReturnImmediately) {
+  run_thread_group(1, [](Communicator& comm) {
+    Timer timer;
+    comm.interruptible_sleep(0.0);
+    comm.interruptible_sleep(-1.0);
+    EXPECT_LT(timer.seconds(), 0.5);
+  });
+}
+
+TEST(ThreadCommEdges, InterruptibleSleepWakesOnGroupAbort) {
+  GroupOptions options;
+  options.timeout_seconds = 0.2;
+  Timer timer;
+  try {
+    run_thread_group(2, [](Communicator& comm) {
+      if (comm.rank() == 1) {
+        comm.interruptible_sleep(30.0);  // must wake when the group aborts
+        return;
+      }
+      (void)comm.allreduce_sum(Real(1));  // times out: peer never joins
+    }, options);
+    FAIL() << "expected CommTimeoutError";
+  } catch (const CommTimeoutError&) {
+  }
+  // Total wall time is deadline + wakeup, nowhere near the 30 s sleep.
+  EXPECT_LT(timer.seconds(), 10.0);
+}
+
+TEST(ThreadCommEdges, CollectiveAfterAbortThrowsImmediately) {
+  GroupOptions options;
+  options.timeout_seconds = 0.2;
+  run_thread_group(2, [](Communicator& comm) {
+    if (comm.rank() == 1) {
+      comm.interruptible_sleep(1.0);  // miss rank 0's collective
+      // The group is aborted by now; every further collective must fail
+      // fast instead of re-arming a deadline.
+      Timer timer;
+      EXPECT_THROW(comm.barrier(), CommTimeoutError);
+      EXPECT_THROW((void)comm.allreduce_sum(Real(1)), CommTimeoutError);
+      EXPECT_LT(timer.seconds(), 1.0);
+      return;
+    }
+    EXPECT_THROW((void)comm.allreduce_sum(Real(1)), CommTimeoutError);
+  }, options);
+}
+
+TEST(ThreadCommEdges, DoubleLeaveIsIdempotent) {
+  run_thread_group(2, [](Communicator& comm) {
+    if (comm.rank() == 1) {
+      comm.leave();
+      comm.leave();  // second call must be a harmless no-op
+      return;
+    }
+    const Real value = comm.allreduce_sum(Real(1));
+    EXPECT_DOUBLE_EQ(value, 1.0);
+    EXPECT_EQ(comm.live_count(), 1);
+  });
+}
+
+}  // namespace
+}  // namespace vqmc::parallel
