@@ -22,6 +22,8 @@
 #include "core/factory.hpp"
 #include "core/reporting.hpp"
 #include "core/trainer.hpp"
+#include "obs/exposition.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/jsonl.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/telemetry.hpp"
@@ -102,6 +104,12 @@ int main(int argc, char** argv) {
                   "append structured JSONL events (one object per line) here");
   opts.add_flag("telemetry-off",
                 "disable all telemetry (metrics, spans) at runtime");
+  opts.add_option("obs-endpoint", "",
+                  "serve live status/metrics scrapes here (unix:///path or "
+                  "tcp://host:port; poll with vqmc_top)");
+  opts.add_option("crash-dir", "",
+                  "write a flight-recorder crash report (JSONL) here on "
+                  "fatal signal or uncaught error");
   try {
     if (!opts.parse(argc, argv)) return 0;
   } catch (const Error& e) {
@@ -111,6 +119,33 @@ int main(int argc, char** argv) {
 
   try {
     if (opts.get_flag("telemetry-off")) telemetry::set_enabled(false);
+    if (!opts.get_string("crash-dir").empty()) {
+      telemetry::FlightRecorder::instance().set_crash_dir(
+          opts.get_string("crash-dir"));
+      telemetry::FlightRecorder::install_crash_signal_handler();
+    }
+    // Live exposition (DESIGN.md §5i): opt-in background scrape server over
+    // the global registry and the flight-recorder ring. Inert (no thread,
+    // no socket) unless --obs-endpoint is given.
+    std::unique_ptr<obs::StatusServer> obs_server;
+    if (!opts.get_string("obs-endpoint").empty()) {
+      obs::StatusServerOptions obs_options;
+      obs_options.endpoint = opts.get_string("obs-endpoint");
+      obs_server = std::make_unique<obs::StatusServer>(obs_options, [] {
+        obs::StatusReport report;
+        report.add_metrics(telemetry::MetricsRegistry::global().snapshot());
+        const telemetry::FlightRecorder& recorder =
+            telemetry::FlightRecorder::instance();
+        telemetry::FlightRecord last;
+        if (recorder.latest(last)) {
+          report.set_field("energy", last.energy);
+          report.set_field("guard_trips", double(last.guard_trips));
+        }
+        report.set_field("iteration_rate", recorder.iteration_rate());
+        return report;
+      });
+      std::cout << "obs endpoint: " << obs_server->endpoint() << "\n";
+    }
     if (!opts.get_string("log-json").empty())
       telemetry::JsonlLogger::instance().open(opts.get_string("log-json"));
     const std::string trace_path = opts.get_string("trace-out");
@@ -227,6 +262,10 @@ int main(int argc, char** argv) {
     }
     telemetry::JsonlLogger::instance().close();
   } catch (const Error& e) {
+    const std::string report =
+        telemetry::FlightRecorder::instance().dump_crash_report(e.what());
+    if (!report.empty())
+      std::cerr << "crash report written to " << report << "\n";
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

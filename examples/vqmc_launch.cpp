@@ -40,9 +40,11 @@
 #include "core/checkpoint.hpp"
 #include "hamiltonian/transverse_field_ising.hpp"
 #include "nn/made.hpp"
+#include "obs/exposition.hpp"
 #include "parallel/distributed_trainer.hpp"
 #include "parallel/process_faults.hpp"
 #include "parallel/socket_communicator.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace {
 
@@ -76,6 +78,8 @@ struct LaunchConfig {
   double rendezvous_timeout_seconds = 30.0;
   PeerDeathPolicy on_peer_death = PeerDeathPolicy::kShrink;
   std::string results_dir;
+  std::string crash_dir;
+  int iteration_delay_ms = 0;
   DistributedConfig training;
   std::size_t n = 16;
 };
@@ -84,6 +88,13 @@ struct LaunchConfig {
 /// summary emission. Never returns to the fork site.
 [[noreturn]] void run_child(const LaunchConfig& launch) {
   try {
+    // Crash evidence (DESIGN.md §5i): the flight-recorder ring dumps here
+    // on fatal signal or group abort, so a SIGKILL'd neighbor's survivors
+    // (and the launcher's fate table) are not the only record of the run.
+    if (!launch.crash_dir.empty()) {
+      telemetry::FlightRecorder::instance().set_crash_dir(launch.crash_dir);
+      telemetry::FlightRecorder::install_crash_signal_handler();
+    }
     SocketGroupOptions options;
     options.timeout_seconds = launch.timeout_seconds;
     options.rendezvous_timeout_seconds = launch.rendezvous_timeout_seconds;
@@ -113,6 +124,10 @@ struct LaunchConfig {
     const DistributedResult result = train_distributed_on(
         hamiltonian, prototype, launch.training, *comm, {},
         [&](long long iteration) {
+          // Optional per-iteration stretch so CI can scrape the run while
+          // it is demonstrably mid-flight.
+          if (launch.iteration_delay_ms > 0)
+            ::usleep(useconds_t(launch.iteration_delay_ms) * 1000);
           apply_process_faults_at_iteration(plan, iteration, *comm);
         });
 
@@ -252,6 +267,16 @@ int main(int argc, char** argv) {
   opts.add_flag("resume", "load <base>.rank<r> and continue bit-identically");
   opts.add_option("results-dir", "",
                   "write per-rank JSON results under this directory");
+  opts.add_option("obs-endpoint", "",
+                  "live status/metrics base endpoint: rank r serves "
+                  "rank_endpoint(base, r); scraping the base pulls the whole "
+                  "group (poll with vqmc_top)");
+  opts.add_option("crash-dir", "",
+                  "write flight-recorder crash reports (JSONL) here on "
+                  "fatal signal or group abort");
+  opts.add_option("iteration-delay-ms", "0",
+                  "sleep this long at the top of every iteration (stretches "
+                  "short runs so they can be scraped mid-flight)");
   if (!opts.parse(argc, argv)) return 0;
 
   LaunchConfig launch;
@@ -285,6 +310,9 @@ int main(int argc, char** argv) {
   launch.training.checkpoint_base = opts.get_string("checkpoint-base");
   launch.training.checkpoint_every = opts.get_int("checkpoint-every");
   launch.training.resume = opts.get_flag("resume");
+  launch.training.obs_endpoint = opts.get_string("obs-endpoint");
+  launch.crash_dir = opts.get_string("crash-dir");
+  launch.iteration_delay_ms = opts.get_int("iteration-delay-ms");
 
   // Validate the fault matrix up front (in the parent, where a bad spec is
   // a clean usage error instead of N confused children) and keep the parsed
@@ -360,6 +388,13 @@ int main(int argc, char** argv) {
 
   if (endpoint.rfind("unix://", 0) == 0)
     ::unlink(endpoint.substr(7).c_str());
+  const std::string obs_base = launch.training.obs_endpoint;
+  if (obs_base.rfind("unix://", 0) == 0) {
+    for (int rank = 0; rank < launch.ranks; ++rank) {
+      const std::string spec = obs::rank_endpoint(obs_base, rank);
+      ::unlink(spec.substr(7).c_str());
+    }
+  }
 
   Table table("vqmc_launch fate matrix (" + std::to_string(launch.ranks) +
               " rank(s), policy " + policy_name + ")");

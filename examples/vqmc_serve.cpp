@@ -19,12 +19,14 @@
 #include <atomic>
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/options.hpp"
 #include "core/checkpoint.hpp"
 #include "nn/made.hpp"
+#include "obs/exposition.hpp"
 #include "rng/distributions.hpp"
 #include "rng/xoshiro.hpp"
 #include "serve/inference_engine.hpp"
@@ -91,6 +93,9 @@ int main(int argc, char** argv) {
   opts.add_option("clients", "4", "closed-loop client threads");
   opts.add_option("requests", "200", "requests per client");
   opts.add_option("rows", "16", "rows per request");
+  opts.add_option("obs-endpoint", "",
+                  "serve live status/metrics scrapes here (unix:///path or "
+                  "tcp://host:port; poll with vqmc_top)");
   opts.add_flag("smoke", "CI smoke: hot-swap under load, strict accounting");
   if (!opts.parse(argc, argv)) return 0;
 
@@ -104,6 +109,24 @@ int main(int argc, char** argv) {
   config.max_pending_rows = std::size_t(opts.get_int("max-pending"));
   serve::InferenceEngine engine(config);
   engine.publish_model(model);
+
+  // Live exposition (DESIGN.md §5i): scrape-on-demand snapshots of the
+  // global metrics registry plus the engine counters.
+  std::unique_ptr<obs::StatusServer> obs_server;
+  if (!opts.get_string("obs-endpoint").empty()) {
+    obs::StatusServerOptions obs_options;
+    obs_options.endpoint = opts.get_string("obs-endpoint");
+    obs_server = std::make_unique<obs::StatusServer>(
+        obs_options, [&engine] {
+          obs::StatusReport report;
+          report.add_metrics(telemetry::MetricsRegistry::global().snapshot());
+          for (const auto& [name, value] :
+               serve::counter_fields(engine.counters()))
+            report.counters.push_back({name, value});
+          return report;
+        });
+    std::cout << "obs endpoint: " << obs_server->endpoint() << "\n";
+  }
 
   const std::size_t clients = std::size_t(opts.get_int("clients"));
   const int requests = opts.get_int("requests");
@@ -170,11 +193,10 @@ int main(int argc, char** argv) {
 
   std::cout << "\n--- results ---\n";
   std::cout << "elapsed: " << elapsed_s << " s\n";
-  std::cout << "engine:  submitted=" << counters.submitted
-            << " completed=" << counters.completed
-            << " failed=" << counters.failed << " shed=" << counters.shed
-            << " batches=" << counters.batches
-            << " publishes=" << counters.publishes << "\n";
+  std::cout << "engine: ";
+  for (const auto& [name, value] : serve::counter_fields(counters))
+    std::cout << ' ' << name << '=' << value;
+  std::cout << "\n";
   std::cout << "clients: ok=" << client_ok << " shed=" << client_shed
             << " failed=" << client_failed << "; versions seen ["
             << (max_version == 0 ? 0 : min_version) << ", " << max_version

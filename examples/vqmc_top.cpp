@@ -1,0 +1,81 @@
+/// \file vqmc_top.cpp
+/// \brief Live terminal view of a running trainer / server: poll an
+/// observability endpoint and render a refreshing per-rank table
+/// (DESIGN.md §5i).
+///
+///   # watch a 4-rank vqmc_launch run
+///   vqmc_top --endpoint unix:///tmp/vqmc_obs.sock
+///
+///   # one scrape, machine formats (CI uses --once)
+///   vqmc_top --endpoint tcp://127.0.0.1:9100 --once --format prom
+///   vqmc_top --endpoint tcp://127.0.0.1:9100 --once --format json
+///
+/// `--format table` (the default) shows per-rank liveness, iteration,
+/// iteration rate, energy, allreduce-wait p50/p99, queue depth and guard
+/// trips — scraped from the aggregating rank, so one endpoint covers the
+/// whole group including ranks that stopped answering.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/options.hpp"
+#include "obs/exposition.hpp"
+
+using namespace vqmc;
+
+int main(int argc, char** argv) {
+  OptionParser opts("vqmc_top",
+                    "poll a vqmc observability endpoint and render a "
+                    "refreshing status table");
+  opts.add_option("endpoint", "",
+                  "endpoint to scrape (unix:///path or tcp://host:port)");
+  opts.add_option("format", "table", "table | json | prom | raw");
+  opts.add_option("interval", "1.0", "refresh interval in seconds");
+  opts.add_option("timeout", "5.0", "per-scrape deadline in seconds");
+  opts.add_flag("once", "scrape once, print, exit (no screen refresh)");
+  try {
+    if (!opts.parse(argc, argv)) return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+
+  const std::string endpoint = opts.get_string("endpoint");
+  if (endpoint.empty()) {
+    std::cerr << "vqmc_top: --endpoint is required\n";
+    return 1;
+  }
+  const std::string format = opts.get_string("format");
+  const bool once = opts.get_flag("once");
+  const double timeout = opts.get_double("timeout");
+  const double interval = opts.get_double("interval");
+  // Refresh with ANSI clear only when actually talking to a terminal;
+  // redirected output degrades to appended frames.
+  const bool clear_screen = !once && ::isatty(STDOUT_FILENO) != 0;
+
+  int consecutive_failures = 0;
+  while (true) {
+    try {
+      const std::string body = obs::fetch_status(endpoint, format, timeout);
+      consecutive_failures = 0;
+      if (clear_screen) std::cout << "\033[H\033[2J";
+      std::cout << body;
+      if (body.empty() || body.back() != '\n') std::cout << '\n';
+      std::cout.flush();
+    } catch (const Error& e) {
+      ++consecutive_failures;
+      std::cerr << "vqmc_top: scrape failed: " << e.what() << "\n";
+      // One shot reports the failure; the watch loop survives a few missed
+      // scrapes (the run may be between iterations or restarting) but
+      // gives up once the endpoint looks gone for good.
+      if (once || consecutive_failures >= 5) return 1;
+    }
+    if (once) return 0;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(long(interval * 1000)));
+  }
+}

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/jsonl.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/tracer.hpp"
@@ -33,6 +34,26 @@ void record_phase_metrics(const PhaseBreakdown& phases) {
   if (phases.checkpoint > 0)
     registry.histogram("phase.checkpoint_seconds")
         .observe(phases.checkpoint);
+}
+
+/// Append this iteration to the crash-evidence ring (DESIGN.md §5i).
+void record_flight(const IterationMetrics& metrics) {
+  if (!telemetry::enabled()) return;
+  telemetry::FlightRecord record;
+  record.iteration = metrics.iteration;
+  record.rank = std::max(0, log_rank());
+  record.live_ranks = 1;
+  record.wall_us = telemetry::now_us();
+  record.energy = double(metrics.energy);
+  record.guard_trips = metrics.guard_trips;
+  record.sample_seconds = metrics.phases.sample;
+  record.local_energy_seconds = metrics.phases.local_energy;
+  record.gradient_seconds = metrics.phases.gradient;
+  record.sr_seconds = metrics.phases.sr_solve;
+  record.allreduce_seconds = metrics.phases.allreduce;
+  record.optimizer_seconds = metrics.phases.optimizer;
+  record.comm_wait_seconds = metrics.phases.allreduce;
+  telemetry::FlightRecorder::instance().record(record);
 }
 
 }  // namespace
@@ -244,6 +265,7 @@ IterationMetrics VqmcTrainer::step() {
   }
   metrics.phases = phases;
   record_phase_metrics(phases);
+  record_flight(metrics);
   // Sink I/O happens after the iteration span closes so it is not charged
   // to iteration wall time; guarded on active() because the field list
   // allocates.

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file exposition.hpp
+/// \brief Live status/metrics exposition over the framed wire protocol
+/// (DESIGN.md §5i).
+///
+/// A `StatusServer` is a background thread bound to a `unix:///tcp://`
+/// endpoint that answers one-shot scrape requests while the process trains
+/// or serves.  The request/reply protocol rides the existing frame format:
+///
+///   * `kMetrics` frame, empty payload  -> reply `kMetrics`, Prometheus text;
+///   * `kStatus` frame, payload one of `json` | `table` | `raw` | `prom`
+///     -> reply `kStatus` in that rendering (`raw` is the line-oriented
+///     `StatusReport` encoding the aggregation pull uses).
+///
+/// Each scrape is collect-on-demand: the server invokes its `StatusProvider`
+/// (a closure over the owning component's registry/engine/recorder) only
+/// when a request arrives, so an idle endpoint costs one parked poll loop
+/// and nothing else, and no endpoint configured costs nothing at all.
+///
+/// Group aggregation (the pull model): every rank runs a StatusServer on
+/// `rank_endpoint(base, r)`; the rank whose options carry `group_base`
+/// (rank 0 in practice) answers a scrape by pulling `raw` snapshots from
+/// every other rank's endpoint and rendering the combined `GroupStatus` —
+/// so one endpoint exposes per-rank allreduce waits, straggler skew, and
+/// live/dead membership.  A rank that cannot be reached within
+/// `pull_deadline_seconds` is reported with `reachable = 0` instead of
+/// failing the scrape (dead ranks are data, not errors).
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "obs/status_report.hpp"
+#include "parallel/wire_protocol.hpp"
+
+namespace vqmc::obs {
+
+/// Builds the calling component's current StatusReport. Invoked from the
+/// server thread on every scrape — must be safe against concurrent training
+/// (MetricsRegistry snapshots and the FlightRecorder already are).
+using StatusProvider = std::function<StatusReport()>;
+
+struct StatusServerOptions {
+  std::string endpoint;  ///< spec to bind (unix:///path or tcp://host:port)
+  int rank = 0;
+  int world = 1;
+  /// Non-empty on the aggregating rank only: the group's base endpoint, from
+  /// which per-rank endpoints derive via rank_endpoint().
+  std::string group_base;
+  double pull_deadline_seconds = 2.0;  ///< per-rank aggregation pull budget
+  double io_deadline_seconds = 5.0;    ///< per-request frame read/write budget
+};
+
+/// Endpoint of rank `rank`'s StatusServer, derived from the group base spec:
+/// rank 0 serves `base` verbatim; `unix:///path` becomes
+/// `unix:///path.r<rank>`; `tcp://host:port` becomes `tcp://host:port+rank`
+/// (explicit ports only — ephemeral port 0 cannot be derived for peers).
+[[nodiscard]] std::string rank_endpoint(const std::string& base, int rank);
+
+/// Background scrape server. Binds in the constructor (throws vqmc::Error if
+/// the endpoint is unusable), serves until stop()/destruction.
+class StatusServer {
+ public:
+  StatusServer(StatusServerOptions options, StatusProvider provider);
+  ~StatusServer();
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  /// Stop serving and join the server thread. Idempotent.
+  void stop();
+
+  /// The bound spec with any kernel-assigned ephemeral port substituted.
+  [[nodiscard]] const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  void serve_loop();
+  [[nodiscard]] GroupStatus collect();
+  [[nodiscard]] std::string render(parallel::wire::FrameType type,
+                                   const std::string& format);
+
+  StatusServerOptions options_;
+  StatusProvider provider_;
+  parallel::wire::Listener listener_;
+  std::string endpoint_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// One-shot scrape client (vqmc_top, aggregation pulls, tests): dial
+/// `endpoint`, request `format` ("prom" | "json" | "table" | "raw"), return
+/// the reply text. Throws vqmc::Error / vqmc::CommTimeoutError on failure.
+[[nodiscard]] std::string fetch_status(const std::string& endpoint,
+                                       const std::string& format,
+                                       double deadline_seconds);
+
+}  // namespace vqmc::obs

@@ -1,0 +1,358 @@
+#include "obs/status_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace vqmc::obs {
+
+namespace {
+
+constexpr const char* kHeader = "vqmc-status 1";
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void emit_json_string(std::ostringstream& oss, const std::string& s) {
+  oss << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': oss << "\\\""; break;
+      case '\\': oss << "\\\\"; break;
+      case '\n': oss << "\\n"; break;
+      case '\r': oss << "\\r"; break;
+      case '\t': oss << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          oss << buf;
+        } else {
+          oss << c;
+        }
+    }
+  }
+  oss << '"';
+}
+
+}  // namespace
+
+void StatusReport::add_metrics(const telemetry::MetricsSnapshot& snapshot) {
+  counters.insert(counters.end(), snapshot.counters.begin(),
+                  snapshot.counters.end());
+  gauges.insert(gauges.end(), snapshot.gauges.begin(), snapshot.gauges.end());
+  histograms.reserve(histograms.size() + snapshot.histograms.size());
+  for (const telemetry::HistogramSnapshot& h : snapshot.histograms)
+    histograms.push_back({h.name, h.count, h.sum, h.p50, h.p95, h.p99});
+}
+
+void StatusReport::set_field(const std::string& name,
+                             const std::string& value) {
+  for (StatusField& f : fields) {
+    if (f.name == name) {
+      f.value = value;
+      return;
+    }
+  }
+  fields.push_back({name, value});
+}
+
+void StatusReport::set_field(const std::string& name, double value) {
+  set_field(name, format_double(value));
+}
+
+std::string StatusReport::field(const std::string& name) const {
+  for (const StatusField& f : fields)
+    if (f.name == name) return f.value;
+  return "";
+}
+
+double StatusReport::field_double(const std::string& name,
+                                  double fallback) const {
+  const std::string v = field(name);
+  if (v.empty()) return fallback;
+  try {
+    return std::stod(v);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+const telemetry::CounterSnapshot* StatusReport::find_counter(
+    const std::string& name) const {
+  for (const telemetry::CounterSnapshot& c : counters)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+const telemetry::GaugeSnapshot* StatusReport::find_gauge(
+    const std::string& name) const {
+  for (const telemetry::GaugeSnapshot& g : gauges)
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+const StatusHistogram* StatusReport::find_histogram(
+    const std::string& name) const {
+  for (const StatusHistogram& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+std::string StatusReport::encode() const {
+  std::ostringstream oss;
+  oss << kHeader << '\n';
+  oss << "field rank " << rank << '\n';
+  oss << "field world " << world << '\n';
+  for (const StatusField& f : fields) {
+    if (f.name == "rank" || f.name == "world") continue;
+    oss << "field " << f.name << ' ' << f.value << '\n';
+  }
+  for (const telemetry::CounterSnapshot& c : counters)
+    oss << "counter " << c.name << ' ' << c.value << '\n';
+  for (const telemetry::GaugeSnapshot& g : gauges)
+    oss << "gauge " << g.name << ' ' << format_double(g.value) << '\n';
+  for (const StatusHistogram& h : histograms) {
+    oss << "hist " << h.name << ' ' << h.count << ' ' << format_double(h.sum)
+        << ' ' << format_double(h.p50) << ' ' << format_double(h.p95) << ' '
+        << format_double(h.p99) << '\n';
+  }
+  oss << "end\n";
+  return oss.str();
+}
+
+std::vector<StatusReport> decode_reports(const std::string& text) {
+  std::vector<StatusReport> reports;
+  std::istringstream lines(text);
+  std::string line;
+  bool in_report = false;
+  StatusReport current;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (!in_report) {
+      VQMC_REQUIRE(line == kHeader,
+                   "status decode: expected '" + std::string(kHeader) +
+                       "', got '" + line + "'");
+      in_report = true;
+      current = StatusReport{};
+      continue;
+    }
+    if (line == "end") {
+      current.rank = int(current.field_double("rank", 0));
+      current.world = int(current.field_double("world", 1));
+      reports.push_back(std::move(current));
+      in_report = false;
+      continue;
+    }
+    std::istringstream parts(line);
+    std::string kind, name;
+    parts >> kind >> name;
+    VQMC_REQUIRE(!name.empty(), "status decode: malformed line '" + line + "'");
+    if (kind == "field") {
+      std::string value;
+      std::getline(parts, value);
+      if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+      current.set_field(name, value);
+    } else if (kind == "counter") {
+      std::uint64_t value = 0;
+      parts >> value;
+      current.counters.push_back({name, value});
+    } else if (kind == "gauge") {
+      double value = 0;
+      parts >> value;
+      current.gauges.push_back({name, value});
+    } else if (kind == "hist") {
+      StatusHistogram h;
+      h.name = name;
+      parts >> h.count >> h.sum >> h.p50 >> h.p95 >> h.p99;
+      current.histograms.push_back(std::move(h));
+    } else {
+      throw Error("status decode: unknown line kind '" + kind + "'");
+    }
+    VQMC_REQUIRE(!parts.fail(), "status decode: malformed line '" + line + "'");
+  }
+  VQMC_REQUIRE(!in_report, "status decode: truncated report (missing 'end')");
+  return reports;
+}
+
+GroupStatus GroupStatus::single(StatusReport report) {
+  GroupStatus group;
+  group.world = report.world;
+  group.reachable.push_back(1);
+  group.ranks.push_back(std::move(report));
+  return group;
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "vqmc_";
+  out.reserve(name.size() + out.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string render_prometheus(const GroupStatus& group) {
+  std::ostringstream oss;
+  oss << "# HELP vqmc_up 1 while the observed process group is serving "
+         "status\n# TYPE vqmc_up gauge\nvqmc_up 1\n";
+  oss << "# HELP vqmc_rank_reachable 1 when the rank's snapshot was pulled "
+         "this scrape\n# TYPE vqmc_rank_reachable gauge\n";
+  for (std::size_t i = 0; i < group.ranks.size(); ++i) {
+    const int reachable = i < group.reachable.size() ? group.reachable[i] : 0;
+    oss << "vqmc_rank_reachable{rank=\"" << group.ranks[i].rank << "\"} "
+        << reachable << '\n';
+  }
+  // One TYPE line per metric name, then every rank's series. Collect names
+  // in first-seen order from reachable ranks (all ranks run the same code,
+  // so rank order == name order).
+  auto each_live = [&](auto&& fn) {
+    for (std::size_t i = 0; i < group.ranks.size(); ++i) {
+      if (i < group.reachable.size() && group.reachable[i] == 0) continue;
+      fn(group.ranks[i]);
+    }
+  };
+  std::vector<std::string> emitted;
+  const auto seen = [&emitted](const std::string& name) {
+    if (std::find(emitted.begin(), emitted.end(), name) != emitted.end())
+      return true;
+    emitted.push_back(name);
+    return false;
+  };
+  each_live([&](const StatusReport& owner) {
+    for (const telemetry::CounterSnapshot& c : owner.counters) {
+      if (seen(c.name)) continue;
+      const std::string prom = prometheus_name(c.name);
+      oss << "# TYPE " << prom << " counter\n";
+      each_live([&](const StatusReport& r) {
+        if (const auto* found = r.find_counter(c.name))
+          oss << prom << "{rank=\"" << r.rank << "\"} " << found->value
+              << '\n';
+      });
+    }
+  });
+  emitted.clear();
+  each_live([&](const StatusReport& owner) {
+    for (const telemetry::GaugeSnapshot& g : owner.gauges) {
+      if (seen(g.name)) continue;
+      const std::string prom = prometheus_name(g.name);
+      oss << "# TYPE " << prom << " gauge\n";
+      each_live([&](const StatusReport& r) {
+        if (const auto* found = r.find_gauge(g.name))
+          oss << prom << "{rank=\"" << r.rank << "\"} "
+              << format_double(found->value) << '\n';
+      });
+    }
+  });
+  emitted.clear();
+  each_live([&](const StatusReport& owner) {
+    for (const StatusHistogram& h : owner.histograms) {
+      if (seen(h.name)) continue;
+      const std::string prom = prometheus_name(h.name);
+      oss << "# TYPE " << prom << " summary\n";
+      each_live([&](const StatusReport& r) {
+        const StatusHistogram* found = r.find_histogram(h.name);
+        if (found == nullptr) return;
+        oss << prom << "{rank=\"" << r.rank << "\",quantile=\"0.5\"} "
+            << format_double(found->p50) << '\n';
+        oss << prom << "{rank=\"" << r.rank << "\",quantile=\"0.95\"} "
+            << format_double(found->p95) << '\n';
+        oss << prom << "{rank=\"" << r.rank << "\",quantile=\"0.99\"} "
+            << format_double(found->p99) << '\n';
+        oss << prom << "_sum{rank=\"" << r.rank << "\"} "
+            << format_double(found->sum) << '\n';
+        oss << prom << "_count{rank=\"" << r.rank << "\"} " << found->count
+            << '\n';
+      });
+    }
+  });
+  return oss.str();
+}
+
+std::string render_json(const GroupStatus& group) {
+  std::ostringstream oss;
+  oss.precision(17);
+  oss << "{\"world\": " << group.world << ", \"ranks\": [";
+  for (std::size_t i = 0; i < group.ranks.size(); ++i) {
+    const StatusReport& r = group.ranks[i];
+    if (i) oss << ", ";
+    oss << "{\"rank\": " << r.rank << ", \"reachable\": "
+        << (i < group.reachable.size() ? group.reachable[i] : 0);
+    oss << ", \"fields\": {";
+    bool first = true;
+    for (const StatusField& f : r.fields) {
+      if (f.name == "rank" || f.name == "world") continue;
+      if (!first) oss << ", ";
+      first = false;
+      emit_json_string(oss, f.name);
+      oss << ": ";
+      emit_json_string(oss, f.value);
+    }
+    oss << "}, \"counters\": {";
+    for (std::size_t c = 0; c < r.counters.size(); ++c) {
+      if (c) oss << ", ";
+      emit_json_string(oss, r.counters[c].name);
+      oss << ": " << r.counters[c].value;
+    }
+    oss << "}, \"gauges\": {";
+    for (std::size_t g = 0; g < r.gauges.size(); ++g) {
+      if (g) oss << ", ";
+      emit_json_string(oss, r.gauges[g].name);
+      oss << ": " << r.gauges[g].value;
+    }
+    oss << "}, \"histograms\": {";
+    for (std::size_t h = 0; h < r.histograms.size(); ++h) {
+      const StatusHistogram& hist = r.histograms[h];
+      if (h) oss << ", ";
+      emit_json_string(oss, hist.name);
+      oss << ": {\"count\": " << hist.count << ", \"sum\": " << hist.sum
+          << ", \"p50\": " << hist.p50 << ", \"p95\": " << hist.p95
+          << ", \"p99\": " << hist.p99 << "}";
+    }
+    oss << "}}";
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+std::string render_table(const GroupStatus& group) {
+  Table table;
+  table.set_header({"rank", "up", "iter", "it/s", "energy", "wait p50 ms",
+                    "wait p99 ms", "queue", "guard"});
+  for (std::size_t i = 0; i < group.ranks.size(); ++i) {
+    const StatusReport& r = group.ranks[i];
+    const bool up = i >= group.reachable.size() || group.reachable[i] != 0;
+    if (!up) {
+      table.add_row({std::to_string(r.rank), "DOWN", "-", "-", "-", "-", "-",
+                     "-", "-"});
+      continue;
+    }
+    const auto* iterations = r.find_counter("trainer.iterations");
+    const auto* wait = r.find_histogram("comm.allreduce_wait_seconds");
+    const auto* queue = r.find_gauge("serve.queue_depth");
+    const auto* trips = r.find_counter("trainer.guard_trips");
+    const std::string energy = r.field("energy");
+    table.add_row({
+        std::to_string(r.rank),
+        "up",
+        iterations != nullptr ? std::to_string(iterations->value) : "-",
+        format_fixed(r.field_double("iteration_rate", 0), 1),
+        energy.empty() ? "-" : format_fixed(r.field_double("energy", 0), 4),
+        wait != nullptr ? format_fixed(wait->p50 * 1e3, 3) : "-",
+        wait != nullptr ? format_fixed(wait->p99 * 1e3, 3) : "-",
+        queue != nullptr ? format_fixed(queue->value, 0) : "-",
+        trips != nullptr ? std::to_string(trips->value) : "-",
+    });
+  }
+  return table.to_string();
+}
+
+}  // namespace vqmc::obs

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file status_report.hpp
+/// \brief Wire-portable status snapshots and their renderers (DESIGN.md §5i).
+///
+/// A `StatusReport` is one rank's observable state at a point in time:
+/// counters/gauges/histogram summaries from its MetricsRegistry, plus
+/// free-form named fields (health/guard state, tracer ring occupancy, serve
+/// engine counters, energy).  Reports cross the wire in a line-oriented text
+/// encoding — `encode()`/`decode_reports()` round-trip exactly — so the
+/// aggregation pull ("raw" format) and every human-facing renderer share one
+/// representation:
+///
+///   vqmc-status 1
+///   field rank 2
+///   field energy -21.948
+///   counter trainer.iterations 500
+///   gauge serve.queue_depth 12
+///   hist comm.allreduce_wait_seconds 500 1.25 0.0021 0.0042 0.0051
+///   end
+///
+/// (`hist` carries count, sum, p50, p95, p99 — bucket arrays stay rank-local;
+/// the summary is what dashboards and `vqmc_top` consume.)
+///
+/// A `GroupStatus` is the aggregated view rank 0 exposes for the whole
+/// group: one report per world slot plus per-rank reachability, rendered as
+/// Prometheus text (`render_prometheus`), JSON (`render_json`), or a
+/// terminal table (`render_table`, the `vqmc_top` view).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics_registry.hpp"
+
+namespace vqmc::obs {
+
+/// Free-form named value (health state, engine counters, rates).
+struct StatusField {
+  std::string name;
+  std::string value;
+};
+
+/// Compact histogram summary (buckets stay rank-local).
+struct StatusHistogram {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+};
+
+/// One rank's observable state at a point in time.
+struct StatusReport {
+  int rank = 0;
+  int world = 1;
+  std::vector<telemetry::CounterSnapshot> counters;
+  std::vector<telemetry::GaugeSnapshot> gauges;
+  std::vector<StatusHistogram> histograms;
+  std::vector<StatusField> fields;
+
+  /// Copy the metrics state out of `snapshot` (histograms compressed to
+  /// count/sum/percentile summaries).
+  void add_metrics(const telemetry::MetricsSnapshot& snapshot);
+
+  /// Set (or overwrite) a free-form field. Names must not contain spaces
+  /// or newlines; values must not contain newlines.
+  void set_field(const std::string& name, const std::string& value);
+  void set_field(const std::string& name, double value);
+
+  /// Field value, or "" when absent.
+  [[nodiscard]] std::string field(const std::string& name) const;
+  /// Field parsed as a double, or `fallback` when absent/non-numeric.
+  [[nodiscard]] double field_double(const std::string& name,
+                                    double fallback = 0) const;
+  [[nodiscard]] const telemetry::CounterSnapshot* find_counter(
+      const std::string& name) const;
+  [[nodiscard]] const telemetry::GaugeSnapshot* find_gauge(
+      const std::string& name) const;
+  [[nodiscard]] const StatusHistogram* find_histogram(
+      const std::string& name) const;
+
+  /// Line-oriented text encoding (schema in the file comment).
+  [[nodiscard]] std::string encode() const;
+};
+
+/// Parse a concatenation of encoded reports ("raw" wire payload). Throws
+/// vqmc::Error on a malformed or version-mismatched payload.
+[[nodiscard]] std::vector<StatusReport> decode_reports(
+    const std::string& text);
+
+/// Whole-group view served from rank 0 (or a single-rank view elsewhere).
+struct GroupStatus {
+  int world = 1;
+  std::vector<StatusReport> ranks;  ///< one entry per world slot, rank order
+  std::vector<int> reachable;       ///< 1 = report is live, 0 = pull failed
+
+  /// Wrap one local report (reachable by construction).
+  [[nodiscard]] static GroupStatus single(StatusReport report);
+};
+
+/// Prometheus text exposition: `vqmc_`-prefixed sanitized metric names,
+/// `rank` labels, histogram summaries as quantile/sum/count series, plus
+/// `vqmc_up` and per-rank `vqmc_rank_reachable`.
+[[nodiscard]] std::string render_prometheus(const GroupStatus& group);
+
+/// JSON: {"world": W, "ranks": [{...}, ...]} with per-rank reachability.
+[[nodiscard]] std::string render_json(const GroupStatus& group);
+
+/// Terminal table, one row per rank: liveness, iteration, rate, energy,
+/// allreduce wait p50/p99, queue depth, guard trips.
+[[nodiscard]] std::string render_table(const GroupStatus& group);
+
+/// `name` sanitized for Prometheus (`[a-zA-Z0-9_:]`, `vqmc_` prefix).
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+}  // namespace vqmc::obs

@@ -14,10 +14,12 @@
 #include "core/estimators.hpp"
 #include "core/local_energy.hpp"
 #include "nn/made.hpp"
+#include "obs/exposition.hpp"
 #include "optim/optimizer.hpp"
 #include "parallel/thread_communicator.hpp"
 #include "rng/splitmix.hpp"
 #include "sampler/autoregressive_sampler.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/jsonl.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/tracer.hpp"
@@ -231,6 +233,46 @@ RankOutcome run_rank(const Hamiltonian& hamiltonian,
   rank_registry.histogram("phase.gradient_seconds");
   rank_registry.histogram("phase.allreduce_seconds");
   rank_registry.histogram("phase.optimizer_seconds");
+  // Gauges ride a trailing allreduce_max (not the additive merge), but the
+  // layout-identical rule is the same — pre-create them all.
+  telemetry::Gauge& iteration_gauge = rank_registry.gauge("trainer.iteration");
+  telemetry::Gauge& live_ranks_gauge = rank_registry.gauge("comm.live_ranks");
+  live_ranks_gauge.set(double(num_ranks));
+
+  // Live exposition (DESIGN.md §5i): a per-rank scrape server over this
+  // rank's private registry + flight-recorder slice. Rank 0 also gets the
+  // group base so one scrape of `config.obs_endpoint` pulls every rank.
+  // Declared before the try so a mid-run abort still answers scrapes until
+  // run_rank unwinds.
+  std::unique_ptr<obs::StatusServer> obs_server;
+  if (!config.obs_endpoint.empty()) {
+    obs::StatusServerOptions obs_options;
+    obs_options.endpoint = obs::rank_endpoint(config.obs_endpoint, rank);
+    obs_options.rank = rank;
+    obs_options.world = num_ranks;
+    if (rank == 0) obs_options.group_base = config.obs_endpoint;
+    obs_server = std::make_unique<obs::StatusServer>(
+        obs_options, [&rank_registry, rank, num_ranks] {
+          obs::StatusReport report;
+          report.add_metrics(rank_registry.snapshot());
+          const telemetry::FlightRecorder& recorder =
+              telemetry::FlightRecorder::instance();
+          telemetry::FlightRecord last;
+          if (recorder.latest(last, rank)) {
+            report.set_field("energy", last.energy);
+            report.set_field("live_ranks", double(last.live_ranks));
+            report.set_field("guard_trips", double(last.guard_trips));
+          }
+          report.set_field("iteration_rate", recorder.iteration_rate(rank));
+          report.set_field("world", double(num_ranks));
+          report.set_field("trace_active",
+                           telemetry::Tracer::instance().active() ? 1.0 : 0.0);
+          report.set_field(
+              "trace_events",
+              double(telemetry::Tracer::instance().events().size()));
+          return report;
+        });
+  }
 
   try {
     for (int iter = start_iteration; iter < config.iterations; ++iter) {
@@ -254,6 +296,7 @@ RankOutcome run_rank(const Hamiltonian& hamiltonian,
       telemetry::set_iteration(iter);
       telemetry::Span iteration_span("iteration");
       rank_registry.counter("trainer.iterations").add();
+      iteration_gauge.set(double(iter));
 
       busy.reset();
       Timer phase_timer;
@@ -261,8 +304,8 @@ RankOutcome run_rank(const Hamiltonian& hamiltonian,
         TELEMETRY_SPAN("sample");
         sampler.sample(batch);
       }
-      rank_registry.histogram("phase.sample_seconds")
-          .observe(phase_timer.seconds());
+      const double sample_seconds = phase_timer.seconds();
+      rank_registry.histogram("phase.sample_seconds").observe(sample_seconds);
       phase_timer.reset();
       std::size_t bad_le = 0;
       {
@@ -343,6 +386,8 @@ RankOutcome run_rank(const Hamiltonian& hamiltonian,
       // through recoveries too.
       bool tripped = false;
       std::string reason;
+      double gradient_seconds = 0;
+      double optimizer_seconds = 0;
       if (bad_energy_ranks > 0) {
         tripped = true;
         reason = "non-finite local energies on " +
@@ -387,8 +432,9 @@ RankOutcome run_rank(const Hamiltonian& hamiltonian,
             grad_ext[d + std::size_t(rank)] = 1;
           }
         }
+        gradient_seconds = phase_timer.seconds();
         rank_registry.histogram("phase.gradient_seconds")
-            .observe(phase_timer.seconds());
+            .observe(gradient_seconds);
         outcome.my_busy_seconds += busy.seconds();
 
         allreduce_timer.reset();
@@ -413,8 +459,9 @@ RankOutcome run_rank(const Hamiltonian& hamiltonian,
             optimizer->step(replica->parameters(),
                             std::span<const Real>(grad_ext.data(), d));
           }
+          optimizer_seconds = phase_timer.seconds();
           rank_registry.histogram("phase.optimizer_seconds")
-              .observe(phase_timer.seconds());
+              .observe(optimizer_seconds);
           outcome.my_busy_seconds += busy.seconds();
         }
       }
@@ -465,6 +512,23 @@ RankOutcome run_rank(const Hamiltonian& hamiltonian,
           .observe(iter_allreduce);
       rank_registry.histogram("phase.allreduce_seconds")
           .observe(iter_allreduce);
+      live_ranks_gauge.set(double(live_ranks));
+      if (telemetry::enabled()) {
+        telemetry::FlightRecord flight;
+        flight.iteration = iter;
+        flight.rank = rank;
+        flight.live_ranks = live_ranks;
+        flight.wall_us = telemetry::now_us();
+        flight.energy = double(global_mean);
+        flight.guard_trips = trips;
+        flight.sample_seconds = sample_seconds;
+        flight.local_energy_seconds = le_seconds;
+        flight.gradient_seconds = gradient_seconds;
+        flight.allreduce_seconds = iter_allreduce;
+        flight.optimizer_seconds = optimizer_seconds;
+        flight.comm_wait_seconds = iter_allreduce;
+        telemetry::FlightRecorder::instance().record(flight);
+      }
       // Sink I/O happens after the iteration span closes so it is not
       // charged to iteration wall time; guarded on active() because the
       // field list allocates.
@@ -546,6 +610,17 @@ RankOutcome run_rank(const Hamiltonian& hamiltonian,
     gathered[2 * std::size_t(num_ranks) + std::size_t(rank)] =
         Real(outcome.my_bad_contributions);
     comm.allreduce_sum(std::span<Real>(gathered.data(), gathered.size()));
+
+    // Gauges merge by max, not sum (summing instantaneous readings across
+    // ranks invents values nobody measured — DESIGN.md §5i). One more
+    // trailing collective, appended last so scripted fault call-indices
+    // stay put.
+    std::vector<Real> gauge_payload = merged.pack_gauges();
+    if (!gauge_payload.empty()) {
+      comm.allreduce_max(
+          std::span<Real>(gauge_payload.data(), gauge_payload.size()));
+      merged.apply_gauge_max(gauge_payload);
+    }
     outcome.busy_seconds_per_rank.resize(std::size_t(num_ranks));
     outcome.allreduce_wait_seconds_per_rank.resize(std::size_t(num_ranks));
     outcome.bad_contributions_per_rank.resize(std::size_t(num_ranks));
@@ -582,6 +657,13 @@ RankOutcome run_rank(const Hamiltonian& hamiltonian,
     // outcome and the shrink itself is detected and reported by the
     // survivors through the liveness flags.
     telemetry::set_iteration(-1);
+  } catch (const Error& e) {
+    // Aborting mid-run (comm timeout, guard Throw, corruption): leave the
+    // flight-recorder evidence behind before unwinding. A no-op unless a
+    // crash dir was configured.
+    telemetry::set_iteration(-1);
+    telemetry::FlightRecorder::instance().dump_crash_report(e.what(), rank);
+    throw;
   }
   return outcome;
 }

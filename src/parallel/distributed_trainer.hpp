@@ -72,6 +72,11 @@ struct DistributedConfig {
   /// run (parameters, optimizer moments, sampler RNG and guard state are all
   /// restored); energy_history slots before the resume point read 0.
   bool resume = false;
+  /// Live observability (DESIGN.md §5i). When non-empty, every rank runs a
+  /// StatusServer on `obs::rank_endpoint(obs_endpoint, rank)` and rank 0
+  /// additionally aggregates the group, so scraping `obs_endpoint` mid-run
+  /// returns per-rank allreduce waits, iteration counters and membership.
+  std::string obs_endpoint;
 };
 
 /// One elastic-shrink event: `rank` was detected dead at `iteration`,

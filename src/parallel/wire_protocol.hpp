@@ -40,6 +40,8 @@ enum class FrameType : std::uint32_t {
   kResult = 4,   ///< root -> leader / leader -> member: folded payload + map
   kLeave = 5,    ///< member -> leader: graceful permanent departure
   kAbort = 6,    ///< root -> everyone: group aborted, reason in payload
+  kStatus = 7,   ///< obs client -> server: status request, format in payload
+  kMetrics = 8,  ///< obs client -> server: Prometheus-text metrics request
 };
 
 /// One decoded frame.

@@ -455,4 +455,17 @@ EngineCounters InferenceEngine::counters() const {
   return counters;
 }
 
+std::vector<std::pair<std::string, std::uint64_t>> counter_fields(
+    const EngineCounters& counters) {
+  return {
+      {"serve.submitted", counters.submitted},
+      {"serve.completed", counters.completed},
+      {"serve.failed", counters.failed},
+      {"serve.shed", counters.shed},
+      {"serve.batches", counters.batches},
+      {"serve.publishes", counters.publishes},
+      {"serve.max_batch_rows", counters.max_batch_rows},
+  };
+}
+
 }  // namespace vqmc::serve

@@ -41,6 +41,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "hamiltonian/hamiltonian.hpp"
@@ -97,6 +98,12 @@ struct EngineCounters {
   std::uint64_t publishes = 0;  ///< snapshot versions published
   std::uint64_t max_batch_rows = 0;  ///< largest micro-batch executed (rows)
 };
+
+/// The counters as stable (name, value) pairs — the single naming authority
+/// for `vqmc_serve --smoke` output and the observability exposition
+/// snapshot (a test pins these names; dashboards depend on them).
+[[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+counter_fields(const EngineCounters& counters);
 
 /// Concurrent inference engine.  Thread-safe: any thread may submit or
 /// publish; worker threads are owned by the engine.

@@ -119,10 +119,67 @@ void MetricsSnapshot::apply_summed(const std::vector<Real>& payload) {
   }
 }
 
+std::vector<Real> MetricsSnapshot::pack_gauges() const {
+  std::vector<Real> payload;
+  payload.reserve(gauges.size());
+  for (const GaugeSnapshot& g : gauges) payload.push_back(Real(g.value));
+  return payload;
+}
+
+void MetricsSnapshot::apply_gauge_max(const std::vector<Real>& payload) {
+  VQMC_REQUIRE(payload.size() == gauges.size(),
+               "gauge merge: payload size mismatch (ranks created "
+               "different gauge sets)");
+  for (std::size_t i = 0; i < gauges.size(); ++i)
+    gauges[i].value = double(payload[i]);
+}
+
+void MetricsSnapshot::merge_from(const MetricsSnapshot& other,
+                                 GaugeMerge gauge_merge) {
+  VQMC_REQUIRE(other.counters.size() == counters.size() &&
+                   other.gauges.size() == gauges.size() &&
+                   other.histograms.size() == histograms.size(),
+               "metrics merge: snapshots hold different instrument sets");
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    VQMC_REQUIRE(counters[i].name == other.counters[i].name,
+                 "metrics merge: counter name mismatch");
+    counters[i].value += other.counters[i].value;
+  }
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    VQMC_REQUIRE(gauges[i].name == other.gauges[i].name,
+                 "metrics merge: gauge name mismatch");
+    switch (gauge_merge) {
+      case GaugeMerge::kLastWrite:
+        gauges[i].value = other.gauges[i].value;
+        break;
+      case GaugeMerge::kMax:
+        gauges[i].value = std::max(gauges[i].value, other.gauges[i].value);
+        break;
+    }
+  }
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    HistogramSnapshot& h = histograms[i];
+    const HistogramSnapshot& o = other.histograms[i];
+    VQMC_REQUIRE(h.name == o.name && h.buckets.size() == o.buckets.size(),
+                 "metrics merge: histogram mismatch");
+    h.count += o.count;
+    h.sum += o.sum;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b)
+      h.buckets[b] += o.buckets[b];
+    h.refresh_percentiles();
+  }
+}
+
 const CounterSnapshot* MetricsSnapshot::find_counter(
     std::string_view name) const {
   for (const CounterSnapshot& c : counters)
     if (c.name == name) return &c;
+  return nullptr;
+}
+
+const GaugeSnapshot* MetricsSnapshot::find_gauge(std::string_view name) const {
+  for (const GaugeSnapshot& g : gauges)
+    if (g.name == name) return &g;
   return nullptr;
 }
 

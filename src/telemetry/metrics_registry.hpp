@@ -135,6 +135,14 @@ struct HistogramSnapshot {
   void refresh_percentiles();
 };
 
+/// How gauges combine across ranks. Counters and histograms are additive;
+/// gauges are instantaneous readings where a sum is meaningless (summing
+/// `serve.queue_depth` over ranks invents load nobody measured).
+enum class GaugeMerge {
+  kLastWrite,  ///< keep the other snapshot's value (most recent observation)
+  kMax,        ///< keep the elementwise maximum (high-water semantics)
+};
+
 /// Point-in-time copy of one registry, additive across ranks.
 struct MetricsSnapshot {
   std::vector<CounterSnapshot> counters;      ///< sorted by name
@@ -153,8 +161,22 @@ struct MetricsSnapshot {
   /// pack_additive after the allreduce) and refresh the percentiles.
   void apply_summed(const std::vector<Real>& payload);
 
+  /// Gauge values in name order (the gauge analogue of pack_additive).
+  /// Layout-identical across ranks that created the same instruments, so an
+  /// allreduce_max over the payload is a cross-rank kMax gauge merge.
+  [[nodiscard]] std::vector<Real> pack_gauges() const;
+
+  /// Replace gauge values with an allreduce_max'd pack_gauges payload.
+  void apply_gauge_max(const std::vector<Real>& payload);
+
+  /// In-process cross-snapshot merge: counters and histogram state add,
+  /// gauges combine per `gauge_merge`. Both snapshots must hold the same
+  /// instrument sets (ranks run the same code). Refreshes percentiles.
+  void merge_from(const MetricsSnapshot& other, GaugeMerge gauge_merge);
+
   [[nodiscard]] const CounterSnapshot* find_counter(
       std::string_view name) const;
+  [[nodiscard]] const GaugeSnapshot* find_gauge(std::string_view name) const;
   [[nodiscard]] const HistogramSnapshot* find_histogram(
       std::string_view name) const;
 

@@ -1,0 +1,187 @@
+/// \file test_status_report.cpp
+/// \brief StatusReport wire encoding round-trip and the three renderers
+/// (DESIGN.md §5i).
+
+#include "obs/status_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "support/mini_json.hpp"
+#include "telemetry/metrics_registry.hpp"
+
+namespace vqmc::obs {
+namespace {
+
+StatusReport sample_report(int rank, int world) {
+  telemetry::MetricsRegistry registry;
+  registry.counter("trainer.iterations").add(500);
+  registry.counter("trainer.guard_trips").add(2);
+  registry.gauge("serve.queue_depth").set(12);
+  for (int i = 0; i < 100; ++i)
+    registry.histogram("comm.allreduce_wait_seconds").observe(2e-3);
+
+  StatusReport report;
+  report.rank = rank;
+  report.world = world;
+  report.add_metrics(registry.snapshot());
+  report.set_field("energy", -21.948);
+  report.set_field("state", "healthy");
+  return report;
+}
+
+TEST(StatusReport, EncodeDecodeRoundTripsExactly) {
+  const StatusReport original = sample_report(2, 4);
+  const std::string text = original.encode();
+  // Header + terminator frame the line-oriented payload.
+  EXPECT_EQ(text.rfind("vqmc-status 1\n", 0), 0u);
+  EXPECT_NE(text.find("\nend\n"), std::string::npos);
+
+  const std::vector<StatusReport> decoded = decode_reports(text);
+  ASSERT_EQ(decoded.size(), 1u);
+  const StatusReport& r = decoded[0];
+  EXPECT_EQ(r.rank, 2);
+  EXPECT_EQ(r.world, 4);
+  ASSERT_NE(r.find_counter("trainer.iterations"), nullptr);
+  EXPECT_EQ(r.find_counter("trainer.iterations")->value, 500u);
+  ASSERT_NE(r.find_gauge("serve.queue_depth"), nullptr);
+  EXPECT_DOUBLE_EQ(r.find_gauge("serve.queue_depth")->value, 12.0);
+  const StatusHistogram* h = r.find_histogram("comm.allreduce_wait_seconds");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 100u);
+  const StatusHistogram* orig =
+      original.find_histogram("comm.allreduce_wait_seconds");
+  EXPECT_DOUBLE_EQ(h->sum, orig->sum);
+  EXPECT_DOUBLE_EQ(h->p50, orig->p50);
+  EXPECT_DOUBLE_EQ(h->p99, orig->p99);
+  EXPECT_EQ(r.field("state"), "healthy");
+  EXPECT_DOUBLE_EQ(r.field_double("energy"), -21.948);
+  EXPECT_EQ(r.field("missing"), "");
+  EXPECT_DOUBLE_EQ(r.field_double("missing", -1.0), -1.0);
+}
+
+TEST(StatusReport, DecodeParsesConcatenatedReports) {
+  const std::string text =
+      sample_report(0, 2).encode() + sample_report(1, 2).encode();
+  const std::vector<StatusReport> decoded = decode_reports(text);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].rank, 0);
+  EXPECT_EQ(decoded[1].rank, 1);
+}
+
+TEST(StatusReport, DecodeRejectsMalformedPayloads) {
+  EXPECT_THROW(decode_reports("not-a-status 1\nend\n"), Error);
+  EXPECT_THROW(decode_reports("vqmc-status 2\nend\n"), Error);
+  // Truncated: no `end` terminator.
+  EXPECT_THROW(decode_reports("vqmc-status 1\nfield rank 0\n"), Error);
+}
+
+TEST(StatusReport, SetFieldOverwritesInPlace) {
+  StatusReport report;
+  report.set_field("energy", 1.0);
+  report.set_field("energy", 2.0);
+  ASSERT_EQ(report.fields.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.field_double("energy"), 2.0);
+}
+
+TEST(PrometheusName, SanitizesAndPrefixes) {
+  EXPECT_EQ(prometheus_name("trainer.iterations"), "vqmc_trainer_iterations");
+  EXPECT_EQ(prometheus_name("comm.allreduce_wait_seconds"),
+            "vqmc_comm_allreduce_wait_seconds");
+  EXPECT_EQ(prometheus_name("weird-name!x"), "vqmc_weird_name_x");
+}
+
+GroupStatus sample_group() {
+  GroupStatus group;
+  group.world = 3;
+  for (int r = 0; r < 3; ++r) {
+    group.ranks.push_back(sample_report(r, 3));
+    group.reachable.push_back(r == 1 ? 0 : 1);
+  }
+  // Rank 1 is a placeholder for an unreachable peer.
+  group.ranks[1] = StatusReport{};
+  group.ranks[1].rank = 1;
+  group.ranks[1].world = 3;
+  return group;
+}
+
+TEST(RenderPrometheus, EmitsWellFormedRankLabeledSeries) {
+  const std::string text = render_prometheus(sample_group());
+  EXPECT_NE(text.find("vqmc_up 1\n"), std::string::npos);
+  EXPECT_NE(text.find("vqmc_rank_reachable{rank=\"0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("vqmc_rank_reachable{rank=\"1\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE vqmc_trainer_iterations counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("vqmc_trainer_iterations{rank=\"0\"} 500"),
+            std::string::npos);
+  EXPECT_NE(text.find("vqmc_trainer_iterations{rank=\"2\"} 500"),
+            std::string::npos);
+  // The unreachable rank contributes no metric series.
+  EXPECT_EQ(text.find("vqmc_trainer_iterations{rank=\"1\"}"),
+            std::string::npos);
+  // Histogram summaries expose quantile series plus _sum/_count.
+  EXPECT_NE(
+      text.find(
+          "vqmc_comm_allreduce_wait_seconds{rank=\"0\",quantile=\"0.99\"}"),
+      std::string::npos);
+  EXPECT_NE(text.find("vqmc_comm_allreduce_wait_seconds_count{rank=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("vqmc_comm_allreduce_wait_seconds_sum{rank=\"0\"}"),
+            std::string::npos);
+  // Every non-comment line is `name{labels} value` or `name value`.
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);  // text ends with a newline
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.rfind("vqmc_", 0), 0u) << line;
+    EXPECT_NO_THROW((void)std::stod(line.substr(space + 1))) << line;
+  }
+}
+
+TEST(RenderJson, ParsesAndCarriesPerRankReachability) {
+  const vqmc::testing::JsonValue doc =
+      vqmc::testing::parse_json(render_json(sample_group()));
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.at("world").number_value, 3.0);
+  const auto& ranks = doc.at("ranks").array_value;
+  ASSERT_EQ(ranks.size(), 3u);
+  EXPECT_DOUBLE_EQ(ranks[0].at("rank").number_value, 0.0);
+  EXPECT_DOUBLE_EQ(ranks[0].at("reachable").number_value, 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1].at("reachable").number_value, 0.0);
+  EXPECT_DOUBLE_EQ(
+      ranks[2].at("counters").at("trainer.iterations").number_value, 500.0);
+}
+
+TEST(RenderTable, OneRowPerRankAndDownMarkers) {
+  const std::string text = render_table(sample_group());
+  // Three data rows plus a header; the dead rank is marked DOWN.
+  EXPECT_NE(text.find("rank"), std::string::npos);
+  EXPECT_NE(text.find("DOWN"), std::string::npos);
+  int lines = 0;
+  for (const char c : text)
+    if (c == '\n') ++lines;
+  EXPECT_GE(lines, 4);
+}
+
+TEST(GroupStatus, SingleWrapsOneReachableReport) {
+  const GroupStatus group = GroupStatus::single(sample_report(0, 1));
+  EXPECT_EQ(group.world, 1);
+  ASSERT_EQ(group.ranks.size(), 1u);
+  ASSERT_EQ(group.reachable.size(), 1u);
+  EXPECT_EQ(group.reachable[0], 1);
+  const std::string prom = render_prometheus(group);
+  EXPECT_NE(prom.find("vqmc_up 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vqmc::obs

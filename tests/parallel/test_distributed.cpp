@@ -70,6 +70,36 @@ TEST(DistributedTrainer, SingleRankMatchesSerialTrainerExactly) {
         << "parameter " << i;
 }
 
+TEST(DistributedTrainer, MergedGaugesTakeTheMaxAcrossRanksNotTheSum) {
+  // Regression for the cross-rank gauge merge: gauges are point-in-time
+  // values and must ride the trailing allreduce_max, never the additive
+  // payload — summing them made a 4-rank run report trainer.iteration as
+  // 4x the true iteration (and comm.live_ranks as ranks^2).
+  const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(6, 2);
+  Made made(6, 8);
+  made.initialize(3);
+  const int iterations = 8;
+  const int ranks = 4;
+  const DistributedResult r =
+      train_distributed(tim, made, small_config(ranks, iterations));
+
+  const telemetry::GaugeSnapshot* iter_gauge =
+      r.merged_metrics.find_gauge("trainer.iteration");
+  ASSERT_NE(iter_gauge, nullptr);
+  EXPECT_DOUBLE_EQ(iter_gauge->value, double(iterations - 1));
+
+  const telemetry::GaugeSnapshot* live_gauge =
+      r.merged_metrics.find_gauge("comm.live_ranks");
+  ASSERT_NE(live_gauge, nullptr);
+  EXPECT_DOUBLE_EQ(live_gauge->value, double(ranks));
+
+  // Counters still sum: every rank contributes its own iteration count.
+  const telemetry::CounterSnapshot* iters =
+      r.merged_metrics.find_counter("trainer.iterations");
+  ASSERT_NE(iters, nullptr);
+  EXPECT_EQ(iters->value, std::uint64_t(ranks) * iterations);
+}
+
 TEST(DistributedTrainer, EnergyDecreasesWithTraining) {
   const TransverseFieldIsing tim = TransverseFieldIsing::random_dense(6, 5);
   Made made(6, 8);

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/local_energy.hpp"
@@ -27,6 +29,53 @@ Matrix random_configs(std::size_t rows, std::size_t n, std::uint64_t seed) {
     for (std::size_t i = 0; i < n; ++i)
       batch(k, i) = rng::bernoulli(gen, 0.5) ? 1 : 0;
   return batch;
+}
+
+TEST(EngineCounters, CounterFieldNamesArePinned) {
+  // counter_fields() is the single naming authority for `vqmc_serve --smoke`
+  // output and the observability exposition snapshot. Renaming or
+  // reordering a field silently breaks dashboards and the CI metrics
+  // checker — this test makes that a visible decision.
+  EngineCounters counters;
+  counters.submitted = 1;
+  counters.completed = 2;
+  counters.failed = 3;
+  counters.shed = 4;
+  counters.batches = 5;
+  counters.publishes = 6;
+  counters.max_batch_rows = 7;
+  const auto fields = counter_fields(counters);
+  const std::vector<std::pair<std::string, std::uint64_t>> expected = {
+      {"serve.submitted", 1},  {"serve.completed", 2}, {"serve.failed", 3},
+      {"serve.shed", 4},       {"serve.batches", 5},   {"serve.publishes", 6},
+      {"serve.max_batch_rows", 7},
+  };
+  ASSERT_EQ(fields.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(fields[i].first, expected[i].first) << "index " << i;
+    EXPECT_EQ(fields[i].second, expected[i].second) << "index " << i;
+  }
+}
+
+TEST(EngineCounters, CounterFieldsTrackTheLiveEngine) {
+  Made made(6, 8);
+  randomize_parameters(made, 3);
+  InferenceEngine engine({.workers = 1});
+  engine.publish_model(made);
+  const Matrix configs = random_configs(4, 6, 5);
+  (void)engine.submit_log_psi(configs).get();
+  const auto fields = counter_fields(engine.counters());
+  auto value_of = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [n, v] : fields)
+      if (n == name) return v;
+    ADD_FAILURE() << "missing field " << name;
+    return 0;
+  };
+  EXPECT_EQ(value_of("serve.submitted"), 1u);
+  EXPECT_EQ(value_of("serve.completed"), 1u);
+  EXPECT_EQ(value_of("serve.publishes"), 1u);
+  EXPECT_GE(value_of("serve.batches"), 1u);
+  EXPECT_GE(value_of("serve.max_batch_rows"), 4u);
 }
 
 TEST(InferenceEngine, LogPsiMatchesModelBitForBit) {

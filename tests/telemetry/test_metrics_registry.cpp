@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <thread>
 #include <vector>
@@ -154,6 +155,97 @@ TEST(MetricsSnapshot, PackApplySummedMergesTwoRanks) {
   // Merged percentiles see both modes: p50 fast, p95 slow.
   EXPECT_NEAR(wait->p50, 1e-3, 1e-3 * kQuantileTolerance);
   EXPECT_NEAR(wait->p95, 1.0, 1.0 * kQuantileTolerance);
+}
+
+TEST(MetricsSnapshot, AdditivePayloadExcludesGauges) {
+  // Regression: gauges are point-in-time values, not additive tallies. The
+  // old cross-rank merge summed them through pack_additive, so a 4-rank
+  // group reported trainer.iteration = 4 * iter. They must stay out of the
+  // additive payload entirely.
+  MetricsRegistry registry;
+  registry.counter("c").add(1);
+  registry.gauge("trainer.iteration").set(500);
+  registry.histogram("h").observe(0.5);
+  MetricsSnapshot snap = registry.snapshot();
+  const std::vector<Real> additive = snap.pack_additive();
+  std::vector<Real> doubled = additive;
+  for (Real& v : doubled) v += v;
+  snap.apply_summed(doubled);
+  const GaugeSnapshot* g = snap.find_gauge("trainer.iteration");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->value, 500.0);  // untouched by the additive merge
+  EXPECT_EQ(snap.find_counter("c")->value, 2u);
+}
+
+TEST(MetricsSnapshot, PackApplyGaugeMaxMergesCrossRank) {
+  // The distributed gauge merge: element-wise max over the packed gauge
+  // vectors (a trailing allreduce_max in train_distributed).
+  MetricsRegistry rank0;
+  MetricsRegistry rank1;
+  for (MetricsRegistry* r : {&rank0, &rank1}) {
+    r->gauge("comm.live_ranks");
+    r->gauge("trainer.iteration");
+  }
+  rank0.gauge("trainer.iteration").set(41);
+  rank1.gauge("trainer.iteration").set(42);  // straggler-free rank is ahead
+  rank0.gauge("comm.live_ranks").set(4);
+  rank1.gauge("comm.live_ranks").set(3);
+
+  MetricsSnapshot merged = rank0.snapshot();
+  std::vector<Real> payload = merged.pack_gauges();
+  const std::vector<Real> other = rank1.snapshot().pack_gauges();
+  ASSERT_EQ(payload.size(), 2u);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = std::max(payload[i], other[i]);
+  merged.apply_gauge_max(payload);
+
+  EXPECT_DOUBLE_EQ(merged.find_gauge("trainer.iteration")->value, 42.0);
+  EXPECT_DOUBLE_EQ(merged.find_gauge("comm.live_ranks")->value, 4.0);
+}
+
+TEST(MetricsSnapshot, ApplyGaugeMaxRejectsMismatchedPayload) {
+  MetricsRegistry registry;
+  registry.gauge("g");
+  MetricsSnapshot snap = registry.snapshot();
+  EXPECT_THROW(snap.apply_gauge_max(std::vector<Real>(2, Real(0))), Error);
+}
+
+TEST(MetricsSnapshot, MergeFromHonorsTheGaugeMergePolicy) {
+  MetricsRegistry mine;
+  MetricsRegistry theirs;
+  for (MetricsRegistry* r : {&mine, &theirs}) {
+    r->counter("iters");
+    r->gauge("queue");
+    r->histogram("wait");
+  }
+  mine.counter("iters").add(3);
+  theirs.counter("iters").add(4);
+  mine.gauge("queue").set(10);
+  theirs.gauge("queue").set(7);
+  mine.histogram("wait").observe(1e-3);
+  theirs.histogram("wait").observe(1.0);
+
+  MetricsSnapshot last_write = mine.snapshot();
+  last_write.merge_from(theirs.snapshot(), GaugeMerge::kLastWrite);
+  EXPECT_EQ(last_write.find_counter("iters")->value, 7u);
+  EXPECT_DOUBLE_EQ(last_write.find_gauge("queue")->value, 7.0);
+  EXPECT_EQ(last_write.find_histogram("wait")->count, 2u);
+
+  MetricsSnapshot max_merge = mine.snapshot();
+  max_merge.merge_from(theirs.snapshot(), GaugeMerge::kMax);
+  EXPECT_EQ(max_merge.find_counter("iters")->value, 7u);
+  EXPECT_DOUBLE_EQ(max_merge.find_gauge("queue")->value, 10.0);
+  EXPECT_NEAR(max_merge.find_histogram("wait")->sum, 1.001, 1e-9);
+}
+
+TEST(MetricsSnapshot, MergeFromRejectsMismatchedInstrumentSets) {
+  MetricsRegistry mine;
+  MetricsRegistry theirs;
+  mine.counter("a");
+  theirs.counter("b");
+  MetricsSnapshot snap = mine.snapshot();
+  EXPECT_THROW(snap.merge_from(theirs.snapshot(), GaugeMerge::kLastWrite),
+               Error);
 }
 
 TEST(MetricsSnapshot, ApplySummedRejectsMismatchedPayload) {

@@ -2,40 +2,15 @@
 
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <cstdlib>
-#include <new>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/logging.hpp"
+#include "support/alloc_count.hpp"
 #include "support/mini_json.hpp"
 #include "telemetry/telemetry.hpp"
-
-// ---------------------------------------------------------------------------
-// Allocation counting for the disabled-mode zero-allocation test. The
-// replacement operator new/delete pair counts every heap allocation made by
-// this binary; the test asserts the count does not move across inactive
-// spans.
-namespace {
-std::atomic<std::uint64_t> g_allocations{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-
-void* operator new[](std::size_t size) { return ::operator new(size); }
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-// ---------------------------------------------------------------------------
 
 namespace vqmc::telemetry {
 namespace {
@@ -184,11 +159,11 @@ TEST_F(TracerTest, InactiveSpansAllocateNothing) {
   Tracer::instance().stop();
   // Warm up any lazily-created thread state before counting.
   { TELEMETRY_SPAN("warmup"); }
-  const std::uint64_t before = g_allocations.load();
+  const std::uint64_t before = vqmc::testing::allocation_count();
   for (int i = 0; i < 1000; ++i) {
     TELEMETRY_SPAN("inactive");
   }
-  const std::uint64_t after = g_allocations.load();
+  const std::uint64_t after = vqmc::testing::allocation_count();
   EXPECT_EQ(after, before);
 }
 
@@ -196,11 +171,11 @@ TEST_F(TracerTest, RuntimeDisabledSpansAllocateNothingEvenWhenActive) {
   Tracer::instance().start();
   set_enabled(false);
   { TELEMETRY_SPAN("warmup"); }
-  const std::uint64_t before = g_allocations.load();
+  const std::uint64_t before = vqmc::testing::allocation_count();
   for (int i = 0; i < 1000; ++i) {
     TELEMETRY_SPAN("disabled");
   }
-  const std::uint64_t after = g_allocations.load();
+  const std::uint64_t after = vqmc::testing::allocation_count();
   set_enabled(true);
   Tracer::instance().stop();
   EXPECT_EQ(after, before);

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text scraped from a vqmc observability endpoint.
+
+Checks (in order):
+  1. Every non-comment line is ``name value`` or ``name{labels} value`` with
+     a ``vqmc_``-prefixed metric name and a parseable float value; label
+     strings are well-formed (``key="value"`` pairs).
+  2. ``vqmc_up`` is present and equals 1.
+  3. With ``--ranks R``: ``vqmc_rank_reachable{rank="r"}`` exists for every
+     rank 0..R-1, and at least ``--min-reachable`` of them are 1 (default:
+     all of them).
+  4. Every metric family named in ``--require`` has a series for every
+     *reachable* rank (per-rank series carry ``rank="r"`` labels).
+  5. Every ``# TYPE`` comment names a family that actually emits samples.
+
+Usage:
+  python3 tools/check_metrics.py scrape.prom --ranks 4 \
+      --require vqmc_trainer_iterations,vqmc_comm_allreduce_wait_seconds
+
+Exits 0 on success, 1 with a diagnostic on the first failed check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"$')
+
+
+def fail(message: str) -> None:
+    print(f"check_metrics: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_labels(raw: str | None) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    if not raw:
+        return labels
+    for pair in raw.split(","):
+        if not LABEL_RE.match(pair):
+            fail(f"malformed label pair '{pair}'")
+        key, value = pair.split("=", 1)
+        labels[key] = value.strip('"')
+    return labels
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("scrape", help="Prometheus text file to validate")
+    parser.add_argument(
+        "--ranks",
+        type=int,
+        default=0,
+        help="require rank_reachable series for ranks 0..R-1 (0 = skip)",
+    )
+    parser.add_argument(
+        "--min-reachable",
+        type=int,
+        default=-1,
+        help="minimum ranks that must be reachable (-1 = all of --ranks)",
+    )
+    parser.add_argument(
+        "--require",
+        default=(
+            "vqmc_trainer_iterations,vqmc_trainer_iteration,"
+            "vqmc_comm_live_ranks,vqmc_comm_allreduce_wait_seconds_count"
+        ),
+        help="comma-separated metric families that must have per-rank series",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.scrape, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        fail(f"cannot read {args.scrape}: {exc}")
+    if not text.strip():
+        fail("scrape is empty")
+
+    # 1. Line grammar; collect samples as (name, labels, value).
+    samples: list[tuple[str, dict[str, str], float]] = []
+    typed_families: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                typed_families.add(parts[2])
+            continue
+        match = SAMPLE_RE.match(line)
+        if not match:
+            fail(f"line {lineno} is not a valid sample: '{line}'")
+        name = match.group("name")
+        if not name.startswith("vqmc_"):
+            fail(f"line {lineno}: metric '{name}' lacks the vqmc_ prefix")
+        labels = parse_labels(match.group("labels"))
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            fail(f"line {lineno}: unparseable value '{match.group('value')}'")
+        samples.append((name, labels, value))
+    if not samples:
+        fail("no samples in scrape")
+
+    # 2. vqmc_up == 1.
+    up = [v for (n, _, v) in samples if n == "vqmc_up"]
+    if not up:
+        fail("vqmc_up missing")
+    if up[0] != 1:
+        fail(f"vqmc_up = {up[0]} (expected 1)")
+
+    # 3. Per-rank reachability.
+    reachable_ranks: set[int] = set()
+    if args.ranks > 0:
+        reachability = {
+            int(labels["rank"]): value
+            for (name, labels, value) in samples
+            if name == "vqmc_rank_reachable" and "rank" in labels
+        }
+        missing = [r for r in range(args.ranks) if r not in reachability]
+        if missing:
+            fail(f"vqmc_rank_reachable missing for ranks {missing}")
+        reachable_ranks = {r for r, v in reachability.items() if v == 1}
+        need = args.ranks if args.min_reachable < 0 else args.min_reachable
+        if len(reachable_ranks) < need:
+            fail(
+                f"only {sorted(reachable_ranks)} reachable "
+                f"(need >= {need} of {args.ranks})"
+            )
+
+    # 4. Required families have a series for every reachable rank.
+    required = [f for f in args.require.split(",") if f]
+    for family in required:
+        ranks_seen = {
+            int(labels["rank"])
+            for (name, labels, _) in samples
+            if name == family and "rank" in labels
+        }
+        if not ranks_seen:
+            fail(f"required family '{family}' has no rank-labeled series")
+        missing = sorted(reachable_ranks - ranks_seen)
+        if missing:
+            fail(f"family '{family}' missing series for ranks {missing}")
+
+    # 5. No dangling TYPE comments.
+    sample_names = {name for (name, _, _) in samples}
+    dangling = [
+        family
+        for family in sorted(typed_families)
+        if not any(
+            n == family or n.startswith(family + "_") for n in sample_names
+        )
+    ]
+    if dangling:
+        fail(f"TYPE declared but no samples emitted: {dangling}")
+
+    print(
+        f"check_metrics: OK: {len(samples)} samples, "
+        f"{len(sample_names)} series names, "
+        f"{len(reachable_ranks) if args.ranks else 'n/a'} reachable ranks"
+    )
+
+
+if __name__ == "__main__":
+    main()
