@@ -1,23 +1,37 @@
 /// \file vqmc_serve.cpp
 /// \brief Serving quickstart: load a MADE checkpoint (or random-initialize
-/// one), publish it to a serve::InferenceEngine, and drive it with an
-/// in-process closed-loop load generator.
+/// one), publish a fleet of models to one serve::InferenceEngine, and drive
+/// it with an in-process multi-tenant closed-loop load generator.
 ///
 /// Normal mode prints throughput and end-to-end latency percentiles from
-/// the telemetry registry.  `--smoke` is the CI serving smoke test: it
-/// publishes a second snapshot version mid-load and exits nonzero unless
-/// (a) every admitted request was fulfilled (zero dropped-but-unreported:
-/// submitted == completed + failed after drain), (b) every response is
-/// attributable to one of the published versions, and (c) the final
-/// published version won.
+/// the telemetry registry; `--models N` spreads the clients over N
+/// independently hot-swappable models on the one shared worker pool, and
+/// `--quota-rate/--quota-burst` put a token-bucket quota on the load
+/// generator's tenant.
+///
+/// `--smoke` is the CI serving smoke test: a 2-model fleet and three
+/// tenants — "alice" (interactive lane, unlimited), "bob" (batch lane,
+/// unlimited) and "mallory" (batch lane, burst-only quota that must
+/// produce deterministic ServeQuotaError rejections).  Both models are
+/// hot-swapped mid-load.  The process exits nonzero unless (a) every model
+/// individually satisfies submitted == completed + failed after drain,
+/// (b) every response is attributable to a published version of its model
+/// and the final version won on both, (c) mallory was quota-rejected and
+/// nobody else was, and (d) the global accounting closes exactly.
+///
+/// `--scrape-out FILE` (with `--obs-endpoint`) self-scrapes the Prometheus
+/// rendering after drain and writes it to FILE, so CI can validate the
+/// labeled per-model/per-tenant families with tools/check_metrics.py.
 ///
 /// Examples:
 ///   vqmc_serve --spins 64 --clients 4 --requests 200
-///   vqmc_serve --checkpoint run.ckpt --window-us 500 --batch-rows 128
-///   vqmc_serve --smoke
+///   vqmc_serve --models 4 --clients 8 --window-us 500 --batch-rows 128
+///   vqmc_serve --smoke --obs-endpoint unix:///tmp/serve.sock \
+///       --scrape-out serve.prom
 
 #include <atomic>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <thread>
@@ -67,6 +81,7 @@ void perturb(Made& model, std::uint64_t seed) {
 struct ClientTally {
   std::uint64_t ok = 0;
   std::uint64_t shed = 0;
+  std::uint64_t quota = 0;
   std::uint64_t failed = 0;
   std::uint64_t min_version = UINT64_MAX;
   std::uint64_t max_version = 0;
@@ -77,29 +92,46 @@ struct ClientTally {
   }
 };
 
+std::string model_name(std::size_t index) {
+  return "m" + std::to_string(index);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   OptionParser opts("vqmc_serve",
-                    "serve a MADE wavefunction to an in-process load "
-                    "generator (quickstart + CI smoke test)");
+                    "serve a fleet of MADE wavefunctions to an in-process "
+                    "multi-tenant load generator (quickstart + CI smoke)");
   opts.add_option("checkpoint", "", "training checkpoint to serve");
   opts.add_option("spins", "64", "spin count when random-initializing");
   opts.add_option("hidden", "0", "hidden width (0 = paper default)");
-  opts.add_option("workers", "2", "engine worker threads");
+  opts.add_option("workers", "2", "engine worker threads (shared pool)");
   opts.add_option("batch-rows", "64", "micro-batch row budget");
   opts.add_option("window-us", "200", "batching window (microseconds)");
   opts.add_option("max-pending", "4096", "admission bound (rows)");
+  opts.add_option("models", "1", "fleet size (models named m0..mN-1)");
   opts.add_option("clients", "4", "closed-loop client threads");
   opts.add_option("requests", "200", "requests per client");
   opts.add_option("rows", "16", "rows per request");
+  opts.add_option("tenant", "", "tenant id for the load clients");
+  opts.add_option("quota-rate", "0",
+                  "tenant quota: sustained rows/s (0 = no refill)");
+  opts.add_option("quota-burst", "0",
+                  "tenant quota: burst rows (0 = unlimited tenant)");
   opts.add_option("obs-endpoint", "",
                   "serve live status/metrics scrapes here (unix:///path or "
                   "tcp://host:port; poll with vqmc_top)");
-  opts.add_flag("smoke", "CI smoke: hot-swap under load, strict accounting");
+  opts.add_option("scrape-out", "",
+                  "after drain, self-scrape the obs endpoint's Prometheus "
+                  "rendering into this file");
+  opts.add_flag("smoke",
+                "CI smoke: 2-model fleet, 3 tenants, hot-swap + quota "
+                "rejections under load, strict per-model accounting");
   if (!opts.parse(argc, argv)) return 0;
 
   const bool smoke = opts.get_flag("smoke");
+  const std::size_t models =
+      smoke ? 2 : std::max(1, opts.get_int("models"));
   Made model = make_model(opts);
 
   serve::ServeConfig config;
@@ -107,11 +139,26 @@ int main(int argc, char** argv) {
   config.max_batch_rows = std::size_t(opts.get_int("batch-rows"));
   config.max_wait_us = opts.get_double("window-us");
   config.max_pending_rows = std::size_t(opts.get_int("max-pending"));
+  const std::string cli_tenant = opts.get_string("tenant");
+  if (smoke) {
+    // Burst-only budget: 64 rows ever, no refill — mallory's rejections
+    // below are deterministic.
+    config.tenant_quotas["mallory"] = serve::TenantQuota{0, 64};
+  } else if (!cli_tenant.empty() && opts.get_double("quota-burst") > 0) {
+    config.tenant_quotas[cli_tenant] = serve::TenantQuota{
+        opts.get_double("quota-rate"), opts.get_double("quota-burst")};
+  }
   serve::InferenceEngine engine(config);
-  engine.publish_model(model);
+  for (std::size_t m = 0; m < models; ++m) {
+    // Distinct weights per model: responses are attributable per chain.
+    Made variant = model;
+    if (m > 0) perturb(variant, 100 + m);
+    engine.publish_model(model_name(m), variant);
+  }
 
   // Live exposition (DESIGN.md §5i): scrape-on-demand snapshots of the
-  // global metrics registry plus the engine counters.
+  // global metrics registry plus the engine-wide and labeled per-model /
+  // per-tenant counter families.
   std::unique_ptr<obs::StatusServer> obs_server;
   if (!opts.get_string("obs-endpoint").empty()) {
     obs::StatusServerOptions obs_options;
@@ -123,6 +170,8 @@ int main(int argc, char** argv) {
           for (const auto& [name, value] :
                serve::counter_fields(engine.counters()))
             report.counters.push_back({name, value});
+          for (const auto& [name, value] : engine.fleet_counter_fields())
+            report.counters.push_back({name, value});
           return report;
         });
     std::cout << "obs endpoint: " << obs_server->endpoint() << "\n";
@@ -132,31 +181,48 @@ int main(int argc, char** argv) {
   const int requests = opts.get_int("requests");
   const std::size_t rows = std::size_t(opts.get_int("rows"));
 
-  std::cout << "serving with " << config.workers << " workers, batch budget "
-            << config.max_batch_rows << " rows, window " << config.max_wait_us
-            << " us; load: " << clients << " clients x " << requests
-            << " requests x " << rows << " rows\n";
+  std::cout << "serving " << models << " model(s) with " << config.workers
+            << " shared workers, batch budget " << config.max_batch_rows
+            << " rows, window " << config.max_wait_us << " us; load: "
+            << clients << " clients x " << requests << " requests x " << rows
+            << " rows\n";
 
   // Closed-loop load generator: each client alternates sample-n requests
   // with log-psi evaluations of the samples it just received — the typical
-  // measurement loop of a downstream consumer.
+  // measurement loop of a downstream consumer.  Clients round-robin over
+  // the fleet; lanes and tenants depend on the mode (smoke pins alice to
+  // the interactive lane and bob to the batch lane).
   std::vector<ClientTally> tallies(clients);
   const double start_us = telemetry::now_us();
   std::vector<std::thread> threads;
-  threads.reserve(clients);
+  threads.reserve(clients + 1);
   for (std::size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       ClientTally& tally = tallies[c];
+      serve::RequestOptions options;
+      options.model = model_name(c % models);
+      if (smoke) {
+        options.tenant = c % 2 == 0 ? "alice" : "bob";
+        options.priority = c % 2 == 0 ? serve::Priority::kInteractive
+                                      : serve::Priority::kBatch;
+      } else {
+        options.tenant = cli_tenant;  // "" = engine default tenant
+        options.priority = c % 2 == 0 ? serve::Priority::kInteractive
+                                      : serve::Priority::kBatch;
+      }
       for (int r = 0; r < requests; ++r) {
         const std::uint64_t seed = 10'000 * (c + 1) + std::uint64_t(r);
         try {
           serve::SampleResult sampled =
-              engine.submit_sample(rows, seed).get();
+              engine.submit_sample(rows, seed, options).get();
           tally.saw_version(sampled.model_version);
           const serve::EvalResult eval =
-              engine.submit_log_psi(std::move(sampled.samples)).get();
+              engine.submit_log_psi(std::move(sampled.samples), options)
+                  .get();
           tally.saw_version(eval.model_version);
           tally.ok += 2;
+        } catch (const serve::ServeQuotaError&) {
+          ++tally.quota;  // rejected synchronously: nothing outstanding
         } catch (const serve::ServeOverloadError&) {
           ++tally.shed;  // reported synchronously: nothing outstanding
         } catch (const serve::ServeError&) {
@@ -166,12 +232,50 @@ int main(int argc, char** argv) {
     });
   }
 
-  // Hot-swap under load: publish a second version while clients run.
-  std::uint64_t last_version = 1;
+  // Smoke: a greedy quota-limited tenant.  mallory's 100 single-row sample
+  // requests run against a never-refilling 64-row bucket — exactly 64 admit
+  // and 36 come back as ServeQuotaError (overload shedding, were it ever to
+  // happen, consumes no tokens and is accounted separately).
+  ClientTally mallory;
+  constexpr int kMalloryRequests = 100;
+  if (smoke) {
+    threads.emplace_back([&] {
+      serve::RequestOptions options;
+      options.model = model_name(0);
+      options.tenant = "mallory";
+      options.priority = serve::Priority::kBatch;
+      std::vector<std::future<serve::SampleResult>> futures;
+      for (int r = 0; r < kMalloryRequests; ++r) {
+        try {
+          futures.push_back(
+              engine.submit_sample(1, 777'000 + std::uint64_t(r), options));
+        } catch (const serve::ServeQuotaError&) {
+          ++mallory.quota;
+        } catch (const serve::ServeOverloadError&) {
+          ++mallory.shed;
+        }
+      }
+      for (auto& future : futures) {
+        try {
+          mallory.saw_version(future.get().model_version);
+          ++mallory.ok;
+        } catch (const serve::ServeError&) {
+          ++mallory.failed;
+        }
+      }
+    });
+  }
+
+  // Hot-swap under load: publish a second version of every model while the
+  // clients run.
+  std::vector<std::uint64_t> last_versions(models, 1);
   if (smoke || clients > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(smoke ? 5 : 20));
-    perturb(model, 11);
-    last_version = engine.publish_model(model);
+    for (std::size_t m = 0; m < models; ++m) {
+      Made variant = model;
+      perturb(variant, 200 + m);
+      last_versions[m] = engine.publish_model(model_name(m), variant);
+    }
   }
 
   for (auto& thread : threads) thread.join();
@@ -179,11 +283,15 @@ int main(int argc, char** argv) {
   const double elapsed_s = (telemetry::now_us() - start_us) * 1e-6;
 
   const serve::EngineCounters counters = engine.counters();
-  std::uint64_t client_ok = 0, client_shed = 0, client_failed = 0;
-  std::uint64_t min_version = UINT64_MAX, max_version = 0;
+  std::uint64_t client_ok = mallory.ok, client_shed = mallory.shed;
+  std::uint64_t client_quota = mallory.quota,
+                client_failed = mallory.failed;
+  std::uint64_t min_version = mallory.min_version,
+                max_version = mallory.max_version;
   for (const ClientTally& tally : tallies) {
     client_ok += tally.ok;
     client_shed += tally.shed;
+    client_quota += tally.quota;
     client_failed += tally.failed;
     if (tally.max_version > 0) {
       min_version = std::min(min_version, tally.min_version);
@@ -197,10 +305,22 @@ int main(int argc, char** argv) {
   for (const auto& [name, value] : serve::counter_fields(counters))
     std::cout << ' ' << name << '=' << value;
   std::cout << "\n";
+  for (const auto& [name, model_c] : engine.model_counters()) {
+    std::cout << "model " << name << ": submitted=" << model_c.submitted
+              << " completed=" << model_c.completed
+              << " failed=" << model_c.failed << " batches=" << model_c.batches
+              << " version=" << model_c.version << "\n";
+  }
+  for (const auto& [name, tenant_c] : engine.tenant_counters()) {
+    std::cout << "tenant " << name << ": submitted=" << tenant_c.submitted
+              << " completed=" << tenant_c.completed
+              << " failed=" << tenant_c.failed << " shed=" << tenant_c.shed
+              << " quota_rejected=" << tenant_c.quota_rejected << "\n";
+  }
   std::cout << "clients: ok=" << client_ok << " shed=" << client_shed
-            << " failed=" << client_failed << "; versions seen ["
-            << (max_version == 0 ? 0 : min_version) << ", " << max_version
-            << "]\n";
+            << " quota=" << client_quota << " failed=" << client_failed
+            << "; versions seen [" << (max_version == 0 ? 0 : min_version)
+            << ", " << max_version << "]\n";
   if (counters.completed > 0) {
     std::cout << "throughput: " << double(counters.completed) / elapsed_s
               << " responses/s, "
@@ -219,12 +339,33 @@ int main(int argc, char** argv) {
               << " rows, p95 " << occupancy->p95 << "\n";
   }
 
+  // Self-scrape: pull the Prometheus rendering off our own obs endpoint so
+  // CI can validate the labeled serve families with check_metrics.py.
+  const std::string scrape_out = opts.get_string("scrape-out");
+  if (!scrape_out.empty()) {
+    if (obs_server == nullptr) {
+      std::cerr << "--scrape-out requires --obs-endpoint\n";
+      return 1;
+    }
+    const std::string prom =
+        obs::fetch_status(obs_server->endpoint(), "prom", 5.0);
+    std::ofstream out(scrape_out);
+    out << prom;
+    if (!out) {
+      std::cerr << "failed to write scrape to '" << scrape_out << "'\n";
+      return 1;
+    }
+    std::cout << "wrote Prometheus scrape to " << scrape_out << " ("
+              << prom.size() << " bytes)\n";
+  }
+
   if (smoke) {
-    // Zero dropped-but-unreported: every admitted request resolved, every
-    // client-side outcome is accounted, responses only ever cite published
-    // versions, and the hot-swap won.
+    // Zero dropped-but-unreported, per model and globally: every admitted
+    // request resolved, every client-side outcome is accounted, responses
+    // only ever cite published versions of their model, the hot-swap won on
+    // every chain, and only the quota-limited tenant was quota-rejected.
     bool ok = true;
-    const auto check = [&](bool condition, const char* what) {
+    const auto check = [&](bool condition, const std::string& what) {
       if (!condition) {
         std::cerr << "SMOKE FAILURE: " << what << "\n";
         ok = false;
@@ -235,11 +376,34 @@ int main(int argc, char** argv) {
     check(client_ok + client_failed == counters.completed + counters.failed,
           "client-observed outcomes do not match engine accounting");
     check(client_shed == counters.shed, "shed count mismatch");
-    check(counters.publishes == 2, "expected exactly two published versions");
-    check(max_version <= last_version && (max_version == 0 || min_version >= 1),
+    check(client_quota == counters.quota_rejected,
+          "quota rejection count mismatch");
+    const auto model_counters = engine.model_counters();
+    check(model_counters.size() == models, "model registry size mismatch");
+    for (const auto& [name, model_c] : model_counters) {
+      check(model_c.submitted == model_c.completed + model_c.failed,
+            "model " + name + ": submitted != completed + failed");
+      check(model_c.publishes == 2,
+            "model " + name + ": expected exactly two published versions");
+      check(model_c.version == 2,
+            "model " + name + ": hot-swapped version is not current");
+    }
+    check(counters.publishes == 2 * models,
+          "engine publish count != 2 per model");
+    for (const auto& [name, tenant_c] : engine.tenant_counters()) {
+      if (name == "mallory") {
+        check(tenant_c.quota_rejected > 0,
+              "mallory was never quota-rejected");
+        check(tenant_c.submitted + tenant_c.quota_rejected + tenant_c.shed ==
+                  kMalloryRequests,
+              "mallory attempt accounting does not close");
+      } else {
+        check(tenant_c.quota_rejected == 0,
+              "unlimited tenant " + name + " was quota-rejected");
+      }
+    }
+    check(max_version <= 2 && (max_version == 0 || min_version >= 1),
           "response cites a never-published version");
-    check(engine.current_version() == last_version,
-          "hot-swapped version is not current");
     std::cout << (ok ? "SMOKE OK\n" : "SMOKE FAILED\n");
     return ok ? 0 : 1;
   }

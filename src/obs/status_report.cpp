@@ -189,6 +189,15 @@ GroupStatus GroupStatus::single(StatusReport report) {
   return group;
 }
 
+SplitMetricName split_metric_name(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos || name.empty() || name.back() != '}') {
+    return {name, ""};
+  }
+  return {name.substr(0, brace),
+          name.substr(brace + 1, name.size() - brace - 2)};
+}
+
 std::string prometheus_name(const std::string& name) {
   std::string out = "vqmc_";
   out.reserve(name.size() + out.size());
@@ -211,9 +220,10 @@ std::string render_prometheus(const GroupStatus& group) {
     oss << "vqmc_rank_reachable{rank=\"" << group.ranks[i].rank << "\"} "
         << reachable << '\n';
   }
-  // One TYPE line per metric name, then every rank's series. Collect names
-  // in first-seen order from reachable ranks (all ranks run the same code,
-  // so rank order == name order).
+  // One TYPE line per *family* (labeled registry names such as
+  // `serve.model.submitted{model="m0"}` fold into one family per base
+  // name), then every series of that family across every reachable rank.
+  // Families and series keep first-seen order.
   auto each_live = [&](auto&& fn) {
     for (std::size_t i = 0; i < group.ranks.size(); ++i) {
       if (i < group.reachable.size() && group.reachable[i] == 0) continue;
@@ -227,51 +237,94 @@ std::string render_prometheus(const GroupStatus& group) {
     emitted.push_back(name);
     return false;
   };
+  // Registry names (across all live ranks, deduplicated, first-seen order)
+  // whose base maps to the Prometheus family `prom`.
+  const auto family_members = [&](const std::string& prom,
+                                  auto&& names_of) {
+    std::vector<std::string> members;
+    each_live([&](const StatusReport& r) {
+      names_of(r, [&](const std::string& name) {
+        if (prometheus_name(split_metric_name(name).base) != prom) return;
+        if (std::find(members.begin(), members.end(), name) != members.end())
+          return;
+        members.push_back(name);
+      });
+    });
+    return members;
+  };
+  // Series label block: the rank label merged with the labels embedded in
+  // the registry name, plus any trailing extras (histogram quantiles).
+  const auto series_labels = [](int rank, const std::string& embedded,
+                                const std::string& extra = "") {
+    std::string out = "{rank=\"" + std::to_string(rank) + "\"";
+    if (!embedded.empty()) out += "," + embedded;
+    if (!extra.empty()) out += "," + extra;
+    out += "}";
+    return out;
+  };
+  const auto counter_names = [](const StatusReport& r, auto&& fn) {
+    for (const telemetry::CounterSnapshot& c : r.counters) fn(c.name);
+  };
+  const auto gauge_names = [](const StatusReport& r, auto&& fn) {
+    for (const telemetry::GaugeSnapshot& g : r.gauges) fn(g.name);
+  };
+  const auto histogram_names = [](const StatusReport& r, auto&& fn) {
+    for (const StatusHistogram& h : r.histograms) fn(h.name);
+  };
   each_live([&](const StatusReport& owner) {
     for (const telemetry::CounterSnapshot& c : owner.counters) {
-      if (seen(c.name)) continue;
-      const std::string prom = prometheus_name(c.name);
+      const std::string prom = prometheus_name(split_metric_name(c.name).base);
+      if (seen(prom)) continue;
       oss << "# TYPE " << prom << " counter\n";
-      each_live([&](const StatusReport& r) {
-        if (const auto* found = r.find_counter(c.name))
-          oss << prom << "{rank=\"" << r.rank << "\"} " << found->value
-              << '\n';
-      });
+      for (const std::string& name : family_members(prom, counter_names)) {
+        const std::string labels = split_metric_name(name).labels;
+        each_live([&](const StatusReport& r) {
+          if (const auto* found = r.find_counter(name))
+            oss << prom << series_labels(r.rank, labels) << ' '
+                << found->value << '\n';
+        });
+      }
     }
   });
   emitted.clear();
   each_live([&](const StatusReport& owner) {
     for (const telemetry::GaugeSnapshot& g : owner.gauges) {
-      if (seen(g.name)) continue;
-      const std::string prom = prometheus_name(g.name);
+      const std::string prom = prometheus_name(split_metric_name(g.name).base);
+      if (seen(prom)) continue;
       oss << "# TYPE " << prom << " gauge\n";
-      each_live([&](const StatusReport& r) {
-        if (const auto* found = r.find_gauge(g.name))
-          oss << prom << "{rank=\"" << r.rank << "\"} "
-              << format_double(found->value) << '\n';
-      });
+      for (const std::string& name : family_members(prom, gauge_names)) {
+        const std::string labels = split_metric_name(name).labels;
+        each_live([&](const StatusReport& r) {
+          if (const auto* found = r.find_gauge(name))
+            oss << prom << series_labels(r.rank, labels) << ' '
+                << format_double(found->value) << '\n';
+        });
+      }
     }
   });
   emitted.clear();
   each_live([&](const StatusReport& owner) {
     for (const StatusHistogram& h : owner.histograms) {
-      if (seen(h.name)) continue;
-      const std::string prom = prometheus_name(h.name);
+      const std::string prom = prometheus_name(split_metric_name(h.name).base);
+      if (seen(prom)) continue;
       oss << "# TYPE " << prom << " summary\n";
-      each_live([&](const StatusReport& r) {
-        const StatusHistogram* found = r.find_histogram(h.name);
-        if (found == nullptr) return;
-        oss << prom << "{rank=\"" << r.rank << "\",quantile=\"0.5\"} "
-            << format_double(found->p50) << '\n';
-        oss << prom << "{rank=\"" << r.rank << "\",quantile=\"0.95\"} "
-            << format_double(found->p95) << '\n';
-        oss << prom << "{rank=\"" << r.rank << "\",quantile=\"0.99\"} "
-            << format_double(found->p99) << '\n';
-        oss << prom << "_sum{rank=\"" << r.rank << "\"} "
-            << format_double(found->sum) << '\n';
-        oss << prom << "_count{rank=\"" << r.rank << "\"} " << found->count
-            << '\n';
-      });
+      for (const std::string& name : family_members(prom, histogram_names)) {
+        const std::string labels = split_metric_name(name).labels;
+        each_live([&](const StatusReport& r) {
+          const StatusHistogram* found = r.find_histogram(name);
+          if (found == nullptr) return;
+          oss << prom << series_labels(r.rank, labels, "quantile=\"0.5\"")
+              << ' ' << format_double(found->p50) << '\n';
+          oss << prom << series_labels(r.rank, labels, "quantile=\"0.95\"")
+              << ' ' << format_double(found->p95) << '\n';
+          oss << prom << series_labels(r.rank, labels, "quantile=\"0.99\"")
+              << ' ' << format_double(found->p99) << '\n';
+          oss << prom << "_sum" << series_labels(r.rank, labels) << ' '
+              << format_double(found->sum) << '\n';
+          oss << prom << "_count" << series_labels(r.rank, labels) << ' '
+              << found->count << '\n';
+        });
+      }
     }
   });
   return oss.str();

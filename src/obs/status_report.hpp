@@ -113,4 +113,16 @@ struct GroupStatus {
 /// `name` sanitized for Prometheus (`[a-zA-Z0-9_:]`, `vqmc_` prefix).
 [[nodiscard]] std::string prometheus_name(const std::string& name);
 
+/// A registry metric name split into its base family and the label body
+/// carried inside the name (see telemetry::labeled_name):
+/// `a{k="v",k2="v2"}` -> {base: "a", labels: `k="v",k2="v2"`}; an unlabeled
+/// name comes back with an empty label body.  render_prometheus uses this
+/// to fold per-model / per-tenant serve series into one labeled family
+/// (single TYPE line; `rank` label merged with the embedded labels).
+struct SplitMetricName {
+  std::string base;
+  std::string labels;
+};
+[[nodiscard]] SplitMetricName split_metric_name(const std::string& name);
+
 }  // namespace vqmc::obs

@@ -4,11 +4,20 @@
 /// \brief Typed error hierarchy of the vqmc::serve subsystem.
 ///
 /// Callers of the inference engine need to distinguish *why* a request
-/// failed: overload shedding is retryable-with-backoff, a missed deadline
-/// means the caller's latency budget (not the engine) is at fault, and a
-/// shutdown rejection is terminal.  Snapshot-interop failures (loading a
-/// checkpoint written for a different architecture) get their own type so a
-/// serving process can refuse a bad model push without tearing down.
+/// failed: overload shedding is retryable-with-backoff, a quota rejection
+/// means *this tenant* must slow down (retrying sooner than the bucket
+/// refills is pointless and other tenants are unaffected), a missed
+/// deadline means the caller's latency budget (not the engine) is at
+/// fault, and a shutdown rejection is terminal.  Snapshot-interop failures
+/// (loading a checkpoint written for a different architecture) get their
+/// own type so a serving process can refuse a bad model push without
+/// tearing down.
+///
+/// Rejection messages are actionable by contract: overload reports the
+/// tripped limit, the current depth and the tenant; quota rejections
+/// report the tenant, its rate/burst budget and the rows available.  A
+/// test pins those fields — an operator reading a client-side error log
+/// must be able to tell *which* knob to turn.
 
 #include "common/error.hpp"
 
@@ -27,6 +36,16 @@ class ServeError : public Error {
 class ServeOverloadError : public ServeError {
  public:
   explicit ServeOverloadError(const std::string& what) : ServeError(what) {}
+};
+
+/// Admission control rejected the request because the *tenant's*
+/// token-bucket quota (SchedulerConfig::tenant_quotas) is exhausted —
+/// distinct from ServeOverloadError: the engine has capacity, this tenant
+/// has spent its budget.  Thrown synchronously from submit_*; nothing is
+/// enqueued and no tokens are consumed.
+class ServeQuotaError : public ServeError {
+ public:
+  explicit ServeQuotaError(const std::string& what) : ServeError(what) {}
 };
 
 /// The engine is shutting down (or already shut down) and no longer admits

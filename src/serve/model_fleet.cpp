@@ -1,0 +1,65 @@
+#include "serve/model_fleet.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace vqmc::serve {
+
+std::uint64_t FleetModel::publish(
+    std::shared_ptr<const ModelSnapshot> snapshot) {
+  VQMC_REQUIRE(snapshot != nullptr,
+               "serve: cannot publish a null snapshot to model '" + name_ +
+                   "'");
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  const auto previous = published_.load(std::memory_order_acquire);
+  if (previous != nullptr &&
+      previous->snapshot->num_spins() != snapshot->num_spins()) {
+    throw SnapshotMismatchError(
+        "serve: model '" + name_ + "' was published with " +
+        std::to_string(snapshot->num_spins()) + " spins but its version " +
+        std::to_string(previous->version) + " served " +
+        std::to_string(previous->snapshot->num_spins()) +
+        " — a hot-swap may retune weights, not change the problem size");
+  }
+  const std::uint64_t version = previous == nullptr ? 1 : previous->version + 1;
+  published_.store(std::make_shared<const PublishedModel>(
+                       PublishedModel{version, std::move(snapshot)}),
+                   std::memory_order_release);
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  return version;
+}
+
+std::uint64_t FleetModel::current_version() const {
+  const auto published = published_.load(std::memory_order_acquire);
+  return published == nullptr ? 0 : published->version;
+}
+
+FleetModel& ModelFleet::ensure(const std::string& name) {
+  VQMC_REQUIRE(!name.empty(), "serve: model name must not be empty");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = models_[name];
+  if (slot == nullptr) slot = std::make_unique<FleetModel>(name);
+  return *slot;
+}
+
+const FleetModel* ModelFleet::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ModelFleet::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, model] : models_) names.push_back(name);
+  return names;
+}
+
+std::size_t ModelFleet::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return models_.size();
+}
+
+}  // namespace vqmc::serve

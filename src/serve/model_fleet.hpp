@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file model_fleet.hpp
+/// \brief Registry of named, independently hot-swappable model chains
+/// (DESIGN.md §5j).
+///
+/// Serve v1 hosted exactly one model per engine; a sweep of per-instance
+/// ansatz snapshots (e.g. one MADE per Max-Cut instance) therefore needed
+/// one engine — and one worker pool — per model.  A `ModelFleet` lifts the
+/// single `atomic<shared_ptr>` hot-swap chain (§5e) into a registry: each
+/// named model owns its own published-version chain with its own monotone
+/// version counter and its own problem-size pin, all served by one shared
+/// worker pool.
+///
+/// Concurrency contract:
+///   * `FleetModel` addresses are stable for the fleet's lifetime (models
+///     are never erased), so the engine and scheduler key queues by
+///     `FleetModel*`.
+///   * `FleetModel::publish` is serialized per model by a small mutex (the
+///     version check-then-assign must be atomic against a racing publish),
+///     while `current()` stays a lock-free atomic shared_ptr load — the
+///     request hot path never touches the publish mutex.
+///   * `ensure()` takes the registry mutex only on the publish/registration
+///     path; workers resolve models once at admission and never look them
+///     up again.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/model_snapshot.hpp"
+
+namespace vqmc::serve {
+
+/// One model's published snapshot at a point in time: the immutable
+/// snapshot plus its model-scoped monotone version.
+struct PublishedModel {
+  std::uint64_t version = 0;
+  std::shared_ptr<const ModelSnapshot> snapshot;
+};
+
+/// One named, hot-swappable model chain.  Obtained from ModelFleet::ensure;
+/// the address is stable for the fleet's lifetime.
+class FleetModel {
+ public:
+  explicit FleetModel(std::string name) : name_(std::move(name)) {}
+  FleetModel(const FleetModel&) = delete;
+  FleetModel& operator=(const FleetModel&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Install `snapshot` as this model's current version (first publish is
+  /// version 1).  Throws SnapshotMismatchError when the spin count differs
+  /// from the versions this model has served — a hot-swap may retune
+  /// weights, not change the problem (other fleet models are free to serve
+  /// other sizes).
+  std::uint64_t publish(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// Lock-free load of the current version (nullptr before first publish).
+  [[nodiscard]] std::shared_ptr<const PublishedModel> current() const {
+    return published_.load(std::memory_order_acquire);
+  }
+  /// Version of the current snapshot (0 before first publish).
+  [[nodiscard]] std::uint64_t current_version() const;
+  /// Monotone count of publishes to this model.
+  [[nodiscard]] std::uint64_t publishes() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  std::atomic<std::shared_ptr<const PublishedModel>> published_;
+  std::atomic<std::uint64_t> publishes_{0};
+  std::mutex publish_mutex_;  ///< serializes check-then-assign in publish()
+};
+
+/// Registry of named model chains (see file comment).  Thread-safe.
+class ModelFleet {
+ public:
+  ModelFleet() = default;
+  ModelFleet(const ModelFleet&) = delete;
+  ModelFleet& operator=(const ModelFleet&) = delete;
+
+  /// The chain named `name`, created empty on first use.  The returned
+  /// reference stays valid for the fleet's lifetime.
+  FleetModel& ensure(const std::string& name);
+
+  /// The chain named `name`, or nullptr when it was never registered.
+  [[nodiscard]] const FleetModel* find(const std::string& name) const;
+
+  /// Registered model names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<FleetModel>> models_;
+};
+
+}  // namespace vqmc::serve

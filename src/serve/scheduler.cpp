@@ -1,0 +1,180 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vqmc::serve {
+
+namespace {
+
+/// EDF position: strict weak order on (deadline, arrival sequence).
+bool edf_before(const std::unique_ptr<QueuedRequest>& a,
+                const std::unique_ptr<QueuedRequest>& b) {
+  if (a->deadline_us != b->deadline_us)
+    return a->deadline_us < b->deadline_us;
+  return a->seq < b->seq;
+}
+
+}  // namespace
+
+const char* priority_name(Priority priority) {
+  return priority == Priority::kInteractive ? "interactive" : "batch";
+}
+
+ServeScheduler::ServeScheduler(SchedulerConfig config)
+    : config_(std::move(config)) {
+  VQMC_REQUIRE(config_.interactive_weight >= 1,
+               "scheduler: interactive lane weight must be >= 1");
+  VQMC_REQUIRE(config_.batch_weight >= 1,
+               "scheduler: batch lane weight must be >= 1 (a zero weight "
+               "would starve bulk traffic)");
+  for (const auto& [tenant, quota] : config_.tenant_quotas) {
+    VQMC_REQUIRE(quota.burst_rows >= 1,
+                 "scheduler: tenant '" + tenant +
+                     "' has a burst budget below one row");
+    VQMC_REQUIRE(quota.rows_per_second >= 0,
+                 "scheduler: tenant '" + tenant + "' has a negative rate");
+    buckets_[tenant] = Bucket{quota, quota.burst_rows, 0};
+  }
+}
+
+QuotaDecision ServeScheduler::try_admit(const std::string& tenant,
+                                        std::size_t rows, double now_us) {
+  const auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) return {};  // unlimited tenant
+  Bucket& bucket = it->second;
+  if (bucket.quota.rows_per_second > 0 && now_us > bucket.last_refill_us) {
+    bucket.tokens =
+        std::min(bucket.quota.burst_rows,
+                 bucket.tokens + (now_us - bucket.last_refill_us) * 1e-6 *
+                                     bucket.quota.rows_per_second);
+  }
+  bucket.last_refill_us = now_us;
+  QuotaDecision decision;
+  decision.available_rows = bucket.tokens;
+  decision.quota = &bucket.quota;
+  decision.admitted = bucket.tokens >= double(rows);
+  if (decision.admitted) bucket.tokens -= double(rows);
+  return decision;
+}
+
+void ServeScheduler::enqueue(std::unique_ptr<QueuedRequest> request) {
+  VQMC_REQUIRE(request != nullptr && request->rows > 0,
+               "scheduler: cannot enqueue an empty request");
+  request->seq = next_seq_++;
+  Group& group = groups_[GroupKey{request->model, request->kind}];
+  auto& lane = group.lanes[std::size_t(request->priority)];
+  queued_rows_ += request->rows;
+  lane.insert(std::upper_bound(lane.begin(), lane.end(), request, edf_before),
+              std::move(request));
+}
+
+std::size_t ServeScheduler::take_from_lane(Group& group, Priority lane_id,
+                                           BatchPlan& plan,
+                                           std::size_t max_rows,
+                                           bool allow_oversized) {
+  auto& lane = group.lanes[std::size_t(lane_id)];
+  std::size_t taken = 0;
+  std::size_t consumed = 0;
+  for (auto& slot : lane) {
+    const bool fits = plan.rows + slot->rows <= max_rows;
+    // An oversized head may open a batch alone; otherwise EDF order is
+    // never bypassed — a head that does not fit blocks the lane.
+    if (!fits && !(allow_oversized && plan.empty())) break;
+    plan.rows += slot->rows;
+    taken += slot->rows;
+    plan.oldest_enqueue_us = std::min(plan.oldest_enqueue_us,
+                                      slot->enqueue_us);
+    plan.earliest_deadline_us =
+        std::min(plan.earliest_deadline_us, slot->deadline_us);
+    plan.requests.push_back(std::move(slot));
+    ++consumed;
+    if (plan.rows >= max_rows) break;
+  }
+  lane.erase(lane.begin(), lane.begin() + std::ptrdiff_t(consumed));
+  queued_rows_ -= taken;
+  return taken;
+}
+
+void ServeScheduler::erase_if_empty(const GroupKey& key) {
+  const auto it = groups_.find(key);
+  if (it != groups_.end() && it->second.empty()) groups_.erase(it);
+}
+
+BatchPlan ServeScheduler::open_batch(std::size_t max_rows) {
+  BatchPlan plan;
+  if (queued_rows_ == 0) return plan;
+
+  // Weighted round-robin lane choice: positions [0, interactive_weight) of
+  // the cursor cycle schedule the interactive lane, the rest the batch
+  // lane.  The cursor advances on every opened batch regardless of which
+  // lane actually served it, so with both lanes backlogged the batch lane
+  // is guaranteed its weight share and can never be starved.
+  const std::size_t cycle = config_.interactive_weight + config_.batch_weight;
+  const Priority scheduled = lane_cursor_ % cycle < config_.interactive_weight
+                                 ? Priority::kInteractive
+                                 : Priority::kBatch;
+  lane_cursor_ = (lane_cursor_ + 1) % cycle;
+
+  // Within the chosen lane, pick the (model, kind) group whose head is most
+  // urgent: earliest deadline, then earliest arrival.  Fall back to the
+  // other lane when the scheduled one is empty everywhere.
+  const auto pick = [this](Priority lane_id) -> Group* {
+    Group* best = nullptr;
+    const QueuedRequest* best_head = nullptr;
+    for (auto& [key, group] : groups_) {
+      const auto& lane = group.lanes[std::size_t(lane_id)];
+      if (lane.empty()) continue;
+      const QueuedRequest* head = lane.front().get();
+      if (best_head == nullptr || head->deadline_us < best_head->deadline_us ||
+          (head->deadline_us == best_head->deadline_us &&
+           head->seq < best_head->seq)) {
+        best = &group;
+        best_head = head;
+      }
+    }
+    return best;
+  };
+
+  Priority lane_id = scheduled;
+  Group* group = pick(lane_id);
+  if (group == nullptr) {
+    lane_id = scheduled == Priority::kInteractive ? Priority::kBatch
+                                                  : Priority::kInteractive;
+    group = pick(lane_id);
+  }
+  if (group == nullptr) return plan;
+
+  const QueuedRequest& head = *group->lanes[std::size_t(lane_id)].front();
+  const GroupKey key{head.model, head.kind};
+  plan.model = head.model;
+  plan.kind = head.kind;
+  take_from_lane(*group, lane_id, plan, max_rows, /*allow_oversized=*/true);
+  // Batches mix tenants and lanes, never models or kinds: top the batch up
+  // from the group's other lane, interactive first.
+  if (plan.rows < max_rows) {
+    const Priority other = lane_id == Priority::kInteractive
+                               ? Priority::kBatch
+                               : Priority::kInteractive;
+    take_from_lane(*group, other, plan, max_rows, /*allow_oversized=*/false);
+  }
+  erase_if_empty(key);
+  return plan;
+}
+
+std::size_t ServeScheduler::grow_batch(BatchPlan& plan, std::size_t max_rows) {
+  VQMC_REQUIRE(!plan.empty(), "scheduler: cannot grow an unopened batch");
+  const GroupKey key{plan.model, plan.kind};
+  const auto it = groups_.find(key);
+  if (it == groups_.end()) return 0;
+  std::size_t added = 0;
+  added += take_from_lane(it->second, Priority::kInteractive, plan, max_rows,
+                          /*allow_oversized=*/false);
+  added += take_from_lane(it->second, Priority::kBatch, plan, max_rows,
+                          /*allow_oversized=*/false);
+  erase_if_empty(key);
+  return added;
+}
+
+}  // namespace vqmc::serve

@@ -1,0 +1,194 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// \brief Multi-queue serving scheduler: per-tenant token-bucket admission,
+/// interactive/batch priority lanes with starvation-proof weighted pickup,
+/// and earliest-deadline-first batch formation (DESIGN.md §5j).
+///
+/// The scheduler replaces the single FIFO of serve v1 with a queue topology
+/// keyed by (model, request kind):
+///
+///   * **Admission quotas.** Every tenant named in `tenant_quotas` owns a
+///     token bucket measured in rows: capacity `burst_rows`, refilled at
+///     `rows_per_second` (0 = a burst-only budget that never refills).
+///     Admission of an r-row request consumes r tokens or is rejected with
+///     no deduction — the caller surfaces that as a typed ServeQuotaError,
+///     distinct from capacity overload.  Tenants without a quota entry are
+///     unlimited (admission falls through to the engine's global
+///     `max_pending_rows` backpressure either way).
+///   * **Priority lanes.** Each (model, kind) group holds two queues —
+///     interactive and batch.  Workers pick the lane by weighted
+///     round-robin over a fixed cursor schedule of length
+///     `interactive_weight + batch_weight`, falling back to the other lane
+///     when the scheduled one is empty: with both lanes backlogged the
+///     batch lane is guaranteed `batch_weight` pickups per cycle, so bulk
+///     traffic can never be starved, and interactive traffic gets the
+///     remaining share of dispatches.
+///   * **Deadline-aware ordering.** Within a lane, requests are kept in
+///     earliest-deadline-first order (ties broken by arrival sequence, so
+///     deadline-free traffic degrades to FIFO).  A near-deadline request
+///     admitted behind a wide backlog is harvested at the front of the next
+///     batch instead of waiting out the queue — it either makes its
+///     deadline or is failed *before* execution, never after wasted
+///     compute.  Batch formation never mixes models or kinds, but freely
+///     mixes tenants and tops a batch up from the other lane of the same
+///     group (interactive first) once the primary lane is drained.
+///
+/// The scheduler is a policy object, not a thread-safe component: the
+/// owning engine drives it under its own mutex.  That keeps it directly
+/// unit-testable (tests/serve/test_scheduler.cpp injects timestamps and
+/// stub requests) and keeps all lock discipline in one place.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vqmc::serve {
+
+/// Scheduling lane of a request.  Interactive is for latency-sensitive
+/// callers (weighted toward earlier pickup); batch is bulk traffic that
+/// tolerates queueing but must never starve.
+enum class Priority {
+  kInteractive = 0,
+  kBatch = 1,
+};
+
+/// Lane name ("interactive" / "batch") for metric labels and logs.
+[[nodiscard]] const char* priority_name(Priority priority);
+
+/// Per-tenant admission budget: a token bucket measured in rows.
+struct TenantQuota {
+  /// Sustained admission rate (rows per second refilled into the bucket).
+  /// 0 means the bucket never refills — `burst_rows` is a hard budget.
+  double rows_per_second = 0;
+  /// Bucket capacity (and initial fill), in rows.  Must be >= 1.
+  double burst_rows = 0;
+};
+
+struct SchedulerConfig {
+  /// Lane pickup weights: with both lanes backlogged, out of every
+  /// `interactive_weight + batch_weight` batch openings the interactive
+  /// lane gets `interactive_weight` and the batch lane the rest.
+  std::size_t interactive_weight = 7;
+  std::size_t batch_weight = 1;
+  /// Token-bucket quotas keyed by tenant id.  Absent tenants are unlimited.
+  std::map<std::string, TenantQuota> tenant_quotas;
+};
+
+/// One queued unit of work, as the scheduler sees it.  The engine derives
+/// its concrete request type (promises, payload) from this; the scheduler
+/// only reads the routing/ordering fields.
+struct QueuedRequest {
+  virtual ~QueuedRequest() = default;
+
+  /// Opaque per-model queue key (stable address of the engine's model
+  /// state).  Batches never mix values of this.
+  const void* model = nullptr;
+  /// Opaque batch-compatibility key (request kind).  Batches never mix it.
+  int kind = 0;
+  Priority priority = Priority::kInteractive;
+  std::size_t rows = 0;
+  double enqueue_us = 0;
+  /// Absolute deadline (same clock as enqueue_us); +inf = none.
+  double deadline_us = std::numeric_limits<double>::infinity();
+  /// Arrival sequence, assigned by the scheduler at enqueue (EDF tiebreak).
+  std::uint64_t seq = 0;
+};
+
+/// Outcome of a token-bucket admission check.
+struct QuotaDecision {
+  bool admitted = true;
+  /// Tokens available at the decision (after refill, before deduction).
+  /// +inf for unlimited tenants.
+  double available_rows = std::numeric_limits<double>::infinity();
+  /// The tenant's quota, or nullptr when the tenant is unlimited.
+  const TenantQuota* quota = nullptr;
+};
+
+/// An opened micro-batch: requests of exactly one (model, kind) group in
+/// EDF order, plus the aggregates the engine's batching window needs.
+struct BatchPlan {
+  const void* model = nullptr;
+  int kind = 0;
+  std::vector<std::unique_ptr<QueuedRequest>> requests;
+  std::size_t rows = 0;
+  double oldest_enqueue_us = std::numeric_limits<double>::infinity();
+  double earliest_deadline_us = std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] bool empty() const { return requests.empty(); }
+};
+
+/// Multi-queue scheduler (see file comment).  NOT internally synchronized.
+class ServeScheduler {
+ public:
+  explicit ServeScheduler(SchedulerConfig config);
+
+  /// Token-bucket check for admitting `rows` rows from `tenant` at time
+  /// `now_us`.  On admission the tokens are consumed; on rejection nothing
+  /// is deducted.  Unlimited tenants always admit.
+  QuotaDecision try_admit(const std::string& tenant, std::size_t rows,
+                          double now_us);
+
+  /// Queue an admitted request (assigns `seq`; inserts in EDF position).
+  void enqueue(std::unique_ptr<QueuedRequest> request);
+
+  /// Open a new micro-batch of at most `max_rows` rows: pick the lane by
+  /// weighted round-robin, within it the (model, kind) group whose head is
+  /// most urgent, then harvest EDF-ordered requests — topping up from the
+  /// other lane of the same group once the primary lane is exhausted.  An
+  /// oversized head request (rows > max_rows) forms its own batch.
+  /// Returns an empty plan when nothing is queued.
+  [[nodiscard]] BatchPlan open_batch(std::size_t max_rows);
+
+  /// Grow an open batch with late co-batchable arrivals of the same
+  /// (model, kind), up to `max_rows` total.  Returns the rows added.
+  std::size_t grow_batch(BatchPlan& plan, std::size_t max_rows);
+
+  [[nodiscard]] bool empty() const { return queued_rows_ == 0; }
+  [[nodiscard]] std::size_t queued_rows() const { return queued_rows_; }
+  [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+
+ private:
+  struct GroupKey {
+    const void* model = nullptr;
+    int kind = 0;
+    bool operator<(const GroupKey& other) const {
+      return model != other.model ? model < other.model : kind < other.kind;
+    }
+  };
+  /// Per-(model, kind) queues, one per lane, each EDF-sorted by
+  /// (deadline_us, seq).
+  struct Group {
+    std::array<std::vector<std::unique_ptr<QueuedRequest>>, 2> lanes;
+    [[nodiscard]] bool empty() const {
+      return lanes[0].empty() && lanes[1].empty();
+    }
+  };
+  struct Bucket {
+    TenantQuota quota;
+    double tokens = 0;
+    double last_refill_us = 0;
+  };
+
+  /// Move EDF-ordered requests from `lane` of `group` into `plan` while
+  /// they fit (`plan.rows + rows <= max_rows`); a request that does not fit
+  /// blocks the lane (EDF order is never bypassed).  Returns rows taken.
+  std::size_t take_from_lane(Group& group, Priority lane, BatchPlan& plan,
+                             std::size_t max_rows, bool allow_oversized);
+  void erase_if_empty(const GroupKey& key);
+
+  SchedulerConfig config_;
+  std::map<GroupKey, Group> groups_;
+  std::map<std::string, Bucket> buckets_;
+  std::size_t queued_rows_ = 0;
+  std::uint64_t next_seq_ = 0;
+  /// Weighted-round-robin cursor over a schedule of length
+  /// interactive_weight + batch_weight.
+  std::size_t lane_cursor_ = 0;
+};
+
+}  // namespace vqmc::serve

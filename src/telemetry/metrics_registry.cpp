@@ -190,6 +190,37 @@ const HistogramSnapshot* MetricsSnapshot::find_histogram(
   return nullptr;
 }
 
+std::string sanitize_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == ':' || c == '-';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string labeled_name(
+    const std::string& base,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return base;
+  std::string out = base;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += sanitize_label_value(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
 std::string MetricsSnapshot::to_json() const {
   std::ostringstream oss;
   oss.precision(17);

@@ -29,6 +29,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
@@ -108,6 +109,22 @@ class Histogram {
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0};
 };
+
+/// Build a labeled metric name: `base{key="value",...}`.  The label body
+/// is carried inside the registry name (names stay single tokens for the
+/// status-report wire encoding); the Prometheus renderer in vqmc::obs
+/// splits it back out and merges it with the `rank` label, so per-tenant /
+/// per-model serve series land in one labeled family instead of one
+/// family per tenant.  Values are sanitized to `[A-Za-z0-9_.:-]` (quotes,
+/// commas and braces can never corrupt the label grammar); keys are
+/// caller-controlled literals and used verbatim.
+[[nodiscard]] std::string labeled_name(
+    const std::string& base,
+    const std::vector<std::pair<std::string, std::string>>& labels);
+
+/// The value-sanitization rule of labeled_name, exposed for callers that
+/// need the cleaned label value itself (e.g. to echo it in a report).
+[[nodiscard]] std::string sanitize_label_value(const std::string& value);
 
 struct CounterSnapshot {
   std::string name;

@@ -148,6 +148,77 @@ TEST(RenderPrometheus, EmitsWellFormedRankLabeledSeries) {
   }
 }
 
+TEST(SplitMetricName, SeparatesEmbeddedLabelBodies) {
+  const SplitMetricName plain = split_metric_name("serve.submitted");
+  EXPECT_EQ(plain.base, "serve.submitted");
+  EXPECT_EQ(plain.labels, "");
+  const SplitMetricName labeled =
+      split_metric_name("serve.model.submitted{model=\"m0\"}");
+  EXPECT_EQ(labeled.base, "serve.model.submitted");
+  EXPECT_EQ(labeled.labels, "model=\"m0\"");
+  // A brace without the closing '}' is not a label body — keep it verbatim
+  // (prometheus_name will sanitize it away).
+  const SplitMetricName odd = split_metric_name("weird{half");
+  EXPECT_EQ(odd.base, "weird{half");
+  EXPECT_EQ(odd.labels, "");
+}
+
+TEST(RenderPrometheus, MergesEmbeddedLabelsWithRankAndGroupsFamilies) {
+  telemetry::MetricsRegistry registry;
+  using telemetry::labeled_name;
+  registry.counter(labeled_name("serve.model.submitted", {{"model", "m0"}}))
+      .add(7);
+  registry.counter(labeled_name("serve.model.submitted", {{"model", "m1"}}))
+      .add(9);
+  registry
+      .counter(labeled_name("serve.tenant.quota_rejected",
+                            {{"tenant", "alice"}}))
+      .add(3);
+  for (int i = 0; i < 8; ++i)
+    registry
+        .histogram(
+            labeled_name("serve.lane.latency_seconds", {{"lane", "batch"}}))
+        .observe(1e-3);
+
+  StatusReport report;
+  report.rank = 0;
+  report.world = 1;
+  report.add_metrics(registry.snapshot());
+  const std::string text =
+      render_prometheus(GroupStatus::single(std::move(report)));
+
+  // Embedded labels merge with the rank label into one series.
+  EXPECT_NE(text.find(
+                "vqmc_serve_model_submitted{rank=\"0\",model=\"m0\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find(
+                "vqmc_serve_model_submitted{rank=\"0\",model=\"m1\"} 9"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "vqmc_serve_tenant_quota_rejected{rank=\"0\",tenant=\"alice\"} 3"),
+      std::string::npos);
+  // One TYPE header per *base* family even with several labeled members.
+  const std::string type_line = "# TYPE vqmc_serve_model_submitted counter";
+  const std::size_t first = text.find(type_line);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find(type_line, first + 1), std::string::npos);
+  // Labeled histograms keep the quantile/_sum/_count structure.
+  EXPECT_NE(text.find("# TYPE vqmc_serve_lane_latency_seconds summary"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("vqmc_serve_lane_latency_seconds{rank=\"0\",lane=\"batch\","
+                "quantile=\"0.99\"}"),
+      std::string::npos);
+  EXPECT_NE(text.find(
+                "vqmc_serve_lane_latency_seconds_count{rank=\"0\","
+                "lane=\"batch\"} 8"),
+            std::string::npos);
+  EXPECT_NE(text.find("vqmc_serve_lane_latency_seconds_sum{rank=\"0\","
+                      "lane=\"batch\"}"),
+            std::string::npos);
+}
+
 TEST(RenderJson, ParsesAndCarriesPerRankReachability) {
   const vqmc::testing::JsonValue doc =
       vqmc::testing::parse_json(render_json(sample_group()));

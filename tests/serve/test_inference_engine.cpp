@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -41,20 +43,57 @@ TEST(EngineCounters, CounterFieldNamesArePinned) {
   counters.completed = 2;
   counters.failed = 3;
   counters.shed = 4;
+  counters.quota_rejected = 8;
   counters.batches = 5;
   counters.publishes = 6;
   counters.max_batch_rows = 7;
   const auto fields = counter_fields(counters);
   const std::vector<std::pair<std::string, std::uint64_t>> expected = {
-      {"serve.submitted", 1},  {"serve.completed", 2}, {"serve.failed", 3},
-      {"serve.shed", 4},       {"serve.batches", 5},   {"serve.publishes", 6},
-      {"serve.max_batch_rows", 7},
+      {"serve.submitted", 1},      {"serve.completed", 2},
+      {"serve.failed", 3},         {"serve.shed", 4},
+      {"serve.quota_rejected", 8}, {"serve.batches", 5},
+      {"serve.publishes", 6},      {"serve.max_batch_rows", 7},
   };
   ASSERT_EQ(fields.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(fields[i].first, expected[i].first) << "index " << i;
     EXPECT_EQ(fields[i].second, expected[i].second) << "index " << i;
   }
+}
+
+TEST(EngineCounters, FleetCounterFieldNamesArePinned) {
+  // The labeled per-model / per-tenant families are scraped by CI
+  // (check_metrics.py --profile serve) and rendered by the obs endpoint —
+  // renaming a family or a label key is a dashboard-breaking decision.
+  ModelCounters model;
+  model.submitted = 1;
+  model.version = 2;
+  const auto model_fields = model_counter_fields("m0", model);
+  ASSERT_EQ(model_fields.size(), 7u);
+  EXPECT_EQ(model_fields[0].first, "serve.model.submitted{model=\"m0\"}");
+  EXPECT_EQ(model_fields[0].second, 1u);
+  EXPECT_EQ(model_fields[1].first, "serve.model.completed{model=\"m0\"}");
+  EXPECT_EQ(model_fields[2].first, "serve.model.failed{model=\"m0\"}");
+  EXPECT_EQ(model_fields[3].first, "serve.model.batches{model=\"m0\"}");
+  EXPECT_EQ(model_fields[4].first, "serve.model.publishes{model=\"m0\"}");
+  EXPECT_EQ(model_fields[5].first, "serve.model.version{model=\"m0\"}");
+  EXPECT_EQ(model_fields[5].second, 2u);
+  EXPECT_EQ(model_fields[6].first,
+            "serve.model.max_batch_rows{model=\"m0\"}");
+
+  TenantCounters tenant;
+  tenant.quota_rejected = 9;
+  const auto tenant_fields = tenant_counter_fields("alice", tenant);
+  ASSERT_EQ(tenant_fields.size(), 5u);
+  EXPECT_EQ(tenant_fields[0].first,
+            "serve.tenant.submitted{tenant=\"alice\"}");
+  EXPECT_EQ(tenant_fields[1].first,
+            "serve.tenant.completed{tenant=\"alice\"}");
+  EXPECT_EQ(tenant_fields[2].first, "serve.tenant.failed{tenant=\"alice\"}");
+  EXPECT_EQ(tenant_fields[3].first, "serve.tenant.shed{tenant=\"alice\"}");
+  EXPECT_EQ(tenant_fields[4].first,
+            "serve.tenant.quota_rejected{tenant=\"alice\"}");
+  EXPECT_EQ(tenant_fields[4].second, 9u);
 }
 
 TEST(EngineCounters, CounterFieldsTrackTheLiveEngine) {
@@ -363,6 +402,256 @@ TEST(InferenceEngine, WrongSpinCountRejectedAtSubmit) {
   InferenceEngine engine;
   engine.publish_model(made);
   EXPECT_THROW((void)engine.submit_log_psi(random_configs(2, 7, 1)), Error);
+}
+
+TEST(InferenceEngine, OverloadMessageNamesLimitDepthAndTenant) {
+  // The rejection message is actionable by contract (errors.hpp): an
+  // operator reading a client-side log must see which knob tripped, how
+  // deep the backlog was, and which tenant was turned away.
+  Made made(6, 8);
+  randomize_parameters(made, 9);
+  ServeConfig config;
+  config.workers = 1;
+  config.max_batch_rows = 4;
+  config.max_wait_us = 200000;  // holds the first batch open
+  config.max_pending_rows = 4;
+  InferenceEngine engine(config);
+  engine.publish_model(made);
+
+  auto first = engine.submit_log_psi(random_configs(3, 6, 10));
+  RequestOptions options;
+  options.tenant = "carol";
+  try {
+    (void)engine.submit_log_psi(random_configs(2, 6, 11), options);
+    FAIL() << "expected ServeOverloadError";
+  } catch (const ServeOverloadError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'carol'"), std::string::npos) << what;
+    EXPECT_NE(what.find("3 rows outstanding"), std::string::npos) << what;
+    EXPECT_NE(what.find("max_pending_rows limit of 4"), std::string::npos)
+        << what;
+  }
+  (void)first.get();
+  const auto tenants = engine.tenant_counters();
+  for (const auto& [name, t] : tenants) {
+    if (name == "carol") EXPECT_EQ(t.shed, 1u);
+  }
+}
+
+TEST(InferenceEngine, QuotaRejectionIsTypedDistinctAndActionable) {
+  // A tenant over its token-bucket budget gets ServeQuotaError (not
+  // overload: the engine has capacity), synchronously, with the budget in
+  // the message; other tenants are unaffected.
+  Made made(6, 8);
+  randomize_parameters(made, 31);
+  ServeConfig config;
+  config.workers = 1;
+  config.tenant_quotas["dave"] = TenantQuota{0, 4};  // 4 rows ever, no refill
+  InferenceEngine engine(config);
+  engine.publish_model(made);
+
+  RequestOptions dave;
+  dave.tenant = "dave";
+  (void)engine.submit_log_psi(random_configs(4, 6, 32), dave).get();
+  try {
+    (void)engine.submit_log_psi(random_configs(1, 6, 33), dave);
+    FAIL() << "expected ServeQuotaError";
+  } catch (const ServeQuotaError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'dave'"), std::string::npos) << what;
+    EXPECT_NE(what.find("rate"), std::string::npos) << what;
+    EXPECT_NE(what.find("burst"), std::string::npos) << what;
+    EXPECT_NE(what.find("available"), std::string::npos) << what;
+  }
+  // An unlimited tenant sails through while dave is rejected.
+  (void)engine.submit_log_psi(random_configs(1, 6, 34)).get();
+
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.quota_rejected, 1u);
+  EXPECT_EQ(counters.shed, 0u);
+  EXPECT_EQ(counters.submitted, 2u);
+  for (const auto& [name, t] : engine.tenant_counters()) {
+    if (name == "dave") {
+      EXPECT_EQ(t.quota_rejected, 1u);
+      EXPECT_EQ(t.submitted, 1u);
+    } else {
+      EXPECT_EQ(t.quota_rejected, 0u);
+    }
+  }
+}
+
+TEST(InferenceEngine, QuotaRefillsAtTheConfiguredRate) {
+  Made made(6, 8);
+  randomize_parameters(made, 35);
+  ServeConfig config;
+  config.workers = 1;
+  // 10 rows/s: the 2-row bucket needs 200 ms to refill, so the immediate
+  // resubmit is rejected (back-to-back statements run far faster than
+  // that) while a 300 ms wait guarantees a full bucket again.
+  config.tenant_quotas["erin"] = TenantQuota{10, 2};
+  InferenceEngine engine(config);
+  engine.publish_model(made);
+
+  RequestOptions erin;
+  erin.tenant = "erin";
+  (void)engine.submit_log_psi(random_configs(2, 6, 36), erin).get();
+  EXPECT_THROW((void)engine.submit_log_psi(random_configs(2, 6, 37), erin),
+               ServeQuotaError);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  (void)engine.submit_log_psi(random_configs(2, 6, 38), erin).get();
+  EXPECT_EQ(engine.counters().quota_rejected, 1u);
+}
+
+TEST(InferenceEngine, NearDeadlineRequestIsDispatchedFirstViaEdf) {
+  // EDF batch formation: a near-deadline request admitted *behind* a
+  // deadline-free backlog of the same (model, kind) is harvested at the
+  // front of the next batch.  The 4-row backlog fills max_batch_rows, so
+  // without EDF the 1-row request would wait out the whole backlog batch
+  // plus the window; with EDF it is served first, alone, and makes its
+  // deadline.
+  Made made(6, 8);
+  randomize_parameters(made, 41);
+  ServeConfig config;
+  config.workers = 1;
+  config.max_batch_rows = 4;
+  config.max_wait_us = 0;  // dispatch immediately once resumed
+  InferenceEngine engine(config);
+  engine.publish_model(made);
+
+  engine.pause();
+  auto backlog = engine.submit_log_psi(random_configs(4, 6, 42));
+  RequestOptions urgent;
+  urgent.timeout_us = 2e6;  // 2 s: generous, but finite => EDF-first
+  auto first = engine.submit_log_psi(random_configs(1, 6, 43), urgent);
+  engine.resume();
+
+  // The urgent request makes its deadline (EDF put it in the first batch).
+  EXPECT_NO_THROW((void)first.get());
+  EXPECT_NO_THROW((void)backlog.get());
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.completed, 2u);
+  EXPECT_EQ(counters.failed, 0u);
+  // They could not have co-batched (1 + 4 > max_batch_rows = 4).
+  EXPECT_EQ(counters.batches, 2u);
+}
+
+TEST(InferenceEngine, ExpiredDeadlineFailsBeforeExecutionNeverAfter) {
+  // A request whose deadline passed while queued is failed *before* the
+  // kernel runs: failed == 1 with zero completions and zero wasted compute
+  // (the batch that would have contained it executes nothing for it).
+  Made made(6, 8);
+  randomize_parameters(made, 45);
+  ServeConfig config;
+  config.workers = 1;
+  config.max_wait_us = 0;
+  InferenceEngine engine(config);
+  engine.publish_model(made);
+
+  engine.pause();
+  RequestOptions options;
+  options.tenant = "frank";
+  options.timeout_us = 1000;  // 1 ms, expires while paused
+  auto future = engine.submit_log_psi(random_configs(1, 6, 46), options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  engine.resume();
+  EXPECT_THROW((void)future.get(), ServeDeadlineError);
+  engine.drain();
+
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.failed, 1u);
+  EXPECT_EQ(counters.completed, 0u);
+  for (const auto& [name, t] : engine.tenant_counters()) {
+    if (name == "frank") EXPECT_EQ(t.failed, 1u);
+  }
+}
+
+TEST(InferenceEngine, FleetServesIndependentModelsOnOneWorkerPool) {
+  // Two named models — different problem sizes — served by one shared
+  // pool, each with its own version chain and exact per-model accounting.
+  Made small(6, 8), large(9, 7);
+  randomize_parameters(small, 51);
+  randomize_parameters(large, 52);
+  InferenceEngine engine({.workers = 2});
+  EXPECT_EQ(engine.publish_model("small", small), 1u);
+  EXPECT_EQ(engine.publish_model("large", large), 1u);
+
+  Vector expected_small(3), expected_large(2);
+  const Matrix configs_small = random_configs(3, 6, 53);
+  const Matrix configs_large = random_configs(2, 9, 54);
+  small.log_psi(configs_small, expected_small.span());
+  large.log_psi(configs_large, expected_large.span());
+
+  RequestOptions to_small, to_large;
+  to_small.model = "small";
+  to_large.model = "large";
+  const EvalResult rs =
+      engine.submit_log_psi(configs_small, to_small).get();
+  const EvalResult rl =
+      engine.submit_log_psi(configs_large, to_large).get();
+  for (std::size_t k = 0; k < 3; ++k)
+    EXPECT_EQ(expected_small[k], rs.values[k]);
+  for (std::size_t k = 0; k < 2; ++k)
+    EXPECT_EQ(expected_large[k], rl.values[k]);
+
+  // Per-model hot-swap: bumping `small` leaves `large` at version 1.
+  randomize_parameters(small, 55);
+  EXPECT_EQ(engine.publish_model("small", small), 2u);
+  EXPECT_EQ(engine.current_version("small"), 2u);
+  EXPECT_EQ(engine.current_version("large"), 1u);
+
+  const auto models = engine.model_counters();
+  ASSERT_EQ(models.size(), 2u);
+  for (const auto& [name, m] : models) {
+    EXPECT_EQ(m.submitted, 1u) << name;
+    EXPECT_EQ(m.completed, 1u) << name;
+    EXPECT_EQ(m.failed, 0u) << name;
+  }
+  const auto names = engine.model_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "large");
+  EXPECT_EQ(names[1], "small");
+}
+
+TEST(InferenceEngine, PerModelProblemSizePinStillHolds) {
+  // The spin-count pin is per chain: republishing `a` with a different
+  // size is rejected even though `b` happily serves that size.
+  Made six(6, 8), seven(7, 8);
+  InferenceEngine engine;
+  engine.publish_model("a", six);
+  engine.publish_model("b", seven);
+  EXPECT_THROW(engine.publish_model("a", seven), SnapshotMismatchError);
+  EXPECT_EQ(engine.current_version("a"), 1u);
+}
+
+TEST(InferenceEngine, UnknownModelRejectedAtSubmit) {
+  Made made(6, 8);
+  InferenceEngine engine;
+  engine.publish_model(made);
+  RequestOptions options;
+  options.model = "nope";
+  try {
+    (void)engine.submit_sample(1, 1, options);
+    FAIL() << "expected an error naming the model";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("'nope'"), std::string::npos);
+  }
+}
+
+TEST(InferenceEngine, LegacyDefaultModelCallsStillRoute) {
+  // The versionless publish/submit overloads forward to
+  // ServeConfig::default_model — serve v1 call sites compile and behave
+  // unchanged.
+  Made made(6, 8);
+  randomize_parameters(made, 61);
+  InferenceEngine engine;
+  EXPECT_EQ(engine.publish_model(made), 1u);
+  EXPECT_EQ(engine.current_version(), 1u);
+  EXPECT_EQ(engine.model_names(), std::vector<std::string>{"default"});
+  (void)engine.submit_log_psi(random_configs(2, 6, 62)).get();
+  const auto models = engine.model_counters();
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_EQ(models[0].first, "default");
+  EXPECT_EQ(models[0].second.completed, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,271 @@
+#include "serve/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vqmc::serve {
+namespace {
+
+/// Stub request: the scheduler only reads QueuedRequest's routing fields,
+/// so the tests drive it with bare stubs and injected timestamps — no
+/// engine, no clock, fully deterministic.
+struct StubRequest : QueuedRequest {
+  int id = 0;
+};
+
+std::unique_ptr<StubRequest> stub(const void* model, int kind, Priority lane,
+                                  std::size_t rows, int id,
+                                  double enqueue_us = 0,
+                                  double deadline_us = 0) {
+  auto request = std::make_unique<StubRequest>();
+  request->model = model;
+  request->kind = kind;
+  request->priority = lane;
+  request->rows = rows;
+  request->id = id;
+  request->enqueue_us = enqueue_us;
+  if (deadline_us > 0) request->deadline_us = deadline_us;
+  return request;
+}
+
+std::vector<int> ids_of(const BatchPlan& plan) {
+  std::vector<int> ids;
+  ids.reserve(plan.requests.size());
+  for (const auto& request : plan.requests)
+    ids.push_back(static_cast<const StubRequest&>(*request).id);
+  return ids;
+}
+
+const void* const kModelA = &kModelA;
+const void* const kModelB = &kModelB;
+
+TEST(TokenBucket, BurstOnlyBudgetNeverRefills) {
+  SchedulerConfig config;
+  config.tenant_quotas["t"] = TenantQuota{0, 4};  // rate 0: hard budget
+  ServeScheduler scheduler(config);
+
+  EXPECT_TRUE(scheduler.try_admit("t", 3, 0).admitted);
+  const QuotaDecision reject = scheduler.try_admit("t", 2, 0);
+  EXPECT_FALSE(reject.admitted);
+  EXPECT_DOUBLE_EQ(reject.available_rows, 1.0);
+  ASSERT_NE(reject.quota, nullptr);
+  EXPECT_DOUBLE_EQ(reject.quota->burst_rows, 4.0);
+  // Rejection deducted nothing; the last token is still spendable — even
+  // a year later (rate 0 never refills).
+  EXPECT_TRUE(scheduler.try_admit("t", 1, 3.2e13).admitted);
+  EXPECT_FALSE(scheduler.try_admit("t", 1, 3.2e13).admitted);
+}
+
+TEST(TokenBucket, RefillsAtRateAndCapsAtBurst) {
+  SchedulerConfig config;
+  config.tenant_quotas["t"] = TenantQuota{10, 5};  // 10 rows/s, burst 5
+  ServeScheduler scheduler(config);
+
+  EXPECT_TRUE(scheduler.try_admit("t", 5, 0).admitted);       // bucket empty
+  EXPECT_FALSE(scheduler.try_admit("t", 1, 0).admitted);
+  EXPECT_FALSE(scheduler.try_admit("t", 2, 150'000).admitted);  // 0.15s -> 1.5
+  EXPECT_TRUE(scheduler.try_admit("t", 1, 150'000).admitted);   // ~0.5 left
+  EXPECT_FALSE(scheduler.try_admit("t", 1, 150'000).admitted);
+  // 10 s refills 100 tokens but the bucket caps at burst = 5.
+  EXPECT_FALSE(scheduler.try_admit("t", 6, 10'100'000).admitted);
+  EXPECT_TRUE(scheduler.try_admit("t", 5, 10'100'000).admitted);
+}
+
+TEST(TokenBucket, UnnamedTenantsAreUnlimited) {
+  ServeScheduler scheduler(SchedulerConfig{});
+  const QuotaDecision decision = scheduler.try_admit("anyone", 1'000'000, 0);
+  EXPECT_TRUE(decision.admitted);
+  EXPECT_EQ(decision.quota, nullptr);
+}
+
+TEST(TokenBucket, ConfigValidationRejectsDegenerateQuotas) {
+  SchedulerConfig zero_burst;
+  zero_burst.tenant_quotas["t"] = TenantQuota{1, 0};
+  EXPECT_THROW((ServeScheduler{zero_burst}), Error);
+  SchedulerConfig negative_rate;
+  negative_rate.tenant_quotas["t"] = TenantQuota{-1, 4};
+  EXPECT_THROW((ServeScheduler{negative_rate}), Error);
+  SchedulerConfig zero_batch_weight;
+  zero_batch_weight.batch_weight = 0;
+  EXPECT_THROW((ServeScheduler{zero_batch_weight}), Error);
+}
+
+TEST(Lanes, WeightedPickupNeverStarvesTheBatchLane) {
+  // interactive_weight 2 / batch_weight 1: with both lanes backlogged,
+  // every 3-opening cycle serves the batch lane exactly once.
+  SchedulerConfig config;
+  config.interactive_weight = 2;
+  config.batch_weight = 1;
+  ServeScheduler scheduler(config);
+  for (int i = 0; i < 6; ++i) {
+    scheduler.enqueue(stub(kModelA, 0, Priority::kInteractive, 1, 100 + i));
+    scheduler.enqueue(stub(kModelA, 0, Priority::kBatch, 1, 200 + i));
+  }
+  std::vector<int> picked;
+  for (int open = 0; open < 6; ++open) {
+    const BatchPlan plan = scheduler.open_batch(1);
+    ASSERT_EQ(plan.requests.size(), 1u);
+    picked.push_back(ids_of(plan)[0]);
+  }
+  // Cursor cycle: interactive, interactive, batch — twice.
+  const std::vector<int> expected = {100, 101, 200, 102, 103, 201};
+  EXPECT_EQ(picked, expected);
+}
+
+TEST(Lanes, EmptyScheduledLaneFallsBackToTheOther) {
+  SchedulerConfig config;
+  config.interactive_weight = 7;
+  config.batch_weight = 1;
+  ServeScheduler scheduler(config);
+  // Only batch traffic queued: every opening serves it regardless of the
+  // interactive-heavy schedule (weights share capacity, they don't idle it).
+  scheduler.enqueue(stub(kModelA, 0, Priority::kBatch, 1, 1));
+  scheduler.enqueue(stub(kModelA, 0, Priority::kBatch, 1, 2));
+  EXPECT_EQ(ids_of(scheduler.open_batch(1)), std::vector<int>{1});
+  EXPECT_EQ(ids_of(scheduler.open_batch(1)), std::vector<int>{2});
+  EXPECT_TRUE(scheduler.empty());
+}
+
+TEST(Edf, DeadlinesOrderTheLaneAndTiesDegradeToFifo) {
+  ServeScheduler scheduler(SchedulerConfig{});
+  // Arrival order 1..4; deadlines reorder to 3, 1, then FIFO tail (2, 4
+  // share +inf and fall back to arrival sequence).
+  scheduler.enqueue(stub(kModelA, 0, Priority::kInteractive, 1, 1,
+                         /*enqueue_us=*/0, /*deadline_us=*/500));
+  scheduler.enqueue(stub(kModelA, 0, Priority::kInteractive, 1, 2));
+  scheduler.enqueue(stub(kModelA, 0, Priority::kInteractive, 1, 3,
+                         /*enqueue_us=*/0, /*deadline_us=*/100));
+  scheduler.enqueue(stub(kModelA, 0, Priority::kInteractive, 1, 4));
+  const BatchPlan plan = scheduler.open_batch(4);
+  EXPECT_EQ(ids_of(plan), (std::vector<int>{3, 1, 2, 4}));
+  EXPECT_DOUBLE_EQ(plan.earliest_deadline_us, 100.0);
+}
+
+TEST(Edf, HeadThatDoesNotFitBlocksTheLane) {
+  // EDF is never bypassed: a 3-row head that doesn't fit must not be
+  // jumped by the 1-row request queued behind it.
+  ServeScheduler scheduler(SchedulerConfig{});
+  scheduler.enqueue(stub(kModelA, 0, Priority::kInteractive, 1, 1,
+                         /*enqueue_us=*/0, /*deadline_us=*/100));
+  scheduler.enqueue(stub(kModelA, 0, Priority::kInteractive, 3, 2,
+                         /*enqueue_us=*/0, /*deadline_us=*/200));
+  scheduler.enqueue(stub(kModelA, 0, Priority::kInteractive, 1, 3,
+                         /*enqueue_us=*/0, /*deadline_us=*/300));
+  const BatchPlan plan = scheduler.open_batch(2);
+  EXPECT_EQ(ids_of(plan), std::vector<int>{1});
+  EXPECT_EQ(scheduler.queued_rows(), 4u);
+}
+
+TEST(Edf, OversizedHeadOpensItsOwnBatch) {
+  ServeScheduler scheduler(SchedulerConfig{});
+  scheduler.enqueue(stub(kModelA, 0, Priority::kInteractive, 10, 1));
+  scheduler.enqueue(stub(kModelA, 0, Priority::kInteractive, 1, 2));
+  const BatchPlan oversized = scheduler.open_batch(4);
+  EXPECT_EQ(ids_of(oversized), std::vector<int>{1});
+  EXPECT_EQ(oversized.rows, 10u);
+  const BatchPlan next = scheduler.open_batch(4);
+  EXPECT_EQ(ids_of(next), std::vector<int>{2});
+}
+
+TEST(Batches, NeverMixModelsOrKinds) {
+  ServeScheduler scheduler(SchedulerConfig{});
+  scheduler.enqueue(stub(kModelA, 0, Priority::kInteractive, 1, 1));
+  scheduler.enqueue(stub(kModelB, 0, Priority::kInteractive, 1, 2));
+  scheduler.enqueue(stub(kModelA, 1, Priority::kInteractive, 1, 3));
+  // Three openings, one (model, kind) group each, in arrival order (no
+  // deadlines -> seq decides the most-urgent head).
+  const BatchPlan first = scheduler.open_batch(16);
+  EXPECT_EQ(ids_of(first), std::vector<int>{1});
+  EXPECT_EQ(first.model, kModelA);
+  EXPECT_EQ(first.kind, 0);
+  const BatchPlan second = scheduler.open_batch(16);
+  EXPECT_EQ(ids_of(second), std::vector<int>{2});
+  EXPECT_EQ(second.model, kModelB);
+  const BatchPlan third = scheduler.open_batch(16);
+  EXPECT_EQ(ids_of(third), std::vector<int>{3});
+  EXPECT_EQ(third.kind, 1);
+  EXPECT_TRUE(scheduler.empty());
+}
+
+TEST(Batches, MixLanesWithInteractiveHarvestedFirstOnTopUp) {
+  // A batch fills from its scheduled lane, then tops up from the other
+  // lane of the same group — tenants and lanes mix, models and kinds
+  // don't.
+  SchedulerConfig config;
+  config.interactive_weight = 1;
+  config.batch_weight = 1;
+  ServeScheduler scheduler(config);
+  scheduler.enqueue(stub(kModelA, 0, Priority::kInteractive, 1, 1));
+  scheduler.enqueue(stub(kModelA, 0, Priority::kBatch, 1, 2));
+  scheduler.enqueue(stub(kModelA, 0, Priority::kInteractive, 1, 3));
+  // Cursor position 0 schedules interactive: 1, 3 first, then batch 2.
+  const BatchPlan plan = scheduler.open_batch(8);
+  EXPECT_EQ(ids_of(plan), (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(plan.rows, 3u);
+}
+
+TEST(Batches, UrgentHeadPicksTheGroupAcrossModels) {
+  // With several groups backlogged, the opening serves the group whose
+  // head is most urgent — a near-deadline request on model B preempts
+  // model A's older deadline-free backlog.
+  ServeScheduler scheduler(SchedulerConfig{});
+  scheduler.enqueue(stub(kModelA, 0, Priority::kInteractive, 1, 1));
+  scheduler.enqueue(stub(kModelB, 0, Priority::kInteractive, 1, 2,
+                         /*enqueue_us=*/0, /*deadline_us=*/50));
+  const BatchPlan plan = scheduler.open_batch(8);
+  EXPECT_EQ(ids_of(plan), std::vector<int>{2});
+  EXPECT_EQ(plan.model, kModelB);
+}
+
+TEST(Batches, GrowOnlyPullsTheSameGroup) {
+  ServeScheduler scheduler(SchedulerConfig{});
+  scheduler.enqueue(stub(kModelA, 0, Priority::kInteractive, 1, 1));
+  BatchPlan plan = scheduler.open_batch(8);
+  EXPECT_EQ(ids_of(plan), std::vector<int>{1});
+  // Late arrivals: same group grows the open batch, another model doesn't.
+  scheduler.enqueue(stub(kModelA, 0, Priority::kBatch, 2, 2));
+  scheduler.enqueue(stub(kModelB, 0, Priority::kInteractive, 1, 3));
+  EXPECT_EQ(scheduler.grow_batch(plan, 8), 2u);
+  EXPECT_EQ(ids_of(plan), (std::vector<int>{1, 2}));
+  EXPECT_EQ(plan.rows, 3u);
+  EXPECT_EQ(scheduler.queued_rows(), 1u);  // model B still queued
+}
+
+TEST(Batches, PlanAggregatesTrackOldestArrivalAndEarliestDeadline) {
+  ServeScheduler scheduler(SchedulerConfig{});
+  scheduler.enqueue(stub(kModelA, 0, Priority::kInteractive, 1, 1,
+                         /*enqueue_us=*/300, /*deadline_us=*/900));
+  scheduler.enqueue(stub(kModelA, 0, Priority::kInteractive, 1, 2,
+                         /*enqueue_us=*/100, /*deadline_us=*/700));
+  BatchPlan plan = scheduler.open_batch(8);
+  EXPECT_DOUBLE_EQ(plan.oldest_enqueue_us, 100.0);
+  EXPECT_DOUBLE_EQ(plan.earliest_deadline_us, 700.0);
+  // Growing with an earlier deadline tightens the aggregate (the engine's
+  // batching window re-clamps on every slice).
+  scheduler.enqueue(stub(kModelA, 0, Priority::kBatch, 1, 3,
+                         /*enqueue_us=*/400, /*deadline_us=*/500));
+  EXPECT_EQ(scheduler.grow_batch(plan, 8), 1u);
+  EXPECT_DOUBLE_EQ(plan.earliest_deadline_us, 500.0);
+}
+
+TEST(Batches, RowAccountingStaysExact) {
+  ServeScheduler scheduler(SchedulerConfig{});
+  EXPECT_TRUE(scheduler.empty());
+  scheduler.enqueue(stub(kModelA, 0, Priority::kInteractive, 3, 1));
+  scheduler.enqueue(stub(kModelB, 1, Priority::kBatch, 5, 2));
+  EXPECT_EQ(scheduler.queued_rows(), 8u);
+  (void)scheduler.open_batch(16);
+  EXPECT_EQ(scheduler.queued_rows(), 5u);
+  (void)scheduler.open_batch(16);
+  EXPECT_EQ(scheduler.queued_rows(), 0u);
+  EXPECT_TRUE(scheduler.empty());
+  EXPECT_TRUE(scheduler.open_batch(16).empty());
+}
+
+}  // namespace
+}  // namespace vqmc::serve

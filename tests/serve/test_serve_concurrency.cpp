@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -176,6 +178,107 @@ TEST(ServeConcurrency, HotSwapUnderLoadIsLinearizable) {
   EXPECT_EQ(counters.completed + counters.failed, counters.submitted);
   EXPECT_EQ(counters.shed, 0u);
   EXPECT_EQ(counters.publishes, kVersions);
+}
+
+// Fleet acceptance criterion: eight threads hammer TWO named models while
+// dedicated publishers race new versions into each chain independently.
+// Every response must be attributable to exactly one (model, version) pair
+// and match that pair's precomputed log-psi bitwise; a swap on one model
+// must never bleed into the other.  Clients mix lanes so the weighted
+// scheduler path is exercised under contention too.  Runs under TSan in CI.
+TEST(ServeConcurrency, MultiModelHotSwapHammerKeepsChainsIndependent) {
+  constexpr std::size_t kModels = 2;
+  constexpr std::size_t kVersions = 3;
+  constexpr std::size_t kClients = 6;  // + 2 publishers = 8 threads
+  constexpr int kRequestsPerClient = 30;
+  constexpr std::size_t kSpins = 8;
+
+  const std::array<std::string, kModels> names = {"alpha", "beta"};
+  std::array<std::vector<Made>, kModels> variants;
+  for (std::size_t m = 0; m < kModels; ++m) {
+    variants[m].reserve(kVersions);
+    for (std::size_t v = 0; v < kVersions; ++v) {
+      variants[m].emplace_back(kSpins, 10);
+      randomize_parameters(variants[m].back(), 80 + 10 * m + v);
+    }
+  }
+
+  const Matrix canonical = random_configs(1, kSpins, 81);
+  // expected[m][v] is the golden log-psi of model m at 1-based version v.
+  std::array<std::array<Real, kVersions + 1>, kModels> expected{};
+  for (std::size_t m = 0; m < kModels; ++m) {
+    for (std::size_t v = 0; v < kVersions; ++v) {
+      Vector lp(1);
+      variants[m][v].log_psi(canonical, lp.span());
+      expected[m][v + 1] = lp[0];
+    }
+  }
+
+  ServeConfig config;
+  config.workers = 2;
+  config.max_batch_rows = 16;
+  config.max_wait_us = 100;
+  config.max_pending_rows = 1 << 20;  // never shed in this test
+  InferenceEngine engine(config);
+  for (std::size_t m = 0; m < kModels; ++m)
+    engine.publish_model(names[m], variants[m][0]);
+
+  std::atomic<int> violations{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      RequestOptions options;
+      options.model = names[c % kModels];
+      options.tenant = (c % 2 == 0) ? "even" : "odd";
+      options.priority = (c % 2 == 0) ? Priority::kInteractive
+                                      : Priority::kBatch;
+      const std::size_t m = c % kModels;
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const EvalResult result =
+            engine.submit_log_psi(canonical, options).get();
+        if (result.model_version < 1 || result.model_version > kVersions ||
+            result.values.size() != 1 ||
+            result.values[0] != expected[m][result.model_version]) {
+          violations.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> publishers;
+  publishers.reserve(kModels);
+  for (std::size_t m = 0; m < kModels; ++m) {
+    publishers.emplace_back([&, m] {
+      for (std::size_t v = 1; v < kVersions; ++v) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        engine.publish_model(names[m], variants[m][v]);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  for (auto& publisher : publishers) publisher.join();
+  engine.drain();
+
+  EXPECT_EQ(violations.load(), 0);
+
+  // Global and per-model accounting stay exact across the race.
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.submitted, kClients * std::size_t(kRequestsPerClient));
+  EXPECT_EQ(counters.completed + counters.failed, counters.submitted);
+  EXPECT_EQ(counters.shed, 0u);
+  EXPECT_EQ(counters.quota_rejected, 0u);
+  EXPECT_EQ(counters.publishes, kModels * kVersions);
+  const auto model_counters = engine.model_counters();
+  ASSERT_EQ(model_counters.size(), kModels);
+  std::uint64_t per_model_submitted = 0;
+  for (const auto& [name, mc] : model_counters) {
+    EXPECT_EQ(mc.completed + mc.failed, mc.submitted) << name;
+    EXPECT_EQ(mc.publishes, kVersions) << name;
+    EXPECT_EQ(mc.version, kVersions) << name;
+    EXPECT_EQ(engine.current_version(name), kVersions) << name;
+    per_model_submitted += mc.submitted;
+  }
+  EXPECT_EQ(per_model_submitted, counters.submitted);
 }
 
 // Same race, sampling kind: a sampled batch must be bit-identical to a

@@ -16,6 +16,13 @@ Checks (in order):
 Usage:
   python3 tools/check_metrics.py scrape.prom --ranks 4 \
       --require vqmc_trainer_iterations,vqmc_comm_allreduce_wait_seconds
+  python3 tools/check_metrics.py serve.prom --ranks 1 --profile serve
+
+``--profile`` selects the default ``--require`` list: ``trainer`` (the
+training families above) or ``serve`` (the engine-wide and labeled
+per-model/per-tenant/per-lane serving families; labeled series carry
+``model=``/``tenant=``/``lane=`` labels next to ``rank=``).  An explicit
+``--require`` overrides the profile.
 
 Exits 0 on success, 1 with a diagnostic on the first failed check.
 """
@@ -25,6 +32,21 @@ from __future__ import annotations
 import argparse
 import re
 import sys
+
+REQUIRED_PROFILES = {
+    "trainer": (
+        "vqmc_trainer_iterations,vqmc_trainer_iteration,"
+        "vqmc_comm_live_ranks,vqmc_comm_allreduce_wait_seconds_count"
+    ),
+    "serve": (
+        "vqmc_serve_submitted,vqmc_serve_completed,vqmc_serve_quota_rejected,"
+        "vqmc_serve_model_submitted,vqmc_serve_model_completed,"
+        "vqmc_serve_model_version,vqmc_serve_tenant_submitted,"
+        "vqmc_serve_tenant_quota_rejected,"
+        "vqmc_serve_lane_latency_seconds_count,"
+        "vqmc_serve_tenant_latency_seconds_count"
+    ),
+}
 
 SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
@@ -67,14 +89,20 @@ def main() -> None:
         help="minimum ranks that must be reachable (-1 = all of --ranks)",
     )
     parser.add_argument(
+        "--profile",
+        choices=sorted(REQUIRED_PROFILES),
+        default="trainer",
+        help="which default --require family list to use",
+    )
+    parser.add_argument(
         "--require",
-        default=(
-            "vqmc_trainer_iterations,vqmc_trainer_iteration,"
-            "vqmc_comm_live_ranks,vqmc_comm_allreduce_wait_seconds_count"
-        ),
-        help="comma-separated metric families that must have per-rank series",
+        default="",
+        help="comma-separated metric families that must have per-rank series "
+        "(overrides --profile)",
     )
     args = parser.parse_args()
+    if not args.require:
+        args.require = REQUIRED_PROFILES[args.profile]
 
     try:
         with open(args.scrape, "r", encoding="utf-8") as handle:
