@@ -139,7 +139,10 @@ IterationMetrics VqmcTrainer::step() {
   // 1. Sample a batch from the current model distribution.
   {
     TELEMETRY_SPAN("sample");
-    sampler_.sample(batch_);
+    // Thread the trainer's model workspace through: the batched conditional
+    // engine then shares the forward pass's scratch (zero steady-state
+    // allocations in the sampling phase).
+    sampler_.sample_ws(batch_, model_ws_.get());
   }
   phases.sample = phase_timer.seconds();
 
@@ -383,7 +386,7 @@ EnergyEstimate VqmcTrainer::evaluate_with_samples(std::size_t eval_batch_size,
                                                   Matrix& samples) {
   VQMC_REQUIRE(eval_batch_size >= 1, "trainer: eval batch must be >= 1");
   samples = Matrix(eval_batch_size, hamiltonian_.num_spins());
-  sampler_.sample(samples);
+  sampler_.sample_ws(samples, model_ws_.get());
   Vector energies(eval_batch_size);
   engine_.compute(samples, energies.span());
   return estimate_energy(energies.span());

@@ -49,6 +49,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "nn/masked_plan.hpp"
 #include "nn/wavefunction.hpp"
@@ -99,6 +100,17 @@ class Made final : public AutoregressiveModel {
     Matrix g1;   ///< bs x h, hidden-layer signal
     Matrix dw1;  ///< h x n, W1 gradient scratch
     Matrix dw2;  ///< n x h, W2 gradient scratch
+    // Batched conditional-engine scratch (sample_conditionals_batched).
+    // The running pre-activation block and its rectified tail copy use a
+    // pad-to-8 column stride so every row starts cache-line-aligned — the
+    // dot kernels otherwise split most vector loads at h = 239-ish strides.
+    Vector logits;   ///< bs, per-site batched logits
+    Matrix a1_pad;   ///< bs x pad8(h), running pre-activations
+    Matrix h1_pad;   ///< bs x pad8(h), aligned-stride relu(a1) for the tail
+    Matrix tail_logits;                ///< (n - frozen) x bs, frozen-tail pass
+    std::vector<std::uint32_t> flips;  ///< rows that drew 1 at this site
+    std::vector<std::uint64_t> flip_masks;  ///< per row, flips of a 64-site block
+    std::vector<const Real*> col_ptrs;      ///< per block site, far column segment
   };
 
   [[nodiscard]] std::unique_ptr<WavefunctionModel::Workspace> make_workspace()

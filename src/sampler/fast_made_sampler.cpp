@@ -1,20 +1,21 @@
 #include "sampler/fast_made_sampler.hpp"
 
 #include "common/error.hpp"
-#include "rng/distributions.hpp"
+#include "sampler/conditional_engine.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/tracer.hpp"
-#include "tensor/kernels.hpp"
 
 namespace vqmc {
 
 FastMadeSampler::FastMadeSampler(const Made& model, std::uint64_t seed)
     : model_(model), gen_(seed) {}
 
-void FastMadeSampler::sample(Matrix& out) {
+void FastMadeSampler::sample(Matrix& out) { sample_ws(out, nullptr); }
+
+void FastMadeSampler::sample_ws(Matrix& out,
+                                WavefunctionModel::Workspace* ws) {
   TELEMETRY_SPAN("sample.auto_fast");
   const std::size_t n = model_.num_spins();
-  const std::size_t h = model_.hidden_size();
   VQMC_REQUIRE(out.cols() == n, "AUTO-fast: output batch has wrong spin count");
   const std::size_t bs = out.rows();
   VQMC_REQUIRE(bs > 0, "AUTO-fast: batch must be non-empty");
@@ -22,57 +23,27 @@ void FastMadeSampler::sample(Matrix& out) {
   // Fetch the packed masked weights from the model's version-counter cache
   // (rebuilt only when the parameters actually moved since the last call).
   const std::shared_ptr<const Made::MaskedWeights> mw = model_.masked();
-  const ColPanelGeometry& w1_cols = model_.w1_col_panels();
-  const Real* w1_col_values = mw->w1_col_values.data();
-  const RowExtentsView w2_ext = model_.w2_extents().view();
-  const std::span<const Real> b1 = model_.bias1();
-  const std::span<const Real> b2 = model_.bias2();
 
-  // A1 starts at the bias: the initial configuration is all-zeros, which
-  // contributes nothing through W1m.
-  if (a1_.rows() != bs || a1_.cols() != h) a1_ = Matrix(bs, h);
-  for (std::size_t k = 0; k < bs; ++k) {
-    Real* row = a1_.row(k).data();
-    for (std::size_t l = 0; l < h; ++l) row[l] = b1[l];
-  }
-  out.fill(0);
+  // Run the shared batched conditional engine in the caller's workspace when
+  // one of the right concrete type is supplied, else in internal scratch.
+  Made::Workspace* engine_ws = dynamic_cast<Made::Workspace*>(ws);
+  if (engine_ws == nullptr) engine_ws = &scratch_;
+  const DrawSlice slice{0, bs, &gen_};
+  const std::uint64_t nonfinite =
+      sample_conditionals_batched(model_, *mw, out, {&slice, 1}, *engine_ws);
 
-  for (std::size_t i = 0; i < n; ++i) {
-    ++stats_.forward_passes;  // comparable accounting with Algorithm 1
-    const Real* w2_panel = mw->w2p.row(i);
-    const std::span<const ColSpan> w2_spans = w2_ext.row(i);
-    const std::span<const std::uint32_t> upd_rows = w1_cols.col(i);
-    const Real* upd_vals = w1_col_values + w1_cols.offsets[i];
-    const Real bias = b2[i];
-    // Sequential over the batch: each row consumes exactly one Bernoulli
-    // draw per site, in the same (site-major, row-minor) order as the
-    // baseline AutoregressiveSampler — which makes the two samplers
-    // bit-identical under the same seed.
-    for (std::size_t k = 0; k < bs; ++k) {
-      const Real* a_row = a1_.row(k).data();
-      // Only the in-extent hidden units feed output i; relu_dot_panels is
-      // the shared serve/sampler logit primitive (ModelSnapshot::sample
-      // calls the same one, keeping the two paths mutually bit-identical).
-      const Real logit = bias + relu_dot_panels(w2_spans, a_row, w2_panel);
-      const Real p1 = sigmoid(logit);
-      if (rng::bernoulli(gen_, p1)) {
-        out(k, i) = 1;
-        // Rank-1 update: input i flipped 0 -> 1 adds column i of W1m.
-        // The column panel lists exactly the hidden rows whose prefix
-        // extent covers i; each row is touched once, so this is bitwise
-        // identical to the strided masked column walk it replaces.
-        Real* a_mut = a1_.row(k).data();
-        for (std::size_t t = 0; t < upd_rows.size(); ++t)
-          a_mut[upd_rows[t]] += upd_vals[t];
-      }
-    }
-  }
+  stats_.forward_passes += n;  // comparable accounting with Algorithm 1
+  stats_.nonfinite_rejections += nonfinite;
 
   if (telemetry::enabled()) {
     telemetry::MetricsRegistry& registry = telemetry::metrics();
     registry.counter("sampler.auto_fast.batches").add();
     registry.counter("sampler.auto_fast.forward_passes").add(n);
     registry.counter("sampler.auto_fast.samples").add(bs);
+    // Created unconditionally (add(0) registers the instrument): the
+    // cross-rank metrics merge requires every rank to expose the identical
+    // instrument set whether or not the guard ever fired.
+    registry.counter("sampler.nonfinite_rejections").add(nonfinite);
   }
 }
 

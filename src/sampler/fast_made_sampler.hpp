@@ -27,13 +27,20 @@
 /// call — and the inner loops iterate only the mask extents, skipping the
 /// structurally zero terms without changing any result bit.
 ///
+/// The draw loop itself lives in the shared batched conditional engine
+/// (sampler/conditional_engine.hpp): per site, one relu_dot_panels_batch
+/// kernel call evaluates the whole batch's logits, non-finite conditionals
+/// are clamped to an unbiased coin and counted (nonfinite_rejections, as in
+/// the baseline), and the rank-1 updates run as a gathered pass over the
+/// rows that flipped.
+///
 /// Thread safety: a FastMadeSampler instance is single-threaded — it owns
-/// mutable scratch (the running pre-activations) and an RNG stream.  The
-/// borrowed Made, however, is only ever read through const methods, so any
-/// number of sampler instances (one per thread) may share one frozen model
-/// concurrently.  For the serving path, serve::ModelSnapshot re-implements
-/// this exact draw order with per-request generators (bit-for-bit parity
-/// is tested).
+/// mutable scratch (the engine workspace) and an RNG stream.  The borrowed
+/// Made, however, is only ever read through const methods, so any number of
+/// sampler instances (one per thread) may share one frozen model
+/// concurrently.  The serving path (serve::ModelSnapshot) runs the same
+/// engine with per-request generators, keeping the two draw streams
+/// bit-for-bit identical (tested).
 
 #include <cstdint>
 
@@ -52,6 +59,7 @@ class FastMadeSampler final : public Sampler {
   FastMadeSampler(const Made& model, std::uint64_t seed);
 
   void sample(Matrix& out) override;
+  void sample_ws(Matrix& out, WavefunctionModel::Workspace* ws) override;
 
   [[nodiscard]] const SamplerStatistics& statistics() const override {
     return stats_;
@@ -75,8 +83,9 @@ class FastMadeSampler final : public Sampler {
   rng::Xoshiro256 gen_;
   SamplerStatistics stats_;
 
-  // Scratch reused across calls.
-  Matrix a1_;  ///< bs x h running pre-activations
+  // Engine scratch reused across calls when the caller supplies no
+  // workspace (sample_ws threads a caller-owned Made::Workspace instead).
+  Made::Workspace scratch_;
 };
 
 }  // namespace vqmc

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "nn/wavefunction.hpp"
 #include "tensor/matrix.hpp"
 
 namespace vqmc {
@@ -46,6 +47,16 @@ class Sampler {
   /// Fill `out` (batch x n, entries in {0,1}) with (approximate or exact)
   /// samples from the current model distribution.
   virtual void sample(Matrix& out) = 0;
+
+  /// sample() with a caller-owned model workspace: samplers that evaluate
+  /// the model (or run the batched conditional engine) reuse `ws` for all
+  /// scratch, so steady-state batches allocate nothing once shapes
+  /// stabilize.  `ws` may be null or of a foreign concrete type — samplers
+  /// fall back to internal scratch; results are identical either way.
+  virtual void sample_ws(Matrix& out, WavefunctionModel::Workspace* ws) {
+    (void)ws;
+    sample(out);
+  }
 
   [[nodiscard]] virtual const SamplerStatistics& statistics() const = 0;
   virtual void reset_statistics() = 0;

@@ -315,9 +315,11 @@ void InferenceEngine::admit(std::unique_ptr<Request> request,
 }
 
 void InferenceEngine::worker_loop() {
-  // Per-worker model workspace: activation scratch stops allocating once
-  // batch shapes stabilize, and stays private to this thread.
+  // Per-worker model workspace and batch scratch: activation and batch
+  // buffers stop allocating once batch shapes stabilize, and stay private
+  // to this thread.
   Made::Workspace ws;
+  BatchScratch scratch;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     work_cv_.wait(lock, [this] {
@@ -373,7 +375,7 @@ void InferenceEngine::worker_loop() {
                   .model_state->max_batch_rows,
               plan.rows);
     const std::size_t rows = plan.rows;
-    execute_batch(plan, ws);
+    execute_batch(plan, ws, scratch);
     finish_rows(rows);
     lock.lock();
   }
@@ -401,7 +403,8 @@ void InferenceEngine::fail_request(Request& request,
   }
 }
 
-void InferenceEngine::execute_batch(BatchPlan& plan, Made::Workspace& ws) {
+void InferenceEngine::execute_batch(BatchPlan& plan, Made::Workspace& ws,
+                                    BatchScratch& scratch) {
   TELEMETRY_SPAN("serve.batch");
   // The scheduler guarantees a single-model, single-kind batch; bind it to
   // exactly one published version of that model — every response below is
@@ -471,17 +474,25 @@ void InferenceEngine::execute_batch(BatchPlan& plan, Made::Workspace& ws) {
       // One ancestral pass over the sites serves every request; each
       // request's rows consume its own seed stream (bit-identical to a
       // dedicated FastMadeSampler).
-      Matrix out(live_rows, n);
-      std::vector<rng::Xoshiro256> gens;
-      gens.reserve(live.size());
-      for (const Request* request : live) gens.emplace_back(request->seed);
-      std::vector<ModelSnapshot::SampleSlice> slices(live.size());
+      ensure_shape(scratch.sample_out, live_rows, n);
+      Matrix& out = scratch.sample_out;
+      scratch.gens.clear();
+      scratch.gens.reserve(live.size());
+      for (const Request* request : live) scratch.gens.emplace_back(request->seed);
+      scratch.slices.resize(live.size());
       std::size_t row = 0;
       for (std::size_t r = 0; r < live.size(); ++r) {
-        slices[r] = {row, live[r]->rows, &gens[r]};
+        scratch.slices[r] = {row, live[r]->rows, &scratch.gens[r]};
         row += live[r]->rows;
       }
-      snapshot.sample(out, slices);
+      const std::uint64_t nonfinite = snapshot.sample(out, scratch.slices, ws);
+      nonfinite_draws_.fetch_add(nonfinite, std::memory_order_relaxed);
+      if (telemetry::enabled()) {
+        // Created unconditionally (add(0) registers the instrument) so the
+        // health guards can attribute sick batches to the model, not the
+        // engine.
+        telemetry::metrics().counter("serve.nonfinite_draws").add(nonfinite);
+      }
       const double end_us = telemetry::now_us();
       row = 0;
       for (Request*& request : live) {
@@ -497,14 +508,16 @@ void InferenceEngine::execute_batch(BatchPlan& plan, Made::Workspace& ws) {
       }
     } else {
       // Stack the request configurations into one forward batch.
-      Matrix all(live_rows, n);
+      ensure_shape(scratch.stacked, live_rows, n);
+      Matrix& all = scratch.stacked;
       std::size_t row = 0;
       for (const Request* request : live) {
         std::copy_n(request->configs.data(), request->rows * n,
                     all.data() + row * n);
         row += request->rows;
       }
-      std::vector<Real> values(live_rows);
+      scratch.values.resize(live_rows);
+      std::vector<Real>& values = scratch.values;
       if (kind == Kind::LogPsi) {
         snapshot.log_psi(all, values, ws);
       } else {
@@ -581,6 +594,7 @@ EngineCounters InferenceEngine::counters() const {
   counters.batches = batches_.load(std::memory_order_relaxed);
   counters.publishes = publishes_.load(std::memory_order_relaxed);
   counters.max_batch_rows = max_batch_rows_.load(std::memory_order_relaxed);
+  counters.nonfinite_draws = nonfinite_draws_.load(std::memory_order_relaxed);
   return counters;
 }
 
@@ -647,6 +661,7 @@ std::vector<std::pair<std::string, std::uint64_t>> counter_fields(
       {"serve.batches", counters.batches},
       {"serve.publishes", counters.publishes},
       {"serve.max_batch_rows", counters.max_batch_rows},
+      {"serve.nonfinite_draws", counters.nonfinite_draws},
   };
 }
 

@@ -137,6 +137,9 @@ struct EngineCounters {
   std::uint64_t batches = 0;    ///< micro-batches executed
   std::uint64_t publishes = 0;  ///< snapshot versions published (all models)
   std::uint64_t max_batch_rows = 0;  ///< largest micro-batch executed (rows)
+  /// Non-finite conditionals clamped to an unbiased coin during sampling
+  /// (0 for healthy models; nonzero attributes sick batches to the model).
+  std::uint64_t nonfinite_draws = 0;
 };
 
 /// Per-model traffic + version accounting (one shared worker pool serves
@@ -327,8 +330,22 @@ class InferenceEngine {
   /// Model state by name, created on first use (registry lock only).
   ModelState& ensure_model_state(const std::string& name);
   TenantState& ensure_tenant_state(const std::string& name);
+  /// Per-worker reusable batch scratch: the fused batch buffers and slice
+  /// tables reach a steady shape once saturated batches fill
+  /// max_batch_rows, so the execute path stops allocating between batches
+  /// (the per-request response payloads are the only remaining
+  /// allocations — they transfer ownership to the client).
+  struct BatchScratch {
+    Matrix sample_out;                              ///< fused sample output
+    Matrix stacked;                                 ///< fused eval input
+    std::vector<rng::Xoshiro256> gens;              ///< per-request streams
+    std::vector<ModelSnapshot::SampleSlice> slices; ///< fused row ranges
+    std::vector<Real> values;                       ///< fused eval output
+  };
+
   void worker_loop();
-  void execute_batch(BatchPlan& plan, Made::Workspace& ws);
+  void execute_batch(BatchPlan& plan, Made::Workspace& ws,
+                     BatchScratch& scratch);
   void fail_request(Request& request, std::exception_ptr error);
   void finish_rows(std::size_t rows);
 
@@ -356,6 +373,7 @@ class InferenceEngine {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> publishes_{0};
   std::atomic<std::uint64_t> max_batch_rows_{0};
+  std::atomic<std::uint64_t> nonfinite_draws_{0};
 };
 
 }  // namespace vqmc::serve

@@ -2,9 +2,6 @@
 
 #include <algorithm>
 
-#include "rng/distributions.hpp"
-#include "tensor/kernels.hpp"
-
 namespace vqmc::serve {
 
 std::shared_ptr<const ModelSnapshot> ModelSnapshot::from_model(
@@ -63,65 +60,27 @@ void ModelSnapshot::log_psi(const Matrix& batch, std::span<Real> out,
   model_.log_psi(batch, out, ws);
 }
 
-void ModelSnapshot::sample(Matrix& out,
-                           std::span<const SampleSlice> slices) const {
-  const std::size_t n = model_.num_spins();
-  const std::size_t h = model_.hidden_size();
-  VQMC_REQUIRE(out.cols() == n, "serve: output batch has wrong spin count");
-  const std::size_t bs = out.rows();
-  VQMC_REQUIRE(bs > 0, "serve: sample batch must be non-empty");
-  for (const SampleSlice& s : slices) {
-    VQMC_REQUIRE(s.gen != nullptr && s.row_count > 0 &&
-                     s.row_begin + s.row_count <= bs,
-                 "serve: invalid sample slice");
-  }
-
-  // Prebuilt packed weights — nothing is materialized per request.
-  const ColPanelGeometry& w1_cols = model_.w1_col_panels();
-  const Real* w1_col_values = masked_->w1_col_values.data();
-  const RowExtentsView w2_ext = model_.w2_extents().view();
-  const std::span<const Real> b1 = model_.bias1();
-  const std::span<const Real> b2 = model_.bias2();
-
-  // Running hidden pre-activations, rank-1-updated exactly as in
-  // FastMadeSampler (the all-zeros start contributes only the bias).
-  Matrix a1(bs, h);
-  for (std::size_t k = 0; k < bs; ++k) {
-    Real* row = a1.row(k).data();
-    for (std::size_t l = 0; l < h; ++l) row[l] = b1[l];
-  }
-  out.fill(0);
-
-  for (std::size_t i = 0; i < n; ++i) {
-    const Real* w2_panel = masked_->w2p.row(i);
-    const std::span<const ColSpan> w2_spans = w2_ext.row(i);
-    const std::span<const std::uint32_t> upd_rows = w1_cols.col(i);
-    const Real* upd_vals = w1_col_values + w1_cols.offsets[i];
-    const Real bias = b2[i];
-    for (const SampleSlice& s : slices) {
-      rng::Xoshiro256& gen = *s.gen;
-      const std::size_t end = s.row_begin + s.row_count;
-      for (std::size_t k = s.row_begin; k < end; ++k) {
-        const Real* a_row = a1.row(k).data();
-        // relu_dot_panels is the exact primitive FastMadeSampler calls, so
-        // the two paths stay mutually bit-identical under the same stream.
-        const Real logit = bias + relu_dot_panels(w2_spans, a_row, w2_panel);
-        const Real p1 = sigmoid(logit);
-        if (rng::bernoulli(gen, p1)) {
-          out(k, i) = 1;
-          Real* a_mut = a1.row(k).data();
-          for (std::size_t t = 0; t < upd_rows.size(); ++t)
-            a_mut[upd_rows[t]] += upd_vals[t];
-        }
-      }
-    }
-  }
+std::uint64_t ModelSnapshot::sample(Matrix& out,
+                                    std::span<const SampleSlice> slices,
+                                    Made::Workspace& ws) const {
+  // The shared batched conditional engine runs over the snapshot's pinned
+  // packed weights (masked_, built once at construction) — nothing is
+  // materialized per request, and all scratch lives in the caller's
+  // workspace.  FastMadeSampler drives the identical engine, so the two
+  // draw streams stay mutually bit-identical under the same stream.
+  return sample_conditionals_batched(model_, *masked_, out, slices, ws);
 }
 
-void ModelSnapshot::sample(Matrix& out, std::uint64_t seed) const {
+std::uint64_t ModelSnapshot::sample(Matrix& out,
+                                    std::span<const SampleSlice> slices) const {
+  Made::Workspace ws;
+  return sample(out, slices, ws);
+}
+
+std::uint64_t ModelSnapshot::sample(Matrix& out, std::uint64_t seed) const {
   rng::Xoshiro256 gen(seed);
   const SampleSlice slice{0, out.rows(), &gen};
-  sample(out, std::span<const SampleSlice>(&slice, 1));
+  return sample(out, std::span<const SampleSlice>(&slice, 1));
 }
 
 }  // namespace vqmc::serve

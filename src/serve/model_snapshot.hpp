@@ -37,6 +37,7 @@
 #include "core/checkpoint.hpp"
 #include "nn/made.hpp"
 #include "rng/xoshiro.hpp"
+#include "sampler/conditional_engine.hpp"
 #include "serve/errors.hpp"
 
 namespace vqmc::serve {
@@ -75,22 +76,29 @@ class ModelSnapshot {
 
   /// One coalesced request's slice of a sampling batch: rows
   /// [row_begin, row_begin + row_count) of `out`, drawn from `*gen`.
-  struct SampleSlice {
-    std::size_t row_begin = 0;
-    std::size_t row_count = 0;
-    rng::Xoshiro256* gen = nullptr;
-  };
+  /// Identical to (an alias of) the batched conditional engine's DrawSlice.
+  using SampleSlice = DrawSlice;
 
-  /// Exact ancestral sampling of every slice in one pass over the sites.
+  /// Exact ancestral sampling of every slice in one pass over the sites,
+  /// via the shared batched conditional engine (conditional_engine.hpp).
   /// Each slice consumes its own generator in FastMadeSampler's draw order
   /// (site-major, row-minor within the slice), so a slice's rows are
   /// bit-identical to a dedicated FastMadeSampler seeded with the same
   /// stream — coalescing requests cannot change what any request receives.
-  /// Safe to call concurrently (each call owns its scratch and generators).
-  void sample(Matrix& out, std::span<const SampleSlice> slices) const;
+  /// Non-finite conditionals are clamped to an unbiased coin; the return
+  /// value counts the clamps (0 for a healthy snapshot; the uniform is
+  /// consumed either way, so healthy streams are unperturbed).
+  /// Safe to call concurrently: one workspace per concurrent caller, all
+  /// scratch lives there — steady-state calls allocate nothing once the
+  /// workspace shapes stabilize.
+  std::uint64_t sample(Matrix& out, std::span<const SampleSlice> slices,
+                       Made::Workspace& ws) const;
+
+  /// Same, with call-local scratch (allocates; off the serve worker path).
+  std::uint64_t sample(Matrix& out, std::span<const SampleSlice> slices) const;
 
   /// Convenience: fill all of `out` from a single seed.
-  void sample(Matrix& out, std::uint64_t seed) const;
+  std::uint64_t sample(Matrix& out, std::uint64_t seed) const;
 
  private:
   explicit ModelSnapshot(Made model)

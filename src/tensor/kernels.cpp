@@ -234,6 +234,39 @@ Real relu_dot_panels(std::span<const ColSpan> spans, const Real* a,
   VQMC_DISPATCH(relu_dot_panels(spans, a, packed_row))
 }
 
+void relu_dot_panels_batch(std::span<const ColSpan> spans, const Real* a,
+                           std::size_t lda, std::size_t rows,
+                           const Real* packed_row, Real* out) {
+  VQMC_DISPATCH(relu_dot_panels_batch(spans, a, lda, rows, packed_row, out))
+}
+
+void relu_dot_panels_block(RowExtentsView ext, const PackedRowPanels& panels,
+                           std::size_t row_begin, const Real* a,
+                           std::size_t lda, std::size_t rows, Matrix& out) {
+  VQMC_REQUIRE(out.rows() == ext.rows() - row_begin && out.cols() == rows,
+               "relu_dot_panels_block: output shape mismatch");
+  VQMC_DISPATCH(relu_dot_panels_block(ext, panels, row_begin, a, lda, rows, out))
+}
+
+void dot_panels_block(RowExtentsView ext, const PackedRowPanels& panels,
+                      std::size_t row_begin, const Real* a, std::size_t lda,
+                      std::size_t rows, Matrix& out) {
+  VQMC_REQUIRE(out.rows() == ext.rows() - row_begin && out.cols() == rows,
+               "dot_panels_block: output shape mismatch");
+  VQMC_DISPATCH(dot_panels_block(ext, panels, row_begin, a, lda, rows, out))
+}
+
+void rank1_add_rows(Real* a, std::size_t lda,
+                    std::span<const std::uint32_t> row_ids,
+                    std::size_t col_begin, const Real* vals, std::size_t len) {
+  VQMC_DISPATCH(rank1_add_rows(a, lda, row_ids, col_begin, vals, len))
+}
+
+void accumulate_masked_cols(Real* dst, std::uint64_t mask,
+                            const Real* const* cols, std::size_t len) {
+  VQMC_DISPATCH(accumulate_masked_cols(dst, mask, cols, len))
+}
+
 Real bernoulli_log_likelihood(std::span<const Real> x, const Real* p,
                               Real eps) {
   VQMC_DISPATCH(bernoulli_log_likelihood(x, p, eps))

@@ -49,6 +49,7 @@
 /// property 3 holds for them too.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -247,6 +248,58 @@ void gemm_nt_panels(const Matrix& a, RowExtentsView ext,
 /// their draws stay mutually bit-identical.
 Real relu_dot_panels(std::span<const ColSpan> spans, const Real* a,
                      const Real* packed_row);
+
+/// Batched relu_dot_panels over `rows` activation rows sharing one packed
+/// panel row: out[r] = relu_dot_panels(spans, a + r * lda, packed_row),
+/// bitwise, for every r.  `a` is a row-major block with leading dimension
+/// `lda`.  This is the batched conditional engine's per-site logit kernel —
+/// one call evaluates site i's logit for the whole micro-batch with 4-row
+/// register blocking, so batching never perturbs a row's value.
+void relu_dot_panels_batch(std::span<const ColSpan> spans, const Real* a,
+                           std::size_t lda, std::size_t rows,
+                           const Real* packed_row, Real* out);
+
+/// Blocked relu_dot_panels over panel rows [row_begin, ext.rows()) and a
+/// fixed activation block: out(i - row_begin, r) is bitwise identical to
+/// relu_dot_panels(ext.row(i), a + r * lda, panels.row(i)) for every cell.
+/// `out` must be pre-shaped (ext.rows() - row_begin) x rows.  This is the
+/// conditional engine's frozen-tail kernel: once no remaining site can
+/// change the pre-activations, all remaining logits are one blocked pass
+/// with row-tile-outer ordering (activation rows stay cache-resident while
+/// the packed panels stream once per tile) instead of a per-site sweep
+/// that re-reads the whole activation block for every site.
+void relu_dot_panels_block(RowExtentsView ext, const PackedRowPanels& panels,
+                           std::size_t row_begin, const Real* a,
+                           std::size_t lda, std::size_t rows, Matrix& out);
+
+/// Plain-dot sibling of relu_dot_panels_block for callers that already hold
+/// the materialized rectified activations: dot_panels_block(ext, p, rb,
+/// relu(a), ...) is bitwise identical per cell to relu_dot_panels_block(ext,
+/// p, rb, a, ...) — the dot4/dot accumulation structure is the same, only
+/// the per-element vmax disappears from the inner loop.  Worth it when one
+/// activation block feeds many output rows (the frozen tail rectifies once
+/// and streams ~n-h sites over the result).
+void dot_panels_block(RowExtentsView ext, const PackedRowPanels& panels,
+                      std::size_t row_begin, const Real* a, std::size_t lda,
+                      std::size_t rows, Matrix& out);
+
+/// a[r][col_begin + t] += vals[t] for every r in `row_ids` — the samplers'
+/// gathered rank-1 update when a masked column's active rows form one
+/// interval.  Bitwise identical to the scalar per-row += walk (the fused
+/// multiplier is exactly one), with one dispatched call covering all
+/// flipped rows of a site.
+void rank1_add_rows(Real* a, std::size_t lda,
+                    std::span<const std::uint32_t> row_ids,
+                    std::size_t col_begin, const Real* vals, std::size_t len);
+
+/// dst[0..len) += cols[b][0..len) for every set bit b of `mask`, ascending.
+/// The deferred half of the samplers' blocked rank-1 update: one call
+/// applies every recorded flip of a 64-site block to one activation row
+/// while that row is cache-resident.  Ascending bit order and the unit fma
+/// multiplier keep the result bitwise identical to applying each add at
+/// its original site.
+void accumulate_masked_cols(Real* dst, std::uint64_t mask,
+                            const Real* const* cols, std::size_t len);
 
 /// sum_i log(max(x_i != 0 ? p_i : 1 - p_i, eps)) — the Bernoulli
 /// log-likelihood of binary configuration x under conditionals p (length

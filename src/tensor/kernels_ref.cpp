@@ -197,6 +197,55 @@ Real relu_dot_panels(std::span<const ColSpan> spans, const Real* a,
   return acc;
 }
 
+void relu_dot_panels_batch(std::span<const ColSpan> spans, const Real* a,
+                           std::size_t lda, std::size_t rows,
+                           const Real* packed_row, Real* out) {
+  for (std::size_t r = 0; r < rows; ++r)
+    out[r] = ref::relu_dot_panels(spans, a + r * lda, packed_row);
+}
+
+void relu_dot_panels_block(RowExtentsView ext, const PackedRowPanels& panels,
+                           std::size_t row_begin, const Real* a,
+                           std::size_t lda, std::size_t rows, Matrix& out) {
+  for (std::size_t site = row_begin; site < ext.rows(); ++site)
+    for (std::size_t r = 0; r < rows; ++r)
+      out(site - row_begin, r) =
+          ref::relu_dot_panels(ext.row(site), a + r * lda, panels.row(site));
+}
+
+void dot_panels_block(RowExtentsView ext, const PackedRowPanels& panels,
+                      std::size_t row_begin, const Real* a, std::size_t lda,
+                      std::size_t rows, Matrix& out) {
+  for (std::size_t site = row_begin; site < ext.rows(); ++site)
+    for (std::size_t r = 0; r < rows; ++r) {
+      const Real* arow = a + r * lda;
+      Real acc = 0;
+      const Real* bp = panels.row(site);
+      for (const ColSpan& sp : ext.row(site)) {
+        for (std::size_t c = sp.begin; c < sp.end; ++c) acc += arow[c] * *bp++;
+      }
+      out(site - row_begin, r) = acc;
+    }
+}
+
+void rank1_add_rows(Real* a, std::size_t lda,
+                    std::span<const std::uint32_t> row_ids,
+                    std::size_t col_begin, const Real* vals, std::size_t len) {
+  for (const std::uint32_t r : row_ids) {
+    Real* row = a + std::size_t(r) * lda + col_begin;
+    for (std::size_t t = 0; t < len; ++t) row[t] += vals[t];
+  }
+}
+
+void accumulate_masked_cols(Real* dst, std::uint64_t mask,
+                            const Real* const* cols, std::size_t len) {
+  for (unsigned b = 0; b < 64; ++b) {
+    if (!(mask & (std::uint64_t(1) << b))) continue;
+    const Real* src = cols[b];
+    for (std::size_t t = 0; t < len; ++t) dst[t] += src[t];
+  }
+}
+
 Real bernoulli_log_likelihood(std::span<const Real> x, const Real* p,
                               Real eps) {
   Real acc = 0;

@@ -37,6 +37,20 @@ void gemm_tn_accumulate_extents(const Matrix& a, const Matrix& b,
                                 RowExtentsView ext, Matrix& c);
 Real relu_dot_panels(std::span<const ColSpan> spans, const Real* a,
                      const Real* packed_row);
+void relu_dot_panels_batch(std::span<const ColSpan> spans, const Real* a,
+                           std::size_t lda, std::size_t rows,
+                           const Real* packed_row, Real* out);
+void relu_dot_panels_block(RowExtentsView ext, const PackedRowPanels& panels,
+                           std::size_t row_begin, const Real* a,
+                           std::size_t lda, std::size_t rows, Matrix& out);
+void dot_panels_block(RowExtentsView ext, const PackedRowPanels& panels,
+                      std::size_t row_begin, const Real* a, std::size_t lda,
+                      std::size_t rows, Matrix& out);
+void rank1_add_rows(Real* a, std::size_t lda,
+                    std::span<const std::uint32_t> row_ids,
+                    std::size_t col_begin, const Real* vals, std::size_t len);
+void accumulate_masked_cols(Real* dst, std::uint64_t mask,
+                            const Real* const* cols, std::size_t len);
 Real bernoulli_log_likelihood(std::span<const Real> x, const Real* p,
                               Real eps);
 void sigmoid_inplace(Matrix& a);

@@ -4,11 +4,14 @@
 
 #include <cmath>
 
+#include <limits>
+
 #include "hamiltonian/hamiltonian.hpp"
 #include "rng/distributions.hpp"
 #include "rng/xoshiro.hpp"
 #include "sampler/autoregressive_sampler.hpp"
 #include "sampler/diagnostics.hpp"
+#include "telemetry/metrics_registry.hpp"
 
 namespace vqmc {
 namespace {
@@ -92,6 +95,112 @@ TEST(FastMadeSampler, WrongShapeRejected) {
   FastMadeSampler sampler(made, 1);
   Matrix wrong(4, 5);
   EXPECT_THROW(sampler.sample(wrong), Error);
+}
+
+TEST(FastMadeSampler, MatchesBaselineAcrossSizes) {
+  // AUTO vs AUTO-fast under the batched conditional engine, across spin
+  // counts from the minimum (MADE needs n >= 2) through n = 1000, with a
+  // batch size that exercises both a full 4-row kernel tile and a tail row.
+  for (const std::size_t n : {2ul, 7ul, 100ul, 300ul, 1000ul}) {
+    Made made(n, 11);
+    randomize_parameters(made, 1000 + n);
+    AutoregressiveSampler baseline(made, 17);
+    FastMadeSampler fast(made, 17);
+    Matrix a(5, n), b(5, n);
+    baseline.sample(a);
+    fast.sample(b);
+    std::size_t differing = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      differing += a.data()[i] != b.data()[i] ? 1 : 0;
+    EXPECT_EQ(differing, 0u) << "n = " << n;
+  }
+}
+
+TEST(FastMadeSampler, WorkspaceVariantMatchesAndReuses) {
+  // sample_ws with a caller-owned Made::Workspace must reproduce the plain
+  // sample() stream exactly, including across repeated (reused) calls.
+  Made made(9, 13);
+  randomize_parameters(made, 6);
+  FastMadeSampler plain(made, 23), with_ws(made, 23);
+  Made::Workspace ws;
+  Matrix a(37, 9), b(37, 9);
+  for (int round = 0; round < 3; ++round) {
+    plain.sample(a);
+    with_ws.sample_ws(b, &ws);
+    for (std::size_t i = 0; i < a.size(); ++i)
+      ASSERT_EQ(a.data()[i], b.data()[i]) << "round " << round;
+  }
+}
+
+TEST(FastMadeSampler, NonfiniteConditionalsClampedCountedAndBaselineExact) {
+  // A NaN output bias makes every site-2 conditional NaN. The engine must
+  // clamp those draws to an unbiased coin and count them — exactly like the
+  // baseline sampler — instead of feeding NaN into bernoulli (which
+  // compares false and silently biased every later site before this fix).
+  constexpr std::size_t n = 8, h = 12, bs = 64;
+  Made made(n, h);
+  randomize_parameters(made, 7);
+  made.parameters()[made.num_parameters() - n + 2] =  // b2[2]
+      std::numeric_limits<Real>::quiet_NaN();
+
+  AutoregressiveSampler baseline(made, 31);
+  FastMadeSampler fast(made, 31);
+  Matrix a(bs, n), b(bs, n);
+  baseline.sample(a);
+  fast.sample(b);
+  EXPECT_EQ(baseline.statistics().nonfinite_rejections, bs);
+  EXPECT_EQ(fast.statistics().nonfinite_rejections, bs);
+  // Clamped draws are fair coins from the same stream position, so the two
+  // samplers stay bit-identical even on a sick model.
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a.data()[i], b.data()[i]);
+  // Site 2 still received draws (not stuck all-zero, the silent-bias mode).
+  std::size_t ones_at_site2 = 0;
+  for (std::size_t k = 0; k < bs; ++k) ones_at_site2 += b(k, 2) != 0 ? 1 : 0;
+  EXPECT_GT(ones_at_site2, 0u);
+  EXPECT_LT(ones_at_site2, bs);
+}
+
+TEST(FastMadeSampler, ClampConsumesExactlyOneUniformKeepingStreamAligned) {
+  // The guard consumes the uniform either way, so the RNG stream position
+  // after a batch is independent of whether any clamp fired — a healthy
+  // run's stream is bit-identical to one where the guard never existed.
+  constexpr std::size_t n = 6, h = 9, bs = 21;
+  Made healthy(n, h);
+  randomize_parameters(healthy, 8);
+  Made sick(n, h);
+  randomize_parameters(sick, 8);
+  sick.parameters()[sick.num_parameters() - n + 1] =  // b2[1]
+      std::numeric_limits<Real>::quiet_NaN();
+
+  FastMadeSampler on_healthy(healthy, 57), on_sick(sick, 57);
+  Matrix out(bs, n);
+  on_healthy.sample(out);
+  on_sick.sample(out);
+  EXPECT_EQ(on_sick.statistics().nonfinite_rejections, bs);
+  EXPECT_EQ(on_healthy.serialize_state(), on_sick.serialize_state());
+}
+
+TEST(FastMadeSampler, NonfiniteInstrumentCreatedUnconditionally) {
+  // The cross-rank metrics merge requires every rank to expose the same
+  // instrument set; the counter must exist (at zero) even when no clamp
+  // ever fires on this rank.
+  if (!telemetry::enabled()) GTEST_SKIP() << "telemetry compiled out";
+  telemetry::MetricsRegistry registry;
+  const telemetry::ScopedMetricsRegistry scope(registry);
+  Made made(5, 6);
+  randomize_parameters(made, 9);
+  FastMadeSampler sampler(made, 11);
+  Matrix out(8, 5);
+  sampler.sample(out);
+  bool found = false;
+  for (const auto& counter : registry.snapshot().counters) {
+    if (counter.name == "sampler.nonfinite_rejections") {
+      found = true;
+      EXPECT_EQ(counter.value, 0u);
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <future>
+#include <limits>
 #include <string>
 #include <thread>
 #include <utility>
@@ -47,12 +48,14 @@ TEST(EngineCounters, CounterFieldNamesArePinned) {
   counters.batches = 5;
   counters.publishes = 6;
   counters.max_batch_rows = 7;
+  counters.nonfinite_draws = 9;
   const auto fields = counter_fields(counters);
   const std::vector<std::pair<std::string, std::uint64_t>> expected = {
       {"serve.submitted", 1},      {"serve.completed", 2},
       {"serve.failed", 3},         {"serve.shed", 4},
       {"serve.quota_rejected", 8}, {"serve.batches", 5},
       {"serve.publishes", 6},      {"serve.max_batch_rows", 7},
+      {"serve.nonfinite_draws", 9},
   };
   ASSERT_EQ(fields.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
@@ -150,6 +153,32 @@ TEST(InferenceEngine, SampleMatchesInTrainerSamplerBitForBit) {
   ASSERT_EQ(result.samples.rows(), 32u);
   for (std::size_t i = 0; i < expected.size(); ++i)
     EXPECT_EQ(expected.data()[i], result.samples.data()[i]);
+}
+
+TEST(InferenceEngine, NonfiniteDrawsSurfaceInEngineCounters) {
+  // Serving a sick model (NaN output bias) must clamp the affected draws
+  // and attribute them through counters().nonfinite_draws, so health guards
+  // can tell a sick model from a sick engine.
+  constexpr std::size_t n = 6;
+  Made made(n, 8);
+  randomize_parameters(made, 19);
+  made.parameters()[made.num_parameters() - n + 1] =  // b2[1]
+      std::numeric_limits<Real>::quiet_NaN();
+  InferenceEngine engine({.workers = 1});
+  engine.publish_model(made);
+
+  const SampleResult result = engine.submit_sample(16, 5).get();
+  ASSERT_EQ(result.samples.rows(), 16u);
+  EXPECT_EQ(engine.counters().nonfinite_draws, 16u);  // one clamp per row
+  const auto fields = counter_fields(engine.counters());
+  bool found = false;
+  for (const auto& [name, value] : fields) {
+    if (name == "serve.nonfinite_draws") {
+      found = true;
+      EXPECT_EQ(value, 16u);
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST(InferenceEngine, LocalEnergyMatchesEngineDirect) {

@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <string>
 
 #include "rng/distributions.hpp"
 #include "rng/xoshiro.hpp"
+#include "sampler/autoregressive_sampler.hpp"
 #include "sampler/fast_made_sampler.hpp"
+#include "support/alloc_count.hpp"
 
 namespace vqmc::serve {
 namespace {
@@ -104,6 +107,74 @@ TEST(ModelSnapshot, CoalescedSlicesMatchDedicatedSamplers) {
   for (std::size_t k = 0; k < 11; ++k)
     for (std::size_t i = 0; i < 7; ++i)
       EXPECT_EQ(expected_b(k, i), fused(5 + k, i));
+}
+
+TEST(ModelSnapshot, ThreeWayDrawParityAcrossSizes) {
+  // The batched conditional engine serves both fast paths, and the baseline
+  // AutoregressiveSampler is an independent implementation: under one seed,
+  // all three must emit the identical batch, from the minimum spin count
+  // (MADE needs n >= 2) through n = 1000.  The batch size covers a full
+  // 4-row kernel tile plus a tail row.
+  for (const std::size_t n : {2ul, 7ul, 100ul, 300ul, 1000ul}) {
+    Made made(n, 9);
+    randomize_parameters(made, 3000 + n);
+    const auto snapshot = ModelSnapshot::from_model(made);
+
+    AutoregressiveSampler baseline(made, 91);
+    FastMadeSampler fast(made, 91);
+    Matrix a(5, n), b(5, n), c(5, n);
+    baseline.sample(a);
+    fast.sample(b);
+    EXPECT_EQ(snapshot->sample(c, 91), 0u) << "n = " << n;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a.data()[i], b.data()[i]) << "AUTO vs fast, n = " << n;
+      ASSERT_EQ(b.data()[i], c.data()[i]) << "fast vs snapshot, n = " << n;
+    }
+  }
+}
+
+TEST(ModelSnapshot, NonfiniteDrawsClampedCountedAndStillFastParity) {
+  // A snapshot of a sick model (NaN output bias) must clamp the affected
+  // conditionals to an unbiased coin, report the count, and keep bit parity
+  // with FastMadeSampler over the same model and stream.
+  constexpr std::size_t n = 7, bs = 48;
+  Made made(n, 10);
+  randomize_parameters(made, 13);
+  made.parameters()[made.num_parameters() - n + 3] =  // b2[3]
+      std::numeric_limits<Real>::quiet_NaN();
+  const auto snapshot = ModelSnapshot::from_model(made);
+
+  FastMadeSampler reference(made, 29);
+  Matrix expected(bs, n), got(bs, n);
+  reference.sample(expected);
+  EXPECT_EQ(snapshot->sample(got, 29), bs);
+  EXPECT_EQ(reference.statistics().nonfinite_rejections, bs);
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(expected.data()[i], got.data()[i]);
+}
+
+TEST(ModelSnapshot, SampleAndLogPsiSteadyStateAllocateNothing) {
+  // The serve worker path: once the per-worker workspace shapes stabilize,
+  // sample() and log_psi() must not touch the heap (the per-request
+  // `Matrix a1(bs, h)` this PR removed showed up exactly here).
+  Made made(10, 13);
+  randomize_parameters(made, 17);
+  const auto snapshot = ModelSnapshot::from_model(made);
+  const Matrix batch = random_configs(24, 10, 18);
+  Matrix out(24, 10);
+  Vector values(24);
+  Made::Workspace ws;
+  rng::Xoshiro256 gen(5);
+  const ModelSnapshot::SampleSlice slice{0, 24, &gen};
+
+  // Warm-up shapes the workspace (and first-touches any lazy internals).
+  (void)snapshot->sample(out, {&slice, 1}, ws);
+  snapshot->log_psi(batch, values.span(), ws);
+
+  const std::uint64_t before = vqmc::testing::allocation_count();
+  (void)snapshot->sample(out, {&slice, 1}, ws);
+  snapshot->log_psi(batch, values.span(), ws);
+  EXPECT_EQ(vqmc::testing::allocation_count(), before);
 }
 
 TEST(ModelSnapshot, RoundTripThroughTrainingSnapshot) {

@@ -409,6 +409,194 @@ TEST(SimdKernels, ReluDotPanelsMatchesReferenceAcrossLevels) {
   }
 }
 
+TEST(SimdKernels, ReluDotPanelsBatchBitwiseEqualsSingleRowAcrossLevels) {
+  // The batched conditional engine's contract: out[r] of the batch kernel is
+  // *bitwise* the single-row relu_dot_panels value, for every batch size and
+  // row-tile split — plus reference parity within the documented ULP bound.
+  LevelGuard guard;
+  const Matrix mask = random_mask(6, 41, 143, 0.6);
+  const Matrix b = apply_mask(random_matrix(6, 41, 144), mask);
+  const RowExtents ext = RowExtents::from_mask(mask);
+  const PackedRowPanels panels = PackedRowPanels::pack(b, ext.view());
+  for (const simd::Level level : testable_levels()) {
+    simd::force_level(level);
+    for (const std::size_t rows : {1ul, 2ul, 3ul, 4ul, 5ul, 8ul, 9ul, 70ul}) {
+      const Matrix a = random_matrix(rows, 41, 145 + rows);
+      std::vector<Real> got(rows);
+      for (std::size_t pr = 0; pr < 6; ++pr) {
+        relu_dot_panels_batch(ext.view().row(pr), a.data(), 41, rows,
+                              panels.row(pr), got.data());
+        for (std::size_t r = 0; r < rows; ++r) {
+          const Real single = relu_dot_panels(ext.view().row(pr),
+                                              a.row(r).data(), panels.row(pr));
+          EXPECT_EQ(got[r], single)
+              << simd::level_name(level) << " rows " << rows << " panel row "
+              << pr << " batch row " << r;
+          const Real want = ref::relu_dot_panels(
+              ext.view().row(pr), a.row(r).data(), panels.row(pr));
+          Real abs_sum = 0;
+          std::size_t terms = 0;
+          const Real* pv = panels.row(pr);
+          for (const ColSpan s : ext.view().row(pr))
+            for (std::size_t j = s.begin; j < s.end; ++j) {
+              abs_sum += std::abs(std::max(a(r, j), Real(0)) * *pv++);
+              ++terms;
+            }
+          EXPECT_NEAR(got[r], want, ulp_bound(terms, abs_sum))
+              << simd::level_name(level) << " vs reference, panel row " << pr;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ReluDotPanelsBatchSubVectorTailSweepAcrossLevels) {
+  // Every reduction tail length around the register width (1..36 columns,
+  // one full-width span), at every level: bitwise vs the single-row kernel,
+  // tolerance vs the scalar reference.
+  LevelGuard guard;
+  constexpr std::size_t kRows = 5;
+  for (const simd::Level level : testable_levels()) {
+    simd::force_level(level);
+    for (std::size_t len = 1; len <= 36; ++len) {
+      Matrix mask(1, len);
+      for (std::size_t j = 0; j < len; ++j) mask(0, j) = 1;
+      const Matrix b = random_matrix(1, len, 500 + len);
+      const RowExtents ext = RowExtents::from_mask(mask);
+      const PackedRowPanels panels = PackedRowPanels::pack(b, ext.view());
+      const Matrix a = random_matrix(kRows, len, 600 + len);
+      Real got[kRows];
+      relu_dot_panels_batch(ext.view().row(0), a.data(), len, kRows,
+                            panels.row(0), got);
+      for (std::size_t r = 0; r < kRows; ++r) {
+        EXPECT_EQ(got[r], relu_dot_panels(ext.view().row(0), a.row(r).data(),
+                                          panels.row(0)))
+            << simd::level_name(level) << " len " << len << " row " << r;
+        Real abs_sum = 0;
+        for (std::size_t j = 0; j < len; ++j)
+          abs_sum += std::abs(std::max(a(r, j), Real(0)) * b(0, j));
+        EXPECT_NEAR(got[r],
+                    ref::relu_dot_panels(ext.view().row(0), a.row(r).data(),
+                                         panels.row(0)),
+                    ulp_bound(len, abs_sum))
+            << simd::level_name(level) << " len " << len << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, DotPanelsBlockKernelsBitwiseEqualSingleRowAcrossLevels) {
+  // The conditional engine's frozen-tail kernels: relu_dot_panels_block must
+  // reproduce the single-row relu_dot_panels bitwise for every (site, row)
+  // cell, and dot_panels_block on the materialized relu of the same rows
+  // must reproduce relu_dot_panels_block bitwise — the blocked loops only
+  // reorder *which* cells are computed when, never the per-cell reduction.
+  // nsites > kColBlock so the panel-block loop takes more than one trip.
+  LevelGuard guard;
+  constexpr std::size_t kSites = 300, kCols = 37, kBegin = 41;
+  const Matrix mask = random_mask(kSites, kCols, 7321, 0.55);
+  const Matrix b = apply_mask(random_matrix(kSites, kCols, 7322), mask);
+  const RowExtents ext = RowExtents::from_mask(mask);
+  const PackedRowPanels panels = PackedRowPanels::pack(b, ext.view());
+  for (const simd::Level level : testable_levels()) {
+    simd::force_level(level);
+    for (const std::size_t rows : {1ul, 3ul, 4ul, 7ul, 8ul, 9ul, 21ul}) {
+      const Matrix a = random_matrix(rows, kCols, 7400 + rows);
+      Matrix relu_a(rows, kCols);
+      for (std::size_t i = 0; i < a.size(); ++i)
+        relu_a.data()[i] = a.data()[i] > 0 ? a.data()[i] : Real(0);
+      Matrix got(kSites - kBegin, rows);
+      relu_dot_panels_block(ext.view(), panels, kBegin, a.data(), kCols, rows,
+                            got);
+      Matrix via_relu(kSites - kBegin, rows);
+      dot_panels_block(ext.view(), panels, kBegin, relu_a.data(), kCols, rows,
+                       via_relu);
+      Matrix want(kSites - kBegin, rows);
+      ref::relu_dot_panels_block(ext.view(), panels, kBegin, a.data(), kCols,
+                                 rows, want);
+      for (std::size_t s = kBegin; s < kSites; ++s)
+        for (std::size_t r = 0; r < rows; ++r) {
+          const Real single = relu_dot_panels(ext.view().row(s),
+                                              a.row(r).data(), panels.row(s));
+          EXPECT_EQ(got(s - kBegin, r), single)
+              << simd::level_name(level) << " rows " << rows << " site " << s
+              << " row " << r;
+          EXPECT_EQ(via_relu(s - kBegin, r), got(s - kBegin, r))
+              << simd::level_name(level) << " plain-dot-on-relu, site " << s
+              << " row " << r;
+          Real abs_sum = 0;
+          std::size_t terms = 0;
+          const Real* pv = panels.row(s);
+          for (const ColSpan sp : ext.view().row(s))
+            for (std::size_t j = sp.begin; j < sp.end; ++j) {
+              abs_sum += std::abs(std::max(a(r, j), Real(0)) * *pv++);
+              ++terms;
+            }
+          EXPECT_NEAR(got(s - kBegin, r), want(s - kBegin, r),
+                      ulp_bound(terms, abs_sum))
+              << simd::level_name(level) << " vs reference, site " << s;
+        }
+    }
+  }
+}
+
+TEST(SimdKernels, Rank1AddRowsBitwiseEqualsScalarWalkAcrossLevels) {
+  // The engine's gathered rank-1 update: a unit fma multiplier rounds
+  // exactly like the scalar +=, so the vector form must be bitwise equal to
+  // the reference walk for every segment length around the register width.
+  LevelGuard guard;
+  constexpr std::size_t kRows = 11, kLda = 45;
+  const std::vector<std::uint32_t> ids = {0, 2, 3, 7, 10};
+  for (const simd::Level level : testable_levels()) {
+    simd::force_level(level);
+    for (std::size_t len = 0; len <= 19; ++len) {
+      const std::size_t col_begin = kLda - 20;
+      const Matrix vals = random_matrix(1, 20, 900 + len);
+      Matrix got = random_matrix(kRows, kLda, 800 + len);
+      Matrix want = got;
+      rank1_add_rows(got.data(), kLda, {ids.data(), ids.size()}, col_begin,
+                     vals.data(), len);
+      ref::rank1_add_rows(want.data(), kLda, {ids.data(), ids.size()},
+                          col_begin, vals.data(), len);
+      for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got.data()[i], want.data()[i])
+            << simd::level_name(level) << " len " << len << " flat " << i;
+    }
+  }
+}
+
+TEST(SimdKernels, AccumulateMaskedColsBitwiseEqualsAscendingAddsAcrossLevels) {
+  // The engine's deferred far-segment pass: set bits must be applied in
+  // ascending order with unit multipliers, bitwise equal to the naive
+  // per-site walk.  Masks cover empty, sparse, dense and the top bit.
+  LevelGuard guard;
+  constexpr std::size_t kLen = 13;
+  std::vector<Matrix> cols;
+  std::vector<const Real*> ptrs;
+  for (std::size_t bit = 0; bit < 64; ++bit) {
+    cols.push_back(random_matrix(1, kLen, 1000 + bit));
+    ptrs.push_back(cols.back().data());
+  }
+  const std::uint64_t masks[] = {0,
+                                 1,
+                                 0x8000000000000000ull,
+                                 0x5a5a5a5a5a5a5a5aull,
+                                 ~0ull};
+  for (const simd::Level level : testable_levels()) {
+    simd::force_level(level);
+    for (const std::uint64_t mask : masks) {
+      Matrix got = random_matrix(1, kLen, 2000);
+      Matrix want = got;
+      accumulate_masked_cols(got.data(), mask, ptrs.data(), kLen);
+      ref::accumulate_masked_cols(want.data(), mask, ptrs.data(), kLen);
+      for (std::size_t i = 0; i < kLen; ++i)
+        EXPECT_EQ(got.data()[i], want.data()[i])
+            << simd::level_name(level) << " mask " << std::hex << mask
+            << " elem " << std::dec << i;
+    }
+  }
+}
+
 TEST(SimdKernels, BernoulliLogLikelihoodMatchesReferenceAcrossLevels) {
   LevelGuard guard;
   constexpr Real kProbEps = 1e-12;
